@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+rows/series it reports, and asserts the paper's qualitative claims (who
+wins, by roughly what factor, where the crossovers and failures are).
+Absolute numbers are compared against the values the paper *states*;
+chart-derived values use loose tolerances (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — repeated timing rounds
+    would only re-measure the same work, so one round is enough.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(func, *args, **kwargs):
+        return run_once(benchmark, func, *args, **kwargs)
+    return runner

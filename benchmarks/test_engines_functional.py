@@ -1,0 +1,37 @@
+"""Functional-engine micro-benchmarks: the three real engines on real data.
+
+Not a paper figure — this benchmarks the *functional* implementations
+(in-process Hadoop/Spark/DataMPI engines on generated BigDataBench text),
+demonstrating that all three engines process identical workloads and
+letting pytest-benchmark compare their in-process constant factors.
+"""
+
+import pytest
+
+from repro.bigdatabench import TextGenerator
+from repro.workloads import (
+    run_text_sort,
+    run_wordcount,
+    wordcount_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def lines():
+    return TextGenerator(seed=99).lines(2000)
+
+
+@pytest.mark.parametrize("engine", ["hadoop", "spark", "datampi"])
+def test_functional_wordcount(benchmark, engine, lines):
+    result = benchmark.pedantic(
+        run_wordcount, args=(engine, lines), rounds=3, iterations=1
+    )
+    assert result == wordcount_reference(lines)
+
+
+@pytest.mark.parametrize("engine", ["hadoop", "spark", "datampi"])
+def test_functional_text_sort(benchmark, engine, lines):
+    result = benchmark.pedantic(
+        run_text_sort, args=(engine, lines), rounds=3, iterations=1
+    )
+    assert result == sorted(lines)

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Calibration dashboard: simulated values vs paper targets.
+
+Run after changing repro/perfmodels/calibration.py; every line shows
+measured vs target and the relative error.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.units import GB
+from repro import paperdata
+from repro.perfmodels import simulate
+
+
+def row(label, measured, target, tol=0.15):
+    err = abs(measured - target) / target if target else 0.0
+    flag = "ok " if err <= tol else "BAD"
+    print(f"  [{flag}] {label:<46} measured={measured:8.1f}  target={target:8.1f}  err={100*err:5.1f}%")
+
+
+def main() -> int:
+    print("=== 8GB Text Sort (stated: H=117 S=114 D=69; O=28 map=36 stage0=38) ===")
+    runs = {}
+    for fw in ("hadoop", "spark", "datampi"):
+        runs[fw] = simulate(fw, "text_sort", 8 * GB, executions=1)
+        row(f"text_sort 8GB {fw} elapsed", runs[fw].elapsed_sec,
+            paperdata.TEXT_SORT_8GB_SEC[fw])
+    row("datampi O phase", runs["datampi"].phases.get("o", 0.0), 28.0, 0.25)
+    row("hadoop map phase", runs["hadoop"].phases.get("map", 0.0), 36.0, 0.25)
+    row("spark stage0", runs["spark"].phases.get("stage0", 0.0), 38.0, 0.25)
+
+    print("=== 8GB Text Sort resource profile (averages over each runtime) ===")
+    from repro.perfmodels import get_calibration
+    spro = paperdata.SORT_PROFILE
+    for fw in ("hadoop", "spark", "datampi"):
+        cluster = runs[fw].first.cluster
+        t_run = runs[fw].elapsed_sec
+        scale = get_calibration(fw).iowait_scale
+        row(f"sort {fw} cpu%", cluster.cpu_utilization_pct(0, t_run), spro["cpu_pct"][fw], 0.35)
+        row(f"sort {fw} net MB/s", cluster.network_mbps(0, t_run), spro["net_mbps"][fw], 0.35)
+        row(f"sort {fw} mem GB", cluster.memory_gb(0, t_run), spro["mem_gb"][fw], 0.35)
+        phase = {"hadoop": "map", "spark": "stage0", "datampi": "o"}[fw]
+        t0, t1 = runs[fw].first.phases[phase]
+        row(f"sort {fw} read MB/s ({phase})", cluster.disk_read_mbps(t0, t1),
+            spro["disk_read_phase_mbps"][fw], 0.35)
+        row(f"sort {fw} write MB/s", cluster.disk_write_mbps(0, t_run),
+            spro["disk_write_mbps"][fw], 0.35)
+        row(f"sort {fw} iowait%", scale * cluster.iowait_pct(0, t_run), spro["iowait_pct"][fw], 0.6)
+
+    print("=== 32GB WordCount (stated: H=275 S=130 D=130) ===")
+    wruns = {}
+    for fw in ("hadoop", "spark", "datampi"):
+        wruns[fw] = simulate(fw, "wordcount", 32 * GB, executions=1)
+        row(f"wordcount 32GB {fw} elapsed", wruns[fw].elapsed_sec,
+            paperdata.WORDCOUNT_32GB_SEC[fw])
+    wpro = paperdata.WORDCOUNT_PROFILE
+    for fw in ("hadoop", "spark", "datampi"):
+        cluster = wruns[fw].first.cluster
+        t_run = wruns[fw].elapsed_sec
+        row(f"wc {fw} cpu%", cluster.cpu_utilization_pct(0, t_run), wpro["cpu_pct"][fw], 0.35)
+        row(f"wc {fw} read MB/s", cluster.disk_read_mbps(0, t_run),
+            wpro["disk_read_mbps"][fw], 0.35)
+        row(f"wc {fw} mem GB", cluster.memory_gb(0, t_run), wpro["mem_gb"][fw], 0.35)
+
+    print("=== Figure 3 sweeps (improvement ranges) ===")
+    for workload, sizes, chart in (
+        ("normal_sort", [4, 8, 16, 32], paperdata.FIG3A_NORMAL_SORT),
+        ("text_sort", [8, 16, 32, 64], paperdata.FIG3B_TEXT_SORT),
+        ("wordcount", [8, 16, 32, 64], paperdata.FIG3C_WORDCOUNT),
+        ("grep", [8, 16, 32, 64], paperdata.FIG3D_GREP),
+        ("kmeans", [8, 16, 32, 64], paperdata.FIG6A_KMEANS),
+        ("naive_bayes", [8, 16, 32, 64], paperdata.FIG6B_NAIVE_BAYES),
+    ):
+        for size in sizes:
+            nbytes = size * GB
+            h = simulate("hadoop", workload, nbytes, executions=1)
+            d = simulate("datampi", workload, nbytes, executions=1)
+            imp = paperdata.improvement(h.elapsed_sec, d.elapsed_sec)
+            line = f"{workload} {size}GB H={h.elapsed_sec:7.1f} D={d.elapsed_sec:7.1f} imp={100*imp:4.1f}%"
+            if workload in ("text_sort", "wordcount", "grep", "kmeans") and workload != "naive_bayes":
+                try:
+                    s = simulate("spark", workload, nbytes, executions=1)
+                    status = "OOM" if s.failed else f"{s.elapsed_sec:7.1f}"
+                    line += f" S={status}"
+                except Exception as exc:
+                    line += f" S=err({exc})"
+            chart_h = chart.get("hadoop", {}).get(nbytes)
+            if chart_h:
+                line += f"   [chart H={chart_h:.0f} D={chart['datampi'][nbytes]:.0f}]"
+            print("   " + line)
+
+    print("=== Small jobs (128MB, 1 slot/node; target H~35 S~15 D~15) ===")
+    for workload in ("text_sort", "wordcount", "grep"):
+        parts = []
+        for fw in ("hadoop", "spark", "datampi"):
+            run = simulate(fw, workload, 128 * 1024 * 1024, slots=1, executions=1)
+            parts.append(f"{fw}={run.elapsed_sec:5.1f}")
+        print(f"   small {workload:<10} " + "  ".join(parts))
+
+    print("=== Spark OOM gates ===")
+    for size in (4, 8, 16, 32):
+        run = simulate("spark", "normal_sort", size * GB, executions=1)
+        print(f"   normal_sort {size}GB spark: {'OOM' if run.failed else 'ran=' + format(run.elapsed_sec, '.0f')}")
+    for size in (8, 16, 32, 64):
+        run = simulate("spark", "text_sort", size * GB, executions=1)
+        print(f"   text_sort {size}GB spark: {'OOM' if run.failed else 'ran=' + format(run.elapsed_sec, '.0f')}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

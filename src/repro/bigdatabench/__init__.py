@@ -1,0 +1,44 @@
+"""BigDataBench substrate: seed models, text generator, converters (Table 1)."""
+
+from repro.bigdatabench.seedmodels import (
+    SeedModel,
+    all_amazon_models,
+    amazon_model,
+    lda_wiki1w,
+    load_seed_model,
+)
+from repro.bigdatabench.textgen import TextGenerator, average_line_bytes
+from repro.bigdatabench.toseqfile import (
+    SequenceFile,
+    measure_compression_ratio,
+    to_sequence_file,
+)
+from repro.bigdatabench.vectors import (
+    SparseVector,
+    generate_kmeans_vectors,
+    mean_vector,
+    term_id,
+    vectorize,
+)
+from repro.bigdatabench.workloads_table import TABLE1, WorkloadInfo, table1_rows
+
+__all__ = [
+    "SeedModel",
+    "all_amazon_models",
+    "amazon_model",
+    "lda_wiki1w",
+    "load_seed_model",
+    "TextGenerator",
+    "average_line_bytes",
+    "SequenceFile",
+    "measure_compression_ratio",
+    "to_sequence_file",
+    "SparseVector",
+    "generate_kmeans_vectors",
+    "mean_vector",
+    "term_id",
+    "vectorize",
+    "TABLE1",
+    "WorkloadInfo",
+    "table1_rows",
+]

@@ -1,0 +1,140 @@
+"""Seed models for the BigDataBench text generator.
+
+BigDataBench generates synthetic data by scaling *seed models* trained on
+real corpora: ``lda_wiki1w`` (wikipedia entries) for the micro-benchmarks
+and ``amazon1``–``amazon5`` (amazon movie review categories) for the
+application benchmarks (Sections 4.3 and 4.6).  The original models are
+LDA topic models over proprietary corpora; this reproduction substitutes
+Zipf-distributed vocabularies with per-model characteristic words, which
+preserves the properties the paper's analysis relies on:
+
+* a heavily skewed word distribution (small effective dictionary, so
+  WordCount/Grep produce little intermediate data — Section 4.4);
+* five mutually distinguishable category models, so Naive Bayes has a
+  learnable classification signal and K-means has real cluster structure.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import WorkloadError
+from repro.common.rng import substream
+
+_SYLLABLES = [
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du",
+    "ka", "ke", "ki", "ko", "ku", "la", "le", "li", "lo", "lu",
+    "ma", "me", "mi", "mo", "mu", "na", "ne", "ni", "no", "nu",
+    "ra", "re", "ri", "ro", "ru", "sa", "se", "si", "so", "su",
+    "ta", "te", "ti", "to", "tu", "za", "ze", "zi", "zo", "zu",
+]
+
+
+def _make_vocabulary(size: int, prefix: str, seed: int) -> list[str]:
+    """Deterministic pronounceable vocabulary with a per-model prefix."""
+    rng = substream(seed, "vocab", prefix)
+    words = []
+    seen = set()
+    for count in itertools.count():
+        syllables = rng.randint(2, 4)
+        word = prefix + "".join(rng.choice(_SYLLABLES) for _ in range(syllables))
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+        if len(words) == size:
+            return words
+        if count > size * 50:  # pragma: no cover - defensive
+            raise WorkloadError(f"could not build vocabulary of {size} words")
+    raise AssertionError("unreachable")
+
+
+@dataclass
+class SeedModel:
+    """A scalable word-distribution model (Zipf over a fixed vocabulary)."""
+
+    name: str
+    vocabulary: list[str]
+    zipf_exponent: float = 1.05
+
+    def __post_init__(self) -> None:
+        if not self.vocabulary:
+            raise WorkloadError(f"seed model {self.name!r} has empty vocabulary")
+        weights = [1.0 / (rank + 1) ** self.zipf_exponent
+                   for rank in range(len(self.vocabulary))]
+        total = math.fsum(weights)
+        cumulative = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self.vocabulary)
+
+    def sample_word(self, rng: random.Random) -> str:
+        """Draw one word from the Zipf distribution."""
+        return self.vocabulary[bisect.bisect_left(self._cumulative, rng.random())]
+
+    def sample_sentence(self, rng: random.Random, num_words: int) -> str:
+        return " ".join(self.sample_word(rng) for _ in range(num_words))
+
+    def top_words(self, n: int) -> list[str]:
+        """The n highest-probability words (Zipf head)."""
+        return self.vocabulary[:n]
+
+
+# -- the models the paper uses -------------------------------------------------
+
+_MODEL_SEED = 0x5EED
+
+
+def lda_wiki1w() -> SeedModel:
+    """The wikipedia seed model used for Sort / WordCount / Grep input."""
+    return SeedModel("lda_wiki1w", _make_vocabulary(10_000, "", _MODEL_SEED))
+
+
+def amazon_model(index: int) -> SeedModel:
+    """``amazon1`` .. ``amazon5``: category models for K-means / Naive Bayes.
+
+    Each category mixes a shared common vocabulary (function words appear
+    in every document) with a category-specific vocabulary, giving the
+    five classes overlapping but separable distributions.
+    """
+    if not 1 <= index <= 5:
+        raise WorkloadError(f"amazon model index must be 1..5, got {index}")
+    shared = _make_vocabulary(300, "", _MODEL_SEED + 1)
+    specific = _make_vocabulary(1_500, f"c{index}", _MODEL_SEED + 1 + index)
+    # Interleave with specific words dominating the Zipf head (3:1), so the
+    # categories stay separable while sharing common function words.
+    vocabulary = []
+    shared_iter = iter(shared)
+    for position, word in enumerate(specific):
+        vocabulary.append(word)
+        if position % 3 == 2:
+            vocabulary.extend(itertools.islice(shared_iter, 1))
+    vocabulary.extend(shared_iter)
+    return SeedModel(f"amazon{index}", vocabulary)
+
+
+def all_amazon_models() -> list[SeedModel]:
+    return [amazon_model(index) for index in range(1, 6)]
+
+
+_REGISTRY = {"lda_wiki1w": lda_wiki1w}
+_REGISTRY.update({f"amazon{i}": (lambda i=i: amazon_model(i)) for i in range(1, 6)})
+
+
+def load_seed_model(name: str) -> SeedModel:
+    """Look a model up by its BigDataBench name."""
+    if name not in _REGISTRY:
+        raise WorkloadError(
+            f"unknown seed model {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]()

@@ -1,0 +1,79 @@
+"""Text Generator — BigDataBench's scalable text data generator.
+
+"BigDataBench provides a data generator for benchmarks based on real life
+data sets ... Users can generate synthetic data by scaling the seed
+models while keeping the characteristics of data" (Section 2.4).  The
+generator produces lines of Zipf-sampled words from a seed model, either
+by line count or until a target byte volume is reached, deterministically
+for a given seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.bigdatabench.seedmodels import SeedModel, lda_wiki1w
+from repro.common.errors import WorkloadError
+from repro.common.rng import substream
+
+
+class TextGenerator:
+    """Generates text lines / documents from a seed model."""
+
+    def __init__(self, model: SeedModel | None = None, seed: int = 0,
+                 words_per_line: tuple[int, int] = (6, 12)):
+        low, high = words_per_line
+        if low < 1 or high < low:
+            raise WorkloadError(f"invalid words_per_line range {words_per_line}")
+        self.model = model or lda_wiki1w()
+        self.seed = seed
+        self.words_per_line = words_per_line
+
+    def lines(self, num_lines: int, stream: int = 0) -> list[str]:
+        """Generate exactly ``num_lines`` lines."""
+        if num_lines < 0:
+            raise WorkloadError(f"negative line count {num_lines}")
+        rng = substream(self.seed, "textgen", self.model.name, stream)
+        low, high = self.words_per_line
+        return [
+            self.model.sample_sentence(rng, rng.randint(low, high))
+            for _ in range(num_lines)
+        ]
+
+    def lines_of_bytes(self, target_bytes: int, stream: int = 0) -> list[str]:
+        """Generate lines totalling at least ``target_bytes`` (UTF-8 +
+        newline accounting), stopping at the first line that crosses it."""
+        if target_bytes < 0:
+            raise WorkloadError(f"negative byte target {target_bytes}")
+        rng = substream(self.seed, "textgen", self.model.name, stream)
+        low, high = self.words_per_line
+        produced: list[str] = []
+        total = 0
+        while total < target_bytes:
+            line = self.model.sample_sentence(rng, rng.randint(low, high))
+            produced.append(line)
+            total += len(line.encode("utf-8")) + 1
+        return produced
+
+    def documents(self, num_docs: int, lines_per_doc: int, stream: int = 0) -> Iterator[list[str]]:
+        """Generate documents (lists of lines) — Naive Bayes input shape."""
+        if num_docs < 0 or lines_per_doc < 1:
+            raise WorkloadError(
+                f"invalid document shape ({num_docs} docs x {lines_per_doc} lines)"
+            )
+        for doc_index in range(num_docs):
+            rng = substream(self.seed, "docgen", self.model.name, stream, doc_index)
+            low, high = self.words_per_line
+            yield [
+                self.model.sample_sentence(rng, rng.randint(low, high))
+                for _ in range(lines_per_doc)
+            ]
+
+
+def average_line_bytes(model: SeedModel | None = None, sample_lines: int = 200,
+                       seed: int = 0) -> float:
+    """Estimated bytes per generated line (used by the performance models
+    to convert data volumes to record counts)."""
+    generator = TextGenerator(model, seed=seed)
+    lines = generator.lines(sample_lines)
+    return sum(len(line.encode("utf-8")) + 1 for line in lines) / max(1, len(lines))

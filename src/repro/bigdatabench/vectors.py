@@ -1,0 +1,110 @@
+"""Sparse vectors and genData_Kmeans — the K-means input pipeline.
+
+Section 4.6: "Using genData_Kmeans of BigDataBench, text files are
+converted to sequence files from directory, then to the sparse vectors
+which are the input data of training clusters."  Documents are sampled
+from the five amazon seed models, tokenized, and turned into normalized
+term-frequency sparse vectors (Mahout's ``seq2sparse`` essence).  Because
+the five models have separable vocabularies, the vectors carry genuine
+cluster structure for K-means to find.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.bigdatabench.seedmodels import all_amazon_models
+from repro.common.errors import WorkloadError
+from repro.common.rng import substream
+
+
+@dataclass
+class SparseVector:
+    """A sparse feature vector keyed by term id."""
+
+    weights: dict[int, float] = field(default_factory=dict)
+
+    def norm(self) -> float:
+        return math.sqrt(math.fsum(w * w for w in self.weights.values()))
+
+    def normalized(self) -> "SparseVector":
+        norm = self.norm()
+        if norm == 0.0:
+            return SparseVector({})
+        return SparseVector({dim: w / norm for dim, w in self.weights.items()})
+
+    def squared_distance(self, other: "SparseVector") -> float:
+        """Squared Euclidean distance to another sparse vector."""
+        total = 0.0
+        for dim, weight in self.weights.items():
+            diff = weight - other.weights.get(dim, 0.0)
+            total += diff * diff
+        for dim, weight in other.weights.items():
+            if dim not in self.weights:
+                total += weight * weight
+        return total
+
+    def add_scaled(self, other: "SparseVector", scale: float = 1.0) -> None:
+        """In-place accumulate (used to build centroid sums)."""
+        for dim, weight in other.weights.items():
+            self.weights[dim] = self.weights.get(dim, 0.0) + weight * scale
+
+    def scaled(self, scale: float) -> "SparseVector":
+        return SparseVector({dim: w * scale for dim, w in self.weights.items()})
+
+    @property
+    def num_nonzero(self) -> int:
+        return len(self.weights)
+
+
+def mean_vector(vectors: Sequence[SparseVector]) -> SparseVector:
+    """Arithmetic mean of sparse vectors (a K-means centroid update)."""
+    if not vectors:
+        raise WorkloadError("mean of zero vectors")
+    total = SparseVector({})
+    for vector in vectors:
+        total.add_scaled(vector)
+    return total.scaled(1.0 / len(vectors))
+
+
+def term_id(word: str, dimensions: int = 1 << 16) -> int:
+    """Stable hashed term id (Mahout's hashed encoder analog)."""
+    import zlib
+
+    return zlib.crc32(word.encode("utf-8")) % dimensions
+
+
+def vectorize(tokens: Iterable[str], dimensions: int = 1 << 16) -> SparseVector:
+    """Normalized term-frequency vector of a token stream."""
+    counts: dict[int, float] = {}
+    for token in tokens:
+        dim = term_id(token, dimensions)
+        counts[dim] = counts.get(dim, 0.0) + 1.0
+    return SparseVector(counts).normalized()
+
+
+def generate_kmeans_vectors(
+    num_vectors: int,
+    words_per_doc: int = 40,
+    seed: int = 0,
+) -> tuple[list[SparseVector], list[int]]:
+    """genData_Kmeans: sparse vectors plus their true category labels.
+
+    Documents rotate over the five amazon seed models, so labels are
+    balanced; the labels are returned only for evaluation (clustering
+    quality tests) and are not visible to the algorithms.
+    """
+    if num_vectors < 1:
+        raise WorkloadError(f"need >= 1 vector, got {num_vectors}")
+    models = all_amazon_models()
+    vectors: list[SparseVector] = []
+    labels: list[int] = []
+    for index in range(num_vectors):
+        label = index % len(models)
+        rng = substream(seed, "kmeansgen", index)
+        text = models[label].sample_sentence(rng, words_per_doc)
+        vectors.append(vectorize(text.split()))
+        labels.append(label)
+    return vectors, labels

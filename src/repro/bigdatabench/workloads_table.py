@@ -1,0 +1,28 @@
+"""Table 1 of the paper: the five representative workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadInfo:
+    """One row of Table 1."""
+
+    number: int
+    name: str
+    workload_type: str
+
+
+TABLE1 = [
+    WorkloadInfo(1, "Sort", "Micro-benchmark"),
+    WorkloadInfo(2, "WordCount", "Micro-benchmark"),
+    WorkloadInfo(3, "Grep", "Micro-benchmark"),
+    WorkloadInfo(4, "Naive Bayes", "Social Network"),
+    WorkloadInfo(5, "K-means", "E-commerce"),
+]
+
+
+def table1_rows() -> list[tuple[str, str, str]]:
+    """Rows for the Table 1 benchmark target."""
+    return [(str(info.number), info.name, info.workload_type) for info in TABLE1]

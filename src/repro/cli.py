@@ -1,0 +1,178 @@
+"""``datampi-repro`` — command-line entry point for the reproduction.
+
+Subcommands:
+
+* ``list``                      — list every table/figure experiment
+* ``run <experiment>``          — regenerate one table/figure and print it
+* ``simulate <fw> <wl> <size>`` — one simulated job (e.g. datampi text_sort 8GB)
+* ``workload <engine> <name>``  — run a functional workload on generated data
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.units import format_size, parse_size
+from repro import experiments
+from repro.experiments import report
+from repro.perfmodels import simulate
+
+EXPERIMENTS = {
+    "table1": "Table 1: representative workloads",
+    "table2": "Table 2: hardware configuration",
+    "fig2a": "Figure 2(a): DFSIO block-size tuning",
+    "fig2b": "Figure 2(b): tasks/workers-per-node tuning",
+    "fig3a": "Figure 3(a): Normal Sort",
+    "fig3b": "Figure 3(b): Text Sort",
+    "fig3c": "Figure 3(c): WordCount",
+    "fig3d": "Figure 3(d): Grep",
+    "fig4-sort": "Figure 4(a-d): 8GB Text Sort resource profile",
+    "fig4-wordcount": "Figure 4(e-h): 32GB WordCount resource profile",
+    "fig5": "Figure 5: small jobs",
+    "fig6a": "Figure 6(a): K-means",
+    "fig6b": "Figure 6(b): Naive Bayes",
+    "fig7": "Figure 7: seven-pronged summary",
+}
+
+
+def _cmd_list(_args) -> int:
+    for name, description in EXPERIMENTS.items():
+        print(f"{name:<16} {description}")
+    return 0
+
+
+def _print_sweep(series) -> None:
+    print(report.sweep_table(series))
+
+
+def _cmd_run(args) -> int:
+    name = args.experiment
+    if name not in EXPERIMENTS:
+        print(f"unknown experiment {name!r}; try 'datampi-repro list'",
+              file=sys.stderr)
+        return 2
+    print(EXPERIMENTS[name])
+    if name == "table1":
+        print(report.render_table(["No.", "Workload", "Type"], experiments.table1()))
+    elif name == "table2":
+        print(report.render_table(["Item", "Value"], experiments.table2()))
+    elif name == "fig2a":
+        data = experiments.fig2a()
+        blocks = sorted(next(iter(data.values())))
+        rows = [
+            [format_size(total)] + [f"{data[total][b]:.1f}" for b in blocks]
+            for total in sorted(data)
+        ]
+        print(report.render_table(
+            ["input"] + [format_size(b) for b in blocks], rows
+        ))
+    elif name == "fig2b":
+        data = experiments.fig2b()
+        rows = [
+            [fw] + [f"{data[fw][s]:.1f}" for s in (2, 4, 6)]
+            for fw in data
+        ]
+        print(report.render_table(["framework", "2", "4", "6"], rows))
+    elif name in ("fig3a", "fig3b", "fig3c", "fig3d", "fig6a", "fig6b"):
+        workload = {
+            "fig3a": "normal_sort", "fig3b": "text_sort", "fig3c": "wordcount",
+            "fig3d": "grep", "fig6a": "kmeans", "fig6b": "naive_bayes",
+        }[name]
+        _print_sweep(experiments.micro_benchmark(workload, executions=args.executions))
+    elif name == "fig4-sort":
+        print(report.profile_table(experiments.fig4_sort()))
+    elif name == "fig4-wordcount":
+        print(report.profile_table(experiments.fig4_wordcount()))
+    elif name == "fig5":
+        data = experiments.fig5(executions=args.executions)
+        rows = [
+            [w] + [f"{data[w][fw]:.1f}s" for fw in ("hadoop", "spark", "datampi")]
+            for w in data
+        ]
+        print(report.render_table(["workload", "hadoop", "spark", "datampi"], rows))
+    elif name == "fig7":
+        radar = experiments.compute_radar(executions=1)
+        rows = [
+            [axis] + [f"{radar.scores[axis][fw]:.2f}"
+                      for fw in ("hadoop", "spark", "datampi")]
+            for axis in experiments.AXES
+        ]
+        print(report.render_table(["axis", "hadoop", "spark", "datampi"], rows))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    run = simulate(args.framework, args.workload, parse_size(args.size),
+                   slots=args.slots, executions=args.executions)
+    if run.failed:
+        print(f"{args.framework} {args.workload} {args.size}: FAILED ({run.failure})")
+        return 1
+    print(f"{args.framework} {args.workload} {args.size}: {run.elapsed_sec:.1f}s")
+    for phase, duration in run.phases.items():
+        print(f"  {phase}: {duration:.1f}s")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.bigdatabench import TextGenerator
+    from repro.workloads import (
+        run_grep, run_text_sort, run_wordcount, wordcount_reference,
+    )
+
+    lines = TextGenerator(seed=args.seed).lines(args.lines)
+    if args.name == "wordcount":
+        counts = run_wordcount(args.engine, lines)
+        ok = counts == wordcount_reference(lines)
+        print(f"{len(counts)} distinct words; verified={ok}")
+    elif args.name == "sort":
+        output = run_text_sort(args.engine, lines)
+        print(f"sorted {len(output)} lines; verified={output == sorted(lines)}")
+    elif args.name == "grep":
+        counts = run_grep(args.engine, lines, args.pattern)
+        print(f"{sum(counts.values())} matches of {len(counts)} distinct strings")
+    else:
+        print(f"unknown workload {args.name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="datampi-repro",
+        description="Reproduce 'Performance Benefits of DataMPI' (2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="regenerate one table/figure")
+    run.add_argument("experiment")
+    run.add_argument("--executions", type=int, default=3)
+    run.set_defaults(func=_cmd_run)
+
+    sim = sub.add_parser("simulate", help="simulate one job")
+    sim.add_argument("framework", choices=["hadoop", "spark", "datampi"])
+    sim.add_argument("workload")
+    sim.add_argument("size", help="input size, e.g. 8GB")
+    sim.add_argument("--slots", type=int, default=4)
+    sim.add_argument("--executions", type=int, default=3)
+    sim.set_defaults(func=_cmd_simulate)
+
+    wl = sub.add_parser("workload", help="run a functional workload")
+    wl.add_argument("engine", choices=["hadoop", "spark", "datampi"])
+    wl.add_argument("name", help="wordcount | sort | grep")
+    wl.add_argument("--lines", type=int, default=2000)
+    wl.add_argument("--seed", type=int, default=0)
+    wl.add_argument("--pattern", default=r"ba[a-z]*")
+    wl.set_defaults(func=_cmd_workload)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,8 @@
+"""Simulated testbed: hardware specs (Table 2), nodes, switch, cluster."""
+
+from repro.cluster.cluster import SimCluster
+from repro.cluster.hardware import ClusterSpec, NodeSpec
+from repro.cluster.network import Switch
+from repro.cluster.node import SimNode
+
+__all__ = ["SimCluster", "ClusterSpec", "NodeSpec", "Switch", "SimNode"]

@@ -1,0 +1,96 @@
+"""Hardware specification of the paper's testbed (Table 2).
+
+The evaluation cluster is 8 nodes on a 1 Gigabit Ethernet switch; each node
+has two Intel Xeon E5620 processors (4 cores @ 2.4 GHz, hyper-threading
+enabled, so 16 hardware threads), 16 GB DDR3-1333 RAM, and one SATA disk
+with 150 GB free.  The disk and NIC service rates are not in the paper;
+they are set to typical values for that hardware generation and are part
+of the calibration documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import GB, KB, MB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node, as listed in Table 2 of the paper."""
+
+    cpu_model: str = "Intel Xeon E5620"
+    sockets: int = 2
+    cores_per_socket: int = 4
+    threads_per_core: int = 2  # hyper-threading enabled
+    clock_ghz: float = 2.4
+    l1_cache: int = 32 * KB
+    l2_cache: int = 256 * KB
+    l3_cache: int = 12 * MB
+    memory: int = 16 * GB
+    disk_capacity: int = 150 * GB
+    # Calibrated service rates (not in Table 2; see DESIGN.md):
+    disk_read_bw: float = 140.0 * MB   # sequential read, bytes/s
+    disk_write_bw: float = 110.0 * MB  # sequential write, bytes/s
+    nic_bw: float = 117.0 * MB         # effective 1 GigE payload rate, per direction
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1 or self.threads_per_core < 1:
+            raise ConfigError("node must have at least one hardware thread")
+        if self.memory <= 0 or self.disk_capacity <= 0:
+            raise ConfigError("memory and disk capacity must be positive")
+        if min(self.disk_read_bw, self.disk_write_bw, self.nic_bw) <= 0:
+            raise ConfigError("bandwidths must be positive")
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def hardware_threads(self) -> int:
+        return self.physical_cores * self.threads_per_core
+
+    def as_table(self) -> list[tuple[str, str]]:
+        """Rows of Table 2, for the ``table2`` benchmark target."""
+        return [
+            ("CPU type", self.cpu_model),
+            ("# cores", f"{self.cores_per_socket} cores @{self.clock_ghz}G"),
+            ("# threads", f"{self.hardware_threads // self.sockets} threads"),
+            ("# sockets", str(self.sockets)),
+            ("L1 I/D Cache", "32 KB"),
+            ("L2 Cache", "256 KB"),
+            ("L3 Cache", "12 MB"),
+            ("Memory", "16 GB"),
+            ("Disk", "150GB free SATA disk"),
+        ]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The 8-node, single-switch testbed (Section 4.1)."""
+
+    nodes: int = 8
+    node: NodeSpec = field(default_factory=NodeSpec)
+    switch_name: str = "1 Gigabit Ethernet"
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigError(f"cluster needs >= 1 node, got {self.nodes}")
+
+    @classmethod
+    def paper_testbed(cls) -> "ClusterSpec":
+        """The exact configuration of Section 4.1 / Table 2."""
+        return cls()
+
+    @property
+    def total_memory(self) -> int:
+        return self.nodes * self.node.memory
+
+    @property
+    def total_hardware_threads(self) -> int:
+        return self.nodes * self.node.hardware_threads
+
+    @property
+    def aggregate_disk_read_bw(self) -> float:
+        return self.nodes * self.node.disk_read_bw

@@ -1,0 +1,120 @@
+"""A simulated cluster node: CPU, disk, NIC and memory as shared resources.
+
+Each node exposes:
+
+* ``cpu`` — a :class:`FairShareResource` whose capacity is the number of
+  hardware threads (a single-threaded task caps at 1.0);
+* ``disk_read`` / ``disk_write`` — the SATA disk, modelled as independent
+  read and write channels (a simplification of a half-duplex device; the
+  calibrated bandwidths keep combined throughput realistic);
+* ``nic_in`` / ``nic_out`` — the two directions of the 1 GigE port;
+* a memory gauge used for the Figure 4 footprint plots and for the Spark
+  OutOfMemory model.
+
+Traced series are namespaced ``node{i}.cpu``, ``node{i}.disk.read`` etc.,
+and :class:`repro.cluster.cluster.SimCluster` aggregates them cluster-wide.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.hardware import NodeSpec
+from repro.common.errors import SimulationError
+from repro.simulate.engine import Engine, Event
+from repro.simulate.resources import FairShareResource, Flow
+from repro.simulate.tracing import Tracer
+
+
+class SimNode:
+    """One node of the simulated testbed."""
+
+    def __init__(self, engine: Engine, tracer: Tracer, node_id: int, spec: NodeSpec):
+        self.engine = engine
+        self.tracer = tracer
+        self.node_id = node_id
+        self.spec = spec
+        prefix = f"node{node_id}"
+        self.cpu = FairShareResource(
+            engine, float(spec.hardware_threads), f"{prefix}.cpu", tracer, f"{prefix}.cpu"
+        )
+        self.disk_read = FairShareResource(
+            engine, spec.disk_read_bw, f"{prefix}.disk.read", tracer, f"{prefix}.disk.read"
+        )
+        self.disk_write = FairShareResource(
+            engine, spec.disk_write_bw, f"{prefix}.disk.write", tracer, f"{prefix}.disk.write"
+        )
+        self.nic_in = FairShareResource(
+            engine, spec.nic_bw, f"{prefix}.net.in", tracer, f"{prefix}.net.in"
+        )
+        self.nic_out = FairShareResource(
+            engine, spec.nic_bw, f"{prefix}.net.out", tracer, f"{prefix}.net.out"
+        )
+        self._memory_series = f"{prefix}.mem"
+        self._iowait_series = f"{prefix}.iowait"
+        self.memory_used = 0
+        tracer.set_gauge(self._memory_series, engine.now, 0.0)
+        tracer.set_gauge(self._iowait_series, engine.now, 0.0)
+
+    # -- compute and I/O ------------------------------------------------------
+
+    def compute(self, core_seconds: float, threads: float = 1.0, label: str = "") -> Flow:
+        """Consume CPU time; ``threads`` caps the task's parallelism."""
+        return self.cpu.transfer(core_seconds, cap=threads, weight=threads, label=label)
+
+    def read(self, nbytes: float, label: str = "", *, track_wait: bool = True) -> Event:
+        """Read from the local disk (fair-shared with concurrent readers)."""
+        return self._io(self.disk_read, nbytes, label, track_wait)
+
+    def write(self, nbytes: float, label: str = "", *, track_wait: bool = True) -> Event:
+        """Write to the local disk."""
+        return self._io(self.disk_write, nbytes, label, track_wait)
+
+    def _io(self, channel: FairShareResource, nbytes: float, label: str,
+            track_wait: bool) -> Event:
+        """Start an I/O flow, tracking the number of I/O-blocked tasks.
+
+        The ``iowait`` gauge counts tasks blocked on the disk; the profile
+        reports convert it to the dstat-style "CPU wait I/O" percentage.
+        """
+        flow = channel.transfer(nbytes, label=label)
+        if track_wait and nbytes > 0:
+            self.tracer.adjust_gauge(self._iowait_series, self.engine.now, 1.0)
+            flow.add_callback(
+                lambda _event: self.tracer.adjust_gauge(
+                    self._iowait_series, self.engine.now, -1.0
+                )
+            )
+        return flow
+
+    # -- memory ---------------------------------------------------------------
+
+    def allocate(self, nbytes: int, label: str = "") -> None:
+        """Account ``nbytes`` of memory use (footprint gauge; no failure here —
+        admission control is the framework's job, see ``repro.spark.memory``)."""
+        if nbytes < 0:
+            raise SimulationError(f"negative allocation {nbytes}")
+        self.memory_used += nbytes
+        self.tracer.set_gauge(self._memory_series, self.engine.now, float(self.memory_used))
+
+    def free(self, nbytes: int) -> None:
+        """Release previously allocated memory."""
+        if nbytes < 0:
+            raise SimulationError(f"negative free {nbytes}")
+        if nbytes > self.memory_used:
+            raise SimulationError(
+                f"freeing {nbytes} bytes but only {self.memory_used} allocated"
+            )
+        self.memory_used = max(0, self.memory_used - nbytes)
+        self.tracer.set_gauge(self._memory_series, self.engine.now, float(self.memory_used))
+
+    @property
+    def memory_available(self) -> int:
+        return self.spec.memory - self.memory_used
+
+    # -- series names ---------------------------------------------------------
+
+    @property
+    def series_prefix(self) -> str:
+        return f"node{self.node_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimNode({self.node_id})"

@@ -1,0 +1,58 @@
+"""Shared primitives: units, errors, key-value records, config, RNG streams."""
+
+from repro.common.config import FrameworkConf, RunResult
+from repro.common.errors import (
+    CheckpointError,
+    CommunicatorError,
+    ConfigError,
+    DataMPIError,
+    HDFSError,
+    JobError,
+    MPIError,
+    OutOfMemoryError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.common.kv import (
+    KeyValue,
+    decode_record,
+    decode_stream,
+    encode_record,
+    encode_stream,
+    record_size,
+)
+from repro.common.rng import DEFAULT_SEED, derive_seed, substream
+from repro.common.units import GB, KB, MB, TB, format_size, mb_per_sec, parse_size
+
+__all__ = [
+    "FrameworkConf",
+    "RunResult",
+    "CheckpointError",
+    "CommunicatorError",
+    "ConfigError",
+    "DataMPIError",
+    "HDFSError",
+    "JobError",
+    "MPIError",
+    "OutOfMemoryError",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+    "KeyValue",
+    "decode_record",
+    "decode_stream",
+    "encode_record",
+    "encode_stream",
+    "record_size",
+    "DEFAULT_SEED",
+    "derive_seed",
+    "substream",
+    "GB",
+    "KB",
+    "MB",
+    "TB",
+    "format_size",
+    "mb_per_sec",
+    "parse_size",
+]

@@ -1,0 +1,83 @@
+"""Configuration dataclasses shared by the engines and the simulator.
+
+``FrameworkConf`` mirrors the parameters the paper tunes in Section 4.2:
+HDFS block size (Figure 2a) and the number of concurrent tasks / workers
+per node (Figure 2b), which the authors fix at 256 MB and 4 for the main
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.units import MB, parse_size
+
+DEFAULT_BLOCK_SIZE = 256 * MB
+DEFAULT_REPLICATION = 3
+DEFAULT_SLOTS_PER_NODE = 4
+
+
+@dataclass(frozen=True)
+class FrameworkConf:
+    """Tunable framework parameters (Section 4.2 of the paper)."""
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+    replication: int = DEFAULT_REPLICATION
+    slots_per_node: int = DEFAULT_SLOTS_PER_NODE
+    executions: int = 3  # "results are average across three executions"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_size <= 0:
+            raise ConfigError(f"block_size must be positive, got {self.block_size}")
+        if self.replication < 1:
+            raise ConfigError(f"replication must be >= 1, got {self.replication}")
+        if self.slots_per_node < 1:
+            raise ConfigError(
+                f"slots_per_node must be >= 1, got {self.slots_per_node}"
+            )
+        if self.executions < 1:
+            raise ConfigError(f"executions must be >= 1, got {self.executions}")
+
+    @classmethod
+    def paper_defaults(cls) -> "FrameworkConf":
+        """The configuration used for the paper's main evaluation."""
+        return cls()
+
+    def with_block_size(self, block_size: int | str) -> "FrameworkConf":
+        """Copy of this configuration with a different HDFS block size."""
+        return FrameworkConf(
+            block_size=parse_size(block_size),
+            replication=self.replication,
+            slots_per_node=self.slots_per_node,
+            executions=self.executions,
+            seed=self.seed,
+        )
+
+    def with_slots(self, slots_per_node: int) -> "FrameworkConf":
+        """Copy of this configuration with a different tasks/workers count."""
+        return FrameworkConf(
+            block_size=self.block_size,
+            replication=self.replication,
+            slots_per_node=slots_per_node,
+            executions=self.executions,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one framework job execution (simulated or functional)."""
+
+    framework: str
+    workload: str
+    input_bytes: int
+    elapsed_sec: float
+    phases: dict[str, float] = field(default_factory=dict)
+    failed: bool = False
+    failure: str | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.failed

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the DataMPI reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+``OutOfMemoryError`` deliberately mirrors the JVM failure mode the paper
+observes for Spark on the Sort workloads (Section 4.3).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """Invalid cluster, framework, or workload configuration."""
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency detected by the discrete-event engine."""
+
+
+class HDFSError(ReproError):
+    """Filesystem-level failure (missing file, no space, bad block size)."""
+
+
+class MPIError(ReproError):
+    """Failure in the in-process message-passing substrate."""
+
+
+class DataMPIError(ReproError):
+    """Failure in the DataMPI key-value communication library."""
+
+
+class CommunicatorError(DataMPIError):
+    """Misuse of the bipartite O/A communicator (wrong side, closed, ...)."""
+
+
+class CheckpointError(DataMPIError):
+    """Key-value checkpoint could not be written or restored."""
+
+
+class JobError(ReproError):
+    """A framework job (Hadoop / Spark / DataMPI) failed to complete."""
+
+
+class OutOfMemoryError(JobError):
+    """Worker heap exhausted.
+
+    Mirrors the ``java.lang.OutOfMemoryError`` the paper reports for Spark
+    0.8.1 on Normal Sort (all sizes) and Text Sort above 8 GB.
+    """
+
+    def __init__(self, message: str, *, required: int = 0, available: int = 0):
+        super().__init__(message)
+        self.required = required
+        self.available = available
+
+
+class WorkloadError(ReproError):
+    """A workload was given input it cannot process."""

@@ -1,0 +1,155 @@
+"""Key-value records — the unit of data in every engine in this library.
+
+DataMPI's central idea (Section 2.3 of the paper) is that Big Data
+communication is key-value based rather than buffer based.  All three
+engines in this reproduction (Hadoop, Spark, DataMPI) exchange
+:class:`KeyValue` records, and the serialization here defines the byte
+sizes the performance models charge to disks and networks.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Iterable, Iterator, NamedTuple
+
+
+class KeyValue(NamedTuple):
+    """An immutable key-value record."""
+
+    key: Any
+    value: Any
+
+    def serialized_size(self) -> int:
+        """Best-effort size in bytes of the encoded record."""
+        return record_size(self.key, self.value)
+
+
+def _field_size(obj: Any) -> int:
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, bool):
+        return 1
+    if isinstance(obj, int):
+        return 8
+    if isinstance(obj, float):
+        return 8
+    if obj is None:
+        return 0
+    if isinstance(obj, (list, tuple)):
+        return sum(_field_size(item) for item in obj) + 4
+    if isinstance(obj, dict):
+        return sum(_field_size(k) + _field_size(v) for k, v in obj.items()) + 4
+    # Fall back to the repr; good enough for cost accounting of rare types.
+    return len(repr(obj))
+
+
+def record_size(key: Any, value: Any) -> int:
+    """Size in bytes of one encoded record (4-byte length prefix per field)."""
+    return 8 + _field_size(key) + _field_size(value)
+
+
+_LEN = struct.Struct(">II")
+
+
+_ITEM_LEN = struct.Struct(">I")
+
+
+def _encode_items(items) -> bytes:
+    parts = []
+    for item in items:
+        encoded = _encode_field(item)
+        parts.append(_ITEM_LEN.pack(len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+def _decode_items(payload: bytes) -> list:
+    items = []
+    offset = 0
+    while offset < len(payload):
+        (length,) = _ITEM_LEN.unpack_from(payload, offset)
+        offset += _ITEM_LEN.size
+        items.append(_decode_field(payload[offset:offset + length]))
+        offset += length
+    return items
+
+
+def _encode_field(obj: Any) -> bytes:
+    if isinstance(obj, bytes):
+        return b"B" + obj
+    if isinstance(obj, str):
+        return b"S" + obj.encode("utf-8")
+    if isinstance(obj, bool):
+        return b"T" if obj else b"F"
+    if isinstance(obj, int):
+        return b"I" + str(obj).encode("ascii")
+    if isinstance(obj, float):
+        return b"D" + struct.pack(">d", obj)
+    if obj is None:
+        return b"N"
+    if isinstance(obj, tuple):
+        return b"U" + _encode_items(obj)
+    if isinstance(obj, list):
+        return b"L" + _encode_items(obj)
+    if isinstance(obj, dict):
+        return b"M" + _encode_items(
+            item for pair in obj.items() for item in pair
+        )
+    raise TypeError(f"cannot encode field of type {type(obj).__name__}")
+
+
+def _decode_field(data: bytes) -> Any:
+    tag, payload = data[:1], data[1:]
+    if tag == b"B":
+        return payload
+    if tag == b"S":
+        return payload.decode("utf-8")
+    if tag == b"T":
+        return True
+    if tag == b"F":
+        return False
+    if tag == b"I":
+        return int(payload)
+    if tag == b"D":
+        return struct.unpack(">d", payload)[0]
+    if tag == b"N":
+        return None
+    if tag == b"U":
+        return tuple(_decode_items(payload))
+    if tag == b"L":
+        return _decode_items(payload)
+    if tag == b"M":
+        flat = _decode_items(payload)
+        return dict(zip(flat[0::2], flat[1::2]))
+    raise ValueError(f"unknown field tag {tag!r}")
+
+
+def encode_record(key: Any, value: Any) -> bytes:
+    """Encode one record to bytes (length-prefixed key and value fields)."""
+    key_bytes = _encode_field(key)
+    value_bytes = _encode_field(value)
+    return _LEN.pack(len(key_bytes), len(value_bytes)) + key_bytes + value_bytes
+
+
+def decode_record(data: bytes, offset: int = 0) -> tuple[KeyValue, int]:
+    """Decode one record at ``offset``; returns ``(record, next_offset)``."""
+    key_len, value_len = _LEN.unpack_from(data, offset)
+    start = offset + _LEN.size
+    key = _decode_field(data[start:start + key_len])
+    value = _decode_field(data[start + key_len:start + key_len + value_len])
+    return KeyValue(key, value), start + key_len + value_len
+
+
+def encode_stream(records: Iterable[tuple[Any, Any]]) -> bytes:
+    """Encode an iterable of ``(key, value)`` pairs into one byte string."""
+    return b"".join(encode_record(key, value) for key, value in records)
+
+
+def decode_stream(data: bytes) -> Iterator[KeyValue]:
+    """Decode all records from a byte string produced by :func:`encode_stream`."""
+    offset = 0
+    while offset < len(data):
+        record, offset = decode_record(data, offset)
+        yield record

@@ -1,0 +1,33 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (data generators, simulated run-to-run jitter)
+derives an independent ``random.Random`` stream from a root seed and a
+string label, so results are reproducible regardless of module import
+order or how many components draw random numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+DEFAULT_SEED = 20140401  # paper submission era; any fixed value works
+
+
+def derive_seed(root_seed: int, *labels: object) -> int:
+    """Derive a stable 64-bit seed from a root seed and a label path.
+
+    >>> derive_seed(1, "textgen", 0) != derive_seed(1, "textgen", 1)
+    True
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(root_seed).encode("ascii"))
+    for label in labels:
+        hasher.update(b"/")
+        hasher.update(str(label).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big")
+
+
+def substream(root_seed: int, *labels: object) -> random.Random:
+    """Return an independent ``random.Random`` for the given label path."""
+    return random.Random(derive_seed(root_seed, *labels))

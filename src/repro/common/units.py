@@ -1,0 +1,74 @@
+"""Byte-size and rate units used throughout the reproduction.
+
+The paper quotes data sizes in binary units (a "256MB" HDFS block is
+256 * 2**20 bytes) and throughput in MB/sec.  Keeping all internal byte
+counts as plain integers and all rates as floats in bytes/second avoids
+unit confusion; this module provides the named constants and the
+parsing/formatting helpers used at the API boundary.
+"""
+
+from __future__ import annotations
+
+import re
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_UNIT_FACTORS = {
+    "b": 1,
+    "kb": KB,
+    "k": KB,
+    "mb": MB,
+    "m": MB,
+    "gb": GB,
+    "g": GB,
+    "tb": TB,
+    "t": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable size such as ``"8GB"`` or ``"256 MB"`` to bytes.
+
+    Integers and floats pass through (interpreted as bytes).  Raises
+    ``ValueError`` for unparseable input or unknown units.
+
+    >>> parse_size("256MB")
+    268435456
+    >>> parse_size(1024)
+    1024
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text!r}")
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if match is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, unit = match.groups()
+    unit = unit.lower() or "b"
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    return int(float(value) * _UNIT_FACTORS[unit])
+
+
+def format_size(num_bytes: int | float) -> str:
+    """Format a byte count using the largest unit that keeps value >= 1.
+
+    >>> format_size(268435456)
+    '256.0MB'
+    """
+    num = float(num_bytes)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(num) >= factor:
+            return f"{num / factor:.1f}{unit}"
+    return f"{num:.0f}B"
+
+
+def mb_per_sec(rate_bytes_per_sec: float) -> float:
+    """Convert a rate in bytes/second to MB/second (for reporting)."""
+    return rate_bytes_per_sec / MB

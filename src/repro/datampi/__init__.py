@@ -1,0 +1,60 @@
+"""DataMPI — a key-value pair based communication library (the paper's
+core contribution, rebuilt in Python).
+
+Quick example — a word count::
+
+    from repro.datampi import DataMPIConf, DataMPIJob
+
+    def o_task(ctx, split):
+        for line in split:
+            for word in line.split():
+                ctx.send(word, 1)
+
+    def a_task(ctx):
+        return [(key, sum(values)) for key, values in ctx.grouped()]
+
+    job = DataMPIJob(o_task, a_task, DataMPIConf(num_o=4, num_a=4,
+                                                 combiner=lambda k, vs: sum(vs)))
+    result = job.run(splits)
+"""
+
+from repro.datampi.buffers import DEFAULT_SEND_BUFFER_BYTES, PartitionedSendBuffer
+from repro.datampi.checkpoint import (
+    load_checkpoint,
+    read_manifest,
+    write_checkpoint,
+    write_manifest,
+)
+from repro.datampi.communicator import TAG_DATA, TAG_EOF, BipartiteComm
+from repro.datampi.context import AContext, OContext
+from repro.datampi.job import ATask, DataMPIConf, DataMPIJob, JobResult, OTask
+from repro.datampi.partition import (
+    RangePartitioner,
+    hash_partitioner,
+    validate_partition,
+)
+from repro.datampi.receiver import DEFAULT_SPILL_BYTES, ChunkStore
+
+__all__ = [
+    "DEFAULT_SEND_BUFFER_BYTES",
+    "PartitionedSendBuffer",
+    "load_checkpoint",
+    "read_manifest",
+    "write_checkpoint",
+    "write_manifest",
+    "TAG_DATA",
+    "TAG_EOF",
+    "BipartiteComm",
+    "AContext",
+    "OContext",
+    "ATask",
+    "DataMPIConf",
+    "DataMPIJob",
+    "JobResult",
+    "OTask",
+    "RangePartitioner",
+    "hash_partitioner",
+    "validate_partition",
+    "DEFAULT_SPILL_BYTES",
+    "ChunkStore",
+]

@@ -1,0 +1,80 @@
+"""Key-value checkpoint/restart.
+
+Section 2.3: "DataMPI also supports fault tolerance by key-value pair
+based checkpoint/restart."  A checkpoint captures the intermediate data
+each A task received (its chunk store) after the O phase; ``restart``
+rebuilds the stores so the A phase can re-run without re-executing O
+tasks.  Checkpoints are plain files — one per A rank plus a manifest — so
+they survive process death.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.common.errors import CheckpointError
+from repro.datampi.receiver import ChunkStore
+
+MANIFEST_NAME = "manifest.json"
+_MAGIC = b"DMPICKPT"
+
+
+def checkpoint_path(directory: str, a_rank: int) -> str:
+    return os.path.join(directory, f"a{a_rank:05d}.ckpt")
+
+
+def write_checkpoint(directory: str, a_rank: int, store: ChunkStore) -> int:
+    """Persist one A rank's chunks; returns bytes written."""
+    os.makedirs(directory, exist_ok=True)
+    path = checkpoint_path(directory, a_rank)
+    written = 0
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC)
+        for chunk in store.raw_chunks():
+            handle.write(len(chunk).to_bytes(8, "big"))
+            handle.write(chunk)
+            written += len(chunk)
+    return written
+
+
+def write_manifest(directory: str, num_a: int, sort: bool, job_name: str) -> None:
+    """Record job-level metadata once all rank checkpoints are written."""
+    manifest = {"num_a": num_a, "sort": sort, "job_name": job_name, "complete": True}
+    with open(os.path.join(directory, MANIFEST_NAME), "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+
+
+def read_manifest(directory: str) -> dict:
+    path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint manifest in {directory}")
+    with open(path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if not manifest.get("complete"):
+        raise CheckpointError(f"incomplete checkpoint in {directory}")
+    return manifest
+
+
+def load_checkpoint(directory: str, a_rank: int, spill_threshold: int) -> ChunkStore:
+    """Rebuild one A rank's chunk store from its checkpoint file."""
+    path = checkpoint_path(directory, a_rank)
+    if not os.path.exists(path):
+        raise CheckpointError(f"missing checkpoint file for A rank {a_rank}: {path}")
+    store = ChunkStore(spill_threshold=spill_threshold)
+    with open(path, "rb") as handle:
+        magic = handle.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise CheckpointError(f"corrupt checkpoint (bad magic) in {path}")
+        while True:
+            header = handle.read(8)
+            if not header:
+                break
+            if len(header) != 8:
+                raise CheckpointError(f"truncated checkpoint {path}")
+            length = int.from_bytes(header, "big")
+            chunk = handle.read(length)
+            if len(chunk) != length:
+                raise CheckpointError(f"truncated checkpoint {path}")
+            store.add(chunk)
+    return store

@@ -1,0 +1,168 @@
+"""Task-facing contexts: the DataMPI programming interface.
+
+``OContext.send`` and ``AContext.recv`` are the Python counterparts of
+DataMPI's ``MPI_D_Send(key, value)`` / ``MPI_D_Recv()``.  An O task is a
+function ``o_task(ctx, split)`` that emits key-value pairs; an A task is
+a function ``a_task(ctx)`` that consumes them (in key order when sorting
+is enabled) and returns its output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+from repro.common.errors import CommunicatorError
+from repro.common.kv import KeyValue
+from repro.datampi.buffers import PartitionedSendBuffer
+from repro.datampi.communicator import TAG_DATA, BipartiteComm
+from repro.datampi.partition import Partitioner, hash_partitioner, validate_partition
+from repro.datampi.receiver import ChunkStore
+
+
+class OContext:
+    """Context handed to O tasks; ``send`` is the MPI_D_Send equivalent."""
+
+    def __init__(
+        self,
+        bcomm: BipartiteComm,
+        *,
+        partitioner: Partitioner | None = None,
+        sort: bool = True,
+        combiner=None,
+        send_buffer_bytes: int | None = None,
+    ):
+        self._bcomm = bcomm
+        self._partitioner = partitioner or hash_partitioner
+        self._closed = False
+        kwargs = {"sort": sort, "combiner": combiner}
+        if send_buffer_bytes is not None:
+            kwargs["threshold_bytes"] = send_buffer_bytes
+        self._buffer = PartitionedSendBuffer(
+            bcomm.num_a, bcomm.send_chunk, **kwargs
+        )
+
+    @property
+    def rank(self) -> int:
+        return self._bcomm.o_index
+
+    @property
+    def num_o(self) -> int:
+        return self._bcomm.num_o
+
+    @property
+    def num_a(self) -> int:
+        return self._bcomm.num_a
+
+    def send(self, key: Any, value: Any) -> None:
+        """Emit one key-value pair toward its A task (pipelined)."""
+        if self._closed:
+            raise CommunicatorError("send after O context was closed")
+        destination = validate_partition(
+            self._partitioner(key, self._bcomm.num_a), self._bcomm.num_a
+        )
+        self._buffer.add(destination, key, value)
+
+    def close(self) -> None:
+        """Flush remaining buffers and signal EOF to every A task."""
+        if self._closed:
+            return
+        self._buffer.flush_all()
+        self._bcomm.send_eof()
+        self._closed = True
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return {
+            "o.records_emitted": self._buffer.records_buffered,
+            "o.records_sent": self._buffer.records_sent,
+            "o.bytes_sent": self._buffer.bytes_sent,
+            "o.chunks_sent": self._buffer.chunks_sent,
+            "o.records_combined_away": self._buffer.records_combined_away,
+        }
+
+
+class AContext:
+    """Context handed to A tasks; ``recv`` is the MPI_D_Recv equivalent."""
+
+    def __init__(self, bcomm: BipartiteComm | None, store: ChunkStore, *,
+                 sort: bool = True, a_index: int | None = None, num_o: int = 0):
+        self._bcomm = bcomm
+        self._store = store
+        self._sort = sort
+        self._a_index = a_index if a_index is not None else (
+            bcomm.a_index if bcomm is not None else 0
+        )
+        self._num_o = num_o or (bcomm.num_o if bcomm is not None else 0)
+        self._drained = bcomm is None  # restored-from-checkpoint contexts skip drain
+        self._iterator: Iterator[KeyValue] | None = None
+        self.records_received = 0
+        self.bytes_received = 0
+
+    @property
+    def rank(self) -> int:
+        return self._a_index
+
+    def drain(self) -> None:
+        """Receive chunks until every O task has sent EOF (the implicit
+        data-movement phase)."""
+        if self._drained:
+            return
+        assert self._bcomm is not None
+        eof_remaining = self._num_o
+        while eof_remaining > 0:
+            message = self._bcomm.recv_any()
+            if message.tag == TAG_DATA:
+                self._store.add(message.payload)
+                self.bytes_received += len(message.payload)
+            else:
+                eof_remaining -= 1
+        self._drained = True
+
+    def _ensure_iterator(self) -> Iterator[KeyValue]:
+        self.drain()
+        if self._iterator is None:
+            self._iterator = self._store.merged(sort=self._sort)
+        return self._iterator
+
+    def recv(self) -> KeyValue | None:
+        """Next key-value record, or ``None`` when input is exhausted."""
+        iterator = self._ensure_iterator()
+        record = next(iterator, None)
+        if record is not None:
+            self.records_received += 1
+        return record
+
+    def __iter__(self) -> Iterator[KeyValue]:
+        iterator = self._ensure_iterator()
+        for record in iterator:
+            self.records_received += 1
+            yield record
+
+    def grouped(self) -> Iterator[tuple[Any, list[Any]]]:
+        """Iterate ``(key, [values])`` groups.
+
+        With sorting enabled this streams ``itertools.groupby`` runs; with
+        sorting disabled it must accumulate a dictionary (documented memory
+        cost), preserving first-seen key order.
+        """
+        if self._sort:
+            for key, group in itertools.groupby(self, key=lambda kv: kv.key):
+                yield key, [record.value for record in group]
+        else:
+            table: dict[Any, list[Any]] = {}
+            for record in self:
+                table.setdefault(record.key, []).append(record.value)
+            yield from table.items()
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return {
+            "a.records_received": self.records_received,
+            "a.bytes_received": self.bytes_received,
+            "a.spills": self._store.spills,
+            "a.spilled_bytes": self._store.spilled_bytes,
+        }
+
+    def cleanup(self) -> None:
+        self._store.cleanup()

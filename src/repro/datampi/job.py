@@ -1,0 +1,171 @@
+"""DataMPI job driver: launch O and A tasks over the MPI substrate.
+
+A :class:`DataMPIJob` is the library's top-level entry point, mirroring a
+DataMPI application's ``MPI_D_Init ... MPI_D_Finalize`` lifecycle:
+
+* input splits are distributed round-robin over the O tasks (the real
+  library schedules dynamically; round-robin over uniform splits is
+  equivalent for the paper's balanced workloads);
+* O tasks call ``ctx.send(key, value)``; the library partitions, sorts,
+  pipelines and moves the data to the A side while O computation runs;
+* A tasks consume key-ordered records and return their outputs;
+* optionally, the received intermediate data is checkpointed so the A
+  phase can be re-run with :meth:`DataMPIJob.restart` (fault tolerance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.common.errors import ConfigError
+from repro.datampi.buffers import DEFAULT_SEND_BUFFER_BYTES
+from repro.datampi.checkpoint import (
+    load_checkpoint,
+    read_manifest,
+    write_checkpoint,
+    write_manifest,
+)
+from repro.datampi.communicator import BipartiteComm
+from repro.datampi.context import AContext, OContext
+from repro.datampi.partition import Partitioner
+from repro.datampi.receiver import DEFAULT_SPILL_BYTES, ChunkStore
+from repro.mpi.comm import Comm
+from repro.mpi.launcher import mpi_run
+
+OTask = Callable[[OContext, Any], None]
+ATask = Callable[[AContext], Any]
+
+
+@dataclass(frozen=True)
+class DataMPIConf:
+    """Static configuration of a DataMPI job."""
+
+    num_o: int = 4
+    num_a: int = 4
+    sort: bool = True
+    partitioner: Partitioner | None = None
+    combiner: Callable[[Any, list[Any]], Any] | None = None
+    send_buffer_bytes: int = DEFAULT_SEND_BUFFER_BYTES
+    spill_bytes: int = DEFAULT_SPILL_BYTES
+    checkpoint_dir: str | None = None
+    job_name: str = "datampi-job"
+
+    def __post_init__(self) -> None:
+        if self.num_o < 1 or self.num_a < 1:
+            raise ConfigError(
+                f"num_o and num_a must be >= 1 (got {self.num_o}, {self.num_a})"
+            )
+        if self.send_buffer_bytes < 1:
+            raise ConfigError("send_buffer_bytes must be positive")
+        if self.spill_bytes < 1:
+            raise ConfigError("spill_bytes must be positive")
+
+
+@dataclass
+class JobResult:
+    """Outcome of a DataMPI job run."""
+
+    outputs: list[Any]  # indexed by A rank
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def merged_outputs(self) -> list[Any]:
+        """Concatenate per-A-rank list outputs in rank order."""
+        merged: list[Any] = []
+        for output in self.outputs:
+            if output is None:
+                continue
+            if isinstance(output, list):
+                merged.extend(output)
+            else:
+                merged.append(output)
+        return merged
+
+
+class DataMPIJob:
+    """A bipartite O/A job over the in-process MPI world."""
+
+    def __init__(self, o_task: OTask, a_task: ATask, conf: DataMPIConf | None = None):
+        self.o_task = o_task
+        self.a_task = a_task
+        self.conf = conf or DataMPIConf()
+
+    # -- normal execution -----------------------------------------------------
+
+    def run(self, splits: Sequence[Any]) -> JobResult:
+        """Execute the job on ``splits``; returns per-A-rank outputs."""
+        conf = self.conf
+
+        def rank_main(comm: Comm) -> tuple[str, Any, dict[str, int]]:
+            bcomm = BipartiteComm(comm, conf.num_o, conf.num_a)
+            if bcomm.is_o:
+                return self._run_o(bcomm, splits)
+            return self._run_a(bcomm)
+
+        rank_results = mpi_run(conf.num_o + conf.num_a, rank_main)
+        if conf.checkpoint_dir is not None:
+            write_manifest(conf.checkpoint_dir, conf.num_a, conf.sort, conf.job_name)
+        return self._collect(rank_results)
+
+    def _run_o(self, bcomm: BipartiteComm, splits: Sequence[Any]):
+        ctx = OContext(
+            bcomm,
+            partitioner=self.conf.partitioner,
+            sort=self.conf.sort,
+            combiner=self.conf.combiner,
+            send_buffer_bytes=self.conf.send_buffer_bytes,
+        )
+        try:
+            for split in list(splits)[bcomm.o_index::self.conf.num_o]:
+                self.o_task(ctx, split)
+        finally:
+            ctx.close()  # EOF must flow even on failure so A ranks unblock
+        return ("o", None, ctx.counters)
+
+    def _run_a(self, bcomm: BipartiteComm):
+        store = ChunkStore(spill_threshold=self.conf.spill_bytes)
+        ctx = AContext(bcomm, store, sort=self.conf.sort)
+        ctx.drain()
+        if self.conf.checkpoint_dir is not None:
+            write_checkpoint(self.conf.checkpoint_dir, ctx.rank, store)
+        try:
+            output = self.a_task(ctx)
+        finally:
+            ctx.cleanup()
+        return ("a", output, ctx.counters)
+
+    # -- checkpoint restart -----------------------------------------------------
+
+    def restart(self, checkpoint_dir: str | None = None) -> JobResult:
+        """Re-run only the A phase from a completed checkpoint."""
+        directory = checkpoint_dir or self.conf.checkpoint_dir
+        if directory is None:
+            raise ConfigError("restart needs a checkpoint directory")
+        manifest = read_manifest(directory)
+        if manifest["num_a"] != self.conf.num_a:
+            raise ConfigError(
+                f"checkpoint has {manifest['num_a']} A tasks, job expects {self.conf.num_a}"
+            )
+
+        def a_main(comm: Comm):
+            store = load_checkpoint(directory, comm.rank, self.conf.spill_bytes)
+            ctx = AContext(None, store, sort=self.conf.sort, a_index=comm.rank)
+            try:
+                output = self.a_task(ctx)
+            finally:
+                ctx.cleanup()
+            return ("a", output, ctx.counters)
+
+        rank_results = mpi_run(self.conf.num_a, a_main)
+        return self._collect(rank_results)
+
+    # -- result assembly --------------------------------------------------------
+
+    @staticmethod
+    def _collect(rank_results: list[tuple[str, Any, dict[str, int]]]) -> JobResult:
+        outputs = [result for side, result, _ in rank_results if side == "a"]
+        counters: dict[str, int] = {}
+        for _side, _result, rank_counters in rank_results:
+            for name, value in rank_counters.items():
+                counters[name] = counters.get(name, 0) + value
+        return JobResult(outputs=outputs, counters=counters)

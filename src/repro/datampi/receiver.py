@@ -1,0 +1,119 @@
+"""A-side receive path: chunk accumulation, spill-to-disk, sorted merge.
+
+DataMPI is *data-centric* (Section 2.3): intermediate data is partitioned
+and stored "in memory or disk" at the receiving worker, and A tasks then
+read it locally.  The receiver accumulates the sorted chunks sent by O
+tasks; if the in-memory total exceeds the spill threshold, whole chunks
+are written to local files and streamed back lazily during the merge.
+The merged iterator is a k-way merge (``heapq.merge``) over all chunks,
+yielding records in global key order when sorting is enabled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import tempfile
+from typing import Any, Iterator
+
+from repro.common.errors import DataMPIError
+from repro.common.kv import KeyValue, decode_stream
+
+#: Spill when buffered encoded chunks exceed this many bytes.
+DEFAULT_SPILL_BYTES = 64 * 1024 * 1024
+
+
+class ChunkStore:
+    """Holds received chunks in memory, spilling to disk past a threshold."""
+
+    def __init__(self, spill_threshold: int = DEFAULT_SPILL_BYTES,
+                 spill_dir: str | None = None):
+        if spill_threshold < 1:
+            raise DataMPIError(f"spill threshold must be positive, got {spill_threshold}")
+        self._threshold = spill_threshold
+        self._spill_dir = spill_dir
+        self._memory_chunks: list[bytes] = []
+        self._spill_files: list[str] = []
+        self._owned_dir: str | None = None
+        self.memory_bytes = 0
+        self.spilled_bytes = 0
+        self.spills = 0
+
+    def add(self, chunk: bytes) -> None:
+        """Store one encoded chunk (already key-sorted by the sender)."""
+        self._memory_chunks.append(chunk)
+        self.memory_bytes += len(chunk)
+        if self.memory_bytes > self._threshold:
+            self._spill()
+
+    def _spill(self) -> None:
+        """Write all buffered chunks to one spill file, freeing memory."""
+        if self._spill_dir is None and self._owned_dir is None:
+            self._owned_dir = tempfile.mkdtemp(prefix="datampi-spill-")
+        directory = self._spill_dir or self._owned_dir
+        assert directory is not None
+        path = os.path.join(directory, f"spill-{self.spills}.chunks")
+        with open(path, "wb") as handle:
+            for chunk in self._memory_chunks:
+                handle.write(len(chunk).to_bytes(8, "big"))
+                handle.write(chunk)
+        self._spill_files.append(path)
+        self.spills += 1
+        self.spilled_bytes += self.memory_bytes
+        self._memory_chunks = []
+        self.memory_bytes = 0
+
+    def chunk_iterators(self) -> list[Iterator[KeyValue]]:
+        """One decoding iterator per stored chunk (memory and spilled)."""
+        iterators = [iter(list(decode_stream(chunk))) for chunk in self._memory_chunks]
+        for path in self._spill_files:
+            iterators.extend(self._file_chunk_iterators(path))
+        return iterators
+
+    @staticmethod
+    def _file_chunk_iterators(path: str) -> list[Iterator[KeyValue]]:
+        iterators: list[Iterator[KeyValue]] = []
+        with open(path, "rb") as handle:
+            while True:
+                header = handle.read(8)
+                if not header:
+                    break
+                length = int.from_bytes(header, "big")
+                iterators.append(decode_stream(handle.read(length)))
+        return iterators
+
+    def merged(self, sort: bool = True) -> Iterator[KeyValue]:
+        """Iterate all records; in global key order when ``sort`` is true."""
+        iterators = self.chunk_iterators()
+        if sort:
+            return heapq.merge(*iterators, key=lambda kv: kv.key)
+        return (record for iterator in iterators for record in iterator)
+
+    def raw_chunks(self) -> list[bytes]:
+        """All encoded chunks (drains spill files into memory; used by
+        checkpointing, which re-encodes them to its own layout)."""
+        chunks = list(self._memory_chunks)
+        for path in self._spill_files:
+            with open(path, "rb") as handle:
+                while True:
+                    header = handle.read(8)
+                    if not header:
+                        break
+                    length = int.from_bytes(header, "big")
+                    chunks.append(handle.read(length))
+        return chunks
+
+    def cleanup(self) -> None:
+        """Delete spill files and the owned temp directory."""
+        for path in self._spill_files:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        self._spill_files = []
+        if self._owned_dir is not None:
+            try:
+                os.rmdir(self._owned_dir)
+            except OSError:
+                pass
+            self._owned_dir = None

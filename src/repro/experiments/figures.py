@@ -1,0 +1,226 @@
+"""Experiment definitions: one function per table/figure of the paper.
+
+Each function runs the simulated testbed the way Section 4 describes the
+real one being run (same sizes, same tuning, three-execution averages)
+and returns plain data structures the benchmarks and reports consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bigdatabench.workloads_table import table1_rows
+from repro.cluster.hardware import NodeSpec
+from repro.common.errors import WorkloadError
+from repro.common.units import GB, MB
+from repro.hdfs.dfsio import block_size_sweep
+from repro.perfmodels import get_calibration, simulate
+from repro.perfmodels.runner import AveragedRun
+
+MICRO_SIZES = {
+    "normal_sort": [4 * GB, 8 * GB, 16 * GB, 32 * GB],
+    "text_sort": [8 * GB, 16 * GB, 32 * GB, 64 * GB],
+    "wordcount": [8 * GB, 16 * GB, 32 * GB, 64 * GB],
+    "grep": [8 * GB, 16 * GB, 32 * GB, 64 * GB],
+}
+
+APP_SIZES = [8 * GB, 16 * GB, 32 * GB, 64 * GB]
+
+FRAMEWORKS_BY_WORKLOAD = {
+    "normal_sort": ["hadoop", "datampi"],          # Spark OOMs (still simulated)
+    "text_sort": ["hadoop", "spark", "datampi"],
+    "wordcount": ["hadoop", "spark", "datampi"],
+    "grep": ["hadoop", "spark", "datampi"],
+    "kmeans": ["hadoop", "spark", "datampi"],
+    "naive_bayes": ["hadoop", "datampi"],          # no Spark NB in BigDataBench
+}
+
+
+def table1() -> list[tuple[str, str, str]]:
+    """Table 1: the representative workloads."""
+    return table1_rows()
+
+
+def table2() -> list[tuple[str, str]]:
+    """Table 2: the hardware configuration."""
+    return NodeSpec().as_table()
+
+
+def fig2a(executions_seed: int = 0) -> dict[int, dict[int, float]]:
+    """Figure 2(a): DFSIO throughput (MB/s) by block size and input size."""
+    results = block_size_sweep(
+        [64 * MB, 128 * MB, 256 * MB, 512 * MB],
+        [5 * GB, 10 * GB, 15 * GB, 20 * GB],
+        seed=executions_seed,
+    )
+    return {
+        total: {block: result.throughput_mbps for block, result in by_block.items()}
+        for total, by_block in results.items()
+    }
+
+
+def fig2b(executions: int = 3) -> dict[str, dict[int, float]]:
+    """Figure 2(b): Text Sort throughput (MB/s) vs tasks/workers per node.
+
+    Hadoop and DataMPI process 1 GB per task; Spark processes 128 MB per
+    worker (Section 4.2) — with 1 GB partitions Spark would OOM, which is
+    exactly why the authors shrank its per-worker share.
+    """
+    throughput: dict[str, dict[int, float]] = {}
+    for framework in ("hadoop", "spark", "datampi"):
+        throughput[framework] = {}
+        for slots in (2, 4, 6):
+            per_task = 1 * GB if framework != "spark" else 128 * MB
+            input_bytes = 8 * slots * per_task  # 8 nodes
+            run = simulate(framework, "text_sort", input_bytes,
+                           slots=slots, executions=executions)
+            if run.failed:
+                throughput[framework][slots] = 0.0
+            else:
+                throughput[framework][slots] = input_bytes / MB / run.elapsed_sec
+    return throughput
+
+
+def micro_benchmark(workload: str, executions: int = 3) -> dict[str, dict[int, AveragedRun]]:
+    """Figures 3(a-d) / 6(a-b): one workload swept over its input sizes."""
+    if workload in MICRO_SIZES:
+        sizes = MICRO_SIZES[workload]
+    elif workload in ("kmeans", "naive_bayes"):
+        sizes = APP_SIZES
+    else:
+        raise WorkloadError(f"no figure sweep defined for workload {workload!r}")
+    frameworks = FRAMEWORKS_BY_WORKLOAD[workload]
+    if workload in ("normal_sort", "text_sort"):
+        frameworks = sorted(set(frameworks) | {"spark"})
+    series: dict[str, dict[int, AveragedRun]] = {}
+    for framework in frameworks:
+        series[framework] = {}
+        for size in sizes:
+            series[framework][size] = simulate(framework, workload, size,
+                                               executions=executions)
+    return series
+
+
+def fig3a(executions: int = 3):
+    """Figure 3(a): Normal Sort sweep."""
+    return micro_benchmark("normal_sort", executions)
+
+
+def fig3b(executions: int = 3):
+    """Figure 3(b): Text Sort sweep."""
+    return micro_benchmark("text_sort", executions)
+
+
+def fig3c(executions: int = 3):
+    """Figure 3(c): WordCount sweep."""
+    return micro_benchmark("wordcount", executions)
+
+
+def fig3d(executions: int = 3):
+    """Figure 3(d): Grep sweep."""
+    return micro_benchmark("grep", executions)
+
+
+def fig6a(executions: int = 3):
+    """Figure 6(a): K-means sweep."""
+    return micro_benchmark("kmeans", executions)
+
+
+def fig6b(executions: int = 3):
+    """Figure 6(b): Naive Bayes sweep."""
+    return micro_benchmark("naive_bayes", executions)
+
+
+@dataclass
+class ResourceProfile:
+    """Figure 4 data for one framework on one workload case."""
+
+    framework: str
+    elapsed_sec: float
+    phase_window: tuple[float, float]
+    cpu_pct: float
+    iowait_pct: float
+    disk_read_mbps: float
+    disk_read_phase_mbps: float
+    disk_write_mbps: float
+    net_mbps: float
+    mem_gb: float
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+
+#: The phase the paper singles out per framework for the Sort case.
+_PHASE_NAMES = {"hadoop": "map", "spark": "stage0", "datampi": "o"}
+
+
+def resource_profile(workload: str, input_bytes: int, framework: str,
+                     sample_dt: float = 1.0, seed: int = 0) -> ResourceProfile:
+    """One framework's Figure 4 panel: averages plus 1-second time series."""
+    run = simulate(framework, workload, input_bytes, executions=1, base_seed=seed)
+    outcome = run.first
+    cluster = outcome.cluster
+    t_end = run.elapsed_sec
+    phase = _PHASE_NAMES[framework]
+    window = outcome.phases.get(phase, (0.0, t_end))
+    cal = get_calibration(framework)
+    series = {
+        "cpu_pct": [
+            (t, 100.0 * v / cluster.spec.node.hardware_threads)
+            for t, v in cluster.sample_over_nodes("cpu", t_end, sample_dt)
+        ],
+        "disk_read_mbps": [
+            (t, v / MB) for t, v in cluster.sample_over_nodes("disk.read", t_end, sample_dt)
+        ],
+        "disk_write_mbps": [
+            (t, v / MB) for t, v in cluster.sample_over_nodes("disk.write", t_end, sample_dt)
+        ],
+        "net_in_mbps": [
+            (t, v / MB) for t, v in cluster.sample_over_nodes("net.in", t_end, sample_dt)
+        ],
+        "mem_gb": [
+            (t, v / GB) for t, v in cluster.sample_over_nodes("mem", t_end, sample_dt)
+        ],
+    }
+    return ResourceProfile(
+        framework=framework,
+        elapsed_sec=t_end,
+        phase_window=window,
+        cpu_pct=cluster.cpu_utilization_pct(0.0, t_end),
+        iowait_pct=cal.iowait_scale * cluster.iowait_pct(0.0, t_end),
+        disk_read_mbps=cluster.disk_read_mbps(0.0, t_end),
+        disk_read_phase_mbps=cluster.disk_read_mbps(*window),
+        disk_write_mbps=cluster.disk_write_mbps(0.0, t_end),
+        net_mbps=cluster.network_mbps(0.0, t_end),
+        mem_gb=cluster.memory_gb(0.0, t_end),
+        series=series,
+    )
+
+
+def fig4_sort(seed: int = 0) -> dict[str, ResourceProfile]:
+    """Figure 4(a-d): resource profile of the 8 GB Text Sort case."""
+    return {
+        framework: resource_profile("text_sort", 8 * GB, framework, seed=seed)
+        for framework in ("hadoop", "spark", "datampi")
+    }
+
+
+def fig4_wordcount(seed: int = 0) -> dict[str, ResourceProfile]:
+    """Figure 4(e-h): resource profile of the 32 GB WordCount case."""
+    return {
+        framework: resource_profile("wordcount", 32 * GB, framework, seed=seed)
+        for framework in ("hadoop", "spark", "datampi")
+    }
+
+
+SMALL_JOB_BYTES = 128 * MB
+
+
+def fig5(executions: int = 3) -> dict[str, dict[str, float]]:
+    """Figure 5: small jobs (128 MB input, one task/worker per node)."""
+    times: dict[str, dict[str, float]] = {}
+    for workload in ("text_sort", "wordcount", "grep"):
+        times[workload] = {}
+        for framework in ("hadoop", "spark", "datampi"):
+            run = simulate(framework, workload, SMALL_JOB_BYTES,
+                           slots=1, executions=executions)
+            times[workload][framework] = run.elapsed_sec
+    return times

@@ -1,0 +1,79 @@
+"""ASCII rendering of the paper's figures for terminal use.
+
+The repository has no plotting dependency, so the figure data can be
+inspected directly in a terminal: line charts for the Figure 3/6 sweeps
+and strip charts for the Figure 4 time series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.common.units import format_size
+from repro.perfmodels.runner import AveragedRun
+
+_MARKS = {"hadoop": "H", "spark": "S", "datampi": "D"}
+
+
+def ascii_series(series: Sequence[tuple[float, float]], width: int = 60,
+                 height: int = 10, title: str = "") -> str:
+    """Strip chart of one (time, value) series (Figure 4 panels)."""
+    if not series:
+        return f"{title}\n(no data)"
+    values = [value for _t, value in series]
+    peak = max(values) or 1.0
+    t_end = series[-1][0]
+    # Downsample to the chart width.
+    step = max(1, len(series) // width)
+    sampled = series[::step][:width]
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * (level - 0.5) / height
+        line = "".join("#" if value >= threshold else " "
+                       for _t, value in sampled)
+        label = f"{peak * level / height:8.1f} |"
+        rows.append(label + line)
+    axis = " " * 9 + "+" + "-" * len(sampled)
+    footer = f"{'':9}0{'':{max(0, len(sampled) - 8)}}{t_end:.0f}s"
+    header = title + "\n" if title else ""
+    return header + "\n".join(rows) + "\n" + axis + "\n" + footer
+
+
+def ascii_sweep(series: Mapping[str, Mapping[int, AveragedRun]],
+                width: int = 56, title: str = "") -> str:
+    """Bar-style chart of a Figure 3/6 sweep (one row per size/framework)."""
+    frameworks = [fw for fw in ("hadoop", "spark", "datampi") if fw in series]
+    sizes = sorted(next(iter(series.values())).keys())
+    peak = max(
+        run.elapsed_sec
+        for by_size in series.values()
+        for run in by_size.values()
+        if run.succeeded
+    ) or 1.0
+    lines = [title] if title else []
+    for size in sizes:
+        lines.append(format_size(size))
+        for framework in frameworks:
+            run = series[framework].get(size)
+            mark = _MARKS.get(framework, "?")
+            if run is None:
+                continue
+            if run.failed:
+                lines.append(f"  {mark} OOM")
+                continue
+            bar = "#" * max(1, int(width * run.elapsed_sec / peak))
+            lines.append(f"  {mark} {bar} {run.elapsed_sec:.0f}s")
+    return "\n".join(lines)
+
+
+def ascii_radar(scores: Mapping[str, Mapping[str, float]],
+                axes: Sequence[str], width: int = 40) -> str:
+    """Figure 7 as horizontal bars per axis (1.0 = best framework)."""
+    lines = []
+    for axis in axes:
+        lines.append(axis)
+        for framework in ("hadoop", "spark", "datampi"):
+            value = scores[axis][framework]
+            bar = "#" * max(1, int(width * value))
+            lines.append(f"  {_MARKS[framework]} {bar} {value:.2f}")
+    return "\n".join(lines)

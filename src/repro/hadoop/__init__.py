@@ -1,0 +1,17 @@
+"""Functional Hadoop-1.x MapReduce engine (baseline 1 of the paper)."""
+
+from repro.hadoop.jobtracker import JobPipeline, JobRecord, records_to_splits
+from repro.hadoop.mapreduce import (
+    HadoopConf,
+    HadoopResult,
+    MapReduceJob,
+)
+
+__all__ = [
+    "JobPipeline",
+    "JobRecord",
+    "records_to_splits",
+    "HadoopConf",
+    "HadoopResult",
+    "MapReduceJob",
+]

@@ -1,0 +1,18 @@
+"""HDFS model: namenode placement, simulated data path, DFSIO benchmark."""
+
+from repro.hdfs.dfsio import DFSIOResult, best_block_size, block_size_sweep, run_dfsio
+from repro.hdfs.filesystem import HDFS, Split
+from repro.hdfs.namenode import Block, FileMeta, NameNode, split_into_blocks
+
+__all__ = [
+    "DFSIOResult",
+    "best_block_size",
+    "block_size_sweep",
+    "run_dfsio",
+    "HDFS",
+    "Split",
+    "Block",
+    "FileMeta",
+    "NameNode",
+    "split_into_blocks",
+]

@@ -1,0 +1,115 @@
+"""HDFS data-path simulation: write pipelines, local/remote reads, splits.
+
+These helpers charge the right disks and NICs of a
+:class:`~repro.cluster.SimCluster` for HDFS operations; the framework
+timeline models build on them.  The write path models the standard HDFS
+replication pipeline: the writer streams a block to its local disk while
+forwarding to the second replica, which forwards to the third — all three
+disk writes and both network hops progress concurrently, so a block write
+completes when the slowest leg drains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.cluster import SimCluster
+from repro.cluster.node import SimNode
+from repro.common.config import FrameworkConf
+from repro.hdfs.namenode import Block, FileMeta, NameNode
+from repro.simulate.engine import Event
+
+
+@dataclass(frozen=True)
+class Split:
+    """An input split handed to one map/O task (block-aligned, as the paper
+    configures: one split per 256 MB block)."""
+
+    path: str
+    block: Block
+
+    @property
+    def size(self) -> int:
+        return self.block.size
+
+    @property
+    def preferred_nodes(self) -> tuple[int, ...]:
+        return self.block.replicas
+
+
+class HDFS:
+    """HDFS facade bound to a simulated cluster."""
+
+    def __init__(self, cluster: SimCluster, conf: FrameworkConf | None = None, seed: int = 0):
+        self.cluster = cluster
+        self.conf = conf or FrameworkConf.paper_defaults()
+        self.namenode = NameNode(
+            num_nodes=len(cluster.nodes),
+            replication=self.conf.replication,
+            seed=seed,
+        )
+
+    # -- metadata -------------------------------------------------------------
+
+    def ingest_file(self, path: str, size: int, writer_node: int | None = None) -> FileMeta:
+        """Register a pre-existing (generated) file without charging I/O."""
+        return self.namenode.create_file(path, size, self.conf.block_size, writer_node)
+
+    def splits(self, path: str) -> list[Split]:
+        """Input splits for a file — one per block."""
+        meta = self.namenode.locate(path)
+        return [Split(path, block) for block in meta.blocks]
+
+    # -- simulated data path ----------------------------------------------------
+
+    def write_block(self, writer: SimNode, block: Block) -> Event:
+        """Charge the replication pipeline for one block write.
+
+        Returns an event that triggers when every replica is durable.
+        """
+        legs: list[Event] = []
+        chain = [self.cluster.node(node_id) for node_id in block.replicas]
+        if writer.node_id != block.replicas[0]:
+            # Writer is not a replica holder: first hop is over the network.
+            legs.append(self.cluster.switch.transfer(writer, chain[0], block.size, "hdfs.pipeline"))
+        for hop, node in enumerate(chain):
+            legs.append(node.write(block.size, f"hdfs.write.b{block.block_id}"))
+            if hop + 1 < len(chain):
+                legs.append(
+                    self.cluster.switch.transfer(node, chain[hop + 1], block.size, "hdfs.pipeline")
+                )
+        return self.cluster.engine.all_of(legs)
+
+    def write_file(self, path: str, size: int, writer: SimNode):
+        """Simulation process: create and write a file block by block.
+
+        Yields once per block pipeline (sequential block writes, as a single
+        ``DFSOutputStream`` does); returns the file metadata.
+        """
+        meta = self.namenode.create_file(path, size, self.conf.block_size, writer.node_id)
+        for block in meta.blocks:
+            yield self.write_block(writer, block)
+        return meta
+
+    def read_split(self, reader: SimNode, split: Split) -> Event:
+        """Charge a split read: local disk if a replica is local, otherwise
+        a remote read (source disk + network + no local spill)."""
+        if split.block.is_local_to(reader.node_id):
+            return reader.read(split.size, f"hdfs.read.b{split.block.block_id}")
+        source = self.cluster.node(split.block.replicas[0])
+        disk = source.read(split.size, f"hdfs.read.b{split.block.block_id}")
+        net = self.cluster.switch.transfer(source, reader, split.size, "hdfs.remote_read")
+        return self.cluster.engine.all_of([disk, net])
+
+    def locality_fraction(self, path: str, assignment: dict[int, int]) -> float:
+        """Fraction of blocks read locally under ``assignment``
+        (block_id -> reader node)."""
+        meta = self.namenode.locate(path)
+        if not meta.blocks:
+            return 1.0
+        local = sum(
+            1
+            for block in meta.blocks
+            if block.is_local_to(assignment.get(block.block_id, -1))
+        )
+        return local / len(meta.blocks)

@@ -1,0 +1,159 @@
+"""HDFS metadata: files, blocks, and replica placement.
+
+The paper's cluster stores all workload data in HDFS with a 256 MB block
+size and 3 replicas (Section 4.2).  The namenode here implements the
+placement policy that matters for the evaluation's behaviour:
+
+* the first replica goes to the writer node (or round-robin across the
+  cluster for balanced generated input);
+* remaining replicas go to distinct, randomly chosen other nodes (the
+  testbed is a single rack, so there is no rack-awareness to model).
+
+Block placement determines task locality, which the paper calls out as a
+key effect ("the O/Map tasks read the HDFS data locally and do not have
+network communication", Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import HDFSError
+from repro.common.rng import substream
+
+
+@dataclass(frozen=True)
+class Block:
+    """One HDFS block and its replica locations (node ids)."""
+
+    block_id: int
+    size: int
+    replicas: tuple[int, ...]
+
+    def is_local_to(self, node_id: int) -> bool:
+        return node_id in self.replicas
+
+
+@dataclass(frozen=True)
+class FileMeta:
+    """Metadata of one HDFS file."""
+
+    path: str
+    size: int
+    block_size: int
+    blocks: tuple[Block, ...]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def split_into_blocks(size: int, block_size: int) -> list[int]:
+    """Block sizes for a file: full blocks plus a possibly-short tail.
+
+    >>> split_into_blocks(10, 4)
+    [4, 4, 2]
+    """
+    if size < 0:
+        raise HDFSError(f"negative file size {size}")
+    if block_size <= 0:
+        raise HDFSError(f"block size must be positive, got {block_size}")
+    full, tail = divmod(size, block_size)
+    sizes = [block_size] * full
+    if tail:
+        sizes.append(tail)
+    return sizes
+
+
+class NameNode:
+    """Tracks files and places block replicas across the cluster."""
+
+    def __init__(self, num_nodes: int, replication: int = 3, seed: int = 0):
+        if num_nodes < 1:
+            raise HDFSError(f"cluster needs >= 1 datanode, got {num_nodes}")
+        if replication < 1:
+            raise HDFSError(f"replication must be >= 1, got {replication}")
+        self.num_nodes = num_nodes
+        self.replication = min(replication, num_nodes)
+        self._files: dict[str, FileMeta] = {}
+        self._rng = substream(seed, "namenode")
+        self._next_block_id = 0
+        self._rr_cursor = 0
+        self._load = [0] * num_nodes  # replicas placed per node
+
+    # -- file operations ------------------------------------------------------
+
+    def create_file(
+        self, path: str, size: int, block_size: int, writer_node: int | None = None
+    ) -> FileMeta:
+        """Create a file and place its blocks; returns the metadata.
+
+        ``writer_node=None`` distributes primary replicas round-robin, which
+        models data produced by a balanced generator job.
+        """
+        if path in self._files:
+            raise HDFSError(f"file exists: {path}")
+        blocks = []
+        for block_size_i in split_into_blocks(size, block_size):
+            if writer_node is None:
+                primary = self._rr_cursor % self.num_nodes
+                self._rr_cursor += 1
+            else:
+                primary = writer_node % self.num_nodes
+            blocks.append(Block(self._next_block_id, block_size_i, self._place(primary)))
+            self._next_block_id += 1
+        meta = FileMeta(path, size, block_size, tuple(blocks))
+        self._files[path] = meta
+        return meta
+
+    def _place(self, primary: int) -> tuple[int, ...]:
+        """Choose replica nodes: primary first, then the least-loaded other
+        nodes (random tie-breaking) — HDFS's load-aware target chooser."""
+        others = [n for n in range(self.num_nodes) if n != primary]
+        self._rng.shuffle(others)  # random tie-break among equal loads
+        others.sort(key=lambda n: self._load[n])
+        chosen = (primary, *others[: self.replication - 1])
+        for node in chosen:
+            self._load[node] += 1
+        return chosen
+
+    def locate(self, path: str) -> FileMeta:
+        if path not in self._files:
+            raise HDFSError(f"no such file: {path}")
+        return self._files[path]
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def delete(self, path: str) -> None:
+        if path not in self._files:
+            raise HDFSError(f"no such file: {path}")
+        del self._files[path]
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def total_logical_bytes(self) -> int:
+        """Bytes stored ignoring replication."""
+        return sum(meta.size for meta in self._files.values())
+
+    @property
+    def total_physical_bytes(self) -> int:
+        """Bytes stored including all replicas."""
+        return sum(
+            block.size * len(block.replicas)
+            for meta in self._files.values()
+            for block in meta.blocks
+        )
+
+    def bytes_on_node(self, node_id: int) -> int:
+        """Physical bytes any node holds — used to check placement balance."""
+        return sum(
+            block.size
+            for meta in self._files.values()
+            for block in meta.blocks
+            if node_id in block.replicas
+        )

@@ -1,0 +1,6 @@
+"""In-process MPI substrate: ranks, point-to-point messaging, collectives."""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Comm, Message, World
+from repro.mpi.launcher import mpi_run
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Comm", "Message", "World", "mpi_run"]

@@ -1,0 +1,183 @@
+"""In-process message-passing substrate (stands in for MVAPICH2).
+
+The paper runs DataMPI over MVAPICH2-2.0b.  This module provides the MPI
+subset DataMPI needs — point-to-point send/receive with source and tag
+matching, barrier, and a handful of collectives — with ranks running as
+threads inside one Python process.  Message delivery is FIFO per
+(source, destination) pair, matching MPI's non-overtaking guarantee.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import MPIError
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Default seconds a blocking receive waits before declaring deadlock.
+RECV_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message."""
+
+    source: int
+    tag: int
+    payload: Any
+
+
+class _Mailbox:
+    """Thread-safe mailbox with selective (source, tag) receive."""
+
+    def __init__(self) -> None:
+        self._items: list[Message] = []
+        self._cond = threading.Condition()
+
+    def put(self, message: Message) -> None:
+        with self._cond:
+            self._items.append(message)
+            self._cond.notify_all()
+
+    def get(self, source: int, tag: int, timeout: float) -> Message:
+        def find() -> int | None:
+            for index, message in enumerate(self._items):
+                if source not in (ANY_SOURCE, message.source):
+                    continue
+                if tag not in (ANY_TAG, message.tag):
+                    continue
+                return index
+            return None
+
+        with self._cond:
+            index = find()
+            while index is None:
+                if not self._cond.wait(timeout):
+                    raise MPIError(
+                        f"recv timed out after {timeout}s waiting for "
+                        f"source={source} tag={tag}"
+                    )
+                index = find()
+            return self._items.pop(index)
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+
+class World:
+    """Shared state of one MPI world: mailboxes and a barrier."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise MPIError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+
+
+class Comm:
+    """One rank's handle on the world — the object user code programs against."""
+
+    def __init__(self, world: World, rank: int):
+        if not 0 <= rank < world.size:
+            raise MPIError(f"rank {rank} out of range for world of {world.size}")
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    # -- point to point -------------------------------------------------------
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        """Deliver ``payload`` to ``dest`` (asynchronous, buffered)."""
+        if not 0 <= dest < self.size:
+            raise MPIError(f"send to invalid rank {dest}")
+        if tag < 0:
+            raise MPIError(f"tag must be non-negative, got {tag}")
+        self.world.mailboxes[dest].put(Message(self.rank, tag, payload))
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float = RECV_TIMEOUT,
+    ) -> Message:
+        """Block until a matching message arrives; returns the full message."""
+        return self.world.mailboxes[self.rank].get(source, tag, timeout)
+
+    # -- collectives ----------------------------------------------------------
+
+    def barrier(self, timeout: float = RECV_TIMEOUT) -> None:
+        """Wait until every rank in the world reaches the barrier."""
+        try:
+            self.world.barrier.wait(timeout)
+        except threading.BrokenBarrierError as exc:
+            raise MPIError("barrier broken (peer died or timed out)") from exc
+
+    _COLLECTIVE_TAG_BASE = 1 << 20
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast ``payload`` from ``root``; every rank returns it."""
+        tag = self._COLLECTIVE_TAG_BASE + 1
+        if self.rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.send(dest, payload, tag)
+            return payload
+        return self.recv(source=root, tag=tag).payload
+
+    def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value from every rank at ``root`` (rank order)."""
+        tag = self._COLLECTIVE_TAG_BASE + 2
+        if self.rank == root:
+            values: list[Any] = [None] * self.size
+            values[root] = payload
+            for _ in range(self.size - 1):
+                message = self.recv(tag=tag)
+                values[message.source] = message.payload
+            return values
+        self.send(root, payload, tag)
+        return None
+
+    def allgather(self, payload: Any) -> list[Any]:
+        """Gather at rank 0 then broadcast: every rank gets the full list."""
+        gathered = self.gather(payload, root=0)
+        return self.bcast(gathered, root=0)
+
+    def alltoall(self, chunks: list[Any]) -> list[Any]:
+        """Exchange ``chunks[i]`` with rank ``i``; returns received chunks
+        indexed by source rank."""
+        if len(chunks) != self.size:
+            raise MPIError(
+                f"alltoall needs {self.size} chunks, got {len(chunks)}"
+            )
+        tag = self._COLLECTIVE_TAG_BASE + 3
+        for dest in range(self.size):
+            if dest != self.rank:
+                self.send(dest, chunks[dest], tag)
+        received: list[Any] = [None] * self.size
+        received[self.rank] = chunks[self.rank]
+        for _ in range(self.size - 1):
+            message = self.recv(tag=tag)
+            received[message.source] = message.payload
+        return received
+
+    def allreduce(self, value: Any, op=None) -> Any:
+        """Reduce a value across ranks (default: sum) and share the result."""
+        values = self.allgather(value)
+        if op is None:
+            result = values[0]
+            for item in values[1:]:
+                result = result + item
+            return result
+        result = values[0]
+        for item in values[1:]:
+            result = op(result, item)
+        return result

@@ -1,0 +1,56 @@
+"""Calibrated timeline performance models of the three frameworks."""
+
+from repro.perfmodels.base_model import BaseModel, SimOutcome, scaled_cluster_spec
+from repro.perfmodels.calibration import (
+    CALIBRATIONS,
+    DATAMPI_CAL,
+    HADOOP_CAL,
+    SPARK_CAL,
+    TaskCost,
+    disk_efficiency,
+    get_calibration,
+)
+from repro.perfmodels.datampi_model import DataMPIModel
+from repro.perfmodels.hadoop_model import HadoopModel
+from repro.perfmodels.profiles import (
+    NAIVE_BAYES_PIPELINE,
+    PROFILES,
+    WorkloadProfile,
+    get_profile,
+)
+from repro.perfmodels.ablation import (
+    MECHANISMS,
+    AblationResult,
+    ablated_datampi,
+)
+from repro.perfmodels.iterative import IterativeResult, iterative_kmeans
+from repro.perfmodels.runner import AveragedRun, simulate, simulate_once
+from repro.perfmodels.spark_model import SparkModel
+
+__all__ = [
+    "BaseModel",
+    "SimOutcome",
+    "scaled_cluster_spec",
+    "CALIBRATIONS",
+    "DATAMPI_CAL",
+    "HADOOP_CAL",
+    "SPARK_CAL",
+    "TaskCost",
+    "disk_efficiency",
+    "get_calibration",
+    "DataMPIModel",
+    "HadoopModel",
+    "NAIVE_BAYES_PIPELINE",
+    "PROFILES",
+    "WorkloadProfile",
+    "get_profile",
+    "MECHANISMS",
+    "AblationResult",
+    "ablated_datampi",
+    "IterativeResult",
+    "iterative_kmeans",
+    "AveragedRun",
+    "simulate",
+    "simulate_once",
+    "SparkModel",
+]

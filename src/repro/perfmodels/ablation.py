@@ -1,0 +1,131 @@
+"""Ablation: how much does each DataMPI mechanism contribute?
+
+DESIGN.md credits DataMPI's wins to three mechanisms (Sections 2.3/4.4):
+
+1. **pipelining** — the O-phase shuffle overlaps task computation;
+2. **in-memory intermediate data** — no spill-write/merge-read disk passes;
+3. **low startup** — mpirun-style launch instead of JobTracker rounds.
+
+``ablated_datampi`` re-runs the DataMPI timeline model with individual
+mechanisms disabled, turning the design argument into a measurable
+experiment (benchmark ``test_ablation_mechanisms``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.node import SimNode
+from repro.common.errors import ConfigError
+from repro.hdfs.filesystem import Split
+from repro.perfmodels.base_model import SimOutcome
+from repro.perfmodels.calibration import DATAMPI_CAL, HADOOP_CAL, TaskCost
+from repro.perfmodels.datampi_model import DataMPIModel
+from repro.perfmodels.profiles import WorkloadProfile
+
+MECHANISMS = ("pipelining", "memory_buffering", "low_startup")
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Job times with each mechanism removed, against the full design."""
+
+    workload: str
+    input_bytes: int
+    full_sec: float
+    without: dict[str, float]
+
+    def slowdown(self, mechanism: str) -> float:
+        """Fractional slowdown from removing one mechanism."""
+        return self.without[mechanism] / self.full_sec - 1.0
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Mechanisms by contribution, largest first."""
+        return sorted(
+            ((name, self.slowdown(name)) for name in self.without),
+            key=lambda item: item[1], reverse=True,
+        )
+
+
+class AblatedDataMPIModel(DataMPIModel):
+    """DataMPI timeline model with one mechanism disabled."""
+
+    def __init__(self, disabled: str, slots: int = 4, seed: int = 0, spec=None):
+        if disabled not in MECHANISMS:
+            raise ConfigError(
+                f"unknown mechanism {disabled!r}; choose from {MECHANISMS}"
+            )
+        super().__init__(slots=slots, seed=seed, spec=spec)
+        self.disabled = disabled
+
+    def _job(self, workload, profile, input_bytes, cost, tag):
+        if self.disabled == "low_startup":
+            # Pay Hadoop-style job submission and cleanup instead.
+            extra = (HADOOP_CAL.job_setup_sec - DATAMPI_CAL.job_setup_sec) + (
+                HADOOP_CAL.job_cleanup_sec - DATAMPI_CAL.job_cleanup_sec
+            )
+            yield self.engine.timeout(self.jitter(extra))
+        yield from super()._job(workload, profile, input_bytes, cost, tag)
+
+    def _o_task(self, split: Split, node: SimNode, pool, cost: TaskCost,
+                profile: WorkloadProfile, spill_fraction: float):
+        if self.disabled == "pipelining":
+            # Sends no longer overlap compute: read+compute first, then the
+            # network drain runs by itself (Hadoop-style phase separation).
+            cal = DATAMPI_CAL
+            yield pool.acquire()
+            yield self.engine.timeout(
+                self.jitter(cal.sched_round_sec + cal.task_launch_sec)
+            )
+            data_bytes = split.size * profile.decompress_ratio
+            inter_task = data_bytes * profile.shuffle_ratio
+            nodes = self.cluster.nodes
+            remote = inter_task * (len(nodes) - 1) / len(nodes)
+            peer = nodes[(node.node_id + 1) % len(nodes)]
+            yield self.engine.all_of([
+                self.hdfs.read_split(node, split),
+                node.compute(
+                    self.jitter(cost.cpu_per_mb * data_bytes / (1024 * 1024)),
+                    threads=cost.threads, label="o.cpu",
+                ),
+                self.sys_cpu(node, cal, split.size + inter_task),
+            ])
+            if remote > 0:
+                yield self.engine.all_of([
+                    node.nic_out.transfer(remote, label="o.send"),
+                    peer.nic_in.transfer(remote, label="o.recv"),
+                ])
+            if spill_fraction > 0:
+                yield peer.write(inter_task * spill_fraction, "o.bufspill")
+            pool.release()
+            return
+        if self.disabled == "memory_buffering":
+            # All intermediate data goes through disk, like Hadoop's map
+            # output: force a full spill regardless of the buffer budget.
+            spill_fraction = 1.0
+        yield from super()._o_task(split, node, pool, cost, profile, spill_fraction)
+
+    def _a_task(self, index, node, pool, share_in, out_share, spill_fraction,
+                profile):
+        if self.disabled == "memory_buffering":
+            spill_fraction = 1.0
+        yield from super()._a_task(index, node, pool, share_in, out_share,
+                                   spill_fraction, profile)
+
+
+def ablated_datampi(workload: str, input_bytes: int, *, slots: int = 4,
+                    seed: int = 0) -> AblationResult:
+    """Run DataMPI with each mechanism removed in turn."""
+    full = DataMPIModel(slots=slots, seed=seed).run(workload, input_bytes)
+    without = {}
+    for mechanism in MECHANISMS:
+        outcome: SimOutcome = AblatedDataMPIModel(
+            mechanism, slots=slots, seed=seed
+        ).run(workload, input_bytes)
+        without[mechanism] = outcome.result.elapsed_sec
+    return AblationResult(
+        workload=workload,
+        input_bytes=input_bytes,
+        full_sec=full.result.elapsed_sec,
+        without=without,
+    )

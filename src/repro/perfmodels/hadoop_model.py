@@ -1,0 +1,207 @@
+"""Hadoop 1.x timeline model.
+
+Structure replayed (and where its time goes, per the paper's analysis):
+
+* JobTracker submit/setup and per-wave heartbeat scheduling plus JVM
+  launch for every task — the overhead that dominates small jobs (Fig 5);
+* map tasks stream their (local) HDFS split, spend workload CPU, and
+  *write map output to disk*, then pay an extra merge pass over it when
+  the output exceeds one sort buffer — the "redundant disk I/O
+  operations" DataMPI avoids;
+* reducers launch after the map phase, fetch remote map output over the
+  NIC while merge-sorting (another disk pass for large shares), reduce,
+  and write replicated output to HDFS.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import SimNode
+from repro.common.config import RunResult
+from repro.common.units import MB
+from repro.hdfs.filesystem import Split
+from repro.perfmodels.base_model import BaseModel, SimOutcome, resolve_profile
+from repro.perfmodels.calibration import (
+    HADOOP_CAL,
+    HADOOP_REDUCE_MERGE_MEM,
+    TaskCost,
+)
+from repro.perfmodels.profiles import NAIVE_BAYES_PIPELINE, WorkloadProfile
+
+#: Map output below one sort buffer spills once and needs no merge pass.
+SORT_BUFFER = 128 * MB
+
+
+class HadoopModel(BaseModel):
+    framework = "hadoop"
+
+    def run(self, workload: str, input_bytes: int) -> SimOutcome:
+        cal = HADOOP_CAL
+        cost = cal.map_cost(workload)
+        self.allocate_framework_base(cal)
+        # Task JVMs are launched with full -Xmx; over-committing them (e.g.
+        # 6 x 2 GB heaps on 16 GB) triggers GC/reclaim pressure.
+        self.cpu_pressure = self.memory_pressure_factor(
+            cal.base_memory + self.slots * cal.task_heap
+        )
+
+        def driver():
+            profile = resolve_profile(workload)
+            if workload == "naive_bayes":
+                for job_name, fraction, cpu_scale in NAIVE_BAYES_PIPELINE:
+                    job_cost = TaskCost(cost.cpu_per_mb * cpu_scale, cost.threads)
+                    yield from self._job(
+                        workload, profile, int(input_bytes * fraction),
+                        job_cost, tag=f".{job_name}",
+                    )
+            else:
+                yield from self._job(workload, profile, input_bytes, cost, tag="")
+
+        done = self.engine.process(driver(), "hadoop-driver")
+        self.engine.run()
+        assert done.triggered
+        result = RunResult(
+            framework="hadoop", workload=workload, input_bytes=input_bytes,
+            elapsed_sec=self.engine.now,
+            phases={name: end - start for name, (start, end) in self.phases.items()},
+        )
+        return SimOutcome(result=result, cluster=self.cluster, phases=self.phases)
+
+    # -- one MapReduce job -------------------------------------------------------
+
+    def _job(self, workload: str, profile: WorkloadProfile, input_bytes: int,
+             cost: TaskCost, tag: str):
+        cal = HADOOP_CAL
+        yield self.engine.timeout(self.jitter(cal.job_setup_sec))
+        job_heap = self.allocate_job_heaps(cal, workload)
+
+        planned = self.plan_splits(f"{workload}{tag}", input_bytes)
+        map_pools = self.make_slot_pools()
+        self.phase_begin(f"map{tag}")
+        map_tasks = [
+            self.engine.process(
+                self._map_task(split, node, map_pools[node.node_id], cost, profile),
+                f"map-{i}",
+            )
+            for i, (split, node) in enumerate(planned)
+        ]
+        yield self.engine.all_of(map_tasks)
+        self.phase_end(f"map{tag}")
+
+        inter_total = profile.intermediate_bytes(input_bytes)
+        out_total = profile.output_bytes(input_bytes)
+        nodes = self.cluster.nodes
+        num_reduces = len(nodes) * self.slots
+
+        self.phase_begin(f"reduce{tag}")
+        # Map-output servers: each node streams its stored map output to the
+        # fetchers (disk read + outbound NIC for the remote share).
+        inter_per_node = inter_total / len(nodes)
+        remote_fraction = (len(nodes) - 1) / len(nodes)
+        servers = [
+            self.engine.process(self._shuffle_server(node, inter_per_node,
+                                                     remote_fraction),
+                                f"shuffle-server-{node.node_id}")
+            for node in nodes
+        ]
+        reduce_pools = self.make_slot_pools()
+        reduce_tasks = [
+            self.engine.process(
+                self._reduce_task(
+                    index, nodes[index % len(nodes)],
+                    reduce_pools[index % len(nodes)],
+                    inter_total / num_reduces, out_total / num_reduces,
+                    remote_fraction, profile,
+                ),
+                f"reduce-{index}",
+            )
+            for index in range(num_reduces)
+        ]
+        yield self.engine.all_of(reduce_tasks + servers)
+        self.phase_end(f"reduce{tag}")
+        self.free_job_heaps(job_heap)
+        yield self.engine.timeout(self.jitter(cal.job_cleanup_sec))
+
+    def _map_task(self, split: Split, node: SimNode, pool, cost: TaskCost,
+                  profile: WorkloadProfile):
+        cal = HADOOP_CAL
+        yield pool.acquire()
+        yield self.engine.timeout(
+            self.jitter(cal.sched_round_sec + cal.task_launch_sec)
+        )
+        data_bytes = split.size * profile.decompress_ratio
+        inter_task = data_bytes * profile.shuffle_ratio
+        legs = [
+            self.hdfs.read_split(node, split),
+            node.compute(
+                self.jitter(self.cpu_pressure * cost.cpu_per_mb * data_bytes / MB),
+                threads=cost.threads, label="map.cpu",
+            ),
+            self.sys_cpu(node, cal, split.size + inter_task),
+        ]
+        if inter_task > 0:
+            legs.append(node.write(inter_task, "map.spill"))
+        yield self.engine.all_of(legs)
+        if cal.spill_passes > 0 and inter_task > SORT_BUFFER:
+            # Final spill merge: about half of it overlapped with the spills
+            # above, the tail is the serial cost observed at task end.
+            merge_bytes = inter_task * cal.spill_passes * 0.5
+            yield self.engine.all_of([
+                node.read(merge_bytes, "map.merge"),
+                node.write(merge_bytes, "map.merge"),
+                self.sys_cpu(node, cal, merge_bytes),
+            ])
+        pool.release()
+
+    def _shuffle_server(self, node: SimNode, inter_per_node: float,
+                        remote_fraction: float):
+        if inter_per_node <= 0:
+            return
+            yield  # pragma: no cover - generator marker
+        yield self.engine.all_of([
+            # Serving map output happens in TaskTracker threads: not wait-I/O.
+            node.read(inter_per_node, "shuffle.serve", track_wait=False),
+            node.nic_out.transfer(inter_per_node * remote_fraction,
+                                  label="shuffle.out"),
+        ])
+
+    def _reduce_task(self, index: int, node: SimNode, pool, share_in: float,
+                     out_share: float, remote_fraction: float,
+                     profile: WorkloadProfile):
+        cal = HADOOP_CAL
+        yield pool.acquire()
+        yield self.engine.timeout(
+            self.jitter(cal.sched_round_sec + cal.task_launch_sec)
+        )
+        reduce_cpu = (cal.reduce_cpu_per_mb + profile.reduce_extra_cpu_per_mb)
+        reduce_cpu *= self.cpu_pressure
+        legs = [
+            node.compute(self.jitter(reduce_cpu * share_in / MB),
+                         threads=1.0, label="reduce.cpu"),
+            self.sys_cpu(node, cal, share_in + 3 * out_share),
+        ]
+        if share_in > 0:
+            legs.append(node.nic_in.transfer(share_in * remote_fraction,
+                                             label="shuffle.in"))
+        merge_passes = self._merge_passes(share_in)
+        if merge_passes:
+            # On-disk merge passes before the reduce function can run
+            # (io.sort.factor-limited multi-pass merge for large shares).
+            legs.append(node.write(share_in * merge_passes, "reduce.merge"))
+            legs.append(node.read(share_in * merge_passes, "reduce.merge"))
+        yield self.engine.all_of(legs)
+        yield self.replicated_write(node, out_share, salt=index)
+        pool.release()
+
+    @staticmethod
+    def _merge_passes(share_in: float) -> int:
+        """On-disk merge passes for a reduce input share.
+
+        Shares within the reducer's merge memory need none; beyond it the
+        pass count grows with the log of the overflow factor (merge-factor
+        limited multi-pass merge).
+        """
+        if share_in <= HADOOP_REDUCE_MERGE_MEM:
+            return 0
+        import math
+
+        return math.ceil(math.log(share_in / HADOOP_REDUCE_MERGE_MEM, 4.0))

@@ -1,0 +1,105 @@
+"""Iterative K-means: the paper's deferred Spark-vs-DataMPI comparison.
+
+Section 4.6: "Our tests show Spark have outstanding performance when
+doing the iteration computations after caching the data in the RDDs.
+For fair comparison with Hadoop, we record the execution time of the
+first iteration ... In the future, we will give a detail performance
+comparison between Spark and DataMPI in the iterative applications."
+
+This module builds that future comparison on the simulated testbed:
+
+* **Hadoop** launches a full MapReduce job per iteration and re-reads the
+  input from HDFS every time;
+* **Spark** pays the first iteration's load + cache cost, then iterates
+  over the in-memory RDD (no HDFS read, no job startup);
+* **DataMPI** keeps its processes alive across iterations (no startup)
+  but, like Mahout, re-reads the vectors from HDFS each iteration in the
+  paper's design.
+
+The expected crossover — DataMPI wins iteration 1, Spark wins from some
+iteration k onward — is asserted by ``benchmarks/test_iterative_kmeans``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError, WorkloadError
+from repro.common.units import MB
+from repro.perfmodels.calibration import get_calibration
+from repro.perfmodels.runner import simulate_once
+
+#: Spark's per-iteration cost on cached data: scan the deserialized RDD
+#: and reduce k partial centroids — no disk, no deserialization.
+SPARK_CACHED_ITERATION_CPU_FRACTION = 0.45
+
+#: DataMPI re-reads input per iteration but skips job setup entirely and
+#: keeps a small warm-iteration discount (centroid broadcast is free).
+DATAMPI_WARM_ITERATION_FRACTION = 0.80
+
+
+@dataclass(frozen=True)
+class IterativeResult:
+    """Cumulative K-means times over successive iterations."""
+
+    input_bytes: int
+    iterations: int
+    cumulative: dict[str, list[float]]  # framework -> cumulative seconds
+
+    def crossover_iteration(self, left: str, right: str) -> int | None:
+        """First iteration (1-based) at which ``right`` is cumulatively
+        faster than ``left``; None if it never happens."""
+        for index in range(self.iterations):
+            if self.cumulative[right][index] < self.cumulative[left][index]:
+                return index + 1
+        return None
+
+
+def iterative_kmeans(input_bytes: int, iterations: int = 10,
+                     seed: int = 0) -> IterativeResult:
+    """Cumulative training time over K-means iterations, per framework."""
+    if iterations < 1:
+        raise ConfigError(f"iterations must be >= 1, got {iterations}")
+
+    first = {
+        framework: simulate_once(framework, "kmeans", input_bytes, seed=seed)
+        for framework in ("hadoop", "spark", "datampi")
+    }
+    for framework, outcome in first.items():
+        if outcome.result.failed:
+            raise WorkloadError(f"{framework} failed the first iteration")
+
+    cumulative: dict[str, list[float]] = {}
+
+    # Hadoop: every iteration is a full job (Mahout's structure).
+    per_iter = first["hadoop"].result.elapsed_sec
+    cumulative["hadoop"] = [per_iter * (i + 1) for i in range(iterations)]
+
+    # Spark: first iteration includes load+cache; later ones scan memory.
+    spark_first = first["spark"].result.elapsed_sec
+    spark_cal = get_calibration("spark")
+    stage_cpu = spark_cal.map_cost("kmeans").cpu_per_mb * (input_bytes / MB)
+    cluster_cores = 8 * 16  # testbed: 8 nodes x 16 hardware threads
+    warm = (
+        SPARK_CACHED_ITERATION_CPU_FRACTION * stage_cpu / (cluster_cores / 2)
+        + 2 * spark_cal.sched_round_sec
+    )
+    cumulative["spark"] = [
+        spark_first + warm * i for i in range(iterations)
+    ]
+
+    # DataMPI: warm iterations skip startup but re-read from HDFS.
+    datampi_first = first["datampi"].result.elapsed_sec
+    datampi_cal = get_calibration("datampi")
+    datampi_warm = DATAMPI_WARM_ITERATION_FRACTION * (
+        datampi_first - datampi_cal.job_setup_sec - datampi_cal.job_cleanup_sec
+    )
+    cumulative["datampi"] = [
+        datampi_first + datampi_warm * i for i in range(iterations)
+    ]
+
+    return IterativeResult(
+        input_bytes=input_bytes,
+        iterations=iterations,
+        cumulative=cumulative,
+    )

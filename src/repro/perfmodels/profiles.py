@@ -1,0 +1,124 @@
+"""Workload data-flow profiles for the performance models.
+
+A profile describes *what the data does* in a workload, independent of
+the framework executing it: how much the input expands on decompression,
+how much intermediate data the map/O side emits, and how much output the
+job writes.  Framework-specific *costs* live in
+:mod:`repro.perfmodels.calibration`.
+
+Sources: Section 3.1 (workload definitions), Section 4.4 ("the word
+dictionary of the input files is small and few intermediate data is
+generated"; "most of K-means calculation happens in Map phase, and few
+intermediate data is generated"), and the measured ToSeqFile gzip ratio
+(see ``tests/test_bigdatabench.py::TestToSeqFile``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Data-volume characteristics of one workload."""
+
+    name: str
+    #: Expansion of input bytes when first read (gzip sequence input ~3.3x).
+    decompress_ratio: float
+    #: Intermediate (shuffled) bytes per *decompressed* input byte.
+    shuffle_ratio: float
+    #: Output bytes written to HDFS per *input* byte (before replication).
+    output_ratio: float
+    #: Per-record JVM object overhead for Spark's in-heap materialization.
+    spark_java_expansion: float
+    #: Extra reduce/A-side CPU per MB of intermediate data (GzipCodec
+    #: output compression for Normal Sort: CPU-bound, hides under Hadoop's
+    #: disk-bound reduce but extends DataMPI's pipelined A phase — why the
+    #: paper's Normal Sort improvement is lower than Text Sort's).
+    reduce_extra_cpu_per_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.decompress_ratio, self.spark_java_expansion) <= 0:
+            raise ConfigError(f"invalid ratios in profile {self.name!r}")
+        if min(self.shuffle_ratio, self.output_ratio) < 0:
+            raise ConfigError(f"negative ratios in profile {self.name!r}")
+
+    def intermediate_bytes(self, input_bytes: int) -> float:
+        return input_bytes * self.decompress_ratio * self.shuffle_ratio
+
+    def output_bytes(self, input_bytes: int) -> float:
+        return input_bytes * self.output_ratio
+
+
+#: Measured with repro.bigdatabench.toseqfile on generated wiki text.
+SEQFILE_GZIP_RATIO = 3.3
+
+PROFILES = {
+    "text_sort": WorkloadProfile(
+        name="text_sort",
+        decompress_ratio=1.0,
+        shuffle_ratio=1.0,     # sort moves every byte
+        output_ratio=1.0,
+        spark_java_expansion=4.5,
+    ),
+    "normal_sort": WorkloadProfile(
+        name="normal_sort",
+        decompress_ratio=SEQFILE_GZIP_RATIO,
+        shuffle_ratio=1.0,
+        output_ratio=1.0,      # output re-compressed with GzipCodec
+        spark_java_expansion=5.5,  # sequence records carry heavier objects
+        reduce_extra_cpu_per_mb=0.08,
+    ),
+    "wordcount": WorkloadProfile(
+        name="wordcount",
+        decompress_ratio=1.0,
+        shuffle_ratio=0.002,   # combiner leaves ~dictionary-sized partials
+        output_ratio=0.001,
+        spark_java_expansion=4.0,
+    ),
+    "grep": WorkloadProfile(
+        name="grep",
+        decompress_ratio=1.0,
+        shuffle_ratio=0.0008,
+        output_ratio=0.0005,
+        spark_java_expansion=4.0,
+    ),
+    "kmeans": WorkloadProfile(
+        name="kmeans",
+        decompress_ratio=1.0,
+        shuffle_ratio=0.00008,  # k partial centroid sums per task
+        output_ratio=0.00005,
+        spark_java_expansion=4.0,
+    ),
+    "naive_bayes": WorkloadProfile(
+        name="naive_bayes",
+        decompress_ratio=1.0,
+        shuffle_ratio=0.003,
+        output_ratio=0.002,
+        spark_java_expansion=4.0,
+    ),
+}
+
+
+def get_profile(workload: str) -> WorkloadProfile:
+    if workload not in PROFILES:
+        raise ConfigError(
+            f"unknown workload {workload!r}; available: {sorted(PROFILES)}"
+        )
+    return PROFILES[workload]
+
+
+#: The Naive Bayes pipeline: Mahout runs several MapReduce jobs (Section
+#: 4.6: term counting, document frequency, sparse-vector creation, then
+#: two training jobs that "cost less time ... for the simple calculating
+#: and small input data size").  Each entry is
+#: ``(job name, fraction of the original input read, CPU scale)``.
+NAIVE_BAYES_PIPELINE = [
+    ("term-frequency", 1.0, 1.0),
+    ("document-frequency", 1.0, 0.55),
+    ("sparse-vectors", 0.2, 0.25),
+    ("train-summing", 0.05, 0.15),
+    ("train-weights", 0.04, 0.15),
+]

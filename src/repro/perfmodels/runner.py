@@ -1,0 +1,85 @@
+"""Run simulated experiments the way the paper ran real ones.
+
+``simulate_once`` executes one job on a fresh simulated testbed;
+``simulate`` repeats it three times with seeded run-to-run jitter and
+averages, matching Section 4.1's "we report results that are average
+across three executions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import WorkloadError
+from repro.perfmodels.base_model import BaseModel, SimOutcome
+from repro.perfmodels.datampi_model import DataMPIModel
+from repro.perfmodels.hadoop_model import HadoopModel
+from repro.perfmodels.spark_model import SparkModel
+
+MODELS: dict[str, type[BaseModel]] = {
+    "hadoop": HadoopModel,
+    "spark": SparkModel,
+    "datampi": DataMPIModel,
+}
+
+
+def simulate_once(framework: str, workload: str, input_bytes: int,
+                  slots: int = 4, seed: int = 0) -> SimOutcome:
+    """One simulated execution; returns the outcome with resource traces."""
+    if framework not in MODELS:
+        raise WorkloadError(
+            f"unknown framework {framework!r}; available: {sorted(MODELS)}"
+        )
+    model = MODELS[framework](slots=slots, seed=seed)
+    return model.run(workload, input_bytes)
+
+
+@dataclass
+class AveragedRun:
+    """Mean of several executions (the paper's reporting unit)."""
+
+    framework: str
+    workload: str
+    input_bytes: int
+    elapsed_sec: float
+    phases: dict[str, float] = field(default_factory=dict)
+    failed: bool = False
+    failure: str | None = None
+    outcomes: list[SimOutcome] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.failed
+
+    @property
+    def first(self) -> SimOutcome:
+        """First execution's outcome (used for the Figure 4 traces)."""
+        return self.outcomes[0]
+
+
+def simulate(framework: str, workload: str, input_bytes: int,
+             slots: int = 4, executions: int = 3, base_seed: int = 0) -> AveragedRun:
+    """Average of ``executions`` simulated runs with varied jitter seeds."""
+    if executions < 1:
+        raise WorkloadError(f"executions must be >= 1, got {executions}")
+    outcomes = [
+        simulate_once(framework, workload, input_bytes, slots=slots,
+                      seed=base_seed + index)
+        for index in range(executions)
+    ]
+    failed = any(outcome.result.failed for outcome in outcomes)
+    failures = [outcome.result.failure for outcome in outcomes if outcome.result.failed]
+    phase_names = outcomes[0].result.phases.keys()
+    return AveragedRun(
+        framework=framework,
+        workload=workload,
+        input_bytes=input_bytes,
+        elapsed_sec=sum(o.result.elapsed_sec for o in outcomes) / executions,
+        phases={
+            name: sum(o.result.phases.get(name, 0.0) for o in outcomes) / executions
+            for name in phase_names
+        },
+        failed=failed,
+        failure=failures[0] if failures else None,
+        outcomes=outcomes,
+    )

@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel: engine, fair-share resources, tracing."""
+
+from repro.simulate.engine import EPSILON, AllOf, Engine, Event, Process
+from repro.simulate.resources import FairShareResource, Flow, SlotPool, waterfill
+from repro.simulate.tracing import Tracer
+
+__all__ = [
+    "EPSILON",
+    "AllOf",
+    "Engine",
+    "Event",
+    "Process",
+    "FairShareResource",
+    "Flow",
+    "SlotPool",
+    "waterfill",
+    "Tracer",
+]

@@ -1,0 +1,171 @@
+"""Discrete-event simulation kernel.
+
+A tiny process-based engine in the style of SimPy: simulation processes are
+Python generators that ``yield`` :class:`Event` objects and are resumed when
+those events trigger.  The engine is deliberately small — the interesting
+modelling (contention, pipelining) lives in :mod:`repro.simulate.resources`
+and in the framework timeline models built on top.
+
+Example
+-------
+>>> engine = Engine()
+>>> log = []
+>>> def proc(engine):
+...     yield engine.timeout(1.5)
+...     log.append(engine.now)
+>>> _ = engine.process(proc(engine))
+>>> engine.run()
+>>> log
+[1.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from repro.common.errors import SimulationError
+
+#: Completion tolerance for floating-point work accounting.
+EPSILON = 1e-9
+
+
+class Event:
+    """A one-shot event; callbacks run (in schedule order) once triggered."""
+
+    __slots__ = ("engine", "_callbacks", "triggered", "value")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            # Already fired: deliver asynchronously to preserve ordering.
+            self.engine.schedule(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, waking every waiter at the current time."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.engine.schedule(0.0, lambda cb=callback: cb(self))
+        return self
+
+
+class AllOf(Event):
+    """Event that triggers once every child event has triggered.
+
+    ``value`` is the list of child values in the order given.
+    """
+
+    __slots__ = ("_pending", "_values")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine)
+        events = list(events)
+        self._pending = len(events)
+        self._values: list[Any] = [None] * len(events)
+        if not events:
+            self.succeed([])
+            return
+        for index, event in enumerate(events):
+            event.add_callback(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int) -> Callable[[Event], None]:
+        def on_child(event: Event) -> None:
+            self._values[index] = event.value
+            self._pending -= 1
+            if self._pending == 0 and not self.triggered:
+                self.succeed(list(self._values))
+
+        return on_child
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    A ``Process`` is itself an event that triggers with the generator's
+    return value, so processes can ``yield`` other processes to join them.
+    """
+
+    __slots__ = ("name", "_generator")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        super().__init__(engine)
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        engine.schedule(0.0, lambda: self._step(None))
+
+    def _step(self, value: Any) -> None:
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        target.add_callback(lambda event: self._step(event.value))
+
+
+class Engine:
+    """Event loop with a monotonically non-decreasing clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._active_processes = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < -EPSILON:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self.now + max(delay, 0.0), next(self._sequence), callback)
+        )
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """Event that triggers after ``delay`` simulated seconds."""
+        event = Event(self)
+        self.schedule(delay, lambda: event.succeed(value))
+        return event
+
+    def event(self) -> Event:
+        """A manually-triggered event (used for joins and handshakes)."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a simulation process from a generator."""
+        return Process(self, generator, name)
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the queue drains (or the clock passes ``until``).
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            when, _seq, callback = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if when < self.now - EPSILON:
+                raise SimulationError("time went backwards")
+            self.now = max(self.now, when)
+            callback()
+        return self.now

@@ -1,0 +1,264 @@
+"""Fair-share resources for the cluster simulator.
+
+The paper's testbed bottlenecks on a single SATA disk and a 1 GigE NIC per
+node (Section 4.2: "the disk and network will easily become the bottleneck
+in our testbed").  Every disk, NIC and CPU in this reproduction is a
+:class:`FairShareResource`: concurrent *flows* share its capacity under
+weighted max-min fairness (water-filling) with optional per-flow rate caps.
+Contention between the 4 concurrent tasks per node — and therefore the
+resource-utilization time series of Figure 4 — emerges from this one
+mechanism rather than from per-framework special cases.
+
+A *flow* transfers a fixed amount of work (bytes, or CPU core-seconds)
+through the resource and triggers (as an :class:`~repro.simulate.engine.Event`)
+when the work completes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.errors import SimulationError
+from repro.simulate.engine import EPSILON, Engine, Event
+from repro.simulate.tracing import Tracer
+
+
+def waterfill(capacity: float, demands: list[tuple[float, float]]) -> list[float]:
+    """Weighted max-min allocation with per-flow caps.
+
+    ``demands`` is a list of ``(weight, cap)`` pairs; ``cap`` may be
+    ``float('inf')``.  Returns the allocated rate for each flow, in order.
+    The allocation is the classic water-filling: repeatedly grant every
+    unsatisfied flow its weighted fair share of the remaining capacity;
+    flows whose cap is below their share are frozen at their cap and the
+    surplus is redistributed.
+
+    >>> waterfill(10.0, [(1.0, float('inf')), (1.0, 2.0)])
+    [8.0, 2.0]
+    """
+    n = len(demands)
+    rates = [0.0] * n
+    unsatisfied = list(range(n))
+    remaining = capacity
+    while unsatisfied and remaining > EPSILON:
+        total_weight = sum(demands[i][0] for i in unsatisfied)
+        if total_weight <= 0.0:
+            break
+        fair_unit = remaining / total_weight
+        capped = [
+            i for i in unsatisfied if demands[i][1] <= demands[i][0] * fair_unit + EPSILON
+        ]
+        if not capped:
+            for i in unsatisfied:
+                rates[i] = demands[i][0] * fair_unit
+            return rates
+        for i in capped:
+            rates[i] = demands[i][1]
+            remaining -= demands[i][1]
+        unsatisfied = [i for i in unsatisfied if i not in set(capped)]
+    return rates
+
+
+class Flow(Event):
+    """One transfer through a :class:`FairShareResource`.
+
+    Triggers with the flow itself as value when ``amount`` units of work
+    have been served.
+    """
+
+    __slots__ = ("resource", "amount", "remaining", "weight", "cap", "rate", "label")
+
+    def __init__(
+        self,
+        resource: "FairShareResource",
+        amount: float,
+        weight: float,
+        cap: float,
+        label: str,
+    ):
+        super().__init__(resource.engine)
+        self.resource = resource
+        self.amount = amount
+        self.remaining = amount
+        self.weight = weight
+        self.cap = cap
+        self.rate = 0.0
+        self.label = label
+
+
+class FairShareResource:
+    """A capacity shared by concurrent flows under weighted max-min fairness.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine.
+    capacity:
+        Service rate in units/second (bytes/s for disks and NICs,
+        core-seconds/s — i.e. cores — for CPUs).
+    name:
+        Used in traces and error messages.
+    tracer / series:
+        If given, the total allocated rate is recorded as a step function
+        under ``series`` whenever it changes, which is how the Figure 4
+        throughput plots are produced.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        capacity: float,
+        name: str = "resource",
+        tracer: Tracer | None = None,
+        series: str | None = None,
+    ):
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.tracer = tracer
+        self.series = series or name
+        self._flows: list[Flow] = []
+        self._last_update = 0.0
+        self._completion_token = 0  # invalidates stale completion callbacks
+        self.total_served = 0.0
+
+    # -- public API ---------------------------------------------------------
+
+    def transfer(
+        self,
+        amount: float,
+        cap: float | None = None,
+        weight: float = 1.0,
+        label: str = "",
+    ) -> Flow:
+        """Start a flow of ``amount`` units; returns its completion event.
+
+        ``cap`` bounds the flow's individual rate (e.g. a single-threaded
+        task can use at most 1.0 CPU core even on an idle 16-thread node).
+        """
+        if amount < 0:
+            raise SimulationError(f"negative transfer amount {amount}")
+        if weight <= 0:
+            raise SimulationError(f"weight must be positive, got {weight}")
+        flow = Flow(self, amount, weight, cap if cap is not None else float("inf"), label)
+        if amount <= EPSILON:
+            self.engine.schedule(0.0, lambda: flow.succeed(flow))
+            return flow
+        self._advance()
+        self._flows.append(flow)
+        self._reallocate()
+        return flow
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    @property
+    def current_rate(self) -> float:
+        """Total allocated rate right now (units/second)."""
+        return sum(flow.rate for flow in self._flows)
+
+    def utilization(self) -> float:
+        """Current fraction of capacity in use, in [0, 1]."""
+        return self.current_rate / self.capacity
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Progress all flows to the current time at their current rates."""
+        elapsed = self.engine.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                served = flow.rate * elapsed
+                flow.remaining = max(0.0, flow.remaining - served)
+                self.total_served += served
+        self._last_update = self.engine.now
+
+    def _reallocate(self) -> None:
+        """Recompute rates after a membership change and reschedule completion."""
+        self._completion_token += 1
+        if not self._flows:
+            self._record_rate(0.0)
+            return
+        demands = [(flow.weight, flow.cap) for flow in self._flows]
+        rates = waterfill(self.capacity, demands)
+        for flow, rate in zip(self._flows, rates):
+            flow.rate = rate
+        self._record_rate(self.current_rate)
+
+        # Schedule the earliest completion among flows that are progressing.
+        finish_in = float("inf")
+        for flow in self._flows:
+            if flow.rate > EPSILON:
+                finish_in = min(finish_in, flow.remaining / flow.rate)
+            elif flow.remaining <= EPSILON:
+                finish_in = 0.0
+        if finish_in == float("inf"):
+            raise SimulationError(
+                f"resource {self.name!r} stalled with {len(self._flows)} flows"
+            )
+        token = self._completion_token
+        self.engine.schedule(finish_in, lambda: self._on_completion(token))
+
+    def _on_completion(self, token: int) -> None:
+        if token != self._completion_token:
+            return  # superseded by a later reallocation
+        self._advance()
+        done = [flow for flow in self._flows if flow.remaining <= EPSILON * max(1.0, flow.amount)]
+        if not done:
+            # Numerical corner: reschedule from fresh state.
+            self._reallocate()
+            return
+        self._flows = [flow for flow in self._flows if flow not in set(done)]
+        self._reallocate()
+        for flow in done:
+            flow.remaining = 0.0
+            flow.succeed(flow)
+
+    def _record_rate(self, rate: float) -> None:
+        if self.tracer is not None:
+            self.tracer.record_rate(self.series, self.engine.now, rate)
+
+
+class SlotPool:
+    """A counted pool of task slots with FIFO waiting.
+
+    Models Hadoop's fixed map/reduce slots per TaskTracker and the
+    fixed number of concurrent workers the paper configures per node.
+    """
+
+    def __init__(self, engine: Engine, slots: int, name: str = "slots"):
+        if slots < 1:
+            raise SimulationError(f"slot pool needs >= 1 slot, got {slots}")
+        self.engine = engine
+        self.capacity = slots
+        self.name = name
+        self.in_use = 0
+        self._waiters: list[Event] = []
+
+    def acquire(self) -> Event:
+        """Event that triggers once a slot is held by the caller."""
+        event = Event(self.engine)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.engine.schedule(0.0, lambda: event.succeed(self))
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a slot, waking the oldest waiter if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release on empty pool {self.name!r}")
+        if self._waiters:
+            event = self._waiters.pop(0)
+            self.engine.schedule(0.0, lambda: event.succeed(self))
+        else:
+            self.in_use -= 1
+
+
+def drain(engine: Engine, flows: Iterable[Flow]) -> Event:
+    """Convenience: event that triggers when all given flows complete."""
+    return engine.all_of(list(flows))

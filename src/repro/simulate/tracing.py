@@ -1,0 +1,113 @@
+"""Time-series tracing for the cluster simulator.
+
+The paper profiles CPU utilization, disk throughput, network throughput and
+memory footprint over the progression of time (Figure 4).  The tracer
+records two kinds of series:
+
+* **rate series** — step functions written by
+  :class:`~repro.simulate.resources.FairShareResource` whenever its total
+  allocated rate changes (disk MB/s, network MB/s, CPU cores in use);
+* **gauge series** — instantaneous levels written explicitly (memory
+  footprint in bytes, number of I/O-blocked tasks).
+
+Both are stored as ``(time, value)`` change points; sampling and
+time-weighted averaging reconstruct the plots and the averages the paper
+quotes ("the average CPU utilization during 0-117 seconds ...").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class Tracer:
+    """Records step-function series keyed by name."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, list[tuple[float, float]]] = defaultdict(list)
+        self._gauge_level: dict[str, float] = defaultdict(float)
+
+    # -- writing -------------------------------------------------------------
+
+    def record_rate(self, name: str, time: float, value: float) -> None:
+        """Record that series ``name`` changed to ``value`` at ``time``."""
+        points = self._series[name]
+        if points and abs(points[-1][0] - time) < 1e-12:
+            points[-1] = (time, value)
+        else:
+            points.append((time, value))
+
+    def adjust_gauge(self, name: str, time: float, delta: float) -> float:
+        """Add ``delta`` to a gauge series; returns the new level."""
+        level = self._gauge_level[name] + delta
+        self._gauge_level[name] = level
+        self.record_rate(name, time, level)
+        return level
+
+    def set_gauge(self, name: str, time: float, value: float) -> None:
+        """Set a gauge series to an absolute level."""
+        self._gauge_level[name] = value
+        self.record_rate(name, time, value)
+
+    # -- reading -------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def changes(self, name: str) -> list[tuple[float, float]]:
+        """Raw ``(time, value)`` change points for a series (may be empty)."""
+        return list(self._series.get(name, []))
+
+    def value_at(self, name: str, time: float) -> float:
+        """Series value at ``time`` (0.0 before the first change point)."""
+        value = 0.0
+        for point_time, point_value in self._series.get(name, []):
+            if point_time > time + 1e-12:
+                break
+            value = point_value
+        return value
+
+    def sample(self, name: str, t_end: float, dt: float = 1.0) -> list[tuple[float, float]]:
+        """Sample the series every ``dt`` seconds over ``[0, t_end]``.
+
+        Each sample is the *time-weighted average* over its interval, which
+        matches how dstat-style monitors report per-second throughput.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        samples = []
+        t = 0.0
+        while t < t_end - 1e-9:
+            hi = min(t + dt, t_end)
+            samples.append((hi, self.average(name, t, hi)))
+            t = hi
+        return samples
+
+    def average(self, name: str, t0: float, t1: float) -> float:
+        """Time-weighted mean of the series over ``[t0, t1]``."""
+        if t1 <= t0:
+            return self.value_at(name, t0)
+        points = self._series.get(name, [])
+        total = 0.0
+        prev_time, prev_value = t0, self.value_at(name, t0)
+        for point_time, point_value in points:
+            if point_time <= t0:
+                continue
+            if point_time >= t1:
+                break
+            total += prev_value * (point_time - prev_time)
+            prev_time, prev_value = point_time, point_value
+        total += prev_value * (t1 - prev_time)
+        return total / (t1 - t0)
+
+    def maximum(self, name: str, t0: float, t1: float) -> float:
+        """Maximum value the series reaches within ``[t0, t1]``."""
+        best = self.value_at(name, t0)
+        for point_time, point_value in self._series.get(name, []):
+            if t0 <= point_time <= t1:
+                best = max(best, point_value)
+        return best
+
+    def integral(self, name: str, t0: float, t1: float) -> float:
+        """Integral of the series over ``[t0, t1]`` (e.g. total bytes moved)."""
+        return self.average(name, t0, t1) * (t1 - t0)

@@ -1,0 +1,33 @@
+"""Functional Spark 0.8 engine: RDDs, lineage, memory manager, stages."""
+
+from repro.spark.memory import DEFAULT_JAVA_EXPANSION, MemoryManager, estimate_bytes
+from repro.spark.rdd import (
+    Dependency,
+    MappedRDD,
+    NarrowDependency,
+    ParallelCollectionRDD,
+    RDD,
+    ShuffleDependency,
+    ShuffledRDD,
+    SparkContext,
+    UnionRDD,
+)
+from repro.spark.scheduler import Stage, build_stages, num_stages
+
+__all__ = [
+    "DEFAULT_JAVA_EXPANSION",
+    "MemoryManager",
+    "estimate_bytes",
+    "Dependency",
+    "MappedRDD",
+    "NarrowDependency",
+    "ParallelCollectionRDD",
+    "RDD",
+    "ShuffleDependency",
+    "ShuffledRDD",
+    "SparkContext",
+    "UnionRDD",
+    "Stage",
+    "build_stages",
+    "num_stages",
+]

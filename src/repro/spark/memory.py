@@ -1,0 +1,136 @@
+"""Spark 0.8-style executor memory management.
+
+The paper's Spark baseline fails with ``OutOfMemoryError`` on Normal Sort
+(all sizes) and on Text Sort above 8 GB (Section 4.3) — in Spark 0.8 the
+deserialized Java objects backing cached RDD blocks and shuffle buckets
+live in the executor heap with a large object-overhead multiplier, and
+shuffle memory was not admission-controlled.
+
+``MemoryManager`` reproduces exactly that behaviour:
+
+* cached blocks are charged at ``raw bytes x java_expansion`` and evicted
+  LRU when space is needed (dropping a block is safe — lineage recomputes);
+* *transient* charges (shuffle buckets, sort materialization) cannot be
+  evicted; if they do not fit, the job dies with
+  :class:`~repro.common.errors.OutOfMemoryError`, like the JVM.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Sequence
+
+from repro.common.errors import OutOfMemoryError, ReproError
+from repro.common.kv import record_size
+
+#: Deserialized Java object overhead relative to serialized bytes.
+DEFAULT_JAVA_EXPANSION = 4.0
+
+
+def estimate_bytes(records: Sequence[Any], java_expansion: float = DEFAULT_JAVA_EXPANSION) -> int:
+    """Heap footprint estimate for a list of records (KV pairs or values)."""
+    total = 0
+    for record in records:
+        if isinstance(record, tuple) and len(record) == 2:
+            total += record_size(record[0], record[1])
+        else:
+            total += record_size(record, None)
+    return int(total * java_expansion)
+
+
+class MemoryManager:
+    """Tracks executor heap use: cached blocks (evictable) + transient charges."""
+
+    def __init__(self, capacity: int, java_expansion: float = DEFAULT_JAVA_EXPANSION):
+        if capacity < 1:
+            raise ReproError(f"memory capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.java_expansion = java_expansion
+        self._blocks: OrderedDict[str, tuple[list[Any], int]] = OrderedDict()
+        self.cached_bytes = 0
+        self.transient_bytes = 0
+        self.evictions = 0
+        self.peak_bytes = 0
+
+    # -- accounting -----------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self.cached_bytes + self.transient_bytes
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.used
+
+    def _note_peak(self) -> None:
+        self.peak_bytes = max(self.peak_bytes, self.used)
+
+    # -- cached blocks (evictable, lineage can rebuild them) -------------------
+
+    def store_block(self, block_id: str, records: list[Any]) -> bool:
+        """Cache a computed partition; returns False if it cannot fit even
+        after evicting every other block (Spark drops it, keeps running)."""
+        nbytes = estimate_bytes(records, self.java_expansion)
+        if nbytes > self.capacity - self.transient_bytes:
+            return False
+        self._evict_until(nbytes, exclude=block_id)
+        if nbytes > self.available:
+            return False
+        self._blocks[block_id] = (records, nbytes)
+        self._blocks.move_to_end(block_id)
+        self.cached_bytes += nbytes
+        self._note_peak()
+        return True
+
+    def get_block(self, block_id: str) -> list[Any] | None:
+        entry = self._blocks.get(block_id)
+        if entry is None:
+            return None
+        self._blocks.move_to_end(block_id)  # LRU touch
+        return entry[0]
+
+    def drop_block(self, block_id: str) -> bool:
+        """Drop a cached block (models executor loss for lineage tests)."""
+        entry = self._blocks.pop(block_id, None)
+        if entry is None:
+            return False
+        self.cached_bytes -= entry[1]
+        return True
+
+    def _evict_until(self, needed: int, exclude: str) -> None:
+        while self.available < needed and self._blocks:
+            victim = next((bid for bid in self._blocks if bid != exclude), None)
+            if victim is None:
+                return
+            _, nbytes = self._blocks.pop(victim)
+            self.cached_bytes -= nbytes
+            self.evictions += 1
+
+    @property
+    def block_ids(self) -> list[str]:
+        return list(self._blocks)
+
+    # -- transient charges (shuffle buckets, sorts): the OOM path --------------
+
+    def charge(self, nbytes: int, purpose: str = "shuffle") -> None:
+        """Reserve un-evictable heap; raises OutOfMemoryError if impossible."""
+        if nbytes < 0:
+            raise ReproError(f"negative charge {nbytes}")
+        self._evict_until(nbytes, exclude="")
+        if nbytes > self.available:
+            raise OutOfMemoryError(
+                f"java.lang.OutOfMemoryError: {purpose} needs {nbytes} bytes, "
+                f"only {self.available} free of {self.capacity}",
+                required=nbytes,
+                available=self.available,
+            )
+        self.transient_bytes += nbytes
+        self._note_peak()
+
+    def release(self, nbytes: int) -> None:
+        if nbytes > self.transient_bytes:
+            raise ReproError(
+                f"releasing {nbytes} transient bytes but only "
+                f"{self.transient_bytes} charged"
+            )
+        self.transient_bytes -= nbytes

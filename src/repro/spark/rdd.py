@@ -1,0 +1,352 @@
+"""Functional Spark 0.8 engine: RDDs, lineage, lazy transformations.
+
+Baseline 2 of the paper.  The engine implements the RDD abstraction of
+the Zaharia et al. NSDI'12 paper, which Section 2.2 summarizes: lazy
+coarse-grained transformations, lineage-based recovery, in-memory
+caching.  Narrow transformations chain iterators; wide transformations
+(``reduce_by_key``, ``group_by_key``, ``sort_by_key``) materialize a
+hash- or range-partitioned shuffle whose buckets are charged against the
+executor :class:`~repro.spark.memory.MemoryManager` — the code path that
+dies with OutOfMemoryError on the paper's Sort workloads.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.common.errors import ReproError
+from repro.common.rng import substream
+from repro.datampi.partition import RangePartitioner, hash_partitioner
+from repro.spark.memory import DEFAULT_JAVA_EXPANSION, MemoryManager, estimate_bytes
+
+
+class SparkContext:
+    """Driver context: entry point for creating RDDs.
+
+    ``memory_capacity`` models one executor heap's storage+shuffle budget;
+    keep it small in tests to exercise eviction and OOM behaviour.
+    """
+
+    def __init__(
+        self,
+        default_parallelism: int = 4,
+        memory_capacity: int = 512 * 1024 * 1024,
+        java_expansion: float = DEFAULT_JAVA_EXPANSION,
+    ):
+        if default_parallelism < 1:
+            raise ReproError("default_parallelism must be >= 1")
+        self.default_parallelism = default_parallelism
+        self.memory = MemoryManager(memory_capacity, java_expansion)
+        self._next_rdd_id = itertools.count()
+
+    def new_rdd_id(self) -> int:
+        return next(self._next_rdd_id)
+
+    def parallelize(self, data: Iterable[Any], num_partitions: int | None = None) -> "RDD":
+        items = list(data)
+        n = num_partitions or self.default_parallelism
+        if n < 1:
+            raise ReproError("num_partitions must be >= 1")
+        slices = [items[i::n] for i in range(n)]
+        return ParallelCollectionRDD(self, slices)
+
+    def text_file(self, lines: Iterable[str], num_partitions: int | None = None) -> "RDD":
+        """RDD of text lines (the moral equivalent of ``sc.textFile``)."""
+        return self.parallelize(lines, num_partitions)
+
+
+class Dependency:
+    """Edge in the lineage graph."""
+
+    def __init__(self, parent: "RDD"):
+        self.parent = parent
+
+
+class NarrowDependency(Dependency):
+    """Each child partition depends on one parent partition."""
+
+
+class ShuffleDependency(Dependency):
+    """Each child partition depends on all parent partitions."""
+
+
+class RDD:
+    """An immutable, lazily evaluated, partitioned collection."""
+
+    def __init__(self, ctx: SparkContext, num_partitions: int, deps: list[Dependency],
+                 name: str = "rdd"):
+        self.ctx = ctx
+        self.rdd_id = ctx.new_rdd_id()
+        self.num_partitions = num_partitions
+        self.deps = deps
+        self.name = name
+        self._cached = False
+
+    # -- to be overridden -------------------------------------------------------
+
+    def compute(self, index: int) -> Iterator[Any]:
+        raise NotImplementedError
+
+    # -- caching / iteration ------------------------------------------------------
+
+    def cache(self) -> "RDD":
+        """Mark for in-memory caching on first computation."""
+        self._cached = True
+        return self
+
+    def unpersist(self) -> "RDD":
+        self._cached = False
+        for index in range(self.num_partitions):
+            self.ctx.memory.drop_block(self._block_id(index))
+        return self
+
+    def _block_id(self, index: int) -> str:
+        return f"rdd_{self.rdd_id}_{index}"
+
+    def iterator(self, index: int) -> Iterator[Any]:
+        """Partition iterator honouring the cache (and repopulating it)."""
+        if self._cached:
+            block = self.ctx.memory.get_block(self._block_id(index))
+            if block is not None:
+                return iter(block)
+            records = list(self.compute(index))
+            self.ctx.memory.store_block(self._block_id(index), records)
+            return iter(records)
+        return self.compute(index)
+
+    # -- narrow transformations ---------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        return MappedRDD(self, lambda it: map(fn, it), f"{self.name}.map")
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        return MappedRDD(
+            self, lambda it: itertools.chain.from_iterable(map(fn, it)),
+            f"{self.name}.flatMap",
+        )
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        return MappedRDD(self, lambda it: filter(predicate, it), f"{self.name}.filter")
+
+    def map_partitions(self, fn: Callable[[Iterator[Any]], Iterable[Any]]) -> "RDD":
+        return MappedRDD(self, fn, f"{self.name}.mapPartitions")
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "RDD":
+        return MappedRDD(
+            self, lambda it: ((key, fn(value)) for key, value in it),
+            f"{self.name}.mapValues",
+        )
+
+    def keys(self) -> "RDD":
+        return MappedRDD(self, lambda it: (key for key, _ in it), f"{self.name}.keys")
+
+    def values(self) -> "RDD":
+        return MappedRDD(self, lambda it: (value for _, value in it), f"{self.name}.values")
+
+    def union(self, other: "RDD") -> "RDD":
+        return UnionRDD(self, other)
+
+    def sample(self, fraction: float, seed: int = 0) -> "RDD":
+        if not 0.0 <= fraction <= 1.0:
+            raise ReproError(f"sample fraction must be in [0,1], got {fraction}")
+
+        def sampler(split_iter: Iterator[Any]) -> Iterator[Any]:
+            rng = substream(seed, "sample", self.rdd_id)
+            return (item for item in split_iter if rng.random() < fraction)
+
+        return MappedRDD(self, sampler, f"{self.name}.sample")
+
+    # -- wide transformations -------------------------------------------------------
+
+    def reduce_by_key(self, fn: Callable[[Any, Any], Any],
+                      num_partitions: int | None = None) -> "RDD":
+        """Combine values per key (map-side combine, then shuffle)."""
+        return ShuffledRDD(
+            self, num_partitions or self.num_partitions,
+            combine=fn, name=f"{self.name}.reduceByKey",
+        )
+
+    def group_by_key(self, num_partitions: int | None = None) -> "RDD":
+        return ShuffledRDD(
+            self, num_partitions or self.num_partitions,
+            combine=None, name=f"{self.name}.groupByKey",
+        )
+
+    def sort_by_key(self, num_partitions: int | None = None, sample_size: int = 1000) -> "RDD":
+        """Range-partition by key and sort each partition (TeraSort-style)."""
+        n = num_partitions or self.num_partitions
+        sample = self._sample_keys(sample_size)
+        partitioner = RangePartitioner(sample, n) if sample else None
+        return ShuffledRDD(
+            self, n, combine=None, partitioner=partitioner, sort=True,
+            name=f"{self.name}.sortByKey",
+        )
+
+    def distinct(self, num_partitions: int | None = None) -> "RDD":
+        deduped = ShuffledRDD(
+            self.map(lambda item: (item, None)),
+            num_partitions or self.num_partitions,
+            combine=lambda a, b: a, name=f"{self.name}.distinct",
+        )
+        return deduped.keys()
+
+    def _sample_keys(self, sample_size: int) -> list[Any]:
+        """Sample keys for the range partitioner (driver-side pass)."""
+        sample: list[Any] = []
+        per_partition = max(1, sample_size // max(1, self.num_partitions))
+        for index in range(self.num_partitions):
+            for key, _value in itertools.islice(self.iterator(index), per_partition):
+                sample.append(key)
+        return sample
+
+    # -- actions ------------------------------------------------------------------
+
+    def collect(self) -> list[Any]:
+        return [item for index in range(self.num_partitions) for item in self.iterator(index)]
+
+    def count(self) -> int:
+        return sum(1 for index in range(self.num_partitions) for _ in self.iterator(index))
+
+    def take(self, n: int) -> list[Any]:
+        taken: list[Any] = []
+        for index in range(self.num_partitions):
+            for item in self.iterator(index):
+                taken.append(item)
+                if len(taken) == n:
+                    return taken
+        return taken
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        result = None
+        first = True
+        for index in range(self.num_partitions):
+            for item in self.iterator(index):
+                result = item if first else fn(result, item)
+                first = False
+        if first:
+            raise ReproError("reduce on empty RDD")
+        return result
+
+    def count_by_key(self) -> dict[Any, int]:
+        counts: dict[Any, int] = {}
+        for key, _value in self.collect():
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- lineage ------------------------------------------------------------------
+
+    def lineage(self) -> list[str]:
+        """Names of this RDD's ancestry (debug-string equivalent)."""
+        names = [self.name]
+        for dep in self.deps:
+            names.extend(dep.parent.lineage())
+        return names
+
+
+class ParallelCollectionRDD(RDD):
+    """Leaf RDD over driver-provided data."""
+
+    def __init__(self, ctx: SparkContext, slices: list[list[Any]]):
+        super().__init__(ctx, len(slices), [], "parallelize")
+        self._slices = slices
+
+    def compute(self, index: int) -> Iterator[Any]:
+        return iter(self._slices[index])
+
+
+class MappedRDD(RDD):
+    """Narrow transformation applying an iterator function per partition."""
+
+    def __init__(self, parent: RDD, fn: Callable[[Iterator[Any]], Iterable[Any]], name: str):
+        super().__init__(parent.ctx, parent.num_partitions, [NarrowDependency(parent)], name)
+        self._parent = parent
+        self._fn = fn
+
+    def compute(self, index: int) -> Iterator[Any]:
+        return iter(self._fn(self._parent.iterator(index)))
+
+
+class UnionRDD(RDD):
+    """Concatenation of two RDDs' partitions (narrow)."""
+
+    def __init__(self, left: RDD, right: RDD):
+        super().__init__(
+            left.ctx, left.num_partitions + right.num_partitions,
+            [NarrowDependency(left), NarrowDependency(right)], "union",
+        )
+        self._left = left
+        self._right = right
+
+    def compute(self, index: int) -> Iterator[Any]:
+        if index < self._left.num_partitions:
+            return self._left.iterator(index)
+        return self._right.iterator(index - self._left.num_partitions)
+
+
+class ShuffledRDD(RDD):
+    """Wide transformation: hash/range partitioned shuffle.
+
+    The shuffle materializes every output bucket in executor memory
+    (charged against the :class:`MemoryManager`) the first time any output
+    partition is computed — Spark 0.8's all-at-once shuffle write.  This
+    is the OutOfMemoryError code path.
+    """
+
+    def __init__(self, parent: RDD, num_partitions: int, *,
+                 combine: Callable[[Any, Any], Any] | None,
+                 partitioner=None, sort: bool = False, name: str = "shuffle"):
+        super().__init__(parent.ctx, num_partitions, [ShuffleDependency(parent)], name)
+        self._parent = parent
+        self._combine = combine
+        self._partitioner = partitioner or hash_partitioner
+        self._sort = sort
+        self._buckets: list[list[tuple[Any, Any]]] | None = None
+        self._charged = 0
+
+    def _materialize(self) -> list[list[tuple[Any, Any]]]:
+        if self._buckets is not None:
+            return self._buckets
+        buckets: list[dict[Any, Any]] | list[list[tuple[Any, Any]]]
+        if self._combine is not None:
+            tables: list[dict[Any, Any]] = [{} for _ in range(self.num_partitions)]
+            for index in range(self._parent.num_partitions):
+                for key, value in self._parent.iterator(index):
+                    table = tables[self._partitioner(key, self.num_partitions)]
+                    if key in table:
+                        table[key] = self._combine(table[key], value)
+                    else:
+                        table[key] = value
+            self._buckets = [list(table.items()) for table in tables]
+        else:
+            lists: list[list[tuple[Any, Any]]] = [[] for _ in range(self.num_partitions)]
+            for index in range(self._parent.num_partitions):
+                for key, value in self._parent.iterator(index):
+                    lists[self._partitioner(key, self.num_partitions)].append((key, value))
+            self._buckets = lists
+        # Charge the whole shuffle footprint (un-evictable): the OOM path.
+        self._charged = sum(
+            estimate_bytes(bucket, self.ctx.memory.java_expansion)
+            for bucket in self._buckets
+        )
+        self.ctx.memory.charge(self._charged, purpose=f"{self.name} shuffle")
+        return self._buckets
+
+    def free_shuffle(self) -> None:
+        """Release materialized shuffle buckets (e.g. after an action)."""
+        if self._buckets is not None:
+            self.ctx.memory.release(self._charged)
+            self._buckets = None
+            self._charged = 0
+
+    def compute(self, index: int) -> Iterator[Any]:
+        bucket = self._materialize()[index]
+        if self._sort:
+            return iter(sorted(bucket, key=lambda kv: kv[0]))
+        if self._combine is not None:
+            return iter(bucket)
+        # group_by_key semantics: (key, [values])
+        groups: dict[Any, list[Any]] = {}
+        for key, value in bucket:
+            groups.setdefault(key, []).append(value)
+        return iter(list(groups.items()))

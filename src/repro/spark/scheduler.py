@@ -1,0 +1,65 @@
+"""DAG analysis: split an RDD's lineage into stages at shuffle boundaries.
+
+Spark's DAG scheduler pipelines narrow transformations into one stage and
+cuts a new stage at every :class:`~repro.spark.rdd.ShuffleDependency`.
+The paper's Section 4.4 refers to "Stage 0 of Spark" for Text Sort — the
+load-and-create-RDD stage before the sort shuffle; this module lets the
+tests and the performance models reason about that structure explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.spark.rdd import RDD, ShuffleDependency
+
+
+@dataclass
+class Stage:
+    """One pipelined stage: a set of RDDs ending at ``terminal``."""
+
+    stage_id: int
+    terminal: RDD
+    rdd_names: list[str] = field(default_factory=list)
+    parent_stage_ids: list[int] = field(default_factory=list)
+
+
+def build_stages(rdd: RDD) -> list[Stage]:
+    """Stages for the job ending at ``rdd``, in execution order.
+
+    Stage ids follow execution order (Stage 0 runs first), matching how
+    the Spark UI numbers them for a linear job.
+    """
+    stages: list[Stage] = []
+    visited: dict[int, int] = {}  # terminal rdd id -> stage id
+
+    def visit(terminal: RDD) -> int:
+        if terminal.rdd_id in visited:
+            return visited[terminal.rdd_id]
+        parent_ids: list[int] = []
+        names: list[str] = []
+        frontier = [terminal]
+        while frontier:
+            current = frontier.pop()
+            names.append(current.name)
+            for dep in current.deps:
+                if isinstance(dep, ShuffleDependency):
+                    parent_ids.append(visit(dep.parent))
+                else:
+                    frontier.append(dep.parent)
+        stage = Stage(
+            stage_id=len(stages),
+            terminal=terminal,
+            rdd_names=list(reversed(names)),
+            parent_stage_ids=sorted(parent_ids),
+        )
+        stages.append(stage)
+        visited[terminal.rdd_id] = stage.stage_id
+        return stage.stage_id
+
+    visit(rdd)
+    return stages
+
+
+def num_stages(rdd: RDD) -> int:
+    return len(build_stages(rdd))

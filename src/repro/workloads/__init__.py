@@ -1,0 +1,75 @@
+"""The five BigDataBench workloads (Table 1) on the three engines."""
+
+from repro.workloads.base import ENGINES, check_engine, split_round_robin
+from repro.workloads.grep import (
+    grep_datampi,
+    grep_hadoop,
+    grep_reference,
+    grep_spark,
+    run_grep,
+)
+from repro.workloads.kmeans import (
+    DEFAULT_EPSILON,
+    KMeansResult,
+    initial_centroids,
+    kmeans_reference,
+    run_kmeans,
+)
+from repro.workloads.naivebayes import (
+    LabeledDocument,
+    NaiveBayesModel,
+    generate_labeled_documents,
+    run_naive_bayes,
+    train_datampi,
+    train_hadoop,
+    train_reference,
+)
+from repro.workloads.sort import (
+    run_normal_sort,
+    run_text_sort,
+    sort_reference,
+    text_sort_datampi,
+    text_sort_hadoop,
+    text_sort_spark,
+)
+from repro.workloads.wordcount import (
+    run_wordcount,
+    wordcount_datampi,
+    wordcount_hadoop,
+    wordcount_reference,
+    wordcount_spark,
+)
+
+__all__ = [
+    "ENGINES",
+    "check_engine",
+    "split_round_robin",
+    "grep_datampi",
+    "grep_hadoop",
+    "grep_reference",
+    "grep_spark",
+    "run_grep",
+    "DEFAULT_EPSILON",
+    "KMeansResult",
+    "initial_centroids",
+    "kmeans_reference",
+    "run_kmeans",
+    "LabeledDocument",
+    "NaiveBayesModel",
+    "generate_labeled_documents",
+    "run_naive_bayes",
+    "train_datampi",
+    "train_hadoop",
+    "train_reference",
+    "run_normal_sort",
+    "run_text_sort",
+    "sort_reference",
+    "text_sort_datampi",
+    "text_sort_hadoop",
+    "text_sort_spark",
+    "run_wordcount",
+    "wordcount_datampi",
+    "wordcount_hadoop",
+    "wordcount_reference",
+    "wordcount_spark",
+]

@@ -1,0 +1,89 @@
+"""Grep on all three engines.
+
+"Grep searches strings conforming to a certain pattern in the input
+documents and counts the number of the occurrence of the matched
+strings" (Section 3.1).  Output is ``{matched string: occurrences}`` —
+the per-matched-string counting Hadoop's grep example produces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+from repro.datampi import DataMPIConf, DataMPIJob
+from repro.hadoop import HadoopConf, MapReduceJob
+from repro.spark import SparkContext
+from repro.workloads.base import check_engine, split_round_robin
+
+
+def grep_reference(lines: Sequence[str], pattern: str) -> dict[str, int]:
+    compiled = re.compile(pattern)
+    counts: dict[str, int] = {}
+    for line in lines:
+        for match in compiled.findall(line):
+            counts[match] = counts.get(match, 0) + 1
+    return counts
+
+
+def grep_hadoop(lines: Sequence[str], pattern: str, parallelism: int = 4) -> dict[str, int]:
+    compiled = re.compile(pattern)
+
+    def mapper(_offset, line):
+        for match in compiled.findall(line):
+            yield match, 1
+
+    def reducer(match, counts):
+        yield match, sum(counts)
+
+    job = MapReduceJob(
+        mapper, reducer,
+        HadoopConf(num_reduces=parallelism, combiner=lambda m, cs: sum(cs),
+                   job_name="grep"),
+    )
+    result = job.run(split_round_robin(list(enumerate(lines)), parallelism))
+    return {kv.key: kv.value for kv in result.merged_outputs()}
+
+
+def grep_spark(lines: Sequence[str], pattern: str, parallelism: int = 4,
+               ctx: SparkContext | None = None) -> dict[str, int]:
+    ctx = ctx or SparkContext(default_parallelism=parallelism)
+    compiled = re.compile(pattern)
+    counts = (
+        ctx.text_file(lines, parallelism)
+        .flat_map(compiled.findall)
+        .map(lambda match: (match, 1))
+        .reduce_by_key(lambda a, b: a + b, parallelism)
+    )
+    return dict(counts.collect())
+
+
+def grep_datampi(lines: Sequence[str], pattern: str, parallelism: int = 4) -> dict[str, int]:
+    compiled = re.compile(pattern)
+
+    def o_task(ctx, split):
+        for line in split:
+            for match in compiled.findall(line):
+                ctx.send(match, 1)
+
+    def a_task(ctx):
+        return [(match, sum(values)) for match, values in ctx.grouped()]
+
+    job = DataMPIJob(
+        o_task, a_task,
+        DataMPIConf(num_o=parallelism, num_a=parallelism,
+                    combiner=lambda m, vs: sum(vs), job_name="grep"),
+    )
+    result = job.run(split_round_robin(list(lines), parallelism))
+    return dict(result.merged_outputs())
+
+
+def run_grep(engine: str, lines: Sequence[str], pattern: str,
+             parallelism: int = 4) -> dict[str, int]:
+    """Dispatch Grep to one of the three engines."""
+    check_engine(engine)
+    if engine == "hadoop":
+        return grep_hadoop(lines, pattern, parallelism)
+    if engine == "spark":
+        return grep_spark(lines, pattern, parallelism)
+    return grep_datampi(lines, pattern, parallelism)

@@ -1,0 +1,212 @@
+"""K-means on all three engines (Mahout's iterative MapReduce structure).
+
+Section 4.6: "Each iterative execution in Mahout is a MapReduce job.  In
+one job, Map tasks read the initial or previous cluster centroids from
+HDFS, afterwards, assign the input vectors to appropriate clusters
+according to the distance calculation and train the new centroids
+independently. ... Reduce tasks receive and update the centroids for
+next iteration."  The paper also notes "most of K-means calculation
+happens in Map phase, and few intermediate data is generated" — with a
+combiner, each map task emits at most ``k`` partial sums.
+
+All three engines run the same assignment/update math, so they converge
+to identical centroids from identical seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bigdatabench.vectors import SparseVector, mean_vector
+from repro.common.errors import WorkloadError
+from repro.common.rng import substream
+from repro.datampi import DataMPIConf, DataMPIJob
+from repro.hadoop import HadoopConf, MapReduceJob
+from repro.spark import SparkContext
+from repro.workloads.base import check_engine, split_round_robin
+
+#: Convergence threshold on centroid movement (Mahout's default-ish).
+DEFAULT_EPSILON = 1e-3
+
+
+@dataclass
+class KMeansResult:
+    """Final clustering state."""
+
+    centroids: list[SparseVector]
+    iterations: int
+    converged: bool
+
+    def assign(self, vector: SparseVector) -> int:
+        """Nearest-centroid assignment for one vector."""
+        return min(
+            range(len(self.centroids)),
+            key=lambda index: vector.squared_distance(self.centroids[index]),
+        )
+
+
+def initial_centroids(vectors: Sequence[SparseVector], k: int, seed: int = 0) -> list[SparseVector]:
+    """Sample k distinct starting centroids (Mahout's random seeding)."""
+    if k < 1:
+        raise WorkloadError(f"k must be >= 1, got {k}")
+    if len(vectors) < k:
+        raise WorkloadError(f"need >= {k} vectors, got {len(vectors)}")
+    rng = substream(seed, "kmeans-init")
+    return [SparseVector(dict(v.weights)) for v in rng.sample(list(vectors), k)]
+
+
+def _nearest(vector: SparseVector, centroids: Sequence[SparseVector]) -> int:
+    return min(
+        range(len(centroids)),
+        key=lambda index: vector.squared_distance(centroids[index]),
+    )
+
+
+def _max_shift(old: Sequence[SparseVector], new: Sequence[SparseVector]) -> float:
+    return max(
+        math.sqrt(o.squared_distance(n)) for o, n in zip(old, new)
+    )
+
+
+def _merge_partials(a: tuple[dict, int], b: tuple[dict, int]) -> tuple[dict, int]:
+    """Merge two (weight-sum dict, count) partial aggregates."""
+    weights = dict(a[0])
+    for dim, weight in b[0].items():
+        weights[dim] = weights.get(dim, 0.0) + weight
+    return weights, a[1] + b[1]
+
+
+def _centroid_of(partial: tuple[dict, int]) -> SparseVector:
+    weights, count = partial
+    if count == 0:
+        raise WorkloadError("empty cluster partial")
+    return SparseVector({dim: w / count for dim, w in weights.items()})
+
+
+def kmeans_reference(
+    vectors: Sequence[SparseVector], k: int, max_iterations: int = 10,
+    epsilon: float = DEFAULT_EPSILON, seed: int = 0,
+) -> KMeansResult:
+    """Single-threaded reference implementation."""
+    centroids = initial_centroids(vectors, k, seed)
+    for iteration in range(1, max_iterations + 1):
+        buckets: dict[int, list[SparseVector]] = {}
+        for vector in vectors:
+            buckets.setdefault(_nearest(vector, centroids), []).append(vector)
+        updated = [
+            mean_vector(buckets[index]) if index in buckets else centroids[index]
+            for index in range(k)
+        ]
+        shift = _max_shift(centroids, updated)
+        centroids = updated
+        if shift < epsilon:
+            return KMeansResult(centroids, iteration, True)
+    return KMeansResult(centroids, max_iterations, False)
+
+
+def _iterate_engine(engine: str, vectors, k, max_iterations, epsilon, seed, parallelism):
+    """Shared iteration driver; ``one_round`` differs per engine."""
+    centroids = initial_centroids(vectors, k, seed)
+    spark_ctx: SparkContext | None = None
+    cached_rdd = None
+    if engine == "spark":
+        spark_ctx = SparkContext(default_parallelism=parallelism,
+                                 memory_capacity=1 << 30)
+        cached_rdd = spark_ctx.parallelize(
+            [(index, vector) for index, vector in enumerate(vectors)], parallelism
+        ).cache()
+
+    for iteration in range(1, max_iterations + 1):
+        if engine == "hadoop":
+            partials = _round_hadoop(vectors, centroids, parallelism)
+        elif engine == "spark":
+            partials = _round_spark(cached_rdd, centroids, parallelism)
+        else:
+            partials = _round_datampi(vectors, centroids, parallelism)
+        updated = [
+            _centroid_of(partials[index]) if index in partials else centroids[index]
+            for index in range(k)
+        ]
+        shift = _max_shift(centroids, updated)
+        centroids = updated
+        if shift < epsilon:
+            return KMeansResult(centroids, iteration, True)
+    return KMeansResult(centroids, max_iterations, False)
+
+
+def _round_hadoop(vectors, centroids, parallelism) -> dict[int, tuple[dict, int]]:
+    def mapper(_index, vector):
+        cluster = _nearest(vector, centroids)
+        yield cluster, (dict(vector.weights), 1)
+
+    def reducer(cluster, partials):
+        merged = partials[0]
+        for partial in partials[1:]:
+            merged = _merge_partials(merged, partial)
+        yield cluster, merged
+
+    job = MapReduceJob(
+        mapper, reducer,
+        HadoopConf(
+            num_reduces=parallelism,
+            combiner=lambda cluster, partials: _reduce_partial_list(partials),
+            job_name="kmeans-iteration",
+        ),
+    )
+    splits = split_round_robin(list(enumerate(vectors)), parallelism)
+    result = job.run(splits)
+    return {kv.key: kv.value for kv in result.merged_outputs()}
+
+
+def _reduce_partial_list(partials: list[tuple[dict, int]]) -> tuple[dict, int]:
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = _merge_partials(merged, partial)
+    return merged
+
+
+def _round_spark(cached_rdd, centroids, parallelism) -> dict[int, tuple[dict, int]]:
+    assignments = cached_rdd.map(
+        lambda pair: (_nearest(pair[1], centroids), (dict(pair[1].weights), 1))
+    )
+    reduced = assignments.reduce_by_key(_merge_partials, parallelism)
+    return dict(reduced.collect())
+
+
+def _round_datampi(vectors, centroids, parallelism) -> dict[int, tuple[dict, int]]:
+    def o_task(ctx, split):
+        for vector in split:
+            ctx.send(_nearest(vector, centroids), (dict(vector.weights), 1))
+
+    def a_task(ctx):
+        return [
+            (cluster, _reduce_partial_list(values))
+            for cluster, values in ctx.grouped()
+        ]
+
+    job = DataMPIJob(
+        o_task, a_task,
+        DataMPIConf(num_o=parallelism, num_a=parallelism,
+                    combiner=lambda cluster, values: _reduce_partial_list(values),
+                    job_name="kmeans-iteration"),
+    )
+    result = job.run(split_round_robin(list(vectors), parallelism))
+    return dict(result.merged_outputs())
+
+
+def run_kmeans(
+    engine: str,
+    vectors: Sequence[SparseVector],
+    k: int,
+    max_iterations: int = 10,
+    epsilon: float = DEFAULT_EPSILON,
+    seed: int = 0,
+    parallelism: int = 4,
+) -> KMeansResult:
+    """Run Mahout-style iterative K-means on one of the three engines."""
+    check_engine(engine)
+    if max_iterations < 1:
+        raise WorkloadError("max_iterations must be >= 1")
+    return _iterate_engine(engine, vectors, k, max_iterations, epsilon, seed, parallelism)

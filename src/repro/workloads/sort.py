@@ -1,0 +1,104 @@
+"""Sort on all three engines — Text Sort and Normal Sort variants.
+
+"Sort sorts the records of input files based on the value of keys.  We
+use two input data sets ... Normal Sort with compressed sequence input
+data, the other is Text Sort with uncompressed text input data"
+(Section 3.1).  Text Sort keys are the text lines themselves; Normal
+Sort first decompresses ToSeqFile output (key = value = line).  All
+implementations are *total-order* sorts: a range partitioner routes keys
+so that concatenating the output partitions in order yields the globally
+sorted data.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bigdatabench.toseqfile import SequenceFile
+from repro.common.errors import WorkloadError
+from repro.common.rng import substream
+from repro.datampi import DataMPIConf, DataMPIJob, RangePartitioner
+from repro.hadoop import HadoopConf, MapReduceJob
+from repro.spark import SparkContext
+from repro.workloads.base import check_engine, split_round_robin
+
+
+def sort_reference(lines: Sequence[str]) -> list[str]:
+    return sorted(lines)
+
+
+def _sample_keys(lines: Sequence[str], sample_size: int = 256, seed: int = 0) -> list[str]:
+    """Key sample for the range partitioner (TotalOrderPartitioner's
+    input sampler)."""
+    if not lines:
+        raise WorkloadError("cannot sort empty input")
+    if len(lines) <= sample_size:
+        return list(lines)
+    rng = substream(seed, "sort-sample")
+    return rng.sample(list(lines), sample_size)
+
+
+def text_sort_hadoop(lines: Sequence[str], parallelism: int = 4) -> list[str]:
+    partitioner = RangePartitioner(_sample_keys(lines), parallelism)
+
+    def mapper(_offset, line):
+        yield line, None
+
+    def reducer(line, values):
+        for _ in values:
+            yield line, None
+
+    job = MapReduceJob(
+        mapper, reducer,
+        HadoopConf(num_reduces=parallelism, partitioner=partitioner, job_name="sort"),
+    )
+    result = job.run(split_round_robin(list(enumerate(lines)), parallelism))
+    return [kv.key for kv in result.merged_outputs()]
+
+
+def text_sort_spark(lines: Sequence[str], parallelism: int = 4,
+                    ctx: SparkContext | None = None) -> list[str]:
+    ctx = ctx or SparkContext(default_parallelism=parallelism)
+    pairs = ctx.text_file(lines, parallelism).map(lambda line: (line, None))
+    return [key for key, _ in pairs.sort_by_key(parallelism).collect()]
+
+
+def text_sort_datampi(lines: Sequence[str], parallelism: int = 4) -> list[str]:
+    partitioner = RangePartitioner(_sample_keys(lines), parallelism)
+
+    def o_task(ctx, split):
+        for line in split:
+            ctx.send(line, None)
+
+    def a_task(ctx):
+        return [kv.key for kv in ctx]
+
+    job = DataMPIJob(
+        o_task, a_task,
+        DataMPIConf(num_o=parallelism, num_a=parallelism,
+                    partitioner=partitioner, job_name="text-sort"),
+    )
+    result = job.run(split_round_robin(list(lines), parallelism))
+    return [line for output in result.outputs for line in output]
+
+
+def run_text_sort(engine: str, lines: Sequence[str], parallelism: int = 4) -> list[str]:
+    """Dispatch Text Sort to one of the three engines."""
+    check_engine(engine)
+    if engine == "hadoop":
+        return text_sort_hadoop(lines, parallelism)
+    if engine == "spark":
+        return text_sort_spark(lines, parallelism)
+    return text_sort_datampi(lines, parallelism)
+
+
+def run_normal_sort(engine: str, seqfile: SequenceFile, parallelism: int = 4) -> list[str]:
+    """Normal Sort: decompress the sequence file, then sort by key.
+
+    The paper's Spark baseline cannot run this workload at cluster scale
+    (OutOfMemoryError); the functional engine can at test scale — the OOM
+    behaviour at the paper's sizes lives in the performance model.
+    """
+    check_engine(engine)
+    lines = [key for key, _value in seqfile.records()]
+    return run_text_sort(engine, lines, parallelism)

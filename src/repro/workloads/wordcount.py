@@ -1,0 +1,86 @@
+"""WordCount on all three engines.
+
+"WordCount counts the number of each word occurrences in a collection of
+documents" (Section 3.1).  All three implementations use a combiner /
+map-side combine — the configuration BigDataBench ships — which is why
+the paper sees tiny intermediate data for this workload (Section 4.4:
+"the word dictionary of the input files is small and few intermediate
+data is generated").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datampi import DataMPIConf, DataMPIJob
+from repro.hadoop import HadoopConf, MapReduceJob
+from repro.spark import SparkContext
+from repro.workloads.base import check_engine, split_round_robin
+
+
+def wordcount_reference(lines: Sequence[str]) -> dict[str, int]:
+    """Plain-Python reference against which every engine is verified."""
+    counts: dict[str, int] = {}
+    for line in lines:
+        for word in line.split():
+            counts[word] = counts.get(word, 0) + 1
+    return counts
+
+
+def wordcount_hadoop(lines: Sequence[str], parallelism: int = 4) -> dict[str, int]:
+    def mapper(_offset, line):
+        for word in line.split():
+            yield word, 1
+
+    def reducer(word, counts):
+        yield word, sum(counts)
+
+    job = MapReduceJob(
+        mapper, reducer,
+        HadoopConf(num_reduces=parallelism, combiner=lambda word, counts: sum(counts),
+                   job_name="wordcount"),
+    )
+    splits = split_round_robin(list(enumerate(lines)), parallelism)
+    result = job.run(splits)
+    return {kv.key: kv.value for kv in result.merged_outputs()}
+
+
+def wordcount_spark(lines: Sequence[str], parallelism: int = 4,
+                    ctx: SparkContext | None = None) -> dict[str, int]:
+    ctx = ctx or SparkContext(default_parallelism=parallelism)
+    counts = (
+        ctx.text_file(lines, parallelism)
+        .flat_map(str.split)
+        .map(lambda word: (word, 1))
+        .reduce_by_key(lambda a, b: a + b, parallelism)
+    )
+    return dict(counts.collect())
+
+
+def wordcount_datampi(lines: Sequence[str], parallelism: int = 4) -> dict[str, int]:
+    def o_task(ctx, split):
+        for line in split:
+            for word in line.split():
+                ctx.send(word, 1)
+
+    def a_task(ctx):
+        return [(word, sum(values)) for word, values in ctx.grouped()]
+
+    job = DataMPIJob(
+        o_task, a_task,
+        DataMPIConf(num_o=parallelism, num_a=parallelism,
+                    combiner=lambda word, values: sum(values),
+                    job_name="wordcount"),
+    )
+    result = job.run(split_round_robin(list(lines), parallelism))
+    return dict(result.merged_outputs())
+
+
+def run_wordcount(engine: str, lines: Sequence[str], parallelism: int = 4) -> dict[str, int]:
+    """Dispatch WordCount to one of the three engines."""
+    check_engine(engine)
+    if engine == "hadoop":
+        return wordcount_hadoop(lines, parallelism)
+    if engine == "spark":
+        return wordcount_spark(lines, parallelism)
+    return wordcount_datampi(lines, parallelism)

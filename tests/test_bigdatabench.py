@@ -1,0 +1,200 @@
+"""Tests for the BigDataBench data-generation substrate."""
+
+import pytest
+
+from repro.bigdatabench import (
+    TABLE1,
+    SeedModel,
+    SparseVector,
+    TextGenerator,
+    all_amazon_models,
+    amazon_model,
+    average_line_bytes,
+    generate_kmeans_vectors,
+    lda_wiki1w,
+    load_seed_model,
+    mean_vector,
+    measure_compression_ratio,
+    table1_rows,
+    to_sequence_file,
+    vectorize,
+)
+from repro.common import WorkloadError
+from repro.common.rng import substream
+
+
+class TestSeedModels:
+    def test_wiki_model_vocabulary_size(self):
+        assert lda_wiki1w().vocabulary_size == 10_000
+
+    def test_model_is_deterministic(self):
+        a = lda_wiki1w().sample_sentence(substream(1, "x"), 20)
+        b = lda_wiki1w().sample_sentence(substream(1, "x"), 20)
+        assert a == b
+
+    def test_zipf_skew(self):
+        """The head of the distribution dominates (small effective dictionary)."""
+        model = lda_wiki1w()
+        rng = substream(2, "zipf")
+        words = [model.sample_word(rng) for _ in range(20_000)]
+        head = set(model.top_words(100))
+        head_fraction = sum(1 for word in words if word in head) / len(words)
+        assert head_fraction > 0.45
+
+    def test_amazon_models_distinct(self):
+        model1, model2 = amazon_model(1), amazon_model(2)
+        specific1 = {w for w in model1.vocabulary if w.startswith("c1")}
+        specific2 = {w for w in model2.vocabulary if w.startswith("c2")}
+        assert specific1 and specific2
+        assert not specific1 & set(model2.vocabulary)
+        assert not specific2 & set(model1.vocabulary)
+
+    def test_amazon_models_share_common_words(self):
+        shared1 = {w for w in amazon_model(1).vocabulary if not w.startswith("c")}
+        shared2 = {w for w in amazon_model(2).vocabulary if not w.startswith("c")}
+        assert shared1 == shared2
+
+    def test_amazon_index_validation(self):
+        with pytest.raises(WorkloadError):
+            amazon_model(0)
+        with pytest.raises(WorkloadError):
+            amazon_model(6)
+
+    def test_load_by_name(self):
+        assert load_seed_model("lda_wiki1w").name == "lda_wiki1w"
+        assert load_seed_model("amazon3").name == "amazon3"
+        with pytest.raises(WorkloadError):
+            load_seed_model("unknown")
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(WorkloadError):
+            SeedModel("empty", [])
+
+    def test_all_amazon_models(self):
+        models = all_amazon_models()
+        assert [m.name for m in models] == [f"amazon{i}" for i in range(1, 6)]
+
+
+class TestTextGenerator:
+    def test_line_count(self):
+        assert len(TextGenerator(seed=1).lines(50)) == 50
+
+    def test_deterministic(self):
+        assert TextGenerator(seed=3).lines(10) == TextGenerator(seed=3).lines(10)
+
+    def test_streams_independent(self):
+        generator = TextGenerator(seed=3)
+        assert generator.lines(10, stream=0) != generator.lines(10, stream=1)
+
+    def test_bytes_target_reached(self):
+        lines = TextGenerator(seed=4).lines_of_bytes(5_000)
+        total = sum(len(line.encode()) + 1 for line in lines)
+        assert total >= 5_000
+        assert total < 5_000 + 200  # stops promptly after crossing
+
+    def test_documents_shape(self):
+        docs = list(TextGenerator(seed=5).documents(4, lines_per_doc=3))
+        assert len(docs) == 4
+        assert all(len(doc) == 3 for doc in docs)
+
+    def test_word_range_validation(self):
+        with pytest.raises(WorkloadError):
+            TextGenerator(words_per_line=(0, 5))
+        with pytest.raises(WorkloadError):
+            TextGenerator(words_per_line=(5, 2))
+
+    def test_negative_counts_rejected(self):
+        generator = TextGenerator()
+        with pytest.raises(WorkloadError):
+            generator.lines(-1)
+        with pytest.raises(WorkloadError):
+            generator.lines_of_bytes(-1)
+
+    def test_average_line_bytes_sane(self):
+        avg = average_line_bytes()
+        assert 20 < avg < 150
+
+
+class TestToSeqFile:
+    def test_roundtrip(self):
+        lines = TextGenerator(seed=6).lines(30)
+        seqfile = to_sequence_file(lines)
+        records = seqfile.records()
+        assert [key for key, _ in records] == lines
+        assert all(key == value for key, value in records)
+
+    def test_compression_ratio_realistic(self):
+        """Zipf text compresses well; gzip of text is typically 2.5-5x."""
+        lines = TextGenerator(seed=7).lines(500)
+        ratio = measure_compression_ratio(lines)
+        assert 2.0 < ratio < 8.0
+
+    def test_record_count(self):
+        assert to_sequence_file(["a", "b"]).num_records == 2
+
+    def test_empty_input(self):
+        seqfile = to_sequence_file([])
+        assert seqfile.num_records == 0
+        assert seqfile.records() == []
+
+
+class TestSparseVectors:
+    def test_vectorize_normalized(self):
+        vector = vectorize("a b a c".split())
+        assert vector.norm() == pytest.approx(1.0)
+
+    def test_distance_symmetry(self):
+        a = vectorize("x y z".split())
+        b = vectorize("x q".split())
+        assert a.squared_distance(b) == pytest.approx(b.squared_distance(a))
+
+    def test_self_distance_zero(self):
+        a = vectorize("m n o".split())
+        assert a.squared_distance(a) == pytest.approx(0.0)
+
+    def test_mean_vector(self):
+        a = SparseVector({0: 2.0})
+        b = SparseVector({0: 0.0, 1: 4.0})
+        mean = mean_vector([a, b])
+        assert mean.weights[0] == pytest.approx(1.0)
+        assert mean.weights[1] == pytest.approx(2.0)
+
+    def test_mean_of_nothing_rejected(self):
+        with pytest.raises(WorkloadError):
+            mean_vector([])
+
+    def test_generated_vectors_cluster_structure(self):
+        """Same-category vectors are closer than cross-category ones."""
+        vectors, labels = generate_kmeans_vectors(50, seed=8)
+        same, cross = [], []
+        for i in range(len(vectors)):
+            for j in range(i + 1, min(i + 12, len(vectors))):
+                dist = vectors[i].squared_distance(vectors[j])
+                (same if labels[i] == labels[j] else cross).append(dist)
+        assert sum(same) / len(same) < sum(cross) / len(cross)
+
+    def test_labels_balanced(self):
+        _, labels = generate_kmeans_vectors(25, seed=9)
+        assert all(labels.count(label) == 5 for label in range(5))
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_kmeans_vectors(0)
+
+
+class TestTable1:
+    def test_five_workloads(self):
+        assert len(TABLE1) == 5
+        assert [w.name for w in TABLE1] == [
+            "Sort", "WordCount", "Grep", "Naive Bayes", "K-means",
+        ]
+
+    def test_types_match_paper(self):
+        types = {w.name: w.workload_type for w in TABLE1}
+        assert types["Sort"] == "Micro-benchmark"
+        assert types["Naive Bayes"] == "Social Network"
+        assert types["K-means"] == "E-commerce"
+
+    def test_rows_render(self):
+        rows = table1_rows()
+        assert rows[0] == ("1", "Sort", "Micro-benchmark")

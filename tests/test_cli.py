@@ -1,0 +1,70 @@
+"""Tests for the datampi-repro command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "WordCount" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        assert "Xeon" in capsys.readouterr().out
+
+    def test_run_fig5_fast(self, capsys):
+        assert main(["run", "fig5", "--executions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "datampi" in out
+
+
+class TestSimulateCommand:
+    def test_simulate_success(self, capsys):
+        code = main(["simulate", "datampi", "grep", "4GB", "--executions", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "datampi grep 4GB" in out
+        assert "o:" in out
+
+    def test_simulate_oom_reports_failure(self, capsys):
+        code = main(["simulate", "spark", "normal_sort", "8GB", "--executions", "1"])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_simulate_rejects_bad_framework(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "flink", "grep", "1GB"])
+
+
+class TestWorkloadCommand:
+    def test_wordcount(self, capsys):
+        assert main(["workload", "datampi", "wordcount", "--lines", "200"]) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_sort(self, capsys):
+        assert main(["workload", "spark", "sort", "--lines", "100"]) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_grep(self, capsys):
+        assert main(["workload", "hadoop", "grep", "--lines", "200"]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["workload", "hadoop", "join"]) == 2

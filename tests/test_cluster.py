@@ -1,0 +1,207 @@
+"""Tests for the simulated testbed (hardware, nodes, switch, aggregation)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, NodeSpec, SimCluster
+from repro.common import ConfigError
+from repro.common.units import GB, MB
+
+
+class TestNodeSpec:
+    def test_paper_thread_counts(self):
+        spec = NodeSpec()
+        assert spec.physical_cores == 8
+        assert spec.hardware_threads == 16
+
+    def test_table2_rows(self):
+        rows = dict(NodeSpec().as_table())
+        assert rows["CPU type"] == "Intel Xeon E5620"
+        assert rows["# sockets"] == "2"
+        assert rows["Memory"] == "16 GB"
+        assert rows["Disk"] == "150GB free SATA disk"
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            NodeSpec(sockets=0)
+        with pytest.raises(ConfigError):
+            NodeSpec(memory=0)
+        with pytest.raises(ConfigError):
+            NodeSpec(nic_bw=0.0)
+
+
+class TestClusterSpec:
+    def test_paper_testbed(self):
+        spec = ClusterSpec.paper_testbed()
+        assert spec.nodes == 8
+        assert spec.total_memory == 8 * 16 * GB
+        assert spec.total_hardware_threads == 128
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigError):
+            ClusterSpec(nodes=0)
+
+
+class TestSimNode:
+    def test_compute_respects_thread_cap(self):
+        cluster = SimCluster()
+        node = cluster.node(0)
+        done = []
+
+        def proc(engine):
+            yield node.compute(4.0, threads=1.0)
+            done.append(engine.now)
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        assert done == [pytest.approx(4.0)]
+
+    def test_disk_read_rate(self):
+        cluster = SimCluster()
+        node = cluster.node(0)
+        done = []
+
+        def proc(engine):
+            yield node.read(node.spec.disk_read_bw * 2)  # 2 seconds of reading
+            done.append(engine.now)
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        assert done == [pytest.approx(2.0)]
+
+    def test_memory_accounting(self):
+        cluster = SimCluster()
+        node = cluster.node(0)
+        node.allocate(4 * GB)
+        assert node.memory_used == 4 * GB
+        assert node.memory_available == 12 * GB
+        node.free(1 * GB)
+        assert node.memory_used == 3 * GB
+
+    def test_overfree_raises(self):
+        from repro.common.errors import SimulationError
+        node = SimCluster().node(0)
+        node.allocate(10)
+        with pytest.raises(SimulationError):
+            node.free(11)
+
+    def test_iowait_gauge_tracks_blocked_tasks(self):
+        cluster = SimCluster()
+        node = cluster.node(0)
+
+        def proc(engine):
+            yield node.read(node.spec.disk_read_bw)  # one second
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        series = cluster.tracer.changes("node0.iowait")
+        assert (0.0, 1.0) in series  # blocked during the read
+        assert series[-1][1] == 0.0
+
+
+class TestSwitch:
+    def test_local_transfer_is_free(self):
+        cluster = SimCluster()
+        done = []
+
+        def proc(engine):
+            yield cluster.switch.transfer(cluster.node(0), cluster.node(0), 10 * GB)
+            done.append(engine.now)
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        assert done == [0.0]
+
+    def test_remote_transfer_charges_both_nics(self):
+        cluster = SimCluster()
+        nbytes = cluster.spec.node.nic_bw * 3  # 3 seconds at line rate
+        done = []
+
+        def proc(engine):
+            yield cluster.switch.transfer(cluster.node(0), cluster.node(1), nbytes)
+            done.append(engine.now)
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        assert done == [pytest.approx(3.0)]
+        assert cluster.node(0).nic_out.total_served == pytest.approx(nbytes)
+        assert cluster.node(1).nic_in.total_served == pytest.approx(nbytes)
+
+    def test_incast_shares_receiver_nic(self):
+        cluster = SimCluster()
+        nbytes = cluster.spec.node.nic_bw  # 1 second alone
+        finish = []
+
+        def proc(engine, src):
+            yield cluster.switch.transfer(cluster.node(src), cluster.node(0), nbytes)
+            finish.append(engine.now)
+
+        for src in (1, 2):
+            cluster.engine.process(proc(cluster.engine, src))
+        cluster.run()
+        # Two senders into one NIC: each gets half rate, both finish at ~2 s.
+        assert all(t == pytest.approx(2.0) for t in finish)
+
+    def test_broadcast_reaches_all_other_nodes(self):
+        cluster = SimCluster()
+        done = []
+
+        def proc(engine):
+            yield cluster.switch.broadcast(cluster.node(0), 117 * MB)
+            done.append(engine.now)
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        # 7 flows of 1 NIC-second each through one nic_out => ~7 s.
+        assert done == [pytest.approx(7.0, rel=0.01)]
+        assert cluster.node(3).nic_in.total_served == pytest.approx(117 * MB)
+
+    def test_negative_size_rejected(self):
+        cluster = SimCluster()
+        with pytest.raises(ValueError):
+            cluster.switch.transfer(cluster.node(0), cluster.node(1), -5)
+
+
+class TestAggregation:
+    def test_cluster_cpu_utilization(self):
+        cluster = SimCluster()
+
+        def proc(engine, node_id):
+            yield cluster.node(node_id).compute(8.0, threads=8.0)
+
+        # 8 threads busy on every node for 1 second = 50 % of 16 threads.
+        for node_id in range(8):
+            cluster.engine.process(proc(cluster.engine, node_id))
+        end = cluster.run()
+        assert end == pytest.approx(1.0)
+        assert cluster.cpu_utilization_pct(0.0, 1.0) == pytest.approx(50.0)
+
+    def test_memory_gb_average(self):
+        cluster = SimCluster()
+        for node in cluster.nodes:
+            node.allocate(5 * GB)
+        cluster.engine.timeout(10.0)
+        cluster.run()
+        assert cluster.memory_gb(0.0, 10.0) == pytest.approx(5.0)
+
+    def test_disk_mbps_averages_over_nodes(self):
+        cluster = SimCluster()
+
+        def proc(engine):
+            yield cluster.node(0).read(100 * MB)
+
+        cluster.engine.process(proc(cluster.engine))
+        end = cluster.run()
+        # 100 MB on one of 8 nodes over the window.
+        expected = 100.0 / end / 8
+        assert cluster.disk_read_mbps(0.0, end) == pytest.approx(expected, rel=0.01)
+
+    def test_sample_over_nodes_length(self):
+        cluster = SimCluster()
+
+        def proc(engine):
+            yield cluster.node(0).read(100 * MB)
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        samples = cluster.sample_over_nodes("disk.read", t_end=3.0, dt=1.0)
+        assert len(samples) == 3

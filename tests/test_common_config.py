@@ -1,0 +1,61 @@
+"""Tests for framework configuration and run results."""
+
+import pytest
+
+from repro.common import ConfigError, FrameworkConf, RunResult
+from repro.common.units import MB
+
+
+class TestFrameworkConf:
+    def test_paper_defaults(self):
+        conf = FrameworkConf.paper_defaults()
+        assert conf.block_size == 256 * MB
+        assert conf.replication == 3
+        assert conf.slots_per_node == 4
+        assert conf.executions == 3
+
+    def test_with_block_size_parses_strings(self):
+        conf = FrameworkConf().with_block_size("64MB")
+        assert conf.block_size == 64 * MB
+
+    def test_with_slots(self):
+        conf = FrameworkConf().with_slots(6)
+        assert conf.slots_per_node == 6
+        # original untouched (frozen dataclass)
+        assert FrameworkConf().slots_per_node == 4
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ConfigError):
+            FrameworkConf(block_size=0)
+
+    def test_invalid_replication(self):
+        with pytest.raises(ConfigError):
+            FrameworkConf(replication=0)
+
+    def test_invalid_slots(self):
+        with pytest.raises(ConfigError):
+            FrameworkConf(slots_per_node=0)
+
+    def test_invalid_executions(self):
+        with pytest.raises(ConfigError):
+            FrameworkConf(executions=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FrameworkConf().block_size = 1  # type: ignore[misc]
+
+
+class TestRunResult:
+    def test_success_flag(self):
+        result = RunResult("datampi", "sort", 1024, 9.5)
+        assert result.succeeded
+        assert not result.failed
+
+    def test_failure(self):
+        result = RunResult("spark", "normal_sort", 1024, 0.0, failed=True,
+                           failure="OutOfMemoryError")
+        assert not result.succeeded
+        assert result.failure == "OutOfMemoryError"
+
+    def test_phases_default_empty(self):
+        assert RunResult("hadoop", "grep", 1, 1.0).phases == {}

@@ -1,0 +1,91 @@
+"""Unit and property tests for the key-value record codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.kv import (
+    KeyValue,
+    decode_record,
+    decode_stream,
+    encode_record,
+    encode_stream,
+    record_size,
+)
+
+fields = st.one_of(
+    st.text(max_size=40),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.binary(max_size=40),
+    st.booleans(),
+    st.none(),
+)
+
+
+class TestRecordCodec:
+    def test_string_roundtrip(self):
+        record, offset = decode_record(encode_record("word", 1))
+        assert record == KeyValue("word", 1)
+
+    def test_bytes_roundtrip(self):
+        record, _ = decode_record(encode_record(b"\x00\xff", b"payload"))
+        assert record.key == b"\x00\xff"
+        assert record.value == b"payload"
+
+    def test_none_value(self):
+        record, _ = decode_record(encode_record("k", None))
+        assert record.value is None
+
+    def test_bool_distinct_from_int(self):
+        record, _ = decode_record(encode_record(True, False))
+        assert record.key is True
+        assert record.value is False
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            encode_record(object(), 1)
+
+    @given(fields, fields)
+    def test_roundtrip_property(self, key, value):
+        record, consumed = decode_record(encode_record(key, value))
+        assert record == KeyValue(key, value)
+        assert consumed == len(encode_record(key, value))
+
+
+class TestStreamCodec:
+    def test_empty_stream(self):
+        assert list(decode_stream(b"")) == []
+
+    def test_multi_record_stream(self):
+        records = [("a", 1), ("b", 2), ("c", 3)]
+        decoded = list(decode_stream(encode_stream(records)))
+        assert decoded == [KeyValue(k, v) for k, v in records]
+
+    @given(st.lists(st.tuples(fields, fields), max_size=20))
+    def test_stream_roundtrip_property(self, records):
+        decoded = list(decode_stream(encode_stream(records)))
+        assert decoded == [KeyValue(k, v) for k, v in records]
+
+
+class TestRecordSize:
+    def test_accounts_for_string_bytes(self):
+        assert record_size("abc", "") == 8 + 3
+
+    def test_accounts_for_unicode(self):
+        assert record_size("é", "") == 8 + 2
+
+    def test_numbers_are_fixed_width(self):
+        assert record_size(1, 2.5) == 8 + 8 + 8
+
+    def test_nested_containers(self):
+        size = record_size("k", [1.0, 2.0])
+        assert size == 8 + 1 + (8 + 8 + 4)
+
+    def test_keyvalue_method_matches_function(self):
+        kv = KeyValue("key", "value")
+        assert kv.serialized_size() == record_size("key", "value")
+
+    @given(fields, fields)
+    def test_size_positive(self, key, value):
+        assert record_size(key, value) >= 8

@@ -1,0 +1,33 @@
+"""Tests for deterministic RNG substreams."""
+
+from repro.common.rng import DEFAULT_SEED, derive_seed, substream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_labels_matter(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_matters(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_label_order_matters(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) and ("a", "b") must not collide: separator is encoded.
+        assert derive_seed(1, "ab") != derive_seed(1, "a", "b")
+
+
+class TestSubstream:
+    def test_independent_streams_repeat(self):
+        first = substream(DEFAULT_SEED, "gen", 0).random()
+        again = substream(DEFAULT_SEED, "gen", 0).random()
+        assert first == again
+
+    def test_different_streams_differ(self):
+        a = [substream(DEFAULT_SEED, "gen", 0).random() for _ in range(3)]
+        b = [substream(DEFAULT_SEED, "gen", 1).random() for _ in range(3)]
+        assert a != b

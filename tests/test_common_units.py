@@ -1,0 +1,70 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.units import GB, KB, MB, TB, format_size, mb_per_sec, parse_size
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert parse_size("123") == 123
+
+    def test_megabytes(self):
+        assert parse_size("256MB") == 256 * MB
+
+    def test_gigabytes_short_unit(self):
+        assert parse_size("8G") == 8 * GB
+
+    def test_terabytes(self):
+        assert parse_size("2TB") == 2 * TB
+
+    def test_fractional(self):
+        assert parse_size("1.5KB") == 1536
+
+    def test_whitespace_and_case(self):
+        assert parse_size("  64 mb ") == 64 * MB
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_float_passthrough(self):
+        assert parse_size(10.9) == 10
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("eight gigabytes")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("3XB")
+
+
+class TestFormatSize:
+    def test_bytes(self):
+        assert format_size(512) == "512B"
+
+    def test_megabytes(self):
+        assert format_size(256 * MB) == "256.0MB"
+
+    def test_gigabytes(self):
+        assert format_size(8 * GB) == "8.0GB"
+
+    def test_kilobytes(self):
+        assert format_size(2 * KB) == "2.0KB"
+
+    @given(st.integers(min_value=1, max_value=10 * TB))
+    def test_roundtrip_within_rounding(self, n):
+        # format/parse round trip is exact to within the printed precision.
+        text = format_size(n)
+        parsed = parse_size(text)
+        assert abs(parsed - n) <= max(0.06 * n, 1)
+
+
+def test_mb_per_sec():
+    assert mb_per_sec(50 * MB) == pytest.approx(50.0)

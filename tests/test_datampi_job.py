@@ -1,0 +1,218 @@
+"""Integration tests for the DataMPI job driver: end-to-end O/A jobs."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.common.errors import CheckpointError, MPIError
+from repro.datampi import DataMPIConf, DataMPIJob, RangePartitioner
+
+
+def wordcount_o(ctx, split):
+    for line in split:
+        for word in line.split():
+            ctx.send(word, 1)
+
+
+def wordcount_a(ctx):
+    return [(key, sum(values)) for key, values in ctx.grouped()]
+
+
+LINES = [
+    "the quick brown fox",
+    "the lazy dog",
+    "the quick dog jumps",
+    "a fox and a dog",
+]
+
+
+class TestWordCountJob:
+    def run_job(self, **conf_kwargs):
+        conf = DataMPIConf(num_o=2, num_a=2, **conf_kwargs)
+        job = DataMPIJob(wordcount_o, wordcount_a, conf)
+        # two splits of two lines each
+        return job.run([LINES[:2], LINES[2:]])
+
+    def expected(self):
+        counts = {}
+        for line in LINES:
+            for word in line.split():
+                counts[word] = counts.get(word, 0) + 1
+        return counts
+
+    def test_counts_correct(self):
+        result = self.run_job()
+        counted = dict(result.merged_outputs())
+        assert counted == self.expected()
+
+    def test_with_combiner(self):
+        result = self.run_job(combiner=lambda key, values: sum(values))
+        assert dict(result.merged_outputs()) == self.expected()
+
+    def test_counters_populated(self):
+        result = self.run_job()
+        total_words = sum(self.expected().values())
+        assert result.counters["o.records_emitted"] == total_words
+        assert result.counters["a.records_received"] == total_words
+        assert result.counters["o.bytes_sent"] > 0
+
+    def test_combiner_reduces_traffic(self):
+        plain = self.run_job()
+        combined = self.run_job(combiner=lambda key, values: sum(values))
+        assert (
+            combined.counters["a.records_received"]
+            <= plain.counters["a.records_received"]
+        )
+
+    def test_outputs_partitioned_disjointly(self):
+        result = self.run_job()
+        seen = set()
+        for output in result.outputs:
+            keys = {key for key, _ in output}
+            assert not keys & seen
+            seen |= keys
+
+
+class TestSortJob:
+    def test_range_partitioned_total_order(self):
+        values = [93, 5, 77, 12, 64, 3, 41, 88, 19, 50, 2, 71]
+
+        def o_task(ctx, split):
+            for item in split:
+                ctx.send(item, None)
+
+        def a_task(ctx):
+            return [kv.key for kv in ctx]
+
+        conf = DataMPIConf(
+            num_o=2, num_a=3, partitioner=RangePartitioner(values, 3)
+        )
+        job = DataMPIJob(o_task, a_task, conf)
+        result = job.run([values[:6], values[6:]])
+        concatenated = [key for output in result.outputs for key in output]
+        assert concatenated == sorted(values)
+
+    def test_each_a_rank_sorted_even_with_hash_partitioner(self):
+        values = list(range(40, 0, -1))
+
+        def o_task(ctx, split):
+            for item in split:
+                ctx.send(item, None)
+
+        def a_task(ctx):
+            return [kv.key for kv in ctx]
+
+        job = DataMPIJob(o_task, a_task, DataMPIConf(num_o=2, num_a=2))
+        result = job.run([values[:20], values[20:]])
+        for output in result.outputs:
+            assert output == sorted(output)
+        assert sorted(v for out in result.outputs for v in out) == sorted(values)
+
+
+class TestRecvAPI:
+    def test_recv_returns_none_at_end(self):
+        def o_task(ctx, split):
+            ctx.send("only", 1)
+
+        def a_task(ctx):
+            records = []
+            while (record := ctx.recv()) is not None:
+                records.append(record)
+            return records
+
+        job = DataMPIJob(o_task, a_task, DataMPIConf(num_o=1, num_a=1))
+        result = job.run([None])
+        assert [(kv.key, kv.value) for kv in result.outputs[0]] == [("only", 1)]
+
+
+class TestSpillingJob:
+    def test_large_job_spills_and_stays_correct(self):
+        n = 3000
+
+        def o_task(ctx, split):
+            for i in split:
+                ctx.send(f"key{i:06d}", i)
+
+        def a_task(ctx):
+            return [(kv.key, kv.value) for kv in ctx]
+
+        conf = DataMPIConf(num_o=2, num_a=2, send_buffer_bytes=512, spill_bytes=2048)
+        job = DataMPIJob(o_task, a_task, conf)
+        result = job.run([range(0, n, 2), range(1, n, 2)])
+        assert result.counters["a.spills"] > 0
+        all_records = [kv for output in result.outputs for kv in output]
+        assert len(all_records) == n
+        assert sorted(value for _, value in all_records) == list(range(n))
+
+
+class TestCheckpointRestart:
+    def make_job(self, tmp_path):
+        conf = DataMPIConf(
+            num_o=2, num_a=2, checkpoint_dir=str(tmp_path / "ckpt"),
+            combiner=lambda key, values: sum(values),
+        )
+        return DataMPIJob(wordcount_o, wordcount_a, conf)
+
+    def test_restart_reproduces_outputs(self, tmp_path):
+        job = self.make_job(tmp_path)
+        original = job.run([LINES[:2], LINES[2:]])
+        restarted = job.restart()
+        assert sorted(original.merged_outputs()) == sorted(restarted.merged_outputs())
+
+    def test_restart_without_checkpoint_dir_fails(self):
+        job = DataMPIJob(wordcount_o, wordcount_a, DataMPIConf(num_o=1, num_a=1))
+        with pytest.raises(ConfigError):
+            job.restart()
+
+    def test_restart_from_missing_dir_fails(self, tmp_path):
+        job = DataMPIJob(wordcount_o, wordcount_a,
+                         DataMPIConf(num_o=1, num_a=1))
+        with pytest.raises(CheckpointError):
+            job.restart(str(tmp_path / "nope"))
+
+    def test_restart_wrong_width_fails(self, tmp_path):
+        job = self.make_job(tmp_path)
+        job.run([LINES[:2], LINES[2:]])
+        narrow = DataMPIJob(
+            wordcount_o, wordcount_a,
+            DataMPIConf(num_o=2, num_a=3, checkpoint_dir=str(tmp_path / "ckpt")),
+        )
+        with pytest.raises(ConfigError):
+            narrow.restart()
+
+
+class TestFailurePropagation:
+    def test_o_task_failure_surfaces(self):
+        def bad_o(ctx, split):
+            raise RuntimeError("o task crashed")
+
+        job = DataMPIJob(bad_o, wordcount_a, DataMPIConf(num_o=1, num_a=1))
+        with pytest.raises(MPIError, match="crashed"):
+            job.run([None])
+
+    def test_a_task_failure_surfaces(self):
+        def bad_a(ctx):
+            raise RuntimeError("a task crashed")
+
+        job = DataMPIJob(wordcount_o, bad_a, DataMPIConf(num_o=1, num_a=1))
+        with pytest.raises(MPIError, match="crashed"):
+            job.run([LINES])
+
+
+class TestConfValidation:
+    def test_zero_sides_rejected(self):
+        with pytest.raises(ConfigError):
+            DataMPIConf(num_o=0)
+        with pytest.raises(ConfigError):
+            DataMPIConf(num_a=0)
+
+    def test_bad_buffers_rejected(self):
+        with pytest.raises(ConfigError):
+            DataMPIConf(send_buffer_bytes=0)
+        with pytest.raises(ConfigError):
+            DataMPIConf(spill_bytes=0)
+
+    def test_more_o_ranks_than_splits(self):
+        job = DataMPIJob(wordcount_o, wordcount_a, DataMPIConf(num_o=4, num_a=2))
+        result = job.run([LINES])  # one split, four O tasks
+        counts = dict(result.merged_outputs())
+        assert counts["the"] == 3

@@ -1,0 +1,202 @@
+"""Unit tests for DataMPI building blocks: partitioners, buffers, store."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import DataMPIError
+from repro.common.kv import KeyValue, decode_stream
+from repro.datampi import (
+    ChunkStore,
+    PartitionedSendBuffer,
+    RangePartitioner,
+    hash_partitioner,
+    validate_partition,
+)
+
+
+class TestHashPartitioner:
+    def test_in_range(self):
+        for key in ["a", "b", 42, 3.14, b"bytes", None]:
+            assert 0 <= hash_partitioner(key, 7) < 7
+
+    def test_deterministic(self):
+        assert hash_partitioner("word", 16) == hash_partitioner("word", 16)
+
+    @given(st.text(max_size=30), st.integers(min_value=1, max_value=64))
+    def test_property_in_range(self, key, n):
+        assert 0 <= hash_partitioner(key, n) < n
+
+    def test_spreads_keys(self):
+        partitions = {hash_partitioner(f"key{i}", 8) for i in range(100)}
+        assert len(partitions) == 8  # all partitions hit with 100 keys
+
+
+class TestRangePartitioner:
+    def test_orders_partitions(self):
+        part = RangePartitioner(sample_keys=list(range(100)), num_partitions=4)
+        assigned = [part(key, 4) for key in range(100)]
+        assert assigned == sorted(assigned)
+        assert set(assigned) == {0, 1, 2, 3}
+
+    def test_balance_on_uniform_sample(self):
+        part = RangePartitioner(sample_keys=list(range(1000)), num_partitions=4)
+        counts = [0, 0, 0, 0]
+        for key in range(1000):
+            counts[part(key, 4)] += 1
+        assert all(200 <= c <= 300 for c in counts)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(DataMPIError):
+            RangePartitioner([], 4)
+
+    def test_partition_count_mismatch_rejected(self):
+        part = RangePartitioner([1, 2, 3], 2)
+        with pytest.raises(DataMPIError):
+            part(1, 3)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=8))
+    def test_monotone_property(self, sample, n):
+        part = RangePartitioner(sample, n)
+        keys = sorted(sample)
+        assigned = [part(key, n) for key in keys]
+        assert assigned == sorted(assigned)
+        assert all(0 <= p < n for p in assigned)
+
+    def test_validate_partition(self):
+        assert validate_partition(0, 4) == 0
+        with pytest.raises(DataMPIError):
+            validate_partition(4, 4)
+        with pytest.raises(DataMPIError):
+            validate_partition(-1, 4)
+
+
+class RecordingSink:
+    def __init__(self):
+        self.chunks: list[tuple[int, bytes]] = []
+
+    def __call__(self, destination: int, payload: bytes) -> None:
+        self.chunks.append((destination, payload))
+
+    def records(self, destination=None):
+        out = []
+        for dest, payload in self.chunks:
+            if destination is None or dest == destination:
+                out.extend(decode_stream(payload))
+        return out
+
+
+class TestPartitionedSendBuffer:
+    def test_flush_all_sends_everything(self):
+        sink = RecordingSink()
+        buffer = PartitionedSendBuffer(2, sink)
+        buffer.add(0, "b", 1)
+        buffer.add(0, "a", 2)
+        buffer.add(1, "c", 3)
+        buffer.flush_all()
+        assert sink.records(0) == [KeyValue("a", 2), KeyValue("b", 1)]  # sorted
+        assert sink.records(1) == [KeyValue("c", 3)]
+
+    def test_threshold_triggers_pipelined_send(self):
+        sink = RecordingSink()
+        buffer = PartitionedSendBuffer(1, sink, threshold_bytes=64)
+        for i in range(100):
+            buffer.add(0, f"key{i:03d}", i)
+        # Sends happened long before flush_all: that's the pipelining.
+        assert buffer.chunks_sent > 1
+        pre_flush_chunks = buffer.chunks_sent
+        buffer.flush_all()
+        assert buffer.chunks_sent >= pre_flush_chunks
+        assert len(sink.records()) == 100
+
+    def test_sort_disabled_preserves_order(self):
+        sink = RecordingSink()
+        buffer = PartitionedSendBuffer(1, sink, sort=False)
+        buffer.add(0, "z", 1)
+        buffer.add(0, "a", 2)
+        buffer.flush_all()
+        assert [kv.key for kv in sink.records()] == ["z", "a"]
+
+    def test_combiner_reduces_records(self):
+        sink = RecordingSink()
+        buffer = PartitionedSendBuffer(
+            1, sink, combiner=lambda key, values: sum(values)
+        )
+        for _ in range(10):
+            buffer.add(0, "word", 1)
+        buffer.flush_all()
+        assert sink.records() == [KeyValue("word", 10)]
+        assert buffer.records_combined_away == 9
+
+    def test_empty_flush_sends_nothing(self):
+        sink = RecordingSink()
+        PartitionedSendBuffer(3, sink).flush_all()
+        assert sink.chunks == []
+
+    def test_invalid_construction(self):
+        with pytest.raises(DataMPIError):
+            PartitionedSendBuffer(0, lambda d, p: None)
+        with pytest.raises(DataMPIError):
+            PartitionedSendBuffer(1, lambda d, p: None, threshold_bytes=0)
+
+    @given(st.lists(st.tuples(st.text(max_size=8), st.integers()), max_size=60),
+           st.integers(min_value=1, max_value=4))
+    def test_no_record_lost_property(self, records, num_dest):
+        sink = RecordingSink()
+        buffer = PartitionedSendBuffer(num_dest, sink, threshold_bytes=50)
+        for key, value in records:
+            buffer.add(hash(key) % num_dest, key, value)
+        buffer.flush_all()
+        assert sorted((kv.key, kv.value) for kv in sink.records()) == sorted(records)
+
+
+class TestChunkStore:
+    @staticmethod
+    def encode(pairs):
+        from repro.common.kv import encode_stream
+        return encode_stream(pairs)
+
+    def test_merged_sorted_across_chunks(self):
+        store = ChunkStore()
+        store.add(self.encode([("a", 1), ("m", 2)]))
+        store.add(self.encode([("b", 3), ("z", 4)]))
+        merged = [kv.key for kv in store.merged(sort=True)]
+        assert merged == ["a", "b", "m", "z"]
+
+    def test_unsorted_concatenates(self):
+        store = ChunkStore()
+        store.add(self.encode([("z", 1)]))
+        store.add(self.encode([("a", 2)]))
+        assert [kv.key for kv in store.merged(sort=False)] == ["z", "a"]
+
+    def test_spill_roundtrip(self, tmp_path):
+        store = ChunkStore(spill_threshold=100, spill_dir=str(tmp_path))
+        expected = []
+        for i in range(20):
+            pairs = [(f"k{i:02d}{j}", j) for j in range(5)]
+            expected.extend(pairs)
+            store.add(self.encode(pairs))
+        assert store.spills > 0
+        merged = [(kv.key, kv.value) for kv in store.merged(sort=True)]
+        assert merged == sorted(expected)
+        store.cleanup()
+
+    def test_spill_preserves_raw_chunks(self, tmp_path):
+        store = ChunkStore(spill_threshold=50, spill_dir=str(tmp_path))
+        chunks = [self.encode([(f"key{i}", i)]) for i in range(10)]
+        for chunk in chunks:
+            store.add(chunk)
+        assert sorted(store.raw_chunks()) == sorted(chunks)
+        store.cleanup()
+
+    def test_cleanup_removes_spill_files(self):
+        store = ChunkStore(spill_threshold=10)
+        store.add(self.encode([("a", 1), ("b", 2)]))
+        assert store.spills == 1
+        store.cleanup()
+        assert store.raw_chunks() == []
+
+    def test_invalid_threshold(self):
+        with pytest.raises(DataMPIError):
+            ChunkStore(spill_threshold=0)

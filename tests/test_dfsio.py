@@ -1,0 +1,85 @@
+"""Tests for the DFSIO benchmark model (Figure 2a substrate)."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.common.units import GB, MB
+from repro.hdfs.dfsio import (
+    best_block_size,
+    block_size_sweep,
+    run_dfsio,
+    writeback_efficiency,
+)
+
+
+class TestWritebackEfficiency:
+    def test_small_blocks_full_efficiency(self):
+        assert writeback_efficiency(64 * MB) == 1.0
+        assert writeback_efficiency(256 * MB) == 1.0
+
+    def test_large_blocks_throttled(self):
+        assert writeback_efficiency(512 * MB) == pytest.approx(0.80)
+
+    def test_monotone_nonincreasing(self):
+        sizes = [64 * MB, 128 * MB, 256 * MB, 384 * MB, 512 * MB, 1024 * MB]
+        values = [writeback_efficiency(s) for s in sizes]
+        assert values == sorted(values, reverse=True)
+        assert min(values) >= 0.72
+
+
+class TestRunDFSIO:
+    def test_write_produces_sane_throughput(self):
+        result = run_dfsio(256 * MB, 5 * GB, mode="write")
+        # Paper's Figure 2(a) peaks just under 30 MB/s.
+        assert 15.0 < result.throughput_mbps < 35.0
+        assert result.makespan_sec > 0
+        assert result.total_bytes <= 5 * GB
+
+    def test_read_faster_than_write(self):
+        write = run_dfsio(256 * MB, 5 * GB, mode="write")
+        read = run_dfsio(256 * MB, 5 * GB, mode="read")
+        assert read.throughput_mbps > write.throughput_mbps
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            run_dfsio(256 * MB, 1 * GB, mode="append")
+
+    def test_bad_num_files_rejected(self):
+        with pytest.raises(ConfigError):
+            run_dfsio(256 * MB, 1 * GB, num_files=0)
+
+    def test_deterministic_given_seed(self):
+        a = run_dfsio(128 * MB, 5 * GB, seed=7)
+        b = run_dfsio(128 * MB, 5 * GB, seed=7)
+        assert a.throughput_mbps == b.throughput_mbps
+
+
+class TestFigure2aShape:
+    def test_256mb_is_best_block_size(self):
+        """The headline claim of Section 4.2: 256 MB wins."""
+        results = block_size_sweep(
+            [64 * MB, 128 * MB, 256 * MB, 512 * MB],
+            [5 * GB, 10 * GB],
+        )
+        assert best_block_size(results) == 256 * MB
+
+    def test_throughput_rises_from_64_to_256(self):
+        results = block_size_sweep([64 * MB, 128 * MB, 256 * MB], [5 * GB])
+        series = results[5 * GB]
+        assert (
+            series[64 * MB].throughput_mbps
+            < series[128 * MB].throughput_mbps
+            < series[256 * MB].throughput_mbps
+        )
+
+    def test_throughput_drops_at_512(self):
+        results = block_size_sweep([256 * MB, 512 * MB], [10 * GB])
+        series = results[10 * GB]
+        assert series[512 * MB].throughput_mbps < series[256 * MB].throughput_mbps
+
+    def test_input_size_has_minor_effect(self):
+        """Figure 2(a)'s four lines are close to each other."""
+        results = block_size_sweep([256 * MB], [5 * GB, 20 * GB])
+        small = results[5 * GB][256 * MB].throughput_mbps
+        large = results[20 * GB][256 * MB].throughput_mbps
+        assert abs(small - large) / small < 0.25

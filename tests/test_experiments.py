@@ -1,0 +1,200 @@
+"""Tests for the experiment harness (figures, report, radar)."""
+
+import pytest
+
+from repro import paperdata
+from repro.common.units import GB, MB
+from repro.experiments import (
+    AXES,
+    compute_radar,
+    fig2a,
+    fig2b,
+    fig5,
+    improvement_range,
+    mean_improvement,
+    micro_benchmark,
+    profile_table,
+    render_table,
+    resource_profile,
+    sweep_table,
+    table1,
+    table2,
+)
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        rows = table1()
+        assert len(rows) == 5
+        assert rows[0][1] == "Sort"
+
+    def test_table2_matches_paper(self):
+        rows = dict(table2())
+        assert rows["CPU type"] == "Intel Xeon E5620"
+        assert rows["Memory"] == "16 GB"
+
+
+class TestFig2a:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig2a()
+
+    def test_dimensions(self, data):
+        assert set(data) == {5 * GB, 10 * GB, 15 * GB, 20 * GB}
+        for by_block in data.values():
+            assert set(by_block) == {64 * MB, 128 * MB, 256 * MB, 512 * MB}
+
+    def test_256mb_wins_on_average(self, data):
+        means = {}
+        for block in (64 * MB, 128 * MB, 256 * MB, 512 * MB):
+            means[block] = sum(data[total][block] for total in data) / len(data)
+        assert max(means, key=means.get) == paperdata.FIG2A_BEST_BLOCK
+
+    def test_peak_in_paper_range(self, data):
+        peak = max(v for by_block in data.values() for v in by_block.values())
+        low, high = paperdata.FIG2A_PEAK_THROUGHPUT_RANGE
+        assert low <= peak <= high
+
+
+class TestFig2b:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig2b(executions=1)
+
+    def test_four_slots_best_for_every_framework(self, data):
+        for framework, by_slots in data.items():
+            assert max(by_slots, key=by_slots.get) == paperdata.FIG2B_BEST_SLOTS, framework
+
+    def test_datampi_highest_throughput(self, data):
+        assert data["datampi"][4] > data["hadoop"][4]
+
+    def test_spark_did_not_oom_at_small_partitions(self, data):
+        assert all(v > 0 for v in data["spark"].values())
+
+
+class TestSweeps:
+    @pytest.fixture(scope="class")
+    def grep_series(self):
+        return micro_benchmark("grep", executions=1)
+
+    def test_series_shapes(self, grep_series):
+        assert set(grep_series) == {"hadoop", "spark", "datampi"}
+        for by_size in grep_series.values():
+            assert len(by_size) == 4
+
+    def test_improvement_range_helper(self, grep_series):
+        low, high = improvement_range(grep_series)
+        assert 0.0 < low <= high < 1.0
+
+    def test_mean_improvement_between_bounds(self, grep_series):
+        low, high = improvement_range(grep_series)
+        assert low <= mean_improvement(grep_series) <= high
+
+    def test_sweep_table_renders(self, grep_series):
+        text = sweep_table(grep_series)
+        assert "hadoop" in text and "datampi" in text
+        assert "8.0GB" in text
+
+    def test_unknown_workload_rejected(self):
+        from repro.common.errors import WorkloadError
+        with pytest.raises(WorkloadError):
+            micro_benchmark("terasort")
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig5(executions=1)
+
+    def test_all_cells_present(self, data):
+        assert set(data) == {"text_sort", "wordcount", "grep"}
+        for by_framework in data.values():
+            assert set(by_framework) == {"hadoop", "spark", "datampi"}
+
+    def test_hadoop_dominated_by_overhead(self, data):
+        for workload in data:
+            assert data[workload]["hadoop"] > 1.6 * data[workload]["datampi"]
+
+    def test_datampi_similar_to_spark(self, data):
+        for workload in data:
+            ratio = data[workload]["datampi"] / data[workload]["spark"]
+            assert 0.5 < ratio < 1.3
+
+    def test_average_improvement_near_54pct(self, data):
+        improvements = [
+            1.0 - data[w]["datampi"] / data[w]["hadoop"] for w in data
+        ]
+        mean = sum(improvements) / len(improvements)
+        assert mean == pytest.approx(paperdata.SMALL_JOB_IMPROVEMENT_VS_HADOOP, abs=0.10)
+
+
+class TestResourceProfileAPI:
+    def test_series_sampled_per_second(self):
+        profile = resource_profile("text_sort", 8 * GB, "datampi")
+        assert set(profile.series) == {
+            "cpu_pct", "disk_read_mbps", "disk_write_mbps", "net_in_mbps", "mem_gb",
+        }
+        times = [t for t, _ in profile.series["cpu_pct"]]
+        assert times[0] == pytest.approx(1.0)
+        assert abs(len(times) - profile.elapsed_sec) <= 1.0
+
+    def test_profile_table_renders(self):
+        from repro.experiments import fig4_sort
+        text = profile_table(fig4_sort())
+        assert "datampi" in text
+        assert "mem GB" in text
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_radar_axes_count(self):
+        assert len(AXES) == 7
+
+
+@pytest.mark.slow
+class TestRadar:
+    @pytest.fixture(scope="class")
+    def radar(self):
+        return compute_radar(executions=1)
+
+    def test_datampi_best_or_near_best_everywhere(self, radar):
+        # Performance, network and memory axes: DataMPI clearly leads.
+        for axis in ("micro_benchmark", "small_job", "application",
+                     "network", "memory_efficiency"):
+            assert radar.scores[axis]["datampi"] >= 0.95, axis
+        # CPU/disk: DataMPI ties Spark within the paper's own spread
+        # (Figure 7 shows them overlapping there too).
+        for axis in ("cpu_efficiency", "disk_io"):
+            assert radar.scores[axis]["datampi"] >= 0.70, axis
+
+    def test_hadoop_worst_on_performance_axes(self, radar):
+        for axis in ("micro_benchmark", "small_job", "application"):
+            assert radar.scores[axis]["hadoop"] <= radar.scores[axis]["spark"] + 0.05
+            assert radar.scores[axis]["hadoop"] < radar.scores[axis]["datampi"]
+
+    def test_headline_improvements(self, radar):
+        imp = radar.improvements
+        assert imp["micro_vs_hadoop"] == pytest.approx(
+            paperdata.MICRO_AVG_IMPROVEMENT["hadoop"], abs=0.08
+        )
+        assert imp["small_vs_hadoop"] == pytest.approx(
+            paperdata.SMALL_JOB_IMPROVEMENT_VS_HADOOP, abs=0.10
+        )
+        assert imp["app_vs_hadoop"] == pytest.approx(
+            paperdata.APP_AVG_IMPROVEMENT["hadoop"], abs=0.08
+        )
+        assert imp["net_vs_hadoop"] == pytest.approx(
+            paperdata.FIG7_NET_IMPROVEMENT["hadoop"], abs=0.30
+        )
+
+    def test_cpu_efficiency_aggregate(self, radar):
+        """Paper: average CPU 35/34/59 % — DataMPI and Spark similar,
+        Hadoop much higher for the same work."""
+        imp = radar.improvements
+        assert imp["cpu_pct_hadoop"] > 1.4 * imp["cpu_pct_datampi"]
+        assert imp["cpu_pct_spark"] == pytest.approx(imp["cpu_pct_datampi"], rel=0.4)

@@ -1,0 +1,142 @@
+"""Failure injection: the library must fail loudly and recover cleanly."""
+
+import os
+
+import pytest
+
+from repro.common import CheckpointError, MPIError, OutOfMemoryError
+from repro.common.kv import encode_stream
+from repro.datampi import (
+    ChunkStore,
+    DataMPIConf,
+    DataMPIJob,
+    load_checkpoint,
+    read_manifest,
+    write_checkpoint,
+    write_manifest,
+)
+from repro.spark import SparkContext
+
+
+def counting_job(**conf_kwargs):
+    def o_task(ctx, split):
+        for item in split:
+            ctx.send(item, 1)
+
+    def a_task(ctx):
+        return [(key, sum(values)) for key, values in ctx.grouped()]
+
+    return DataMPIJob(o_task, a_task, DataMPIConf(num_o=2, num_a=2, **conf_kwargs))
+
+
+class TestDataMPIFailures:
+    def test_failing_o_task_does_not_hang_a_side(self):
+        """EOFs must flow even when an O task dies, so A ranks unblock
+        instead of waiting out the receive timeout."""
+        calls = {"count": 0}
+
+        def flaky_o(ctx, split):
+            calls["count"] += 1
+            ctx.send("pre-crash", 1)
+            raise RuntimeError("injected O failure")
+
+        def a_task(ctx):
+            return list(ctx)
+
+        job = DataMPIJob(flaky_o, a_task, DataMPIConf(num_o=2, num_a=2))
+        with pytest.raises(MPIError, match="injected O failure"):
+            job.run([[1], [2]])
+        assert calls["count"] >= 1
+
+    def test_partitioner_out_of_range_fails_fast(self):
+        from repro.common.errors import DataMPIError
+
+        def o_task(ctx, split):
+            ctx.send("key", 1)
+
+        job = DataMPIJob(
+            o_task, lambda ctx: list(ctx),
+            DataMPIConf(num_o=1, num_a=2, partitioner=lambda key, n: n + 5),
+        )
+        with pytest.raises(MPIError):
+            job.run([[1]])
+
+    def test_spill_files_removed_after_job(self, tmp_path):
+        store = ChunkStore(spill_threshold=64, spill_dir=str(tmp_path))
+        for i in range(10):
+            store.add(encode_stream([(f"key{i}", i)]))
+        assert store.spills > 0
+        assert os.listdir(tmp_path)
+        store.cleanup()
+        assert not os.listdir(tmp_path)
+
+
+class TestCheckpointCorruption:
+    def make_checkpoint(self, tmp_path):
+        store = ChunkStore()
+        store.add(encode_stream([("a", 1), ("b", 2)]))
+        write_checkpoint(str(tmp_path), 0, store)
+        write_manifest(str(tmp_path), 1, True, "job")
+        return tmp_path
+
+    def test_roundtrip(self, tmp_path):
+        self.make_checkpoint(tmp_path)
+        assert read_manifest(str(tmp_path))["num_a"] == 1
+        store = load_checkpoint(str(tmp_path), 0, spill_threshold=1 << 20)
+        keys = [kv.key for kv in store.merged()]
+        assert keys == ["a", "b"]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        self.make_checkpoint(tmp_path)
+        path = tmp_path / "a00000.ckpt"
+        path.write_bytes(b"GARBAGE!" + b"\x00" * 16)
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(str(tmp_path), 0, spill_threshold=1 << 20)
+
+    def test_truncated_chunk_rejected(self, tmp_path):
+        self.make_checkpoint(tmp_path)
+        path = tmp_path / "a00000.ckpt"
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_checkpoint(str(tmp_path), 0, spill_threshold=1 << 20)
+
+    def test_incomplete_manifest_rejected(self, tmp_path):
+        import json
+        (tmp_path / "manifest.json").write_text(json.dumps({"complete": False}))
+        with pytest.raises(CheckpointError, match="incomplete"):
+            read_manifest(str(tmp_path))
+
+    def test_missing_rank_file_rejected(self, tmp_path):
+        self.make_checkpoint(tmp_path)
+        with pytest.raises(CheckpointError, match="missing"):
+            load_checkpoint(str(tmp_path), 3, spill_threshold=1 << 20)
+
+
+class TestSparkFailures:
+    def test_oom_mid_collect_leaves_consistent_memory(self):
+        ctx = SparkContext(default_parallelism=4, memory_capacity=3_000)
+        rdd = ctx.parallelize([(i, "x" * 30) for i in range(2000)], 4).sort_by_key(4)
+        with pytest.raises(OutOfMemoryError):
+            rdd.collect()
+        # Transient memory is still charged (the JVM died holding it) but
+        # accounting never goes negative or exceeds capacity tracking.
+        assert 0 <= ctx.memory.transient_bytes
+        assert ctx.memory.cached_bytes >= 0
+
+    def test_losing_every_cached_block_still_recomputes(self):
+        ctx = SparkContext(default_parallelism=2)
+        rdd = ctx.parallelize(range(100), 2).map(lambda x: x * 3).cache()
+        first = rdd.collect()
+        for block_id in list(ctx.memory.block_ids):
+            ctx.memory.drop_block(block_id)
+        assert rdd.collect() == first
+
+    def test_mid_iteration_eviction_is_safe(self):
+        """Evicting a block while other partitions compute must not corrupt
+        results (lineage recomputes on the next access)."""
+        ctx = SparkContext(default_parallelism=4, memory_capacity=100_000)
+        rdd = ctx.parallelize(range(400), 4).map(lambda x: (x % 7, x)).cache()
+        baseline = sorted(rdd.collect())
+        ctx.memory.drop_block(rdd._block_id(2))
+        assert sorted(rdd.collect()) == baseline

@@ -1,0 +1,113 @@
+"""Temporal shapes of the Figure 4 time series.
+
+Beyond the averages, the paper's Figure 4 plots have characteristic
+*shapes* that encode the frameworks' execution structure.  These tests
+pin the ones the paper's analysis leans on.
+"""
+
+import pytest
+
+from repro.common.units import GB
+from repro.perfmodels import simulate_once
+
+
+@pytest.fixture(scope="module")
+def sort_outcomes():
+    return {
+        fw: simulate_once(fw, "text_sort", 8 * GB)
+        for fw in ("hadoop", "spark", "datampi")
+    }
+
+
+class TestSortNetworkShape:
+    def test_datampi_shuffles_during_o_phase_hadoop_does_not(self, sort_outcomes):
+        """Pipelining: DataMPI's shuffle traffic flows *while O tasks run*
+        ("the communication caused by data movement from O communicator to
+        A communicator mainly happens in DataMPI O phase"), whereas
+        Hadoop's map phase is network-silent (local reads, local spills)."""
+        datampi = sort_outcomes["datampi"]
+        t0, t1 = datampi.phases["o"]
+        datampi_o_rate = datampi.cluster.network_mbps(t0, t1)
+
+        hadoop = sort_outcomes["hadoop"]
+        m0, m1 = hadoop.phases["map"]
+        hadoop_map_rate = hadoop.cluster.network_mbps(m0, m1)
+
+        assert datampi_o_rate > 30.0      # the pipelined shuffle is visible
+        assert hadoop_map_rate < 5.0      # nothing moves until reducers fetch
+        assert datampi_o_rate > 10 * max(hadoop_map_rate, 0.1)
+
+    def test_hadoop_network_peaks_after_map_phase(self, sort_outcomes):
+        """Hadoop's shuffle starts only when reducers fetch map output."""
+        outcome = sort_outcomes["hadoop"]
+        cluster = outcome.cluster
+        map_t0, map_t1 = outcome.phases["map"]
+        t_end = outcome.result.elapsed_sec
+        map_rate = cluster.network_mbps(map_t0, map_t1)
+        reduce_rate = cluster.network_mbps(map_t1, t_end)
+        assert reduce_rate > map_rate * 2.0
+
+    def test_datampi_finishes_while_others_still_run(self, sort_outcomes):
+        """At DataMPI's finish time, Hadoop and Spark are mid-job — the
+        visual takeaway of every Figure 4 panel."""
+        d_end = sort_outcomes["datampi"].result.elapsed_sec
+        for other in ("hadoop", "spark"):
+            assert sort_outcomes[other].result.elapsed_sec > d_end * 1.3
+
+
+class TestSortDiskShape:
+    def test_reads_concentrate_in_load_phase(self, sort_outcomes):
+        """Input reads happen in the O/Map phase; later phases are
+        write-dominated (the sort's output)."""
+        for framework, phase in (("datampi", "o"), ("hadoop", "map")):
+            outcome = sort_outcomes[framework]
+            cluster = outcome.cluster
+            t0, t1 = outcome.phases[phase]
+            t_end = outcome.result.elapsed_sec
+            load_read = cluster.disk_read_mbps(t0, t1)
+            tail_read = cluster.disk_read_mbps(t1, t_end)
+            assert load_read > tail_read, framework
+
+    def test_writes_concentrate_in_output_phase(self, sort_outcomes):
+        outcome = sort_outcomes["datampi"]
+        cluster = outcome.cluster
+        t0, t1 = outcome.phases["o"]
+        t_end = outcome.result.elapsed_sec
+        assert cluster.disk_write_mbps(t1, t_end) > cluster.disk_write_mbps(t0, t1)
+
+
+class TestSortMemoryShape:
+    def test_datampi_memory_steps_up_after_o_phase(self, sort_outcomes):
+        """The buffered intermediate data appears as a step in the memory
+        footprint when the O phase completes."""
+        outcome = sort_outcomes["datampi"]
+        cluster = outcome.cluster
+        t0, t1 = outcome.phases["o"]
+        mid_o = cluster.memory_gb(t0 + 1, t1 - 1)
+        a0, a1 = outcome.phases["a"]
+        mid_a = cluster.memory_gb(a0 + 1, a1 - 1)
+        assert mid_a > mid_o + 0.5  # the ~1GB/node buffered shuffle
+
+    def test_memory_returns_toward_baseline_at_end(self, sort_outcomes):
+        """After the job, only the framework daemons' memory remains
+        (sampled just past the final free at job end)."""
+        for framework, outcome in sort_outcomes.items():
+            cluster = outcome.cluster
+            t_end = outcome.result.elapsed_sec
+            after = cluster.memory_gb(t_end + 0.1, t_end + 0.2)
+            assert after < 2.0, framework
+
+
+class TestWordCountShape:
+    def test_hadoop_cpu_saturated_through_map_waves(self):
+        """Hadoop WordCount holds high CPU through its four map waves."""
+        outcome = simulate_once("hadoop", "wordcount", 32 * GB)
+        cluster = outcome.cluster
+        t0, t1 = outcome.phases["map"]
+        quarters = [
+            cluster.cpu_utilization_pct(
+                t0 + i * (t1 - t0) / 4, t0 + (i + 1) * (t1 - t0) / 4
+            )
+            for i in range(4)
+        ]
+        assert all(q > 55.0 for q in quarters), quarters

@@ -1,0 +1,150 @@
+"""Tests for the functional Hadoop MapReduce engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import ConfigError, JobError
+from repro.hadoop import (
+    HadoopConf,
+    JobPipeline,
+    MapReduceJob,
+    records_to_splits,
+)
+
+
+def wc_mapper(key, value):
+    for word in value.split():
+        yield word, 1
+
+
+def sum_reducer(key, values):
+    yield key, sum(values)
+
+
+def make_wc_splits():
+    lines = [
+        "apple banana apple",
+        "cherry banana",
+        "apple cherry cherry cherry",
+    ]
+    return [[(i, line)] for i, line in enumerate(lines)]
+
+
+class TestMapReduceJob:
+    def test_wordcount_correct(self):
+        job = MapReduceJob(wc_mapper, sum_reducer, HadoopConf(num_reduces=3))
+        result = job.run(make_wc_splits())
+        counts = {kv.key: kv.value for kv in result.merged_outputs()}
+        assert counts == {"apple": 3, "banana": 2, "cherry": 4}
+
+    def test_outputs_sorted_within_partition(self):
+        job = MapReduceJob(wc_mapper, sum_reducer, HadoopConf(num_reduces=2))
+        result = job.run(make_wc_splits())
+        for partition in result.outputs:
+            keys = [kv.key for kv in partition]
+            assert keys == sorted(keys)
+
+    def test_counters_track_volumes(self):
+        job = MapReduceJob(wc_mapper, sum_reducer, HadoopConf(num_reduces=2))
+        result = job.run(make_wc_splits())
+        c = result.counters
+        assert c["map_input_records"] == 3
+        assert c["map_output_records"] == 9
+        assert c["reduce_input_records"] == 9
+        assert c["reduce_input_groups"] == 3
+        assert c["reduce_output_records"] == 3
+        assert c["shuffle_bytes"] > 0
+
+    def test_combiner_shrinks_shuffle(self):
+        plain = MapReduceJob(wc_mapper, sum_reducer, HadoopConf(num_reduces=2))
+        combined = MapReduceJob(
+            wc_mapper, sum_reducer,
+            HadoopConf(num_reduces=2, combiner=lambda k, vs: sum(vs)),
+        )
+        splits = make_wc_splits()
+        plain_result = plain.run(splits)
+        combined_result = combined.run(splits)
+        assert combined_result.counters["shuffle_bytes"] < plain_result.counters["shuffle_bytes"]
+        assert (
+            {kv.key: kv.value for kv in combined_result.merged_outputs()}
+            == {kv.key: kv.value for kv in plain_result.merged_outputs()}
+        )
+
+    def test_multiple_spills_still_correct(self):
+        conf = HadoopConf(num_reduces=2, spill_record_limit=5)
+        job = MapReduceJob(wc_mapper, sum_reducer, conf)
+        lines = ["w%d common" % (i % 7) for i in range(40)]
+        result = job.run([[(i, line) for i, line in enumerate(lines)]])
+        counts = {kv.key: kv.value for kv in result.merged_outputs()}
+        assert counts["common"] == 40
+        assert result.counters["merge_passes"] >= 1
+        # Spilled records >= map output records means multi-pass disk traffic.
+        assert result.counters["spilled_records"] >= 40
+
+    def test_identity_job_sorts_by_key(self):
+        job = MapReduceJob(
+            lambda k, v: [(k, v)], lambda k, vs: [(k, v) for v in vs],
+            HadoopConf(num_reduces=1),
+        )
+        records = [(9, "i"), (1, "a"), (5, "e")]
+        result = job.run([records])
+        assert [kv.key for kv in result.merged_outputs()] == [1, 5, 9]
+
+    def test_reducer_returning_none_is_an_error(self):
+        job = MapReduceJob(wc_mapper, lambda k, vs: None, HadoopConf(num_reduces=1))
+        with pytest.raises(JobError):
+            job.run(make_wc_splits())
+
+    def test_empty_input(self):
+        job = MapReduceJob(wc_mapper, sum_reducer, HadoopConf(num_reduces=2))
+        result = job.run([])
+        assert result.merged_outputs() == []
+
+    def test_conf_validation(self):
+        with pytest.raises(ConfigError):
+            HadoopConf(num_reduces=0)
+        with pytest.raises(ConfigError):
+            HadoopConf(spill_record_limit=0)
+
+    @given(st.lists(st.text(alphabet="abcd ", max_size=20), max_size=15),
+           st.integers(min_value=1, max_value=5))
+    def test_wordcount_matches_reference(self, lines, num_reduces):
+        expected: dict[str, int] = {}
+        for line in lines:
+            for word in line.split():
+                expected[word] = expected.get(word, 0) + 1
+        job = MapReduceJob(wc_mapper, sum_reducer, HadoopConf(num_reduces=num_reduces))
+        result = job.run([[(i, line)] for i, line in enumerate(lines)])
+        assert {kv.key: kv.value for kv in result.merged_outputs()} == expected
+
+
+class TestJobPipeline:
+    def test_records_to_splits_round_robin(self):
+        splits = records_to_splits([(i, i) for i in range(7)], 3)
+        assert [len(s) for s in splits] == [3, 2, 2]
+
+    def test_records_to_splits_validation(self):
+        with pytest.raises(JobError):
+            records_to_splits([], 0)
+
+    def test_chained_jobs(self):
+        pipeline = JobPipeline(num_splits=2)
+        count_job = MapReduceJob(wc_mapper, sum_reducer, HadoopConf(num_reduces=2, job_name="count"))
+        first = pipeline.run_job(count_job, make_wc_splits())
+        # Second job: swap (word, count) -> (count, word) and sort by count.
+        swap_job = MapReduceJob(
+            lambda k, v: [(v, k)], lambda k, vs: [(k, v) for v in sorted(vs)],
+            HadoopConf(num_reduces=1, job_name="swap"),
+        )
+        second = pipeline.run_chained(swap_job, first)
+        assert pipeline.num_jobs == 2
+        assert [record.name for record in pipeline.history] == ["count", "swap"]
+        assert [kv.key for kv in second.merged_outputs()] == [2, 3, 4]
+
+    def test_total_counters_accumulate(self):
+        pipeline = JobPipeline(num_splits=2)
+        job = MapReduceJob(wc_mapper, sum_reducer, HadoopConf(num_reduces=2))
+        pipeline.run_job(job, make_wc_splits())
+        pipeline.run_job(job, make_wc_splits())
+        assert pipeline.total_counters["map_input_records"] == 6

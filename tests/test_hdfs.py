@@ -1,0 +1,170 @@
+"""Tests for HDFS metadata, placement invariants, and the data path."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import SimCluster
+from repro.common import FrameworkConf, HDFSError
+from repro.common.units import GB, MB
+from repro.hdfs import HDFS, NameNode, split_into_blocks
+
+
+class TestSplitIntoBlocks:
+    def test_exact_multiple(self):
+        assert split_into_blocks(512 * MB, 256 * MB) == [256 * MB, 256 * MB]
+
+    def test_tail_block(self):
+        assert split_into_blocks(300 * MB, 256 * MB) == [256 * MB, 44 * MB]
+
+    def test_empty_file(self):
+        assert split_into_blocks(0, 256 * MB) == []
+
+    def test_bad_block_size(self):
+        with pytest.raises(HDFSError):
+            split_into_blocks(10, 0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**10),
+        st.integers(min_value=2**20, max_value=2**30),
+    )
+    def test_blocks_sum_to_size(self, size, block_size):
+        sizes = split_into_blocks(size, block_size)
+        assert sum(sizes) == size
+        assert all(0 < s <= block_size for s in sizes)
+        # only the last block may be short
+        assert all(s == block_size for s in sizes[:-1])
+
+
+class TestNameNode:
+    def make(self, replication=3):
+        return NameNode(num_nodes=8, replication=replication, seed=1)
+
+    def test_create_and_locate(self):
+        nn = self.make()
+        meta = nn.create_file("/data/a", 1 * GB, 256 * MB)
+        assert nn.locate("/data/a") is meta
+        assert meta.num_blocks == 4
+
+    def test_duplicate_create_rejected(self):
+        nn = self.make()
+        nn.create_file("/a", 1, 256 * MB)
+        with pytest.raises(HDFSError):
+            nn.create_file("/a", 1, 256 * MB)
+
+    def test_replicas_distinct_and_correct_count(self):
+        nn = self.make()
+        meta = nn.create_file("/a", 4 * GB, 256 * MB)
+        for block in meta.blocks:
+            assert len(block.replicas) == 3
+            assert len(set(block.replicas)) == 3
+            assert all(0 <= r < 8 for r in block.replicas)
+
+    def test_writer_node_holds_first_replica(self):
+        nn = self.make()
+        meta = nn.create_file("/a", 1 * GB, 256 * MB, writer_node=5)
+        assert all(block.replicas[0] == 5 for block in meta.blocks)
+
+    def test_round_robin_primaries_balanced(self):
+        nn = self.make()
+        meta = nn.create_file("/a", 8 * GB, 256 * MB)  # 32 blocks over 8 nodes
+        primaries = [block.replicas[0] for block in meta.blocks]
+        for node in range(8):
+            assert primaries.count(node) == 4
+
+    def test_replication_capped_at_cluster_size(self):
+        nn = NameNode(num_nodes=2, replication=3, seed=0)
+        meta = nn.create_file("/a", 10 * MB, 256 * MB)
+        assert len(meta.blocks[0].replicas) == 2
+
+    def test_delete(self):
+        nn = self.make()
+        nn.create_file("/a", 1, 256 * MB)
+        nn.delete("/a")
+        assert not nn.exists("/a")
+        with pytest.raises(HDFSError):
+            nn.delete("/a")
+
+    def test_missing_file(self):
+        with pytest.raises(HDFSError):
+            self.make().locate("/nope")
+
+    def test_byte_accounting(self):
+        nn = self.make()
+        nn.create_file("/a", 1 * GB, 256 * MB)
+        assert nn.total_logical_bytes == 1 * GB
+        assert nn.total_physical_bytes == 3 * GB
+        per_node = [nn.bytes_on_node(n) for n in range(8)]
+        assert sum(per_node) == 3 * GB
+
+    def test_placement_roughly_balanced(self):
+        nn = self.make()
+        nn.create_file("/big", 32 * GB, 256 * MB)  # 128 blocks, 384 replicas
+        per_node = [nn.bytes_on_node(n) for n in range(8)]
+        mean = sum(per_node) / 8
+        assert all(0.5 * mean < b < 1.7 * mean for b in per_node)
+
+
+class TestHDFSDataPath:
+    def make(self):
+        cluster = SimCluster()
+        return cluster, HDFS(cluster, FrameworkConf.paper_defaults(), seed=2)
+
+    def test_splits_match_blocks(self):
+        cluster, hdfs = self.make()
+        hdfs.ingest_file("/in", 2 * GB)
+        splits = hdfs.splits("/in")
+        assert len(splits) == 8
+        assert all(split.size == 256 * MB for split in splits)
+
+    def test_local_read_uses_no_network(self):
+        cluster, hdfs = self.make()
+        hdfs.ingest_file("/in", 256 * MB)
+        split = hdfs.splits("/in")[0]
+        reader = cluster.node(split.preferred_nodes[0])
+
+        def proc(engine):
+            yield hdfs.read_split(reader, split)
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        assert reader.disk_read.total_served == pytest.approx(256 * MB)
+        assert all(node.nic_in.total_served == 0 for node in cluster.nodes)
+
+    def test_remote_read_uses_network(self):
+        cluster, hdfs = self.make()
+        hdfs.ingest_file("/in", 256 * MB)
+        split = hdfs.splits("/in")[0]
+        non_replica = next(
+            node for node in cluster.nodes if node.node_id not in split.preferred_nodes
+        )
+
+        def proc(engine):
+            yield hdfs.read_split(non_replica, split)
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        assert non_replica.nic_in.total_served == pytest.approx(256 * MB)
+
+    def test_write_file_charges_replication_pipeline(self):
+        cluster, hdfs = self.make()
+        writer = cluster.node(0)
+
+        def proc(engine):
+            meta = yield from hdfs.write_file("/out", 512 * MB, writer)
+            assert meta.size == 512 * MB
+
+        cluster.engine.process(proc(cluster.engine))
+        cluster.run()
+        total_disk_write = sum(node.disk_write.total_served for node in cluster.nodes)
+        assert total_disk_write == pytest.approx(3 * 512 * MB)
+        total_net = sum(node.nic_in.total_served for node in cluster.nodes)
+        assert total_net == pytest.approx(2 * 512 * MB)
+
+    def test_locality_fraction(self):
+        cluster, hdfs = self.make()
+        meta = hdfs.ingest_file("/in", 1 * GB)
+        all_local = {block.block_id: block.replicas[0] for block in meta.blocks}
+        assert hdfs.locality_fraction("/in", all_local) == 1.0
+        none_assigned: dict[int, int] = {}
+        assert hdfs.locality_fraction("/in", none_assigned) == 0.0

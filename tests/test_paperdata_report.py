@@ -1,0 +1,108 @@
+"""Tests for the paper-value registry and report helpers."""
+
+import pytest
+
+from repro import paperdata
+from repro.common.units import GB
+from repro.experiments.report import (
+    improvement_range,
+    profile_rows,
+    render_table,
+    sweep_rows,
+)
+from repro.perfmodels.runner import AveragedRun
+
+
+def make_run(framework, seconds, failed=False):
+    return AveragedRun(framework=framework, workload="w", input_bytes=8 * GB,
+                       elapsed_sec=seconds, failed=failed)
+
+
+class TestPaperData:
+    def test_improvement_math(self):
+        assert paperdata.improvement(100.0, 60.0) == pytest.approx(0.40)
+
+    def test_improvement_validates_baseline(self):
+        with pytest.raises(ValueError):
+            paperdata.improvement(0.0, 1.0)
+
+    def test_stated_sort_numbers(self):
+        assert paperdata.TEXT_SORT_8GB_SEC == {
+            "hadoop": 117.0, "spark": 114.0, "datampi": 69.0,
+        }
+
+    def test_improvement_ranges_well_formed(self):
+        for (workload, baseline), (low, high) in paperdata.IMPROVEMENTS.items():
+            assert 0.0 <= low <= high < 1.0, (workload, baseline)
+
+    def test_chart_series_keyed_by_bytes(self):
+        assert 8 * GB in paperdata.FIG3B_TEXT_SORT["hadoop"]
+        assert paperdata.FIG3B_TEXT_SORT["hadoop"][8 * GB] == 117
+
+    def test_claim_tolerance(self):
+        claim = paperdata.Claim("fig3b", "8GB hadoop", 117.0, 121.0, 0.15)
+        assert claim.within_tolerance
+        assert claim.relative_error == pytest.approx(4 / 117)
+        bad = paperdata.Claim("fig3b", "8GB hadoop", 117.0, 200.0, 0.15)
+        assert not bad.within_tolerance
+
+    def test_claim_zero_paper_value(self):
+        claim = paperdata.Claim("x", "y", 0.0, 0.5, 0.1)
+        assert claim.relative_error == 0.5
+
+
+class TestReportHelpers:
+    def make_series(self):
+        return {
+            "hadoop": {8 * GB: make_run("hadoop", 100.0),
+                       16 * GB: make_run("hadoop", 200.0)},
+            "spark": {8 * GB: make_run("spark", 0.0, failed=True),
+                      16 * GB: make_run("spark", 150.0)},
+            "datampi": {8 * GB: make_run("datampi", 60.0),
+                        16 * GB: make_run("datampi", 130.0)},
+        }
+
+    def test_sweep_rows_marks_oom(self):
+        rows = sweep_rows(self.make_series())
+        assert rows[0][2] == "OOM"
+        assert rows[0][1] == "100s"
+        assert rows[0][-1] == "40%"
+
+    def test_improvement_range(self):
+        low, high = improvement_range(self.make_series())
+        assert low == pytest.approx(0.35)
+        assert high == pytest.approx(0.40)
+
+    def test_improvement_range_skips_failures(self):
+        series = self.make_series()
+        low, high = improvement_range(series, baseline="spark")
+        # Only the 16GB point has a successful spark run.
+        assert low == high == pytest.approx(1 - 130 / 150)
+
+    def test_improvement_range_empty_raises(self):
+        series = {
+            "hadoop": {8 * GB: make_run("hadoop", 0.0, failed=True)},
+            "datampi": {8 * GB: make_run("datampi", 60.0)},
+        }
+        with pytest.raises(ValueError):
+            improvement_range(series)
+
+    def test_render_table_handles_non_strings(self):
+        text = render_table(["a"], [[123], [None]])
+        assert "123" in text and "None" in text
+
+    def test_profile_rows_shape(self):
+        from repro.experiments.figures import ResourceProfile
+        profiles = {
+            fw: ResourceProfile(
+                framework=fw, elapsed_sec=100.0, phase_window=(0, 30),
+                cpu_pct=30.0, iowait_pct=5.0, disk_read_mbps=40.0,
+                disk_read_phase_mbps=45.0, disk_write_mbps=50.0,
+                net_mbps=60.0, mem_gb=5.0,
+            )
+            for fw in ("hadoop", "spark", "datampi")
+        }
+        rows = profile_rows(profiles)
+        assert len(rows) == 3
+        assert rows[0][0] == "hadoop"
+        assert rows[0][-1] == "5.0"

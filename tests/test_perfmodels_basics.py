@@ -1,0 +1,195 @@
+"""Structural tests for the framework timeline models."""
+
+import pytest
+
+from repro.common import ConfigError, OutOfMemoryError, WorkloadError
+from repro.common.units import GB, MB
+from repro.perfmodels import (
+    DataMPIModel,
+    HadoopModel,
+    SparkModel,
+    disk_efficiency,
+    get_calibration,
+    get_profile,
+    simulate,
+    simulate_once,
+)
+
+
+class TestCalibrationTables:
+    def test_all_frameworks_cover_all_workloads(self):
+        workloads = ["text_sort", "normal_sort", "wordcount", "grep",
+                     "kmeans", "naive_bayes"]
+        for framework in ("hadoop", "spark", "datampi"):
+            cal = get_calibration(framework)
+            for workload in workloads:
+                assert cal.map_cost(workload).cpu_per_mb > 0
+
+    def test_unknown_framework_rejected(self):
+        with pytest.raises(ConfigError):
+            get_calibration("flink")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            get_calibration("hadoop").map_cost("terasort")
+
+    def test_profiles_resolve(self):
+        assert get_profile("text_sort").shuffle_ratio == 1.0
+        assert get_profile("normal_sort").decompress_ratio > 3.0
+        with pytest.raises(ConfigError):
+            get_profile("unknown")
+
+    def test_datampi_has_lowest_startup(self):
+        setups = {fw: get_calibration(fw).job_setup_sec
+                  for fw in ("hadoop", "spark", "datampi")}
+        assert setups["datampi"] < setups["spark"] < setups["hadoop"]
+
+    def test_disk_efficiency_monotone(self):
+        values = [disk_efficiency(n) for n in range(1, 9)]
+        assert values == sorted(values, reverse=True)
+        assert disk_efficiency(4) == pytest.approx(0.86)
+
+    def test_disk_efficiency_validation(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            disk_efficiency(0)
+
+
+class TestSimulateOnce:
+    def test_returns_phases(self):
+        outcome = simulate_once("hadoop", "text_sort", 4 * GB)
+        assert set(outcome.result.phases) == {"map", "reduce"}
+        assert outcome.result.elapsed_sec > 0
+
+    def test_datampi_phases(self):
+        outcome = simulate_once("datampi", "text_sort", 4 * GB)
+        assert set(outcome.result.phases) == {"o", "a"}
+
+    def test_spark_phases(self):
+        outcome = simulate_once("spark", "wordcount", 4 * GB)
+        assert set(outcome.result.phases) == {"stage0", "stage1"}
+
+    def test_deterministic_for_same_seed(self):
+        a = simulate_once("datampi", "grep", 8 * GB, seed=5)
+        b = simulate_once("datampi", "grep", 8 * GB, seed=5)
+        assert a.result.elapsed_sec == b.result.elapsed_sec
+
+    def test_jitter_varies_with_seed(self):
+        a = simulate_once("datampi", "grep", 8 * GB, seed=1)
+        b = simulate_once("datampi", "grep", 8 * GB, seed=2)
+        assert a.result.elapsed_sec != b.result.elapsed_sec
+
+    def test_unknown_framework(self):
+        with pytest.raises(WorkloadError):
+            simulate_once("flink", "grep", 1 * GB)
+
+    def test_spark_naive_bayes_unsupported(self):
+        with pytest.raises(WorkloadError):
+            simulate_once("spark", "naive_bayes", 1 * GB)
+
+    def test_naive_bayes_runs_pipeline_of_jobs(self):
+        outcome = simulate_once("hadoop", "naive_bayes", 8 * GB)
+        map_phases = [name for name in outcome.result.phases if name.startswith("map")]
+        assert len(map_phases) == 5  # five chained MapReduce jobs
+
+    def test_models_scale_with_input(self):
+        for framework in ("hadoop", "spark", "datampi"):
+            small = simulate_once(framework, "grep", 8 * GB)
+            large = simulate_once(framework, "grep", 32 * GB)
+            assert large.result.elapsed_sec > small.result.elapsed_sec
+
+    def test_invalid_slots(self):
+        with pytest.raises(ConfigError):
+            HadoopModel(slots=0)
+
+
+class TestSparkOOMGates:
+    """Section 4.3's failure matrix, exactly."""
+
+    @pytest.mark.parametrize("size_gb", [4, 8, 16, 32])
+    def test_normal_sort_always_oom(self, size_gb):
+        outcome = simulate_once("spark", "normal_sort", size_gb * GB)
+        assert outcome.result.failed
+        assert "OutOfMemory" in outcome.result.failure
+
+    def test_text_sort_8gb_succeeds(self):
+        outcome = simulate_once("spark", "text_sort", 8 * GB)
+        assert outcome.result.succeeded
+
+    @pytest.mark.parametrize("size_gb", [16, 32, 64])
+    def test_text_sort_above_8gb_oom(self, size_gb):
+        outcome = simulate_once("spark", "text_sort", size_gb * GB)
+        assert outcome.result.failed
+
+    def test_wordcount_never_oom(self):
+        outcome = simulate_once("spark", "wordcount", 64 * GB)
+        assert outcome.result.succeeded
+
+    def test_kmeans_never_oom(self):
+        """Cached RDDs are evictable, so K-means runs at every size."""
+        outcome = simulate_once("spark", "kmeans", 64 * GB)
+        assert outcome.result.succeeded
+
+
+class TestAveragedRuns:
+    def test_three_executions_averaged(self):
+        run = simulate("datampi", "grep", 8 * GB, executions=3)
+        singles = [simulate_once("datampi", "grep", 8 * GB, seed=i).result.elapsed_sec
+                   for i in range(3)]
+        assert run.elapsed_sec == pytest.approx(sum(singles) / 3)
+
+    def test_invalid_executions(self):
+        with pytest.raises(WorkloadError):
+            simulate("datampi", "grep", 1 * GB, executions=0)
+
+    def test_failed_flag_propagates(self):
+        run = simulate("spark", "normal_sort", 8 * GB, executions=2)
+        assert run.failed
+        assert run.failure is not None
+
+
+class TestResourceAccounting:
+    def test_sort_moves_expected_disk_volume(self):
+        """Input read once per node + output written with 3 replicas."""
+        outcome = simulate_once("datampi", "text_sort", 8 * GB)
+        cluster = outcome.cluster
+        total_read = sum(n.disk_read.total_served for n in cluster.nodes)
+        total_write = sum(n.disk_write.total_served for n in cluster.nodes)
+        assert total_read == pytest.approx(8 * GB, rel=0.01)
+        assert total_write == pytest.approx(3 * 8 * GB, rel=0.01)
+
+    def test_hadoop_writes_more_than_datampi(self):
+        """The spill/merge passes the paper blames for Hadoop's slowness."""
+        hadoop = simulate_once("hadoop", "text_sort", 8 * GB)
+        datampi = simulate_once("datampi", "text_sort", 8 * GB)
+        hadoop_writes = sum(n.disk_write.total_served for n in hadoop.cluster.nodes)
+        datampi_writes = sum(n.disk_write.total_served for n in datampi.cluster.nodes)
+        assert hadoop_writes > datampi_writes * 1.3
+
+    def test_datampi_shuffles_during_o_phase(self):
+        """Pipelining: most network traffic lands inside the O phase."""
+        outcome = simulate_once("datampi", "text_sort", 8 * GB)
+        cluster = outcome.cluster
+        t0, t1 = outcome.phases["o"]
+        in_phase_mb = cluster.network_mbps(t0, t1) * (t1 - t0)
+        # Expected shuffle volume: 7/8 of the data leaves its node, counted
+        # in both NIC directions (the remainder of the job's traffic is
+        # output replication, which happens in the A phase).
+        expected_shuffle_mb = 2 * (7 / 8) * 8 * 1024 / 8
+        assert in_phase_mb > 0.9 * expected_shuffle_mb
+
+    def test_memory_returns_to_baseline(self):
+        outcome = simulate_once("hadoop", "grep", 8 * GB)
+        for node in outcome.cluster.nodes:
+            assert node.memory_used == get_calibration("hadoop").base_memory
+
+    def test_wordcount_network_negligible(self):
+        """Section 4.4: D/H WordCount have 'few network overhead'."""
+        for framework in ("hadoop", "datampi"):
+            outcome = simulate_once(framework, "wordcount", 32 * GB)
+            assert outcome.cluster.network_mbps(0, outcome.result.elapsed_sec) < 6.0
+
+    def test_spark_wordcount_has_network_traffic(self):
+        """...while Spark shows ~25 MB/s from locality misses."""
+        outcome = simulate_once("spark", "wordcount", 32 * GB)
+        assert outcome.cluster.network_mbps(0, outcome.result.elapsed_sec) > 10.0

@@ -1,0 +1,205 @@
+"""Calibration tests: the simulated testbed vs the paper's stated numbers.
+
+Every number asserted here is *stated in the paper's prose* (not read off
+a chart), so these are the reproduction's primary quantitative gates.
+Tolerances are wider than the headline targets because three-execution
+jitter is included.
+"""
+
+import pytest
+
+from repro import paperdata
+from repro.common.units import GB
+from repro.perfmodels import get_calibration, simulate
+
+
+@pytest.fixture(scope="module")
+def sort_runs():
+    return {
+        fw: simulate(fw, "text_sort", 8 * GB, executions=3)
+        for fw in ("hadoop", "spark", "datampi")
+    }
+
+
+@pytest.fixture(scope="module")
+def wordcount_runs():
+    return {
+        fw: simulate(fw, "wordcount", 32 * GB, executions=3)
+        for fw in ("hadoop", "spark", "datampi")
+    }
+
+
+class TestTextSort8GB:
+    """Section 4.4: 'DataMPI costs 69 seconds while Hadoop and Spark cost
+    117 seconds and 114 seconds.'"""
+
+    @pytest.mark.parametrize("framework", ["hadoop", "spark", "datampi"])
+    def test_elapsed_close_to_paper(self, sort_runs, framework):
+        run = sort_runs[framework]
+        paper = paperdata.TEXT_SORT_8GB_SEC[framework]
+        assert run.elapsed_sec == pytest.approx(paper, rel=0.15)
+
+    def test_ordering(self, sort_runs):
+        assert (
+            sort_runs["datampi"].elapsed_sec
+            < sort_runs["spark"].elapsed_sec
+            <= sort_runs["hadoop"].elapsed_sec * 1.05
+        )
+
+    def test_o_phase_28s(self, sort_runs):
+        assert sort_runs["datampi"].phases["o"] == pytest.approx(
+            paperdata.TEXT_SORT_8GB_PHASES["datampi_o_phase"], rel=0.25
+        )
+
+    def test_map_phase_36s(self, sort_runs):
+        assert sort_runs["hadoop"].phases["map"] == pytest.approx(
+            paperdata.TEXT_SORT_8GB_PHASES["hadoop_map_phase"], rel=0.25
+        )
+
+    def test_stage0_38s(self, sort_runs):
+        assert sort_runs["spark"].phases["stage0"] == pytest.approx(
+            paperdata.TEXT_SORT_8GB_PHASES["spark_stage0"], rel=0.25
+        )
+
+    def test_improvement_vs_hadoop_in_range(self, sort_runs):
+        improvement = paperdata.improvement(
+            sort_runs["hadoop"].elapsed_sec, sort_runs["datampi"].elapsed_sec
+        )
+        low, high = paperdata.IMPROVEMENTS[("text_sort", "hadoop")]
+        assert low - 0.04 <= improvement <= high + 0.04
+
+    def test_improvement_vs_spark_about_39pct(self, sort_runs):
+        improvement = paperdata.improvement(
+            sort_runs["spark"].elapsed_sec, sort_runs["datampi"].elapsed_sec
+        )
+        assert improvement == pytest.approx(0.39, abs=0.10)
+
+
+class TestWordCount32GB:
+    """Section 4.4: 'DataMPI and Spark cost almost the same execution time,
+    130 seconds, and improve the total execution time by 53% compared to
+    275 seconds in Hadoop.'"""
+
+    @pytest.mark.parametrize("framework", ["hadoop", "spark", "datampi"])
+    def test_elapsed_close_to_paper(self, wordcount_runs, framework):
+        run = wordcount_runs[framework]
+        paper = paperdata.WORDCOUNT_32GB_SEC[framework]
+        assert run.elapsed_sec == pytest.approx(paper, rel=0.15)
+
+    def test_datampi_and_spark_similar(self, wordcount_runs):
+        ratio = (wordcount_runs["datampi"].elapsed_sec
+                 / wordcount_runs["spark"].elapsed_sec)
+        assert 0.85 < ratio < 1.18
+
+    def test_improvement_about_53pct(self, wordcount_runs):
+        improvement = paperdata.improvement(
+            wordcount_runs["hadoop"].elapsed_sec,
+            wordcount_runs["datampi"].elapsed_sec,
+        )
+        assert improvement == pytest.approx(0.53, abs=0.06)
+
+
+class TestSortResourceProfile:
+    """Section 4.4's resource-utilization averages for the Sort case."""
+
+    def metrics(self, sort_runs, framework):
+        run = sort_runs[framework]
+        cluster = run.first.cluster
+        return cluster, run.elapsed_sec
+
+    @pytest.mark.parametrize("framework", ["hadoop", "spark", "datampi"])
+    def test_cpu_utilization(self, sort_runs, framework):
+        cluster, t_end = self.metrics(sort_runs, framework)
+        paper = paperdata.SORT_PROFILE["cpu_pct"][framework]
+        assert cluster.cpu_utilization_pct(0, t_end) == pytest.approx(paper, rel=0.40)
+
+    @pytest.mark.parametrize("framework", ["hadoop", "spark", "datampi"])
+    def test_memory_footprint(self, sort_runs, framework):
+        cluster, t_end = self.metrics(sort_runs, framework)
+        paper = paperdata.SORT_PROFILE["mem_gb"][framework]
+        assert cluster.memory_gb(0, t_end) == pytest.approx(paper, rel=0.35)
+
+    def test_spark_uses_most_memory(self, sort_runs):
+        values = {
+            fw: self.metrics(sort_runs, fw)[0].memory_gb(0, self.metrics(sort_runs, fw)[1])
+            for fw in ("hadoop", "spark", "datampi")
+        }
+        assert values["spark"] > values["hadoop"]
+        assert values["spark"] > values["datampi"]
+
+    def test_datampi_network_highest(self, sort_runs):
+        """'DataMPI achieves ... 59% higher than Hadoop and 55% higher
+        than Spark' — the ratios are the claim."""
+        net = {}
+        for fw in ("hadoop", "spark", "datampi"):
+            cluster, t_end = self.metrics(sort_runs, fw)
+            net[fw] = cluster.network_mbps(0, t_end)
+        assert net["datampi"] / net["hadoop"] == pytest.approx(1.59, abs=0.35)
+        assert net["datampi"] / net["spark"] == pytest.approx(1.55, abs=0.35)
+
+    def test_disk_read_similar_across_frameworks(self, sort_runs):
+        """Paper: 50/49/46 MB/s during the O/Map/Stage-0 phases."""
+        reads = {}
+        phase_names = {"hadoop": "map", "spark": "stage0", "datampi": "o"}
+        for fw in ("hadoop", "spark", "datampi"):
+            run = sort_runs[fw]
+            t0, t1 = run.first.phases[phase_names[fw]]
+            reads[fw] = run.first.cluster.disk_read_mbps(t0, t1)
+        assert max(reads.values()) / min(reads.values()) < 2.0
+
+    def test_iowait_ordering(self, sort_runs):
+        """Paper: 6% (DataMPI) < 12% (Spark) < 15% (Hadoop)."""
+        waits = {}
+        for fw in ("hadoop", "spark", "datampi"):
+            cluster, t_end = self.metrics(sort_runs, fw)
+            waits[fw] = get_calibration(fw).iowait_scale * cluster.iowait_pct(0, t_end)
+        assert waits["datampi"] < waits["spark"] <= waits["hadoop"] * 1.1
+        assert waits["datampi"] == pytest.approx(
+            paperdata.SORT_PROFILE["iowait_pct"]["datampi"], rel=0.5
+        )
+
+
+class TestWordCountResourceProfile:
+    """Section 4.4's WordCount case: CPU 47/30/80 %, reads 44/44/20 MB/s,
+    memory 5/5/9 GB."""
+
+    @pytest.mark.parametrize("framework", ["hadoop", "spark", "datampi"])
+    def test_cpu(self, wordcount_runs, framework):
+        run = wordcount_runs[framework]
+        cluster = run.first.cluster
+        paper = paperdata.WORDCOUNT_PROFILE["cpu_pct"][framework]
+        assert cluster.cpu_utilization_pct(0, run.elapsed_sec) == pytest.approx(
+            paper, rel=0.30
+        )
+
+    def test_hadoop_cpu_bound(self, wordcount_runs):
+        run = wordcount_runs["hadoop"]
+        assert run.first.cluster.cpu_utilization_pct(0, run.elapsed_sec) > 70.0
+
+    def test_hadoop_reads_slowest(self, wordcount_runs):
+        reads = {
+            fw: wordcount_runs[fw].first.cluster.disk_read_mbps(
+                0, wordcount_runs[fw].elapsed_sec
+            )
+            for fw in ("hadoop", "spark", "datampi")
+        }
+        assert reads["hadoop"] < reads["datampi"] * 0.6
+        assert reads["hadoop"] < reads["spark"] * 0.6
+
+    @pytest.mark.parametrize("framework", ["hadoop", "spark", "datampi"])
+    def test_memory(self, wordcount_runs, framework):
+        run = wordcount_runs[framework]
+        paper = paperdata.WORDCOUNT_PROFILE["mem_gb"][framework]
+        assert run.first.cluster.memory_gb(0, run.elapsed_sec) == pytest.approx(
+            paper, rel=0.30
+        )
+
+    def test_hadoop_uses_most_memory(self, wordcount_runs):
+        mems = {
+            fw: wordcount_runs[fw].first.cluster.memory_gb(
+                0, wordcount_runs[fw].elapsed_sec
+            )
+            for fw in ("hadoop", "spark", "datampi")
+        }
+        assert mems["hadoop"] > mems["spark"]
+        assert mems["hadoop"] > mems["datampi"]

@@ -1,0 +1,77 @@
+"""Tests for the ablation and iterative-K-means extensions."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.common.units import GB
+from repro.perfmodels import (
+    MECHANISMS,
+    ablated_datampi,
+    iterative_kmeans,
+)
+from repro.perfmodels.ablation import AblatedDataMPIModel
+
+
+class TestAblation:
+    @pytest.fixture(scope="class")
+    def sort_ablation(self):
+        return ablated_datampi("text_sort", 8 * GB)
+
+    def test_all_mechanisms_covered(self, sort_ablation):
+        assert set(sort_ablation.without) == set(MECHANISMS)
+
+    def test_removals_never_speed_things_up(self, sort_ablation):
+        for mechanism in MECHANISMS:
+            assert sort_ablation.without[mechanism] >= sort_ablation.full_sec * 0.98
+
+    def test_ranked_is_sorted(self, sort_ablation):
+        slowdowns = [value for _name, value in sort_ablation.ranked()]
+        assert slowdowns == sorted(slowdowns, reverse=True)
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ConfigError):
+            AblatedDataMPIModel("magic")
+
+    def test_no_pipelining_still_correct_volumes(self):
+        outcome = AblatedDataMPIModel("pipelining").run("text_sort", 8 * GB)
+        total_read = sum(n.disk_read.total_served for n in outcome.cluster.nodes)
+        assert total_read == pytest.approx(8 * GB, rel=0.01)
+
+    def test_no_buffering_forces_full_spill(self):
+        outcome = AblatedDataMPIModel("memory_buffering").run("text_sort", 8 * GB)
+        writes = sum(n.disk_write.total_served for n in outcome.cluster.nodes)
+        # Output replicas (3x input) plus the forced intermediate spill (1x).
+        assert writes == pytest.approx(4 * 8 * GB, rel=0.02)
+
+
+class TestIterativeKMeans:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return iterative_kmeans(32 * GB, iterations=8)
+
+    def test_cumulative_monotone(self, result):
+        for series in result.cumulative.values():
+            assert all(b > a for a, b in zip(series, series[1:]))
+
+    def test_first_iteration_matches_fig6a_ordering(self, result):
+        first = {fw: series[0] for fw, series in result.cumulative.items()}
+        assert first["datampi"] < first["spark"] < first["hadoop"]
+
+    def test_spark_marginal_cost_smallest(self, result):
+        marginal = {
+            fw: series[-1] - series[-2] for fw, series in result.cumulative.items()
+        }
+        assert marginal["spark"] < marginal["datampi"]
+        assert marginal["spark"] < marginal["hadoop"] / 3
+
+    def test_crossover_exists(self, result):
+        crossover = result.crossover_iteration("datampi", "spark")
+        assert crossover is not None
+        assert 2 <= crossover <= result.iterations
+
+    def test_crossover_none_when_never(self, result):
+        assert result.crossover_iteration("spark", "hadoop") is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            iterative_kmeans(1 * GB, iterations=0)

@@ -1,0 +1,67 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.common.config import RunResult
+from repro.experiments import ascii_radar, ascii_series, ascii_sweep
+from repro.perfmodels.runner import AveragedRun
+
+
+def make_run(framework, seconds, failed=False):
+    return AveragedRun(
+        framework=framework, workload="w", input_bytes=1 << 30,
+        elapsed_sec=seconds, failed=failed,
+        failure="OOM" if failed else None,
+    )
+
+
+class TestAsciiSeries:
+    def test_renders_peak_row(self):
+        series = [(float(t), float(t % 5)) for t in range(1, 61)]
+        chart = ascii_series(series, title="demo")
+        assert chart.startswith("demo")
+        assert "#" in chart
+        assert "60s" in chart
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_series([], title="x")
+
+    def test_flat_zero_series_does_not_crash(self):
+        chart = ascii_series([(1.0, 0.0), (2.0, 0.0)])
+        assert "+" in chart
+
+
+class TestAsciiSweep:
+    def test_renders_bars_and_oom(self):
+        series = {
+            "hadoop": {1 << 30: make_run("hadoop", 100.0)},
+            "spark": {1 << 30: make_run("spark", 0.0, failed=True)},
+            "datampi": {1 << 30: make_run("datampi", 60.0)},
+        }
+        chart = ascii_sweep(series, title="sweep")
+        assert "H #" in chart
+        assert "S OOM" in chart
+        assert "D #" in chart
+        assert "100s" in chart
+
+    def test_bar_lengths_ordered(self):
+        series = {
+            "hadoop": {1 << 30: make_run("hadoop", 100.0)},
+            "datampi": {1 << 30: make_run("datampi", 50.0)},
+        }
+        chart = ascii_sweep(series)
+        hadoop_bar = next(l for l in chart.splitlines() if l.strip().startswith("H"))
+        datampi_bar = next(l for l in chart.splitlines() if l.strip().startswith("D"))
+        assert hadoop_bar.count("#") > datampi_bar.count("#")
+
+
+class TestAsciiRadar:
+    def test_renders_all_axes(self):
+        scores = {
+            "axis1": {"hadoop": 0.5, "spark": 0.8, "datampi": 1.0},
+            "axis2": {"hadoop": 1.0, "spark": 0.9, "datampi": 0.95},
+        }
+        chart = ascii_radar(scores, ["axis1", "axis2"])
+        assert "axis1" in chart and "axis2" in chart
+        assert chart.count("H ") == 2
+        assert "1.00" in chart

@@ -1,0 +1,118 @@
+"""Cross-layer property-based tests (hypothesis).
+
+These pin down invariants that must hold for *any* input, not just the
+paper's configurations: conservation of records through the engines,
+monotonicity of the performance models, and determinism everywhere.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import GB, MB
+from repro.datampi import DataMPIConf, DataMPIJob
+from repro.hadoop import HadoopConf, MapReduceJob
+from repro.perfmodels import simulate_once
+from repro.spark import SparkContext
+
+# Keyed records with text keys and small int values.
+records_strategy = st.lists(
+    st.tuples(st.text(alphabet="abcdef", min_size=1, max_size=6),
+              st.integers(min_value=-100, max_value=100)),
+    max_size=80,
+)
+
+
+def reference_group_sum(records):
+    table = {}
+    for key, value in records:
+        table[key] = table.get(key, 0) + value
+    return table
+
+
+class TestEngineConservation:
+    """No engine may ever lose, duplicate, or corrupt records."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(records_strategy, st.integers(min_value=1, max_value=4))
+    def test_hadoop_group_sum(self, records, reduces):
+        job = MapReduceJob(
+            lambda k, v: [(k, v)],
+            lambda k, vs: [(k, sum(vs))],
+            HadoopConf(num_reduces=reduces),
+        )
+        result = job.run([records])
+        assert {kv.key: kv.value for kv in result.merged_outputs()} == \
+            reference_group_sum(records)
+
+    @settings(max_examples=25, deadline=None)
+    @given(records_strategy, st.integers(min_value=1, max_value=4))
+    def test_spark_group_sum(self, records, partitions):
+        ctx = SparkContext(default_parallelism=partitions)
+        rdd = ctx.parallelize(records, partitions).reduce_by_key(lambda a, b: a + b)
+        assert dict(rdd.collect()) == reference_group_sum(records)
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(records_strategy)
+    def test_datampi_group_sum(self, records):
+        def o_task(ctx, split):
+            for key, value in split:
+                ctx.send(key, value)
+
+        def a_task(ctx):
+            return [(key, sum(values)) for key, values in ctx.grouped()]
+
+        job = DataMPIJob(o_task, a_task, DataMPIConf(num_o=2, num_a=2))
+        result = job.run([records[::2], records[1::2]])
+        assert dict(result.merged_outputs()) == reference_group_sum(records)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.text(alphabet="xyz", min_size=1, max_size=5),
+                    min_size=1, max_size=60))
+    def test_spark_sort_matches_sorted(self, keys):
+        ctx = SparkContext(default_parallelism=3, memory_capacity=64 * MB)
+        rdd = ctx.parallelize([(k, None) for k in keys], 3).sort_by_key(3)
+        assert [k for k, _ in rdd.collect()] == sorted(keys)
+
+
+class TestModelMonotonicity:
+    """More data never makes a simulated job faster."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from(["hadoop", "spark", "datampi"]),
+           st.sampled_from(["grep", "wordcount", "kmeans"]),
+           st.integers(min_value=2, max_value=24))
+    def test_time_monotone_in_input(self, framework, workload, size_gb):
+        small = simulate_once(framework, workload, size_gb * GB, seed=0)
+        large = simulate_once(framework, workload, 2 * size_gb * GB, seed=0)
+        assert large.result.elapsed_sec > small.result.elapsed_sec * 0.99
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.sampled_from(["hadoop", "datampi"]),
+           st.integers(min_value=4, max_value=32))
+    def test_datampi_always_beats_hadoop(self, _fw, size_gb):
+        hadoop = simulate_once("hadoop", "grep", size_gb * GB, seed=0)
+        datampi = simulate_once("datampi", "grep", size_gb * GB, seed=0)
+        assert datampi.result.elapsed_sec < hadoop.result.elapsed_sec
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=99))
+    def test_simulation_deterministic(self, slots, seed):
+        a = simulate_once("datampi", "wordcount", 4 * GB, slots=slots, seed=seed)
+        b = simulate_once("datampi", "wordcount", 4 * GB, slots=slots, seed=seed)
+        assert a.result.elapsed_sec == b.result.elapsed_sec
+        assert a.result.phases == b.result.phases
+
+
+class TestResourceConservationUnderSim:
+    @settings(max_examples=6, deadline=None)
+    @given(st.sampled_from(["hadoop", "spark", "datampi"]),
+           st.integers(min_value=4, max_value=16))
+    def test_input_read_exactly_once(self, framework, size_gb):
+        """Every framework reads each input byte from disk at least once;
+        sorts with sampling read at most twice."""
+        outcome = simulate_once(framework, "grep", size_gb * GB, seed=1)
+        total_read = sum(n.disk_read.total_served for n in outcome.cluster.nodes)
+        assert total_read >= size_gb * GB * 0.99
+        assert total_read <= size_gb * GB * 2.01

@@ -1,0 +1,162 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simulate import Engine
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        engine = Engine()
+        engine.timeout(5.0)
+        assert engine.run() == 5.0
+
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_fifo_order(self):
+        engine = Engine()
+        fired = []
+        for tag in "abcd":
+            engine.schedule(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == list("abcd")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(10.0, lambda: fired.append(1))
+        assert engine.run(until=5.0) == 5.0
+        assert fired == []
+        engine.run()
+        assert fired == [1]
+
+
+class TestProcesses:
+    def test_process_sequencing(self):
+        engine = Engine()
+        trace = []
+
+        def proc(engine):
+            trace.append(("start", engine.now))
+            yield engine.timeout(2.0)
+            trace.append(("mid", engine.now))
+            yield engine.timeout(3.0)
+            trace.append(("end", engine.now))
+
+        engine.process(proc(engine))
+        engine.run()
+        assert trace == [("start", 0.0), ("mid", 2.0), ("end", 5.0)]
+
+    def test_process_return_value_via_join(self):
+        engine = Engine()
+        results = []
+
+        def child(engine):
+            yield engine.timeout(1.0)
+            return 42
+
+        def parent(engine):
+            value = yield engine.process(child(engine))
+            results.append(value)
+
+        engine.process(parent(engine))
+        engine.run()
+        assert results == [42]
+
+    def test_yielding_non_event_raises(self):
+        engine = Engine()
+
+        def bad(engine):
+            yield "not an event"
+
+        engine.process(bad(engine))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_two_processes_interleave(self):
+        engine = Engine()
+        trace = []
+
+        def ticker(engine, name, period):
+            for _ in range(3):
+                yield engine.timeout(period)
+                trace.append((name, engine.now))
+
+        engine.process(ticker(engine, "fast", 1.0))
+        engine.process(ticker(engine, "slow", 2.0))
+        engine.run()
+        assert trace == [
+            ("fast", 1.0), ("slow", 2.0), ("fast", 2.0),
+            ("fast", 3.0), ("slow", 4.0), ("slow", 6.0),
+        ]
+
+
+class TestEvents:
+    def test_manual_event_wakes_waiter(self):
+        engine = Engine()
+        gate = engine.event()
+        woken = []
+
+        def waiter(engine):
+            value = yield gate
+            woken.append((engine.now, value))
+
+        engine.process(waiter(engine))
+        engine.schedule(4.0, lambda: gate.succeed("go"))
+        engine.run()
+        assert woken == [(4.0, "go")]
+
+    def test_event_triggered_twice_raises(self):
+        engine = Engine()
+        gate = engine.event()
+        gate.succeed()
+        with pytest.raises(SimulationError):
+            gate.succeed()
+
+    def test_callback_after_trigger_still_runs(self):
+        engine = Engine()
+        gate = engine.event()
+        gate.succeed(7)
+        seen = []
+        gate.add_callback(lambda event: seen.append(event.value))
+        engine.run()
+        assert seen == [7]
+
+    def test_all_of_waits_for_every_event(self):
+        engine = Engine()
+        done = []
+
+        def proc(engine):
+            values = yield engine.all_of([engine.timeout(1.0, "a"), engine.timeout(5.0, "b")])
+            done.append((engine.now, values))
+
+        engine.process(proc(engine))
+        engine.run()
+        assert done == [(5.0, ["a", "b"])]
+
+    def test_all_of_empty_list_triggers_immediately(self):
+        engine = Engine()
+        done = []
+
+        def proc(engine):
+            values = yield engine.all_of([])
+            done.append((engine.now, values))
+
+        engine.process(proc(engine))
+        engine.run()
+        assert done == [(0.0, [])]

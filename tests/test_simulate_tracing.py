@@ -1,0 +1,112 @@
+"""Tests for the time-series tracer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulate import Tracer
+
+
+def make_step_tracer():
+    tracer = Tracer()
+    tracer.record_rate("disk", 0.0, 10.0)
+    tracer.record_rate("disk", 5.0, 50.0)
+    tracer.record_rate("disk", 10.0, 0.0)
+    return tracer
+
+
+class TestValueAt:
+    def test_before_first_point(self):
+        assert Tracer().value_at("missing", 3.0) == 0.0
+
+    def test_at_change_points(self):
+        tracer = make_step_tracer()
+        assert tracer.value_at("disk", 0.0) == 10.0
+        assert tracer.value_at("disk", 4.9) == 10.0
+        assert tracer.value_at("disk", 5.0) == 50.0
+        assert tracer.value_at("disk", 12.0) == 0.0
+
+
+class TestAverage:
+    def test_simple_average(self):
+        tracer = make_step_tracer()
+        # [0,5) at 10, [5,10) at 50 -> mean over [0,10] is 30.
+        assert tracer.average("disk", 0.0, 10.0) == pytest.approx(30.0)
+
+    def test_partial_window(self):
+        tracer = make_step_tracer()
+        assert tracer.average("disk", 4.0, 6.0) == pytest.approx(30.0)
+
+    def test_window_beyond_last_point(self):
+        tracer = make_step_tracer()
+        assert tracer.average("disk", 10.0, 20.0) == pytest.approx(0.0)
+
+    def test_degenerate_window(self):
+        tracer = make_step_tracer()
+        assert tracer.average("disk", 5.0, 5.0) == 50.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20))
+    def test_average_bounded_by_extremes(self, values):
+        tracer = Tracer()
+        for i, value in enumerate(values):
+            tracer.record_rate("s", float(i), value)
+        avg = tracer.average("s", 0.0, float(len(values)))
+        assert min(values) - 1e-9 <= avg <= max(values) + 1e-9
+
+
+class TestSample:
+    def test_per_second_samples(self):
+        tracer = make_step_tracer()
+        samples = tracer.sample("disk", t_end=10.0, dt=1.0)
+        assert len(samples) == 10
+        assert samples[0] == (1.0, pytest.approx(10.0))
+        assert samples[-1] == (10.0, pytest.approx(50.0))
+
+    def test_sample_integral_matches_average(self):
+        tracer = make_step_tracer()
+        samples = tracer.sample("disk", t_end=10.0, dt=1.0)
+        assert sum(v for _, v in samples) / 10 == pytest.approx(
+            tracer.average("disk", 0.0, 10.0)
+        )
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ValueError):
+            make_step_tracer().sample("disk", 10.0, dt=0.0)
+
+
+class TestGauges:
+    def test_adjust_accumulates(self):
+        tracer = Tracer()
+        assert tracer.adjust_gauge("mem", 0.0, 4.0) == 4.0
+        assert tracer.adjust_gauge("mem", 1.0, 3.0) == 7.0
+        assert tracer.adjust_gauge("mem", 2.0, -5.0) == 2.0
+        assert tracer.value_at("mem", 1.5) == 7.0
+
+    def test_set_gauge_overrides(self):
+        tracer = Tracer()
+        tracer.adjust_gauge("mem", 0.0, 10.0)
+        tracer.set_gauge("mem", 1.0, 3.0)
+        assert tracer.adjust_gauge("mem", 2.0, 1.0) == 4.0
+
+
+class TestMiscReaders:
+    def test_names_sorted(self):
+        tracer = Tracer()
+        tracer.record_rate("b", 0.0, 1.0)
+        tracer.record_rate("a", 0.0, 1.0)
+        assert tracer.names() == ["a", "b"]
+
+    def test_maximum(self):
+        tracer = make_step_tracer()
+        assert tracer.maximum("disk", 0.0, 10.0) == 50.0
+        assert tracer.maximum("disk", 0.0, 4.0) == 10.0
+
+    def test_integral(self):
+        tracer = make_step_tracer()
+        assert tracer.integral("disk", 0.0, 10.0) == pytest.approx(300.0)
+
+    def test_same_time_update_replaces(self):
+        tracer = Tracer()
+        tracer.record_rate("s", 1.0, 5.0)
+        tracer.record_rate("s", 1.0, 7.0)
+        assert tracer.changes("s") == [(1.0, 7.0)]

@@ -1,0 +1,52 @@
+"""Dispatch-level and edge-case tests for the workload layer."""
+
+import pytest
+
+from repro.common import WorkloadError
+from repro.workloads import ENGINES, check_engine, split_round_robin
+from repro.workloads.sort import _sample_keys
+
+
+class TestEngineDispatch:
+    def test_known_engines(self):
+        assert set(ENGINES) == {"hadoop", "spark", "datampi"}
+        for engine in ENGINES:
+            assert check_engine(engine) == engine
+
+    def test_unknown_engine(self):
+        with pytest.raises(WorkloadError):
+            check_engine("tez")
+
+
+class TestSplitRoundRobin:
+    def test_balanced(self):
+        splits = split_round_robin(list(range(10)), 3)
+        assert [len(s) for s in splits] == [4, 3, 3]
+        assert sorted(x for s in splits for x in s) == list(range(10))
+
+    def test_more_splits_than_items(self):
+        splits = split_round_robin([1], 4)
+        assert splits == [[1], [], [], []]
+
+    def test_zero_splits_rejected(self):
+        with pytest.raises(WorkloadError):
+            split_round_robin([1], 0)
+
+
+class TestSortSampling:
+    def test_small_input_uses_all_keys(self):
+        assert sorted(_sample_keys(["b", "a"], sample_size=10)) == ["a", "b"]
+
+    def test_large_input_samples(self):
+        lines = [f"line{i:04d}" for i in range(1000)]
+        sample = _sample_keys(lines, sample_size=64)
+        assert len(sample) == 64
+        assert set(sample) <= set(lines)
+
+    def test_deterministic(self):
+        lines = [f"x{i}" for i in range(500)]
+        assert _sample_keys(lines, seed=3) == _sample_keys(lines, seed=3)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(WorkloadError):
+            _sample_keys([])
