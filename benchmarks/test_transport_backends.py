@@ -1,0 +1,109 @@
+"""Transport micro-benchmark: shared and streaming scenarios per backend.
+
+Mirrors the shm-arena benchmark shape: a *shared* scenario (one writer
+publishes a payload that every reader consumes — our ``bcast``) and a
+*streaming* scenario (a producer pushes a long chunk stream to a
+consumer — the bipartite O->A hot path).  Each scenario runs on all three
+backends and records bytes moved and MiB/s into the benchmark JSON
+(``--benchmark-json``) via ``extra_info``, so the performance delta
+between the GIL-bound thread backend and the multiprocess shm backend is
+*measured*, not asserted.
+
+Nothing here asserts who is faster: at micro scale process startup can
+dominate, and the honest numbers are the point.
+"""
+
+import pytest
+
+from repro.mpi import mpi_run
+
+TRANSPORTS = ("thread", "shm", "inline")
+
+SHARED_PAYLOAD_BYTES = 512 * 1024
+SHARED_READERS = 3
+SHARED_ROUNDS = 10
+
+STREAM_CHUNK_BYTES = 64 * 1024
+STREAM_CHUNKS = 200
+
+
+def _shared_scenario(transport: str) -> int:
+    """One writer bcasts a payload to every reader; returns bytes moved."""
+    payload = b"\xa5" * SHARED_PAYLOAD_BYTES
+
+    def main(comm):
+        received = 0
+        for _ in range(SHARED_ROUNDS):
+            data = comm.bcast(payload if comm.rank == 0 else None, root=0)
+            received += len(data)
+        return received
+
+    results = mpi_run(1 + SHARED_READERS, main, transport=transport)
+    assert all(r == SHARED_ROUNDS * SHARED_PAYLOAD_BYTES for r in results)
+    return SHARED_ROUNDS * SHARED_PAYLOAD_BYTES * SHARED_READERS
+
+
+def _streaming_scenario(transport: str) -> int:
+    """A producer streams chunks to a consumer; returns bytes moved."""
+    chunk = b"\x5a" * STREAM_CHUNK_BYTES
+
+    def main(comm):
+        if comm.rank == 0:
+            for _ in range(STREAM_CHUNKS):
+                comm.send(1, chunk, tag=1)
+            return 0
+        return sum(
+            len(comm.recv(source=0, tag=1).payload) for _ in range(STREAM_CHUNKS)
+        )
+
+    results = mpi_run(2, main, transport=transport)
+    assert results[1] == STREAM_CHUNKS * STREAM_CHUNK_BYTES
+    return results[1]
+
+
+def _record(benchmark, scenario: str, transport: str, bytes_moved: int) -> None:
+    mean = benchmark.stats.stats.mean
+    benchmark.extra_info["scenario"] = scenario
+    benchmark.extra_info["transport"] = transport
+    benchmark.extra_info["bytes_moved"] = bytes_moved
+    benchmark.extra_info["throughput_mib_s"] = round(bytes_moved / mean / 2 ** 20, 2)
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_shared_scenario(benchmark, once, transport):
+    bytes_moved = once(_shared_scenario, transport)
+    _record(benchmark, "shared", transport, bytes_moved)
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_streaming_scenario(benchmark, once, transport):
+    bytes_moved = once(_streaming_scenario, transport)
+    _record(benchmark, "streaming", transport, bytes_moved)
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_streaming_datampi_job(benchmark, once, transport):
+    """The same streaming shape through the full DataMPI O/A stack."""
+    from repro.datampi import DataMPIConf, DataMPIJob
+
+    lines = [f"line-{index:06d}" for index in range(4000)]
+
+    def run() -> int:
+        def o_task(ctx, split):
+            for line in split:
+                ctx.send(line, None)
+
+        def a_task(ctx):
+            return sum(1 for _ in ctx)
+
+        job = DataMPIJob(
+            o_task, a_task,
+            DataMPIConf(num_o=2, num_a=2, send_buffer_bytes=8 * 1024,
+                        job_name="transport-bench", transport=transport),
+        )
+        result = job.run([lines[0::2], lines[1::2]])
+        assert sum(result.outputs) == len(lines)
+        return result.counters["o.bytes_sent"]
+
+    bytes_moved = once(run)
+    _record(benchmark, "streaming-datampi", transport, bytes_moved)

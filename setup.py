@@ -1,0 +1,11 @@
+"""Compatibility shim: all metadata lives in pyproject.toml.
+
+Kept so offline environments without the ``wheel`` package can still do an
+editable install via the legacy path::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

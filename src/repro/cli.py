@@ -6,6 +6,11 @@ Subcommands:
 * ``run <experiment>``          — regenerate one table/figure and print it
 * ``simulate <fw> <wl> <size>`` — one simulated job (e.g. datampi text_sort 8GB)
 * ``workload <engine> <name>``  — run a functional workload on generated data
+
+The DataMPI engine's IPC backend is selectable with
+``workload --transport {thread,shm,inline}``: threads in one process
+(default), forked processes over shared-memory rings, or a deterministic
+inline scheduler.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import sys
 from repro.common.units import format_size, parse_size
 from repro import experiments
 from repro.experiments import report
+from repro.mpi.transport import available_transports
 from repro.perfmodels import simulate
 
 EXPERIMENTS = {
@@ -122,14 +128,14 @@ def _cmd_workload(args) -> int:
 
     lines = TextGenerator(seed=args.seed).lines(args.lines)
     if args.name == "wordcount":
-        counts = run_wordcount(args.engine, lines)
+        counts = run_wordcount(args.engine, lines, transport=args.transport)
         ok = counts == wordcount_reference(lines)
         print(f"{len(counts)} distinct words; verified={ok}")
     elif args.name == "sort":
-        output = run_text_sort(args.engine, lines)
+        output = run_text_sort(args.engine, lines, transport=args.transport)
         print(f"sorted {len(output)} lines; verified={output == sorted(lines)}")
     elif args.name == "grep":
-        counts = run_grep(args.engine, lines, args.pattern)
+        counts = run_grep(args.engine, lines, args.pattern, transport=args.transport)
         print(f"{sum(counts.values())} matches of {len(counts)} distinct strings")
     else:
         print(f"unknown workload {args.name!r}", file=sys.stderr)
@@ -165,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--lines", type=int, default=2000)
     wl.add_argument("--seed", type=int, default=0)
     wl.add_argument("--pattern", default=r"ba[a-z]*")
+    wl.add_argument("--transport", choices=available_transports(), default=None,
+                    help="IPC backend for the datampi engine "
+                         "(default: thread, or REPRO_TRANSPORT)")
     wl.set_defaults(func=_cmd_workload)
     return parser
 

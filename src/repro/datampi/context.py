@@ -110,10 +110,15 @@ class AContext:
             return
         assert self._bcomm is not None
         eof_remaining = self._num_o
+        sequence_of: dict[int, int] = {}
         while eof_remaining > 0:
             message = self._bcomm.recv_any()
             if message.tag == TAG_DATA:
-                self._store.add(message.payload)
+                # Origin-stamp each chunk so downstream merge order is
+                # canonical even when transports deliver out of order.
+                sequence = sequence_of.get(message.source, 0)
+                sequence_of[message.source] = sequence + 1
+                self._store.add(message.payload, origin=(message.source, sequence))
                 self.bytes_received += len(message.payload)
             else:
                 eof_remaining -= 1

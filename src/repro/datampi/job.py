@@ -32,6 +32,7 @@ from repro.datampi.partition import Partitioner
 from repro.datampi.receiver import DEFAULT_SPILL_BYTES, ChunkStore
 from repro.mpi.comm import Comm
 from repro.mpi.launcher import mpi_run
+from repro.mpi.transport import available_transports
 
 OTask = Callable[[OContext, Any], None]
 ATask = Callable[[AContext], Any]
@@ -50,6 +51,10 @@ class DataMPIConf:
     spill_bytes: int = DEFAULT_SPILL_BYTES
     checkpoint_dir: str | None = None
     job_name: str = "datampi-job"
+    #: IPC backend the job's ranks run over: ``thread`` (default), ``shm``
+    #: (forked processes + shared-memory rings), or ``inline``.  ``None``
+    #: defers to the runtime default (``REPRO_TRANSPORT`` env var or thread).
+    transport: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_o < 1 or self.num_a < 1:
@@ -60,6 +65,11 @@ class DataMPIConf:
             raise ConfigError("send_buffer_bytes must be positive")
         if self.spill_bytes < 1:
             raise ConfigError("spill_bytes must be positive")
+        if self.transport is not None and self.transport not in available_transports():
+            raise ConfigError(
+                f"unknown transport {self.transport!r}; "
+                f"available: {available_transports()}"
+            )
 
 
 @dataclass
@@ -102,7 +112,9 @@ class DataMPIJob:
                 return self._run_o(bcomm, splits)
             return self._run_a(bcomm)
 
-        rank_results = mpi_run(conf.num_o + conf.num_a, rank_main)
+        rank_results = mpi_run(
+            conf.num_o + conf.num_a, rank_main, transport=conf.transport
+        )
         if conf.checkpoint_dir is not None:
             write_manifest(conf.checkpoint_dir, conf.num_a, conf.sort, conf.job_name)
         return self._collect(rank_results)
@@ -156,7 +168,7 @@ class DataMPIJob:
                 ctx.cleanup()
             return ("a", output, ctx.counters)
 
-        rank_results = mpi_run(self.conf.num_a, a_main)
+        rank_results = mpi_run(self.conf.num_a, a_main, transport=self.conf.transport)
         return self._collect(rank_results)
 
     # -- result assembly --------------------------------------------------------

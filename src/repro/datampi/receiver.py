@@ -7,6 +7,14 @@ tasks; if the in-memory total exceeds the spill threshold, whole chunks
 are written to local files and streamed back lazily during the merge.
 The merged iterator is a k-way merge (``heapq.merge``) over all chunks,
 yielding records in global key order when sorting is enabled.
+
+Chunks carry an *origin* — ``(source O rank, per-source sequence)`` — and
+the merge always visits chunks in origin order.  ``heapq.merge`` breaks
+key ties by iterator position, so without a canonical order the output
+for equal keys (and any floating-point reduction over it) would depend on
+chunk *arrival* order, which true multiprocess transports cannot
+guarantee.  With origins, every transport backend produces byte-identical
+output.
 """
 
 from __future__ import annotations
@@ -22,6 +30,11 @@ from repro.common.kv import KeyValue, decode_stream
 #: Spill when buffered encoded chunks exceed this many bytes.
 DEFAULT_SPILL_BYTES = 64 * 1024 * 1024
 
+#: Chunk origin: (source O rank, per-source sequence number).
+Origin = tuple[int, int]
+
+_SPILL_HEADER_BYTES = 24  # source(8) + sequence(8) + chunk length(8)
+
 
 class ChunkStore:
     """Holds received chunks in memory, spilling to disk past a threshold."""
@@ -32,16 +45,25 @@ class ChunkStore:
             raise DataMPIError(f"spill threshold must be positive, got {spill_threshold}")
         self._threshold = spill_threshold
         self._spill_dir = spill_dir
-        self._memory_chunks: list[bytes] = []
+        self._memory_chunks: list[tuple[Origin, bytes]] = []
         self._spill_files: list[str] = []
         self._owned_dir: str | None = None
+        self._auto_sequence = 0
         self.memory_bytes = 0
         self.spilled_bytes = 0
         self.spills = 0
 
-    def add(self, chunk: bytes) -> None:
-        """Store one encoded chunk (already key-sorted by the sender)."""
-        self._memory_chunks.append(chunk)
+    def add(self, chunk: bytes, origin: Origin | None = None) -> None:
+        """Store one encoded chunk (already key-sorted by the sender).
+
+        ``origin`` identifies where the chunk came from; when omitted an
+        insertion-order origin is assigned, so callers that never pass one
+        keep arrival order.
+        """
+        if origin is None:
+            origin = (0, self._auto_sequence)
+            self._auto_sequence += 1
+        self._memory_chunks.append((origin, chunk))
         self.memory_bytes += len(chunk)
         if self.memory_bytes > self._threshold:
             self._spill()
@@ -54,7 +76,9 @@ class ChunkStore:
         assert directory is not None
         path = os.path.join(directory, f"spill-{self.spills}.chunks")
         with open(path, "wb") as handle:
-            for chunk in self._memory_chunks:
+            for (source, sequence), chunk in self._memory_chunks:
+                handle.write(source.to_bytes(8, "big"))
+                handle.write(sequence.to_bytes(8, "big"))
                 handle.write(len(chunk).to_bytes(8, "big"))
                 handle.write(chunk)
         self._spill_files.append(path)
@@ -63,45 +87,50 @@ class ChunkStore:
         self._memory_chunks = []
         self.memory_bytes = 0
 
-    def chunk_iterators(self) -> list[Iterator[KeyValue]]:
-        """One decoding iterator per stored chunk (memory and spilled)."""
-        iterators = [iter(list(decode_stream(chunk))) for chunk in self._memory_chunks]
+    def _all_chunks(self) -> list[tuple[Origin, bytes, bool]]:
+        """Every stored chunk in canonical origin order; the flag marks
+        chunks read back from spill files."""
+        chunks = [(origin, chunk, False) for origin, chunk in self._memory_chunks]
         for path in self._spill_files:
-            iterators.extend(self._file_chunk_iterators(path))
-        return iterators
+            with open(path, "rb") as handle:
+                while True:
+                    header = handle.read(_SPILL_HEADER_BYTES)
+                    if not header:
+                        break
+                    source = int.from_bytes(header[0:8], "big")
+                    sequence = int.from_bytes(header[8:16], "big")
+                    length = int.from_bytes(header[16:24], "big")
+                    chunks.append(((source, sequence), handle.read(length), True))
+        chunks.sort(key=lambda item: item[0])
+        return chunks
 
-    @staticmethod
-    def _file_chunk_iterators(path: str) -> list[Iterator[KeyValue]]:
-        iterators: list[Iterator[KeyValue]] = []
-        with open(path, "rb") as handle:
-            while True:
-                header = handle.read(8)
-                if not header:
-                    break
-                length = int.from_bytes(header, "big")
-                iterators.append(decode_stream(handle.read(length)))
-        return iterators
+    def chunk_iterators(self) -> list[Iterator[KeyValue]]:
+        """One decoding iterator per stored chunk, in origin order.
+
+        Spilled chunks decode lazily during the merge so a dataset that
+        spilled precisely because it outgrew memory is not fully
+        materialized as records; in-memory chunks are decoded eagerly.
+        """
+        return [
+            decode_stream(chunk) if spilled else iter(list(decode_stream(chunk)))
+            for _origin, chunk, spilled in self._all_chunks()
+        ]
 
     def merged(self, sort: bool = True) -> Iterator[KeyValue]:
-        """Iterate all records; in global key order when ``sort`` is true."""
+        """Iterate all records; in global key order when ``sort`` is true.
+
+        Key ties break by chunk origin, so the stream is identical no
+        matter in which order chunks arrived.
+        """
         iterators = self.chunk_iterators()
         if sort:
             return heapq.merge(*iterators, key=lambda kv: kv.key)
         return (record for iterator in iterators for record in iterator)
 
     def raw_chunks(self) -> list[bytes]:
-        """All encoded chunks (drains spill files into memory; used by
-        checkpointing, which re-encodes them to its own layout)."""
-        chunks = list(self._memory_chunks)
-        for path in self._spill_files:
-            with open(path, "rb") as handle:
-                while True:
-                    header = handle.read(8)
-                    if not header:
-                        break
-                    length = int.from_bytes(header, "big")
-                    chunks.append(handle.read(length))
-        return chunks
+        """All encoded chunks in origin order (drains spill files into memory;
+        used by checkpointing, which re-encodes them to its own layout)."""
+        return [chunk for _origin, chunk, _spilled in self._all_chunks()]
 
     def cleanup(self) -> None:
         """Delete spill files and the owned temp directory."""

@@ -1,6 +1,27 @@
-"""In-process MPI substrate: ranks, point-to-point messaging, collectives."""
+"""MPI substrate: ranks, point-to-point messaging, collectives, transports."""
 
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Comm, Message, World
 from repro.mpi.launcher import mpi_run
+from repro.mpi.transport import (
+    InlineTransport,
+    ShmTransport,
+    ThreadTransport,
+    Transport,
+    available_transports,
+    get_transport,
+)
 
-__all__ = ["ANY_SOURCE", "ANY_TAG", "Comm", "Message", "World", "mpi_run"]
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "InlineTransport",
+    "Message",
+    "ShmTransport",
+    "ThreadTransport",
+    "Transport",
+    "World",
+    "available_transports",
+    "get_transport",
+    "mpi_run",
+]

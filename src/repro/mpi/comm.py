@@ -1,97 +1,69 @@
-"""In-process message-passing substrate (stands in for MVAPICH2).
+"""The MPI programming interface (stands in for MVAPICH2's API surface).
 
 The paper runs DataMPI over MVAPICH2-2.0b.  This module provides the MPI
 subset DataMPI needs — point-to-point send/receive with source and tag
-matching, barrier, and a handful of collectives — with ranks running as
-threads inside one Python process.  Message delivery is FIFO per
-(source, destination) pair, matching MPI's non-overtaking guarantee.
+matching, barrier, and a handful of collectives.  *How* ranks execute and
+how bytes cross between them is delegated to a pluggable transport
+endpoint (see :mod:`repro.mpi.transport`): threads in one process, forked
+processes over shared-memory rings, or a deterministic inline scheduler.
+Whatever the backend, message delivery is FIFO per (source, destination)
+pair, matching MPI's non-overtaking guarantee.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
 from typing import Any
 
 from repro.common.errors import MPIError
+from repro.mpi.transport.base import (
+    ANY_SOURCE,
+    ANY_TAG,
+    RECV_TIMEOUT,
+    Endpoint,
+    Message,
+)
+from repro.mpi.transport.thread import Mailbox as _Mailbox  # noqa: F401 - compat
+from repro.mpi.transport.thread import ThreadEndpoint, World
 
-ANY_SOURCE = -1
-ANY_TAG = -1
-
-#: Default seconds a blocking receive waits before declaring deadlock.
-RECV_TIMEOUT = 120.0
-
-
-@dataclass(frozen=True)
-class Message:
-    """One delivered message."""
-
-    source: int
-    tag: int
-    payload: Any
-
-
-class _Mailbox:
-    """Thread-safe mailbox with selective (source, tag) receive."""
-
-    def __init__(self) -> None:
-        self._items: list[Message] = []
-        self._cond = threading.Condition()
-
-    def put(self, message: Message) -> None:
-        with self._cond:
-            self._items.append(message)
-            self._cond.notify_all()
-
-    def get(self, source: int, tag: int, timeout: float) -> Message:
-        def find() -> int | None:
-            for index, message in enumerate(self._items):
-                if source not in (ANY_SOURCE, message.source):
-                    continue
-                if tag not in (ANY_TAG, message.tag):
-                    continue
-                return index
-            return None
-
-        with self._cond:
-            index = find()
-            while index is None:
-                if not self._cond.wait(timeout):
-                    raise MPIError(
-                        f"recv timed out after {timeout}s waiting for "
-                        f"source={source} tag={tag}"
-                    )
-                index = find()
-            return self._items.pop(index)
-
-    def pending(self) -> int:
-        with self._cond:
-            return len(self._items)
-
-
-class World:
-    """Shared state of one MPI world: mailboxes and a barrier."""
-
-    def __init__(self, size: int):
-        if size < 1:
-            raise MPIError(f"world size must be >= 1, got {size}")
-        self.size = size
-        self.mailboxes = [_Mailbox() for _ in range(size)]
-        self.barrier = threading.Barrier(size)
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "RECV_TIMEOUT",
+    "Comm",
+    "Message",
+    "World",
+]
 
 
 class Comm:
-    """One rank's handle on the world — the object user code programs against."""
+    """One rank's handle on the world — the object user code programs against.
+
+    ``Comm(world, rank)`` builds the classic threaded-world handle;
+    :meth:`from_endpoint` wraps any transport endpoint.  Every collective
+    is built from the endpoint's send/recv/barrier primitives, so all
+    backends share one semantics.
+    """
 
     def __init__(self, world: World, rank: int):
         if not 0 <= rank < world.size:
             raise MPIError(f"rank {rank} out of range for world of {world.size}")
-        self.world = world
+        self.world: World | None = world
+        self.endpoint: Endpoint = ThreadEndpoint(world, rank)
         self.rank = rank
+        self._collective_seq = 0
+
+    @classmethod
+    def from_endpoint(cls, endpoint: Endpoint) -> "Comm":
+        comm = object.__new__(cls)
+        comm.world = getattr(endpoint, "world", None)
+        comm.endpoint = endpoint
+        comm.rank = endpoint.rank
+        comm._collective_seq = 0
+        return comm
 
     @property
     def size(self) -> int:
-        return self.world.size
+        return self.endpoint.size
 
     # -- point to point -------------------------------------------------------
 
@@ -101,7 +73,7 @@ class Comm:
             raise MPIError(f"send to invalid rank {dest}")
         if tag < 0:
             raise MPIError(f"tag must be non-negative, got {tag}")
-        self.world.mailboxes[dest].put(Message(self.rank, tag, payload))
+        self.endpoint.send(dest, Message(self.rank, tag, payload))
 
     def recv(
         self,
@@ -110,22 +82,31 @@ class Comm:
         timeout: float = RECV_TIMEOUT,
     ) -> Message:
         """Block until a matching message arrives; returns the full message."""
-        return self.world.mailboxes[self.rank].get(source, tag, timeout)
+        return self.endpoint.recv(source, tag, timeout)
 
     # -- collectives ----------------------------------------------------------
 
     def barrier(self, timeout: float = RECV_TIMEOUT) -> None:
         """Wait until every rank in the world reaches the barrier."""
-        try:
-            self.world.barrier.wait(timeout)
-        except threading.BrokenBarrierError as exc:
-            raise MPIError("barrier broken (peer died or timed out)") from exc
+        self.endpoint.barrier(timeout)
 
     _COLLECTIVE_TAG_BASE = 1 << 20
 
+    def _collective_tag(self, kind: int) -> int:
+        """Unique tag per collective *call*, agreed upon by every rank.
+
+        SPMD code executes collectives in the same order on all ranks, so a
+        per-``Comm`` call counter sequences them: without it, a fast rank's
+        message for collective N+1 could satisfy a slow rank's pending
+        receive for collective N of the same kind.
+        """
+        sequence = self._collective_seq
+        self._collective_seq += 1
+        return self._COLLECTIVE_TAG_BASE + sequence * 8 + kind
+
     def bcast(self, payload: Any, root: int = 0) -> Any:
         """Broadcast ``payload`` from ``root``; every rank returns it."""
-        tag = self._COLLECTIVE_TAG_BASE + 1
+        tag = self._collective_tag(1)
         if self.rank == root:
             for dest in range(self.size):
                 if dest != root:
@@ -135,7 +116,7 @@ class Comm:
 
     def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
         """Gather one value from every rank at ``root`` (rank order)."""
-        tag = self._COLLECTIVE_TAG_BASE + 2
+        tag = self._collective_tag(2)
         if self.rank == root:
             values: list[Any] = [None] * self.size
             values[root] = payload
@@ -158,7 +139,7 @@ class Comm:
             raise MPIError(
                 f"alltoall needs {self.size} chunks, got {len(chunks)}"
             )
-        tag = self._COLLECTIVE_TAG_BASE + 3
+        tag = self._collective_tag(3)
         for dest in range(self.size):
             if dest != self.rank:
                 self.send(dest, chunks[dest], tag)

@@ -1,22 +1,23 @@
-"""SPMD launcher: run one function on every rank of an in-process world.
+"""SPMD launcher: run one function on every rank over a chosen transport.
 
-``mpi_run`` is the moral equivalent of ``mpirun -np N``: it spawns N
-threads, hands each a :class:`~repro.mpi.comm.Comm`, and collects per-rank
-return values.  If any rank raises, the first exception is re-raised in
-the caller (wrapped in :class:`~repro.common.errors.MPIError`) after all
-threads have been joined, so no rank leaks.
+``mpi_run`` is the moral equivalent of ``mpirun -np N``: it resolves a
+transport backend (threads, forked shared-memory processes, or the
+deterministic inline scheduler), spawns N ranks, hands each a
+:class:`~repro.mpi.comm.Comm`, and collects per-rank return values.  If
+any rank raises, the first exception is re-raised in the caller (wrapped
+in :class:`~repro.common.errors.MPIError`) after all ranks have been
+reaped, so no rank leaks.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Callable
 
-from repro.common.errors import MPIError
-from repro.mpi.comm import Comm, World
-
-#: Hard limit on a single SPMD run; generous for in-process workloads.
-JOIN_TIMEOUT = 300.0
+from repro.mpi.transport import (  # noqa: F401 - JOIN_TIMEOUT re-exported for compat
+    JOIN_TIMEOUT,
+    Transport,
+    get_transport,
+)
 
 
 def mpi_run(
@@ -24,37 +25,12 @@ def mpi_run(
     main: Callable[..., Any],
     args: tuple = (),
     timeout: float = JOIN_TIMEOUT,
+    transport: str | Transport | None = None,
 ) -> list[Any]:
-    """Run ``main(comm, *args)`` on ``world_size`` ranks; returns results by rank."""
-    world = World(world_size)
-    results: list[Any] = [None] * world_size
-    errors: list[tuple[int, BaseException]] = []
-    errors_lock = threading.Lock()
+    """Run ``main(comm, *args)`` on ``world_size`` ranks; returns results by rank.
 
-    def runner(rank: int) -> None:
-        comm = Comm(world, rank)
-        try:
-            results[rank] = main(comm, *args)
-        except BaseException as exc:  # noqa: BLE001 - re-raised in caller
-            with errors_lock:
-                errors.append((rank, exc))
-            # Break the barrier so peers blocked in collectives fail fast
-            # instead of timing out.
-            world.barrier.abort()
-
-    threads = [
-        threading.Thread(target=runner, args=(rank,), name=f"mpi-rank-{rank}", daemon=True)
-        for rank in range(world_size)
-    ]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join(timeout)
-        if thread.is_alive():
-            raise MPIError(f"rank thread {thread.name} did not finish in {timeout}s")
-    if errors:
-        rank, cause = min(errors, key=lambda item: item[0])
-        if isinstance(cause, MPIError) or not isinstance(cause, Exception):
-            raise cause
-        raise MPIError(f"rank {rank} failed: {cause!r}") from cause
-    return results
+    ``transport`` is a backend name (``thread``, ``shm``, ``inline``), a
+    :class:`Transport` instance, or ``None`` for the default (``thread``,
+    overridable via the ``REPRO_TRANSPORT`` environment variable).
+    """
+    return get_transport(transport).run(world_size, main, args, timeout)

@@ -1,0 +1,66 @@
+"""Pluggable IPC transports for the MPI substrate.
+
+Importing this package registers the built-in backends:
+
+* ``thread`` — ranks as threads in one process (default);
+* ``shm``    — ranks as forked processes, chunk payloads through
+  ``multiprocessing.shared_memory`` ring buffers;
+* ``inline`` — deterministic cooperative scheduling for unit tests.
+"""
+
+from repro.mpi.transport.base import (
+    ANY_SOURCE,
+    ANY_TAG,
+    DEFAULT_TRANSPORT,
+    JOIN_TIMEOUT,
+    RECV_TIMEOUT,
+    TRANSPORT_ENV_VAR,
+    Endpoint,
+    Message,
+    Transport,
+    available_transports,
+    default_transport_name,
+    get_transport,
+    register_transport,
+)
+from repro.mpi.transport.inline import InlineEndpoint, InlineTransport
+from repro.mpi.transport.shm import (
+    DEFAULT_RING_BYTES,
+    RING_MIN_BYTES,
+    ShmEndpoint,
+    ShmRing,
+    ShmTransport,
+)
+from repro.mpi.transport.thread import (
+    Mailbox,
+    ThreadEndpoint,
+    ThreadTransport,
+    World,
+)
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "DEFAULT_TRANSPORT",
+    "DEFAULT_RING_BYTES",
+    "JOIN_TIMEOUT",
+    "RECV_TIMEOUT",
+    "RING_MIN_BYTES",
+    "TRANSPORT_ENV_VAR",
+    "Endpoint",
+    "InlineEndpoint",
+    "InlineTransport",
+    "Mailbox",
+    "Message",
+    "ShmEndpoint",
+    "ShmRing",
+    "ShmTransport",
+    "ThreadEndpoint",
+    "ThreadTransport",
+    "Transport",
+    "World",
+    "available_transports",
+    "default_transport_name",
+    "get_transport",
+    "register_transport",
+]

@@ -1,0 +1,156 @@
+"""Transport abstraction: how ranks execute and exchange messages.
+
+The paper attributes DataMPI's wins to its communication layer (bipartite
+key-value movement over MVAPICH2).  This package makes the runtime's
+communication substrate *pluggable* so the same ``Comm`` programming
+interface (send/recv/collectives) can run over interchangeable backends:
+
+* ``thread`` — ranks are threads in one process (the original substrate;
+  cheap, but the GIL serialises the hot path);
+* ``shm``    — ranks are OS processes exchanging chunk payloads through
+  ``multiprocessing.shared_memory`` ring buffers (true parallelism);
+* ``inline`` — ranks are cooperatively scheduled one at a time in
+  deterministic rank order (reproducible unit testing).
+
+A backend provides two things: a :class:`Transport` that launches one
+callable per rank and collects results, and per-rank :class:`Endpoint`
+objects implementing point-to-point delivery with MPI's per-(source,
+destination) non-overtaking guarantee.  ``Comm`` builds every collective
+on top of the endpoint primitives, so all backends share one semantics.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.common.errors import MPIError
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Default seconds a blocking receive waits before declaring deadlock.
+RECV_TIMEOUT = 120.0
+
+#: Hard limit on a single SPMD run; generous for in-process workloads.
+JOIN_TIMEOUT = 300.0
+
+#: Environment variable overriding the default backend name.
+TRANSPORT_ENV_VAR = "REPRO_TRANSPORT"
+
+DEFAULT_TRANSPORT = "thread"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message."""
+
+    source: int
+    tag: int
+    payload: Any
+
+
+def match(message: Message, source: int, tag: int) -> bool:
+    """Does ``message`` satisfy a selective receive for (source, tag)?"""
+    if source not in (ANY_SOURCE, message.source):
+        return False
+    if tag not in (ANY_TAG, message.tag):
+        return False
+    return True
+
+
+class Endpoint(ABC):
+    """One rank's handle on a transport: point-to-point plus barrier.
+
+    Implementations must preserve FIFO delivery per (source, destination)
+    pair — MPI's non-overtaking guarantee — and support selective receive
+    by (source, tag) with ``ANY_SOURCE`` / ``ANY_TAG`` wildcards.
+    """
+
+    rank: int
+    size: int
+
+    @abstractmethod
+    def send(self, dest: int, message: Message) -> None:
+        """Deliver ``message`` to ``dest`` (asynchronous, buffered)."""
+
+    @abstractmethod
+    def recv(self, source: int, tag: int, timeout: float) -> Message:
+        """Block until a matching message arrives; raise MPIError on timeout."""
+
+    @abstractmethod
+    def barrier(self, timeout: float) -> None:
+        """Wait until every rank in the world reaches the barrier."""
+
+    def abort(self) -> None:
+        """Break collectives so peers fail fast after this rank dies."""
+
+
+class Transport(ABC):
+    """Factory/launcher for one backend: runs ``main`` on every rank."""
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def run(
+        self,
+        world_size: int,
+        main: Callable[..., Any],
+        args: tuple = (),
+        timeout: float = JOIN_TIMEOUT,
+    ) -> list[Any]:
+        """Run ``main(comm, *args)`` on ``world_size`` ranks; results by rank.
+
+        If any rank raises, the lowest-rank exception is re-raised in the
+        caller (wrapped in :class:`MPIError` unless it already is one)
+        after every rank has been reaped, so no rank leaks.
+        """
+
+
+_REGISTRY: dict[str, type[Transport]] = {}
+
+
+def register_transport(cls: type[Transport]) -> type[Transport]:
+    """Class decorator adding a backend to the registry (by ``cls.name``)."""
+    if not cls.name:
+        raise MPIError(f"transport class {cls.__name__} has no name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_transports() -> tuple[str, ...]:
+    """Registered backend names, sorted for stable CLI help/choices."""
+    return tuple(sorted(_REGISTRY))
+
+
+def default_transport_name() -> str:
+    """Backend used when none is requested (``REPRO_TRANSPORT`` or thread)."""
+    return os.environ.get(TRANSPORT_ENV_VAR, DEFAULT_TRANSPORT)
+
+
+def get_transport(spec: str | Transport | None = None, **kwargs: Any) -> Transport:
+    """Resolve a backend: an instance passes through, a name is constructed,
+    ``None`` means the default."""
+    if isinstance(spec, Transport):
+        return spec
+    name = spec or default_transport_name()
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise MPIError(
+            f"unknown transport {name!r}; available: {available_transports()}"
+        ) from None
+    return cls(**kwargs)
+
+
+def raise_rank_errors(errors: list[tuple[int, BaseException]]) -> None:
+    """Re-raise the lowest-rank failure, MPIError-wrapped (shared by backends)."""
+    if not errors:
+        return
+    rank, cause = min(errors, key=lambda item: item[0])
+    if isinstance(cause, MPIError) or not isinstance(cause, Exception):
+        raise cause
+    raise MPIError(f"rank {rank} failed: {cause!r}") from cause

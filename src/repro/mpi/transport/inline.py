@@ -1,0 +1,226 @@
+"""Inline transport: deterministic cooperative scheduling for unit tests.
+
+Ranks still get real call stacks (each runs on its own thread so blocking
+``recv``/``barrier`` calls work unchanged), but a scheduler enforces that
+exactly **one** rank executes at any moment and hands control off at
+blocking points only, always resuming the lowest-numbered runnable rank.
+Two consequences make this the right backend for tests:
+
+* runs are fully deterministic — message arrival order, collective
+  ordering, and interleavings never vary between executions;
+* deadlock is detected *immediately* (no runnable rank left) instead of
+  after ``RECV_TIMEOUT``, so a hanging test fails in milliseconds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.common.errors import MPIError
+from repro.mpi.transport.base import (
+    JOIN_TIMEOUT,
+    Endpoint,
+    Message,
+    Transport,
+    match,
+    raise_rank_errors,
+    register_transport,
+)
+
+_START = "start"
+_RUNNING = "running"
+_RECV = "recv"
+_BARRIER = "barrier"
+_DONE = "done"
+_ERROR = "error"
+
+
+class _RankState:
+    def __init__(self) -> None:
+        self.state = _START
+        self.want: tuple[int, int] | None = None  # (source, tag) when in recv
+        self.arrived_gen = -1  # barrier generation this rank is waiting on
+        self.gate = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.poison_error = False  # error was injected by deadlock poisoning
+
+
+class _InlineWorld:
+    """Shared scheduler state: mailboxes, rank states, the hand-off token."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.mailboxes: list[list[Message]] = [[] for _ in range(size)]
+        self.ranks = [_RankState() for _ in range(size)]
+        self.sched_wake = threading.Event()
+        self.barrier_gen = 0
+        self.poisoned = False
+
+    # -- called from rank threads (which hold the execution token) ------------
+
+    def yield_to_scheduler(self, rank: int, state: str) -> None:
+        """Block this rank and pass the token back; raises if poisoned."""
+        record = self.ranks[rank]
+        record.state = state
+        record.gate.clear()
+        self.sched_wake.set()
+        record.gate.wait()
+        record.state = _RUNNING
+        if self.poisoned:
+            record.poison_error = True
+            raise MPIError(
+                f"deadlock: rank {rank} blocked with no runnable peer "
+                "(peer died or every rank is waiting)"
+            )
+
+    def take_match(self, rank: int, source: int, tag: int) -> Message | None:
+        mailbox = self.mailboxes[rank]
+        for index, message in enumerate(mailbox):
+            if match(message, source, tag):
+                return mailbox.pop(index)
+        return None
+
+    # -- called from the scheduler (caller) thread -----------------------------
+
+    def runnable(self, rank: int) -> bool:
+        record = self.ranks[rank]
+        if record.state == _START:
+            return True
+        if record.state == _RECV:
+            assert record.want is not None
+            source, tag = record.want
+            if self.poisoned:
+                return True
+            return any(match(m, source, tag) for m in self.mailboxes[rank])
+        if record.state == _BARRIER:
+            return self.poisoned or record.arrived_gen < self.barrier_gen
+        return False
+
+    def finished(self) -> bool:
+        return all(r.state in (_DONE, _ERROR) for r in self.ranks)
+
+    def maybe_release_barrier(self) -> None:
+        arrived = sum(
+            1
+            for r in self.ranks
+            if r.state == _BARRIER and r.arrived_gen == self.barrier_gen
+        )
+        if arrived == self.size:
+            self.barrier_gen += 1
+
+
+class InlineEndpoint(Endpoint):
+    """One rank's cooperative handle; blocking ops yield to the scheduler."""
+
+    def __init__(self, world: _InlineWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+
+    def send(self, dest: int, message: Message) -> None:
+        # Non-blocking: the sender keeps the token, delivery order is the
+        # (deterministic) program order of sends.
+        self.world.mailboxes[dest].append(message)
+
+    def recv(self, source: int, tag: int, timeout: float) -> Message:
+        record = self.world.ranks[self.rank]
+        while True:
+            message = self.world.take_match(self.rank, source, tag)
+            if message is not None:
+                return message
+            record.want = (source, tag)
+            self.world.yield_to_scheduler(self.rank, _RECV)
+
+    def barrier(self, timeout: float) -> None:
+        record = self.world.ranks[self.rank]
+        record.arrived_gen = self.world.barrier_gen
+        self.world.yield_to_scheduler(self.rank, _BARRIER)
+
+    def abort(self) -> None:
+        self.world.poisoned = True
+
+
+@register_transport
+class InlineTransport(Transport):
+    """Run ranks one at a time under a deterministic rank-order scheduler."""
+
+    name = "inline"
+
+    def run(
+        self,
+        world_size: int,
+        main: Callable[..., Any],
+        args: tuple = (),
+        timeout: float = JOIN_TIMEOUT,
+    ) -> list[Any]:
+        from repro.mpi.comm import Comm
+
+        if world_size < 1:
+            raise MPIError(f"world size must be >= 1, got {world_size}")
+        world = _InlineWorld(world_size)
+
+        def runner(rank: int) -> None:
+            record = world.ranks[rank]
+            record.gate.wait()  # first grant from the scheduler
+            comm = Comm.from_endpoint(InlineEndpoint(world, rank))
+            try:
+                record.result = main(comm, *args)
+                record.state = _DONE
+            except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+                record.error = exc
+                record.state = _ERROR
+            finally:
+                world.sched_wake.set()
+
+        threads = [
+            threading.Thread(
+                target=runner, args=(rank,), name=f"inline-rank-{rank}", daemon=True
+            )
+            for rank in range(world_size)
+        ]
+        for thread in threads:
+            thread.start()
+
+        self._schedule(world, timeout)
+
+        for thread in threads:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise MPIError(f"rank thread {thread.name} did not finish in {timeout}s")
+
+        errors = [
+            (rank, record.error)
+            for rank, record in enumerate(world.ranks)
+            if record.error is not None
+        ]
+        # Poison-injected MPIErrors are a symptom; prefer the original cause.
+        real = [
+            (rank, error)
+            for rank, error in errors
+            if not world.ranks[rank].poison_error
+        ]
+        raise_rank_errors(real or errors)
+        return [record.result for record in world.ranks]
+
+    @staticmethod
+    def _schedule(world: _InlineWorld, timeout: float) -> None:
+        while not world.finished():
+            world.maybe_release_barrier()
+            chosen = next(
+                (rank for rank in range(world.size) if world.runnable(rank)), None
+            )
+            if chosen is None:
+                if world.poisoned:
+                    raise MPIError("inline scheduler wedged after poisoning")
+                # Every unfinished rank is blocked on something that can
+                # never happen: deadlock.  Poison so blocked ranks raise.
+                world.poisoned = True
+                continue
+            world.sched_wake.clear()
+            world.ranks[chosen].gate.set()
+            if not world.sched_wake.wait(timeout):
+                raise MPIError(
+                    f"inline rank {chosen} did not yield within {timeout}s"
+                )

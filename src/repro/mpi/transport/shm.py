@@ -1,0 +1,424 @@
+"""Shared-memory transport: ranks are OS processes, payloads ride rings.
+
+This backend removes the GIL from the hot path the paper is about.  Each
+rank is a forked process (fork, not spawn, so task closures need no
+pickling); every ordered (sender, receiver) pair gets
+
+* a **ring buffer** in one ``multiprocessing.shared_memory`` segment for
+  ``bytes`` payloads — the encoded key-value chunks DataMPI moves — so
+  bulk data crosses the process boundary with one copy in and one copy
+  out, never through a pickle of the descriptor pipe;
+* a descriptor **pipe** carrying ``(tag, where-is-the-payload)`` tuples,
+  which doubles as the channel for small or non-bytes payloads
+  (collectives' Python objects, EOF markers).
+
+The single-producer/single-consumer ring keeps MPI's per-(source,
+destination) non-overtaking guarantee for free: descriptors leave the
+pipe in send order, and ring space is reclaimed in the same order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import struct
+import threading
+import time
+from multiprocessing import shared_memory
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Callable
+
+from repro.common.errors import MPIError
+from repro.mpi.transport.base import (
+    JOIN_TIMEOUT,
+    Endpoint,
+    Message,
+    Transport,
+    match,
+    raise_rank_errors,
+    register_transport,
+)
+
+#: Per-(sender, receiver) ring capacity for chunk payloads.
+DEFAULT_RING_BYTES = 1 << 20
+
+#: ``bytes`` payloads at least this large travel through the ring; smaller
+#: ones (and non-bytes objects) are cheaper pickled straight down the pipe.
+RING_MIN_BYTES = 256
+
+_HEADER = struct.Struct(">QQ")  # monotonic (head, tail) byte counters
+
+_KIND_INLINE = 0
+_KIND_RING = 1
+_CTRL_ABORT = "abort"
+
+
+class ShmRing:
+    """SPSC byte ring over one shared-memory segment.
+
+    ``head``/``tail`` are monotonically increasing counters stored in the
+    segment header and guarded by a fork-shared condition; payloads are
+    contiguous (a write that would straddle the end skips to offset 0).
+    """
+
+    def __init__(self, ctx, capacity: int):
+        if capacity < 1:
+            raise MPIError(f"ring capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER.size + capacity
+        )
+        self._shm.buf[: _HEADER.size] = _HEADER.pack(0, 0)
+        self._cond = ctx.Condition()
+
+    # -- header helpers (call with the condition held) -------------------------
+
+    def _counters(self) -> tuple[int, int]:
+        return _HEADER.unpack_from(self._shm.buf, 0)
+
+    def _store(self, head: int, tail: int) -> None:
+        self._shm.buf[: _HEADER.size] = _HEADER.pack(head, tail)
+
+    # -- producer --------------------------------------------------------------
+
+    def write(self, data: bytes, timeout: float) -> int:
+        """Copy ``data`` into the ring; returns its offset.  Blocks until the
+        consumer has freed enough space; raises MPIError past ``timeout``."""
+        length = len(data)
+        if length > self.capacity:
+            raise MPIError(
+                f"payload of {length} bytes exceeds ring capacity {self.capacity}"
+            )
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                head, tail = self._counters()
+                position = head % self.capacity
+                # A payload never wraps: skip the tail-end remainder if short.
+                skip = 0 if length <= self.capacity - position else self.capacity - position
+                if head + skip + length - tail <= self.capacity:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    raise MPIError(
+                        f"ring write stalled {timeout}s waiting for "
+                        f"{length} free bytes (receiver not draining?)"
+                    )
+            head += skip
+            position = head % self.capacity
+            start = _HEADER.size + position
+            self._shm.buf[start : start + length] = data
+            self._store(head + length, tail)
+            return position
+
+    # -- consumer --------------------------------------------------------------
+
+    def read(self, position: int, length: int) -> bytes:
+        """Copy one payload out and release its space (consumption happens in
+        descriptor order, which equals allocation order for an SPSC ring)."""
+        start = _HEADER.size + position
+        data = bytes(self._shm.buf[start : start + length])
+        with self._cond:
+            head, tail = self._counters()
+            tail_position = tail % self.capacity
+            if tail_position != position:
+                # The producer skipped the tail-end remainder to keep the
+                # payload contiguous; release that dead space too.
+                tail += self.capacity - tail_position
+            self._store(head, tail + length)
+            self._cond.notify_all()
+        return data
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class ShmEndpoint(Endpoint):
+    """One rank's process-local handle on the pipes-and-rings fabric."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        send_conns: list[Connection | None],   # [dest] -> writer end
+        recv_conns: list[Connection | None],   # [source] -> reader end
+        send_rings: list[ShmRing | None],      # [dest] -> this rank's outgoing ring
+        recv_rings: list[ShmRing | None],      # [source] -> incoming ring
+        control: Connection,
+        barrier,
+    ):
+        self.rank = rank
+        self.size = size
+        self._send_conns = send_conns
+        self._recv_conns = recv_conns
+        self._send_rings = send_rings
+        self._recv_rings = recv_rings
+        self._control = control
+        self._barrier = barrier
+        self._stash: list[Message] = []
+        self._source_of = {id(conn): s for s, conn in enumerate(recv_conns) if conn}
+        self._aborted = False
+
+    def send(self, dest: int, message: Message) -> None:
+        if dest == self.rank:
+            # Loopback: no process boundary to cross.
+            self._stash.append(message)
+            return
+        payload = message.payload
+        conn = self._send_conns[dest]
+        assert conn is not None
+        ring = self._send_rings[dest]
+        if isinstance(payload, (bytearray, memoryview)):
+            # Normalise to bytes up front: len(memoryview) counts items, not
+            # bytes, and a memoryview cannot be pickled down the inline path.
+            payload = bytes(payload)
+        if (
+            ring is not None
+            and isinstance(payload, bytes)
+            and RING_MIN_BYTES <= len(payload) <= ring.capacity
+        ):
+            position = ring.write(payload, JOIN_TIMEOUT)
+            conn.send((_KIND_RING, message.tag, position, len(payload)))
+        else:
+            conn.send((_KIND_INLINE, message.tag, payload))
+
+    def recv(self, source: int, tag: int, timeout: float) -> Message:
+        deadline = time.monotonic() + timeout
+        while True:
+            for index, message in enumerate(self._stash):
+                if match(message, source, tag):
+                    return self._stash.pop(index)
+            if self._aborted:
+                raise MPIError(f"rank {self.rank} aborted: a peer rank failed")
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise MPIError(
+                    f"recv timed out after {timeout}s waiting for "
+                    f"source={source} tag={tag}"
+                )
+            self._poll(remaining)
+
+    def _poll(self, timeout: float) -> None:
+        """Drain every readable connection into the stash (ring payloads are
+        copied out immediately so ring space frees in order)."""
+        conns = [c for c in self._recv_conns if c is not None] + [self._control]
+        ready = connection_wait(conns, timeout)
+        for conn in ready:
+            if conn is self._control:
+                self._control.recv()
+                self._aborted = True
+                continue
+            source = self._source_of[id(conn)]
+            descriptor = conn.recv()
+            kind = descriptor[0]
+            if kind == _KIND_RING:
+                _, tag, position, length = descriptor
+                ring = self._recv_rings[source]
+                assert ring is not None
+                payload: Any = ring.read(position, length)
+            else:
+                _, tag, payload = descriptor
+            self._stash.append(Message(source, tag, payload))
+
+    def barrier(self, timeout: float) -> None:
+        try:
+            self._barrier.wait(timeout)
+        except threading.BrokenBarrierError as exc:
+            raise MPIError("barrier broken (peer died or timed out)") from exc
+
+    def abort(self) -> None:
+        self._barrier.abort()
+
+
+@register_transport
+class ShmTransport(Transport):
+    """Fork one process per rank; move chunks through shared-memory rings."""
+
+    name = "shm"
+
+    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise MPIError(
+                "shm transport needs the fork start method (unavailable on "
+                "this platform); use the thread transport instead"
+            )
+        self.ring_bytes = ring_bytes
+        self._ctx = multiprocessing.get_context("fork")
+
+    def run(
+        self,
+        world_size: int,
+        main: Callable[..., Any],
+        args: tuple = (),
+        timeout: float = JOIN_TIMEOUT,
+    ) -> list[Any]:
+        from repro.mpi.comm import Comm
+
+        if world_size < 1:
+            raise MPIError(f"world size must be >= 1, got {world_size}")
+        ctx = self._ctx
+
+        # Fabric: rings[s][d] and data pipes carry s -> d traffic.
+        rings: list[list[ShmRing | None]] = [
+            [
+                ShmRing(ctx, self.ring_bytes) if s != d else None
+                for d in range(world_size)
+            ]
+            for s in range(world_size)
+        ]
+        data_readers: list[list[Connection | None]] = [
+            [None] * world_size for _ in range(world_size)
+        ]
+        data_writers: list[list[Connection | None]] = [
+            [None] * world_size for _ in range(world_size)
+        ]
+        for s in range(world_size):
+            for d in range(world_size):
+                if s == d:
+                    continue
+                reader, writer = ctx.Pipe(duplex=False)
+                data_readers[s][d] = reader  # read end, owned by rank d
+                data_writers[s][d] = writer  # write end, owned by rank s
+        control_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
+        result_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
+        barrier = ctx.Barrier(world_size)
+
+        def child(rank: int) -> None:
+            endpoint = ShmEndpoint(
+                rank=rank,
+                size=world_size,
+                send_conns=[data_writers[rank][d] for d in range(world_size)],
+                recv_conns=[data_readers[s][rank] for s in range(world_size)],
+                send_rings=rings[rank],
+                recv_rings=[rings[s][rank] for s in range(world_size)],
+                control=control_pipes[rank][0],
+                barrier=barrier,
+            )
+            comm = Comm.from_endpoint(endpoint)
+            result_conn = result_pipes[rank][1]
+            try:
+                outcome = ("ok", main(comm, *args))
+            except BaseException as exc:  # noqa: BLE001 - reported to parent
+                barrier.abort()
+                outcome = ("err", exc)
+            try:
+                result_conn.send(outcome)
+            except Exception:
+                # Unpicklable result or exception: degrade to its repr.
+                result_conn.send(("err", MPIError(f"rank {rank}: {outcome[1]!r}")))
+
+        processes = [
+            ctx.Process(target=child, args=(rank,), name=f"mpi-rank-{rank}", daemon=True)
+            for rank in range(world_size)
+        ]
+        try:
+            for process in processes:
+                process.start()
+            results, errors = self._collect(
+                [conn for conn, _ in result_pipes],
+                [writer for _, writer in control_pipes],
+                processes,
+                barrier,
+                timeout,
+            )
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                process.join(5.0)
+            for row in rings:
+                for ring in row:
+                    if ring is not None:
+                        ring.close()
+                        ring.unlink()
+            for grid in (data_readers, data_writers):
+                for row in grid:
+                    for conn in row:
+                        if conn is not None:
+                            conn.close()
+            for reader, writer in control_pipes + result_pipes:
+                reader.close()
+                writer.close()
+        raise_rank_errors(errors)
+        return results
+
+    @staticmethod
+    def _collect(result_conns, control_writers, processes, barrier, timeout):
+        """Gather per-rank outcomes; on first failure poison every rank.
+
+        Watches each child's process sentinel alongside its result pipe:
+        every child inherits every pipe's write end, so a hard-killed rank
+        never EOFs its pipe — only the sentinel reveals the death.
+        """
+        world_size = len(result_conns)
+        results: list[Any] = [None] * world_size
+        errors: list[tuple[int, BaseException]] = []
+        rank_of = {id(conn): rank for rank, conn in enumerate(result_conns)}
+        rank_of_sentinel = {
+            process.sentinel: rank for rank, process in enumerate(processes)
+        }
+        pending = set(result_conns)
+        poisoned = False
+
+        def record(rank: int, status: str, value: Any) -> None:
+            nonlocal poisoned
+            pending.discard(result_conns[rank])
+            if status == "ok":
+                results[rank] = value
+                return
+            errors.append((rank, value))
+            if not poisoned:
+                poisoned = True
+                barrier.abort()
+                for writer in control_writers:
+                    try:
+                        writer.send(_CTRL_ABORT)
+                    except (BrokenPipeError, OSError):
+                        pass
+
+        deadline = time.monotonic() + timeout
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                stuck = sorted(rank_of[id(conn)] for conn in pending)
+                raise MPIError(f"ranks {stuck} did not finish in {timeout}s")
+            sentinels = [
+                processes[rank_of[id(conn)]].sentinel for conn in pending
+            ]
+            ready = connection_wait(list(pending) + sentinels, remaining)
+            for item in ready:
+                if item in rank_of_sentinel:
+                    rank = rank_of_sentinel[item]
+                    conn = result_conns[rank]
+                    if conn not in pending:
+                        continue
+                    # The child exited: take a result it managed to send,
+                    # otherwise report the death instead of waiting for an
+                    # EOF that can never come.
+                    if conn.poll(0):
+                        status, value = conn.recv()
+                    else:
+                        status, value = "err", MPIError(
+                            f"rank {rank} died without reporting a result "
+                            f"(exit code {processes[rank].exitcode})"
+                        )
+                    record(rank, status, value)
+                    continue
+                if item not in pending:
+                    continue  # already handled via its sentinel this round
+                rank = rank_of[id(item)]
+                try:
+                    status, value = item.recv()
+                except EOFError:
+                    status, value = "err", MPIError(
+                        f"rank {rank} died without reporting a result"
+                    )
+                record(rank, status, value)
+        return results, errors

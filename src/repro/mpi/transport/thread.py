@@ -1,0 +1,140 @@
+"""Threaded transport: ranks are threads in one process (the original
+substrate).
+
+This is the default backend: startup is free and payloads are passed by
+reference, but the GIL serialises Python-level compute across ranks —
+which is exactly the limitation the ``shm`` backend removes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.common.errors import MPIError
+from repro.mpi.transport.base import (
+    JOIN_TIMEOUT,
+    Endpoint,
+    Message,
+    Transport,
+    match,
+    raise_rank_errors,
+    register_transport,
+)
+
+
+class Mailbox:
+    """Thread-safe mailbox with selective (source, tag) receive."""
+
+    def __init__(self) -> None:
+        self._items: list[Message] = []
+        self._cond = threading.Condition()
+
+    def put(self, message: Message) -> None:
+        with self._cond:
+            self._items.append(message)
+            self._cond.notify_all()
+
+    def get(self, source: int, tag: int, timeout: float) -> Message:
+        def find() -> int | None:
+            for index, message in enumerate(self._items):
+                if match(message, source, tag):
+                    return index
+            return None
+
+        with self._cond:
+            index = find()
+            while index is None:
+                if not self._cond.wait(timeout):
+                    raise MPIError(
+                        f"recv timed out after {timeout}s waiting for "
+                        f"source={source} tag={tag}"
+                    )
+                index = find()
+            return self._items.pop(index)
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+
+class World:
+    """Shared state of one threaded MPI world: mailboxes and a barrier."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise MPIError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self.mailboxes = [Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+
+
+class ThreadEndpoint(Endpoint):
+    """One rank's view of a threaded :class:`World`."""
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+
+    def send(self, dest: int, message: Message) -> None:
+        self.world.mailboxes[dest].put(message)
+
+    def recv(self, source: int, tag: int, timeout: float) -> Message:
+        return self.world.mailboxes[self.rank].get(source, tag, timeout)
+
+    def barrier(self, timeout: float) -> None:
+        try:
+            self.world.barrier.wait(timeout)
+        except threading.BrokenBarrierError as exc:
+            raise MPIError("barrier broken (peer died or timed out)") from exc
+
+    def abort(self) -> None:
+        # Break the barrier so peers blocked in collectives fail fast
+        # instead of timing out.
+        self.world.barrier.abort()
+
+
+@register_transport
+class ThreadTransport(Transport):
+    """Run every rank as a daemon thread sharing one :class:`World`."""
+
+    name = "thread"
+
+    def run(
+        self,
+        world_size: int,
+        main: Callable[..., Any],
+        args: tuple = (),
+        timeout: float = JOIN_TIMEOUT,
+    ) -> list[Any]:
+        from repro.mpi.comm import Comm  # local import: comm builds on this module
+
+        world = World(world_size)
+        results: list[Any] = [None] * world_size
+        errors: list[tuple[int, BaseException]] = []
+        errors_lock = threading.Lock()
+
+        def runner(rank: int) -> None:
+            comm = Comm(world, rank)
+            try:
+                results[rank] = main(comm, *args)
+            except BaseException as exc:  # noqa: BLE001 - re-raised in caller
+                with errors_lock:
+                    errors.append((rank, exc))
+                comm.endpoint.abort()
+
+        threads = [
+            threading.Thread(
+                target=runner, args=(rank,), name=f"mpi-rank-{rank}", daemon=True
+            )
+            for rank in range(world_size)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise MPIError(f"rank thread {thread.name} did not finish in {timeout}s")
+        raise_rank_errors(errors)
+        return results

@@ -58,7 +58,8 @@ def grep_spark(lines: Sequence[str], pattern: str, parallelism: int = 4,
     return dict(counts.collect())
 
 
-def grep_datampi(lines: Sequence[str], pattern: str, parallelism: int = 4) -> dict[str, int]:
+def grep_datampi(lines: Sequence[str], pattern: str, parallelism: int = 4,
+                 transport: str | None = None) -> dict[str, int]:
     compiled = re.compile(pattern)
 
     def o_task(ctx, split):
@@ -72,18 +73,19 @@ def grep_datampi(lines: Sequence[str], pattern: str, parallelism: int = 4) -> di
     job = DataMPIJob(
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
-                    combiner=lambda m, vs: sum(vs), job_name="grep"),
+                    combiner=lambda m, vs: sum(vs), job_name="grep",
+                    transport=transport),
     )
     result = job.run(split_round_robin(list(lines), parallelism))
     return dict(result.merged_outputs())
 
 
 def run_grep(engine: str, lines: Sequence[str], pattern: str,
-             parallelism: int = 4) -> dict[str, int]:
+             parallelism: int = 4, transport: str | None = None) -> dict[str, int]:
     """Dispatch Grep to one of the three engines."""
     check_engine(engine)
     if engine == "hadoop":
         return grep_hadoop(lines, pattern, parallelism)
     if engine == "spark":
         return grep_spark(lines, pattern, parallelism)
-    return grep_datampi(lines, pattern, parallelism)
+    return grep_datampi(lines, pattern, parallelism, transport=transport)

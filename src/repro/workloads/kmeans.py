@@ -106,7 +106,8 @@ def kmeans_reference(
     return KMeansResult(centroids, max_iterations, False)
 
 
-def _iterate_engine(engine: str, vectors, k, max_iterations, epsilon, seed, parallelism):
+def _iterate_engine(engine: str, vectors, k, max_iterations, epsilon, seed,
+                    parallelism, transport=None):
     """Shared iteration driver; ``one_round`` differs per engine."""
     centroids = initial_centroids(vectors, k, seed)
     spark_ctx: SparkContext | None = None
@@ -124,7 +125,7 @@ def _iterate_engine(engine: str, vectors, k, max_iterations, epsilon, seed, para
         elif engine == "spark":
             partials = _round_spark(cached_rdd, centroids, parallelism)
         else:
-            partials = _round_datampi(vectors, centroids, parallelism)
+            partials = _round_datampi(vectors, centroids, parallelism, transport)
         updated = [
             _centroid_of(partials[index]) if index in partials else centroids[index]
             for index in range(k)
@@ -175,7 +176,8 @@ def _round_spark(cached_rdd, centroids, parallelism) -> dict[int, tuple[dict, in
     return dict(reduced.collect())
 
 
-def _round_datampi(vectors, centroids, parallelism) -> dict[int, tuple[dict, int]]:
+def _round_datampi(vectors, centroids, parallelism,
+                   transport=None) -> dict[int, tuple[dict, int]]:
     def o_task(ctx, split):
         for vector in split:
             ctx.send(_nearest(vector, centroids), (dict(vector.weights), 1))
@@ -190,7 +192,8 @@ def _round_datampi(vectors, centroids, parallelism) -> dict[int, tuple[dict, int
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda cluster, values: _reduce_partial_list(values),
-                    job_name="kmeans-iteration"),
+                    job_name="kmeans-iteration",
+                    transport=transport),
     )
     result = job.run(split_round_robin(list(vectors), parallelism))
     return dict(result.merged_outputs())
@@ -204,9 +207,11 @@ def run_kmeans(
     epsilon: float = DEFAULT_EPSILON,
     seed: int = 0,
     parallelism: int = 4,
+    transport: str | None = None,
 ) -> KMeansResult:
     """Run Mahout-style iterative K-means on one of the three engines."""
     check_engine(engine)
     if max_iterations < 1:
         raise WorkloadError("max_iterations must be >= 1")
-    return _iterate_engine(engine, vectors, k, max_iterations, epsilon, seed, parallelism)
+    return _iterate_engine(engine, vectors, k, max_iterations, epsilon, seed,
+                           parallelism, transport)

@@ -170,12 +170,13 @@ def train_hadoop(documents: Sequence[LabeledDocument], parallelism: int = 4,
 
 
 def train_datampi(documents: Sequence[LabeledDocument], parallelism: int = 4,
-                  alpha: float = 1.0) -> NaiveBayesModel:
+                  alpha: float = 1.0, transport: str | None = None) -> NaiveBayesModel:
     """The same three counting passes as chained DataMPI jobs."""
     splits = split_round_robin(list(documents), parallelism)
     conf = DataMPIConf(num_o=parallelism, num_a=parallelism,
                        combiner=lambda key, values: sum(values),
-                       job_name="nb-count")
+                       job_name="nb-count",
+                       transport=transport)
 
     def sum_a_task(ctx):
         return [(key, sum(values)) for key, values in ctx.grouped()]
@@ -201,13 +202,14 @@ def train_datampi(documents: Sequence[LabeledDocument], parallelism: int = 4,
 
 
 def run_naive_bayes(engine: str, documents: Sequence[LabeledDocument],
-                    parallelism: int = 4, alpha: float = 1.0) -> NaiveBayesModel:
+                    parallelism: int = 4, alpha: float = 1.0,
+                    transport: str | None = None) -> NaiveBayesModel:
     """Train Naive Bayes on ``hadoop`` or ``datampi`` (no Spark — the paper's
     BigDataBench release lacks it, Section 4.6)."""
     if engine == "hadoop":
         return train_hadoop(documents, parallelism, alpha)
     if engine == "datampi":
-        return train_datampi(documents, parallelism, alpha)
+        return train_datampi(documents, parallelism, alpha, transport=transport)
     raise WorkloadError(
         f"Naive Bayes supports engines 'hadoop' and 'datampi', got {engine!r}"
     )

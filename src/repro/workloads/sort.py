@@ -63,7 +63,8 @@ def text_sort_spark(lines: Sequence[str], parallelism: int = 4,
     return [key for key, _ in pairs.sort_by_key(parallelism).collect()]
 
 
-def text_sort_datampi(lines: Sequence[str], parallelism: int = 4) -> list[str]:
+def text_sort_datampi(lines: Sequence[str], parallelism: int = 4,
+                      transport: str | None = None) -> list[str]:
     partitioner = RangePartitioner(_sample_keys(lines), parallelism)
 
     def o_task(ctx, split):
@@ -76,23 +77,26 @@ def text_sort_datampi(lines: Sequence[str], parallelism: int = 4) -> list[str]:
     job = DataMPIJob(
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
-                    partitioner=partitioner, job_name="text-sort"),
+                    partitioner=partitioner, job_name="text-sort",
+                    transport=transport),
     )
     result = job.run(split_round_robin(list(lines), parallelism))
     return [line for output in result.outputs for line in output]
 
 
-def run_text_sort(engine: str, lines: Sequence[str], parallelism: int = 4) -> list[str]:
+def run_text_sort(engine: str, lines: Sequence[str], parallelism: int = 4,
+                  transport: str | None = None) -> list[str]:
     """Dispatch Text Sort to one of the three engines."""
     check_engine(engine)
     if engine == "hadoop":
         return text_sort_hadoop(lines, parallelism)
     if engine == "spark":
         return text_sort_spark(lines, parallelism)
-    return text_sort_datampi(lines, parallelism)
+    return text_sort_datampi(lines, parallelism, transport=transport)
 
 
-def run_normal_sort(engine: str, seqfile: SequenceFile, parallelism: int = 4) -> list[str]:
+def run_normal_sort(engine: str, seqfile: SequenceFile, parallelism: int = 4,
+                    transport: str | None = None) -> list[str]:
     """Normal Sort: decompress the sequence file, then sort by key.
 
     The paper's Spark baseline cannot run this workload at cluster scale
@@ -101,4 +105,4 @@ def run_normal_sort(engine: str, seqfile: SequenceFile, parallelism: int = 4) ->
     """
     check_engine(engine)
     lines = [key for key, _value in seqfile.records()]
-    return run_text_sort(engine, lines, parallelism)
+    return run_text_sort(engine, lines, parallelism, transport=transport)

@@ -57,7 +57,8 @@ def wordcount_spark(lines: Sequence[str], parallelism: int = 4,
     return dict(counts.collect())
 
 
-def wordcount_datampi(lines: Sequence[str], parallelism: int = 4) -> dict[str, int]:
+def wordcount_datampi(lines: Sequence[str], parallelism: int = 4,
+                      transport: str | None = None) -> dict[str, int]:
     def o_task(ctx, split):
         for line in split:
             for word in line.split():
@@ -70,17 +71,19 @@ def wordcount_datampi(lines: Sequence[str], parallelism: int = 4) -> dict[str, i
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda word, values: sum(values),
-                    job_name="wordcount"),
+                    job_name="wordcount",
+                    transport=transport),
     )
     result = job.run(split_round_robin(list(lines), parallelism))
     return dict(result.merged_outputs())
 
 
-def run_wordcount(engine: str, lines: Sequence[str], parallelism: int = 4) -> dict[str, int]:
+def run_wordcount(engine: str, lines: Sequence[str], parallelism: int = 4,
+                  transport: str | None = None) -> dict[str, int]:
     """Dispatch WordCount to one of the three engines."""
     check_engine(engine)
     if engine == "hadoop":
         return wordcount_hadoop(lines, parallelism)
     if engine == "spark":
         return wordcount_spark(lines, parallelism)
-    return wordcount_datampi(lines, parallelism)
+    return wordcount_datampi(lines, parallelism, transport=transport)

@@ -1,0 +1,134 @@
+"""Concurrency stress tests for the MPI substrate.
+
+N senders x M receivers with randomized tags, asserting MPI's
+non-overtaking guarantee: for each (source, destination) pair, messages
+are delivered in send order — both for wildcard receives and for
+tag-selective receives (where the matched subsequence must preserve
+per-tag send order).  Also pins down the liveness contract: a receive
+that can never be satisfied surfaces :class:`MPIError` after its timeout
+instead of hanging the world.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import MPIError
+from repro.mpi import mpi_run
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, RECV_TIMEOUT
+
+NUM_SENDERS = 4
+NUM_RECEIVERS = 3
+MESSAGES_PER_PAIR = 120
+
+
+def _stress_main(comm, seed):
+    """Ranks [0, NUM_SENDERS) send; the rest receive and audit ordering."""
+    world = NUM_SENDERS + NUM_RECEIVERS
+    assert comm.size == world
+    if comm.rank < NUM_SENDERS:
+        rng = random.Random(seed * 1000 + comm.rank)
+        sequences = [0] * NUM_RECEIVERS
+        while any(n < MESSAGES_PER_PAIR for n in sequences):
+            candidates = [i for i, n in enumerate(sequences) if n < MESSAGES_PER_PAIR]
+            receiver = rng.choice(candidates)
+            tag = rng.randint(0, 3)
+            comm.send(
+                NUM_SENDERS + receiver,
+                (comm.rank, sequences[receiver], tag),
+                tag=tag,
+            )
+            sequences[receiver] += 1
+        return None
+
+    observed: dict[int, list[int]] = {s: [] for s in range(NUM_SENDERS)}
+    tag_observed: dict[tuple[int, int], list[int]] = {}
+    for _ in range(NUM_SENDERS * MESSAGES_PER_PAIR):
+        message = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, timeout=60.0)
+        source, sequence, tag = message.payload
+        assert source == message.source
+        assert tag == message.tag
+        observed[source].append(sequence)
+        tag_observed.setdefault((source, tag), []).append(sequence)
+    return observed, tag_observed
+
+
+@pytest.mark.parametrize("transport", ["thread", "shm", "inline"])
+def test_non_overtaking_under_stress(transport):
+    results = mpi_run(
+        NUM_SENDERS + NUM_RECEIVERS, _stress_main, args=(1234,), transport=transport
+    )
+    for receiver in range(NUM_SENDERS, NUM_SENDERS + NUM_RECEIVERS):
+        observed, tag_observed = results[receiver]
+        for source, sequences in observed.items():
+            # Per (source, dest) wildcard receive sees exact send order.
+            assert sequences == list(range(MESSAGES_PER_PAIR)), (
+                f"receiver {receiver} saw source {source} out of order"
+            )
+        for (_source, _tag), sequences in tag_observed.items():
+            # The per-tag subsequence preserves send order too.
+            assert sequences == sorted(sequences)
+
+
+@pytest.mark.parametrize("transport", ["thread", "shm"])
+def test_selective_recv_by_tag_under_stress(transport):
+    """Receivers drain tag-by-tag; selective matching must never lose or
+    reorder messages within one (source, tag) stream."""
+    num_tags = 3
+    per_tag = 40
+
+    def main(comm):
+        if comm.rank == 0:
+            rng = random.Random(99)
+            pending = {tag: 0 for tag in range(num_tags)}
+            while any(n < per_tag for n in pending.values()):
+                tag = rng.choice([t for t, n in pending.items() if n < per_tag])
+                comm.send(1, (tag, pending[tag]), tag=tag)
+                pending[tag] += 1
+            return None
+        streams = {}
+        for tag in range(num_tags):  # drain one whole tag before the next
+            streams[tag] = [
+                comm.recv(source=0, tag=tag, timeout=30.0).payload
+                for _ in range(per_tag)
+            ]
+        return streams
+
+    streams = mpi_run(2, main, transport=transport)[1]
+    for tag in range(num_tags):
+        assert streams[tag] == [(tag, n) for n in range(per_tag)]
+
+
+class TestRecvTimeout:
+    def test_default_timeout_is_recv_timeout(self):
+        assert RECV_TIMEOUT == 120.0
+
+    @pytest.mark.parametrize("transport", ["thread", "shm"])
+    def test_blocked_recv_raises_instead_of_hanging(self, transport):
+        def main(comm):
+            if comm.rank == 1:
+                # Nobody ever sends tag 7: must raise, not hang.
+                comm.recv(source=0, tag=7, timeout=0.3)
+            return None
+
+        with pytest.raises(MPIError, match="timed out|rank 1"):
+            mpi_run(2, main, transport=transport)
+
+    def test_blocked_recv_message_names_source_and_tag(self):
+        def main(comm):
+            comm.recv(source=0, tag=7, timeout=0.05)
+
+        with pytest.raises(MPIError, match=r"source=0 tag=7"):
+            mpi_run(1, main, transport="thread")
+
+    def test_mismatched_messages_do_not_satisfy_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, "noise", tag=1)
+                return None
+            with pytest.raises(MPIError, match="timed out"):
+                comm.recv(source=0, tag=2, timeout=0.2)
+            # The mismatched message is still there for a matching receive.
+            return comm.recv(source=0, tag=1, timeout=5.0).payload
+
+        assert mpi_run(2, main, transport="thread")[1] == "noise"

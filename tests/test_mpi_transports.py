@@ -1,0 +1,309 @@
+"""Transport backends: shared semantics, plus backend-specific guarantees.
+
+Every backend must implement the same MPI subset — selective receive,
+non-overtaking delivery, collectives, error propagation.  On top of that,
+``shm`` must actually cross process boundaries and ``inline`` must be
+deterministic and detect deadlock immediately.
+"""
+
+import os
+
+import pytest
+
+from repro.common.errors import MPIError
+from repro.mpi import available_transports, get_transport, mpi_run
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG
+from repro.mpi.transport import (
+    InlineTransport,
+    ShmRing,
+    ShmTransport,
+    ThreadTransport,
+    Transport,
+)
+
+TRANSPORTS = ("thread", "shm", "inline")
+
+
+@pytest.fixture(params=TRANSPORTS)
+def transport(request):
+    return request.param
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert set(TRANSPORTS) <= set(available_transports())
+
+    def test_get_by_name(self):
+        assert isinstance(get_transport("thread"), ThreadTransport)
+        assert isinstance(get_transport("shm"), ShmTransport)
+        assert isinstance(get_transport("inline"), InlineTransport)
+
+    def test_instance_passthrough(self):
+        instance = ThreadTransport()
+        assert get_transport(instance) is instance
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(MPIError, match="unknown transport"):
+            get_transport("carrier-pigeon")
+
+    def test_default_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRANSPORT", "inline")
+        assert isinstance(get_transport(), InlineTransport)
+
+    def test_default_is_thread(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRANSPORT", raising=False)
+        assert isinstance(get_transport(), ThreadTransport)
+
+
+class TestSharedSemantics:
+    """The contract every backend must honour, run on all of them."""
+
+    def test_send_recv(self, transport):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, "hello")
+                return None
+            return comm.recv(source=0).payload
+
+        assert mpi_run(2, main, transport=transport) == [None, "hello"]
+
+    def test_fifo_per_pair(self, transport):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(50):
+                    comm.send(1, i)
+                return None
+            return [comm.recv(source=0).payload for _ in range(50)]
+
+        assert mpi_run(2, main, transport=transport)[1] == list(range(50))
+
+    def test_tag_matching_skips_other_tags(self, transport):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, "wrong", tag=5)
+                comm.send(1, "right", tag=9)
+                return None
+            first = comm.recv(source=0, tag=9).payload
+            second = comm.recv(source=0, tag=5).payload
+            return (first, second)
+
+        assert mpi_run(2, main, transport=transport)[1] == ("right", "wrong")
+
+    def test_any_source(self, transport):
+        def main(comm):
+            if comm.rank in (0, 1):
+                comm.send(2, comm.rank)
+                return None
+            return {comm.recv(source=ANY_SOURCE).source for _ in range(2)}
+
+        assert mpi_run(3, main, transport=transport)[2] == {0, 1}
+
+    def test_self_send(self, transport):
+        def main(comm):
+            comm.send(comm.rank, f"echo-{comm.rank}", tag=3)
+            return comm.recv(source=comm.rank, tag=3).payload
+
+        assert mpi_run(2, main, transport=transport) == ["echo-0", "echo-1"]
+
+    def test_large_bytes_payload(self, transport):
+        blob = bytes(range(256)) * 4096  # 1 MiB, exercises the shm ring path
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, blob)
+                return None
+            return comm.recv(source=0).payload
+
+        results = mpi_run(2, main, transport=transport)
+        assert results[1] == blob
+
+    def test_collectives(self, transport):
+        def main(comm):
+            broadcast = comm.bcast("root" if comm.rank == 0 else None, root=0)
+            gathered = comm.gather(comm.rank * 10, root=0)
+            everyone = comm.allgather(comm.rank)
+            total = comm.allreduce(comm.rank + 1)
+            exchanged = comm.alltoall(
+                [f"{comm.rank}->{dest}" for dest in range(comm.size)]
+            )
+            return (broadcast, gathered, everyone, total, exchanged)
+
+        results = mpi_run(3, main, transport=transport)
+        for rank, (broadcast, gathered, everyone, total, exchanged) in enumerate(results):
+            assert broadcast == "root"
+            assert gathered == ([0, 10, 20] if rank == 0 else None)
+            assert everyone == [0, 1, 2]
+            assert total == 6
+            assert exchanged == [f"{src}->{rank}" for src in range(3)]
+
+    def test_barrier(self, transport):
+        def main(comm):
+            if comm.rank == 0:
+                for dest in range(1, comm.size):
+                    comm.send(dest, "pre-barrier")
+            comm.barrier()
+            if comm.rank != 0:
+                # The message must already be deliverable after the barrier.
+                return comm.recv(source=0, timeout=5.0).payload
+            return None
+
+        assert mpi_run(3, main, transport=transport)[1:] == ["pre-barrier"] * 2
+
+    def test_exception_propagates(self, transport):
+        def main(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            return "ok"
+
+        with pytest.raises(MPIError, match="rank 1"):
+            mpi_run(2, main, transport=transport)
+
+    def test_failed_rank_unblocks_barrier_peers(self, transport):
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead rank")
+            comm.barrier()
+
+        with pytest.raises(MPIError):
+            mpi_run(2, main, transport=transport)
+
+    def test_send_to_invalid_rank(self, transport):
+        def main(comm):
+            comm.send(99, "x")
+
+        with pytest.raises(MPIError):
+            mpi_run(1, main, transport=transport)
+
+    def test_world_size_validation(self, transport):
+        with pytest.raises(MPIError):
+            mpi_run(0, lambda comm: None, transport=transport)
+
+    def test_results_by_rank(self, transport):
+        assert mpi_run(5, lambda comm: comm.rank ** 2, transport=transport) == \
+            [0, 1, 4, 9, 16]
+
+    def test_extra_args(self, transport):
+        assert mpi_run(
+            2, lambda comm, base: base + comm.rank, args=(100,), transport=transport
+        ) == [100, 101]
+
+
+class TestShmSpecifics:
+    def test_ranks_are_distinct_processes(self):
+        def main(comm):
+            return comm.allgather(os.getpid())
+
+        pids = mpi_run(4, main, transport="shm")[0]
+        assert len(set(pids)) == 4
+        assert os.getpid() not in pids
+
+    def test_ring_wraparound(self):
+        """Stream far more bytes than the ring holds to force wrap + reuse."""
+        chunk = b"\xab" * 4000
+        rounds = 50
+
+        def main(comm):
+            if comm.rank == 0:
+                for index in range(rounds):
+                    comm.send(1, chunk + index.to_bytes(2, "big"))
+                return None
+            received = [comm.recv(source=0).payload for _ in range(rounds)]
+            return all(
+                payload[:-2] == chunk and int.from_bytes(payload[-2:], "big") == index
+                for index, payload in enumerate(received)
+            )
+
+        transport = ShmTransport(ring_bytes=16 * 1024)
+        assert mpi_run(2, main, transport=transport)[1] is True
+
+    def test_payload_larger_than_ring_uses_inline_path(self):
+        blob = b"z" * (64 * 1024)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, blob)
+                return None
+            return comm.recv(source=0).payload == blob
+
+        transport = ShmTransport(ring_bytes=8 * 1024)
+        assert mpi_run(2, main, transport=transport)[1] is True
+
+    def test_recv_timeout_raises(self):
+        def main(comm):
+            comm.recv(source=0, timeout=0.2)
+
+        with pytest.raises(MPIError, match="timed out|rank 0"):
+            mpi_run(1, main, transport="shm")
+
+    def test_ring_rejects_oversized_single_write(self):
+        ring = ShmRing(__import__("multiprocessing").get_context("fork"), 128)
+        try:
+            with pytest.raises(MPIError, match="exceeds ring capacity"):
+                ring.write(b"x" * 200, timeout=0.1)
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+class TestInlineSpecifics:
+    def test_deterministic_arrival_order(self):
+        """Many senders, ANY_SOURCE receiver: arrival order never varies."""
+
+        def main(comm):
+            if comm.rank == 0:
+                return [comm.recv(source=ANY_SOURCE).source for _ in range(9)]
+            for _ in range(3):
+                comm.send(0, None)
+            return None
+
+        orders = {tuple(mpi_run(4, main, transport="inline")[0]) for _ in range(5)}
+        assert len(orders) == 1
+
+    def test_deadlock_detected_immediately(self):
+        """A recv that can never match fails fast, not after RECV_TIMEOUT."""
+        import time
+
+        def main(comm):
+            comm.recv(source=0, tag=42, timeout=3600.0)
+
+        start = time.monotonic()
+        with pytest.raises(MPIError, match="deadlock"):
+            mpi_run(1, main, transport="inline")
+        assert time.monotonic() - start < 5.0
+
+    def test_cross_deadlock_detected(self):
+        def main(comm):
+            # Both ranks receive first: classic deadlock.
+            comm.recv(source=1 - comm.rank, timeout=3600.0)
+
+        with pytest.raises(MPIError, match="deadlock"):
+            mpi_run(2, main, transport="inline")
+
+    def test_original_error_preferred_over_poison(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise KeyError("the real cause")
+            comm.recv(source=1)
+
+        with pytest.raises(MPIError, match="the real cause"):
+            mpi_run(2, main, transport="inline")
+
+
+class TestCustomTransportRegistration:
+    def test_register_and_resolve(self):
+        from repro.mpi.transport import register_transport
+
+        @register_transport
+        class _NullTransport(Transport):
+            name = "null-test"
+
+            def run(self, world_size, main, args=(), timeout=300.0):
+                return ["null"] * world_size
+
+        try:
+            assert "null-test" in available_transports()
+            assert mpi_run(3, lambda comm: None, transport="null-test") == ["null"] * 3
+        finally:
+            from repro.mpi.transport import base as _base
+
+            _base._REGISTRY.pop("null-test", None)

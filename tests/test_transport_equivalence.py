@@ -1,0 +1,133 @@
+"""Cross-backend equivalence: every workload on the DataMPI engine must
+produce byte-identical output on the ``thread``, ``shm``, and ``inline``
+transports.
+
+Outputs are serialized to bytes with a stable encoder and compared against
+the ``thread`` backend's result, so any divergence — ordering, float
+summation order, partition routing — fails loudly.  This is the guarantee
+that makes the transport layer a pure performance knob.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bigdatabench import TextGenerator
+from repro.bigdatabench.vectors import SparseVector
+from repro.common.rng import substream
+from repro.datampi import DataMPIConf, DataMPIJob
+from repro.workloads import (
+    generate_labeled_documents,
+    grep_datampi,
+    grep_reference,
+    run_kmeans,
+    run_naive_bayes,
+    sort_reference,
+    text_sort_datampi,
+    wordcount_datampi,
+    wordcount_reference,
+)
+
+TRANSPORTS = ("thread", "shm", "inline")
+ALT_TRANSPORTS = tuple(t for t in TRANSPORTS if t != "thread")
+
+LINES = TextGenerator(seed=7).lines(240)
+PARALLELISM = 3
+
+
+def stable_bytes(value) -> bytes:
+    """Deterministic byte serialization of a workload output."""
+    return pickle.dumps(_canonical(value), protocol=4)
+
+
+def _canonical(value):
+    if isinstance(value, dict):
+        # Dict content AND iteration order must agree across backends.
+        return ("dict", [( _canonical(k), _canonical(v)) for k, v in value.items()])
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, set):
+        return ("set", sorted(value))
+    if isinstance(value, SparseVector):
+        return ("vec", [(dim, weight) for dim, weight in value.weights.items()])
+    return value
+
+
+@pytest.fixture(params=ALT_TRANSPORTS)
+def alt_transport(request):
+    return request.param
+
+
+class TestWorkloadEquivalence:
+    def test_sort(self, alt_transport):
+        reference = text_sort_datampi(LINES, PARALLELISM, transport="thread")
+        assert reference == sort_reference(LINES)
+        other = text_sort_datampi(LINES, PARALLELISM, transport=alt_transport)
+        assert stable_bytes(other) == stable_bytes(reference)
+
+    def test_wordcount(self, alt_transport):
+        reference = wordcount_datampi(LINES, PARALLELISM, transport="thread")
+        assert reference == wordcount_reference(LINES)
+        other = wordcount_datampi(LINES, PARALLELISM, transport=alt_transport)
+        assert stable_bytes(other) == stable_bytes(reference)
+
+    def test_grep(self, alt_transport):
+        pattern = r"ba[a-z]*"
+        reference = grep_datampi(LINES, pattern, PARALLELISM, transport="thread")
+        assert reference == grep_reference(LINES, pattern)
+        other = grep_datampi(LINES, pattern, PARALLELISM, transport=alt_transport)
+        assert stable_bytes(other) == stable_bytes(reference)
+
+    def test_kmeans(self, alt_transport):
+        rng = substream(11, "transport-kmeans")
+        vectors = [
+            SparseVector({dim: rng.random() for dim in rng.sample(range(12), 4)})
+            for _ in range(60)
+        ]
+        reference = run_kmeans("datampi", vectors, k=4, max_iterations=3,
+                               parallelism=PARALLELISM, transport="thread")
+        other = run_kmeans("datampi", vectors, k=4, max_iterations=3,
+                           parallelism=PARALLELISM, transport=alt_transport)
+        # Float-exact: same addition order on every backend (chunk origins
+        # canonicalise the merge), so centroids agree to the last bit.
+        assert stable_bytes(other.centroids) == stable_bytes(reference.centroids)
+        assert other.iterations == reference.iterations
+        assert other.converged == reference.converged
+
+    def test_naive_bayes(self, alt_transport):
+        documents = generate_labeled_documents(40, words_per_doc=12, seed=3)
+        reference = run_naive_bayes("datampi", documents, parallelism=PARALLELISM,
+                                    transport="thread")
+        other = run_naive_bayes("datampi", documents, parallelism=PARALLELISM,
+                                transport=alt_transport)
+        for attribute in ("class_term_counts", "class_doc_counts", "vocabulary"):
+            assert stable_bytes(getattr(other, attribute)) == \
+                stable_bytes(getattr(reference, attribute))
+
+
+class TestManyChunkEquivalence:
+    """Tiny send buffers force many interleaved chunks per destination, the
+    regime where arrival order actually varies between backends."""
+
+    @staticmethod
+    def _run(transport: str):
+        def o_task(ctx, split):
+            for index, line in enumerate(split):
+                ctx.send(len(line) % 5, (line, index * 0.125))
+
+        def a_task(ctx):
+            return [(key, values) for key, values in ctx.grouped()]
+
+        job = DataMPIJob(
+            o_task, a_task,
+            DataMPIConf(num_o=3, num_a=2, send_buffer_bytes=64,
+                        job_name="many-chunks", transport=transport),
+        )
+        splits = [LINES[index::3] for index in range(3)]
+        return job.run(splits)
+
+    def test_outputs_and_counters_match(self, alt_transport):
+        reference = self._run("thread")
+        other = self._run(alt_transport)
+        assert stable_bytes(other.outputs) == stable_bytes(reference.outputs)
+        assert other.counters == reference.counters
