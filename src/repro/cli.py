@@ -10,7 +10,10 @@ Subcommands:
 The DataMPI engine's IPC backend is selectable with
 ``workload --transport {thread,shm,inline}``: threads in one process
 (default), forked processes over shared-memory rings, or a deterministic
-inline scheduler.
+inline scheduler.  Its execution mode is selectable with
+``workload --mode {common,iteration,streaming}``: run-once jobs
+(default), kept-alive ranks with a cross-iteration KV cache (kmeans),
+or windowed unbounded input (wordcount, grep).
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ import sys
 
 from repro.common.units import format_size, parse_size
 from repro import experiments
+from repro.datampi import EXECUTION_MODES
 from repro.experiments import report
 from repro.mpi.transport import available_transports
 from repro.perfmodels import simulate
@@ -121,22 +125,89 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_workload(args) -> int:
-    from repro.bigdatabench import TextGenerator
+    from repro.bigdatabench import TextGenerator, generate_kmeans_vectors
     from repro.workloads import (
-        run_grep, run_text_sort, run_wordcount, wordcount_reference,
+        grep_reference,
+        grep_streaming,
+        kmeans_iterative_job,
+        merge_window_counts,
+        run_grep,
+        run_kmeans,
+        run_text_sort,
+        run_wordcount,
+        wordcount_reference,
+        wordcount_streaming,
     )
 
+    if args.mode != "common" and args.engine != "datampi":
+        print(f"--mode {args.mode} needs the datampi engine", file=sys.stderr)
+        return 2
+
+    if args.name == "kmeans":
+        if args.mode == "streaming":
+            print("kmeans supports modes common and iteration", file=sys.stderr)
+            return 2
+        vectors, _labels = generate_kmeans_vectors(args.vectors, seed=args.seed)
+        if args.mode == "iteration":
+            result, stats = kmeans_iterative_job(
+                vectors, k=args.k, max_iterations=10, seed=args.seed,
+                transport=args.transport,
+            )
+            baseline = run_kmeans("datampi", vectors, k=args.k, max_iterations=10,
+                                  seed=args.seed, transport=args.transport)
+            identical = [c.weights for c in result.centroids] == \
+                [c.weights for c in baseline.centroids]
+            print(f"kmeans k={args.k} iterations={result.iterations} "
+                  f"converged={result.converged} verified={identical}")
+            print(f"cache served {stats.counters.get('cache.hit_bytes', 0)} bytes "
+                  f"locally over {len(stats.per_iteration)} iterations")
+        else:
+            from repro.workloads import kmeans_reference
+
+            result = run_kmeans(args.engine, vectors, k=args.k, max_iterations=10,
+                                seed=args.seed, transport=args.transport)
+            reference = kmeans_reference(vectors, k=args.k, max_iterations=10,
+                                         seed=args.seed)
+            drift = max(
+                mine.squared_distance(ref) ** 0.5
+                for mine, ref in zip(result.centroids, reference.centroids)
+            )
+            ok = result.iterations == reference.iterations and drift < 1e-9
+            print(f"kmeans k={args.k} iterations={result.iterations} "
+                  f"converged={result.converged} verified={ok}")
+        return 0
+
     lines = TextGenerator(seed=args.seed).lines(args.lines)
+    if args.name in ("wordcount", "grep") and args.mode == "iteration":
+        print(f"{args.name} supports modes common and streaming", file=sys.stderr)
+        return 2
     if args.name == "wordcount":
-        counts = run_wordcount(args.engine, lines, transport=args.transport)
-        ok = counts == wordcount_reference(lines)
-        print(f"{len(counts)} distinct words; verified={ok}")
+        if args.mode == "streaming":
+            result = wordcount_streaming(lines, lines_per_split=max(1, args.lines // 8),
+                                         transport=args.transport)
+            ok = merge_window_counts(result) == wordcount_reference(lines)
+            print(f"{len(result.windows)} windows flushed; verified={ok}")
+        else:
+            counts = run_wordcount(args.engine, lines, transport=args.transport)
+            ok = counts == wordcount_reference(lines)
+            print(f"{len(counts)} distinct words; verified={ok}")
     elif args.name == "sort":
+        if args.mode != "common":
+            print("sort supports only the common mode", file=sys.stderr)
+            return 2
         output = run_text_sort(args.engine, lines, transport=args.transport)
         print(f"sorted {len(output)} lines; verified={output == sorted(lines)}")
     elif args.name == "grep":
-        counts = run_grep(args.engine, lines, args.pattern, transport=args.transport)
-        print(f"{sum(counts.values())} matches of {len(counts)} distinct strings")
+        if args.mode == "streaming":
+            result = grep_streaming(lines, args.pattern,
+                                    lines_per_split=max(1, args.lines // 8),
+                                    transport=args.transport)
+            ok = merge_window_counts(result) == grep_reference(lines, args.pattern)
+            print(f"{len(result.windows)} windows flushed; verified={ok}")
+        else:
+            counts = run_grep(args.engine, lines, args.pattern,
+                              transport=args.transport)
+            print(f"{sum(counts.values())} matches of {len(counts)} distinct strings")
     else:
         print(f"unknown workload {args.name!r}", file=sys.stderr)
         return 2
@@ -167,13 +238,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     wl = sub.add_parser("workload", help="run a functional workload")
     wl.add_argument("engine", choices=["hadoop", "spark", "datampi"])
-    wl.add_argument("name", help="wordcount | sort | grep")
+    wl.add_argument("name", help="wordcount | sort | grep | kmeans")
     wl.add_argument("--lines", type=int, default=2000)
     wl.add_argument("--seed", type=int, default=0)
     wl.add_argument("--pattern", default=r"ba[a-z]*")
+    wl.add_argument("--vectors", type=int, default=120,
+                    help="input vectors for the kmeans workload")
+    wl.add_argument("--k", type=int, default=5,
+                    help="clusters for the kmeans workload")
     wl.add_argument("--transport", choices=available_transports(), default=None,
                     help="IPC backend for the datampi engine "
                          "(default: thread, or REPRO_TRANSPORT)")
+    wl.add_argument("--mode", choices=EXECUTION_MODES, default="common",
+                    help="execution mode for the datampi engine: run-once "
+                         "jobs, kept-alive iteration with a KV cache, or "
+                         "windowed streaming")
     wl.set_defaults(func=_cmd_workload)
     return parser
 

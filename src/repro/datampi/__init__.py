@@ -21,13 +21,41 @@ Quick example — a word count::
 from repro.datampi.buffers import DEFAULT_SEND_BUFFER_BYTES, PartitionedSendBuffer
 from repro.datampi.checkpoint import (
     load_checkpoint,
+    read_iteration_state,
     read_manifest,
     write_checkpoint,
+    write_iteration_state,
     write_manifest,
 )
-from repro.datampi.communicator import TAG_DATA, TAG_EOF, BipartiteComm
+from repro.datampi.communicator import (
+    TAG_DATA,
+    TAG_EOF,
+    TAG_INPUT_REQ,
+    TAG_SPLITS,
+    BipartiteComm,
+)
 from repro.datampi.context import AContext, OContext
-from repro.datampi.job import ATask, DataMPIConf, DataMPIJob, JobResult, OTask
+from repro.datampi.job import (
+    EXECUTION_MODES,
+    ATask,
+    DataMPIConf,
+    DataMPIJob,
+    JobResult,
+    OTask,
+    merge_outputs,
+    run_a_superstep,
+    run_o_superstep,
+)
+from repro.datampi.kvcache import KVCache
+from repro.datampi.modes import (
+    A_OUTPUT_KEY,
+    O_SPLITS_KEY,
+    IterativeJob,
+    IterativeResult,
+    StreamingJob,
+    StreamResult,
+    WindowResult,
+)
 from repro.datampi.partition import (
     RangePartitioner,
     hash_partitioner,
@@ -39,19 +67,35 @@ __all__ = [
     "DEFAULT_SEND_BUFFER_BYTES",
     "PartitionedSendBuffer",
     "load_checkpoint",
+    "read_iteration_state",
     "read_manifest",
     "write_checkpoint",
+    "write_iteration_state",
     "write_manifest",
     "TAG_DATA",
     "TAG_EOF",
+    "TAG_INPUT_REQ",
+    "TAG_SPLITS",
     "BipartiteComm",
     "AContext",
     "OContext",
     "ATask",
+    "EXECUTION_MODES",
     "DataMPIConf",
     "DataMPIJob",
     "JobResult",
     "OTask",
+    "merge_outputs",
+    "run_a_superstep",
+    "run_o_superstep",
+    "KVCache",
+    "A_OUTPUT_KEY",
+    "O_SPLITS_KEY",
+    "IterativeJob",
+    "IterativeResult",
+    "StreamingJob",
+    "StreamResult",
+    "WindowResult",
     "RangePartitioner",
     "hash_partitioner",
     "validate_partition",

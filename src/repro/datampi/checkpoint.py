@@ -12,12 +12,16 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
+from typing import Any
 
 from repro.common.errors import CheckpointError
 from repro.datampi.receiver import ChunkStore
 
 MANIFEST_NAME = "manifest.json"
+ITERATION_STATE_NAME = "iteration-state.ckpt"
 _MAGIC = b"DMPICKPT"
+_ITER_MAGIC = b"DMPIITER"
 
 
 def checkpoint_path(directory: str, a_rank: int) -> str:
@@ -54,6 +58,54 @@ def read_manifest(directory: str) -> dict:
     if not manifest.get("complete"):
         raise CheckpointError(f"incomplete checkpoint in {directory}")
     return manifest
+
+
+# -- iteration-mode superstep checkpoints -------------------------------------
+#
+# Iteration mode (see :mod:`repro.datampi.modes`) checkpoints the driver
+# state after every *completed* superstep: the iteration number plus the
+# user's per-iteration state (e.g. the current centroids).  A killed
+# superstep therefore resumes from the last iteration that finished — the
+# partially-executed one re-runs from its input, which the O-side cache or
+# re-scatter reproduces exactly.
+
+
+def iteration_state_path(directory: str) -> str:
+    return os.path.join(directory, ITERATION_STATE_NAME)
+
+
+def write_iteration_state(directory: str, iteration: int, state: Any) -> int:
+    """Atomically persist the state completed at ``iteration``; returns bytes."""
+    if iteration < 1:
+        raise CheckpointError(f"iteration must be >= 1, got {iteration}")
+    os.makedirs(directory, exist_ok=True)
+    payload = _ITER_MAGIC + pickle.dumps(
+        {"iteration": iteration, "state": state}, protocol=4
+    )
+    path = iteration_state_path(directory)
+    temporary = path + ".tmp"
+    with open(temporary, "wb") as handle:
+        handle.write(payload)
+    os.replace(temporary, path)  # rename is atomic: a kill keeps the old file
+    return len(payload)
+
+
+def read_iteration_state(directory: str) -> dict | None:
+    """Load the last completed iteration's state, or None if no checkpoint."""
+    path = iteration_state_path(directory)
+    if not os.path.exists(path):
+        return None
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    if not payload.startswith(_ITER_MAGIC):
+        raise CheckpointError(f"corrupt iteration checkpoint (bad magic) in {path}")
+    try:
+        saved = pickle.loads(payload[len(_ITER_MAGIC):])
+    except Exception as exc:
+        raise CheckpointError(f"unreadable iteration checkpoint {path}: {exc}") from exc
+    if not isinstance(saved, dict) or "iteration" not in saved or "state" not in saved:
+        raise CheckpointError(f"malformed iteration checkpoint {path}")
+    return saved
 
 
 def load_checkpoint(directory: str, a_rank: int, spill_threshold: int) -> ChunkStore:

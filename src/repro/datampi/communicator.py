@@ -22,6 +22,13 @@ from repro.mpi.comm import ANY_TAG, Comm, Message
 
 TAG_DATA = 1
 TAG_EOF = 2
+#: Input-split payloads scattered from the root rank to O ranks (iteration
+#: and streaming modes move input through the comm layer so the bytes the
+#: cross-iteration cache saves are *measured*, not asserted).
+TAG_SPLITS = 3
+#: An O rank's per-superstep input request: does it still hold its splits
+#: in cache, or does the root need to (re-)send them?
+TAG_INPUT_REQ = 4
 
 
 class BipartiteComm:
@@ -75,6 +82,41 @@ class BipartiteComm:
             raise CommunicatorError("only O tasks send EOF")
         for a_index in range(self.num_a):
             self.comm.send(self.world_rank_of_a(a_index), None, TAG_EOF)
+
+    # -- input distribution (iteration / streaming supersteps) -----------------
+    #
+    # The world's rank 0 (always an O rank) doubles as the input root: at
+    # the top of a superstep every O rank tells it whether its splits are
+    # already cached, and the root answers with either the encoded split
+    # payload or a tiny ack.  Self-sends (rank 0 asking itself) ride the
+    # normal transport loopback, so the protocol is uniform on every
+    # backend and the byte counters mean the same thing everywhere.
+
+    INPUT_ROOT = 0
+
+    def request_input(self, cached: bool) -> None:
+        """Tell the input root whether this O rank still holds its splits."""
+        if not self.is_o:
+            raise CommunicatorError("only O tasks request input")
+        self.comm.send(self.INPUT_ROOT, cached, TAG_INPUT_REQ)
+
+    def recv_input(self) -> Message:
+        """Receive the root's answer: TAG_SPLITS with bytes or a None ack."""
+        if not self.is_o:
+            raise CommunicatorError("only O tasks receive input")
+        return self.comm.recv(source=self.INPUT_ROOT, tag=TAG_SPLITS)
+
+    def recv_input_request(self, o_index: int) -> bool:
+        """Root side: receive one O rank's cached/uncached flag."""
+        if self.comm.rank != self.INPUT_ROOT:
+            raise CommunicatorError("only the input root serves input requests")
+        return bool(self.comm.recv(source=o_index, tag=TAG_INPUT_REQ).payload)
+
+    def send_input(self, o_index: int, payload) -> None:
+        """Root side: answer one O rank's input request."""
+        if self.comm.rank != self.INPUT_ROOT:
+            raise CommunicatorError("only the input root serves input requests")
+        self.comm.send(o_index, payload, TAG_SPLITS)
 
     # -- A side ---------------------------------------------------------------
 

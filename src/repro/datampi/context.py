@@ -16,6 +16,7 @@ from repro.common.errors import CommunicatorError
 from repro.common.kv import KeyValue
 from repro.datampi.buffers import PartitionedSendBuffer
 from repro.datampi.communicator import TAG_DATA, BipartiteComm
+from repro.datampi.kvcache import KVCache
 from repro.datampi.partition import Partitioner, hash_partitioner, validate_partition
 from repro.datampi.receiver import ChunkStore
 
@@ -31,10 +32,18 @@ class OContext:
         sort: bool = True,
         combiner=None,
         send_buffer_bytes: int | None = None,
+        cache: KVCache | None = None,
+        superstep: int | None = None,
     ):
         self._bcomm = bcomm
         self._partitioner = partitioner or hash_partitioner
         self._closed = False
+        #: Rank-lifetime KV cache (iteration/streaming modes); None in
+        #: run-once jobs, whose ranks do not outlive a single superstep.
+        self.cache = cache
+        #: 1-based iteration (or streaming window) this context serves;
+        #: None in run-once jobs.
+        self.superstep = superstep
         kwargs = {"sort": sort, "combiner": combiner}
         if send_buffer_bytes is not None:
             kwargs["threshold_bytes"] = send_buffer_bytes
@@ -64,12 +73,20 @@ class OContext:
         self._buffer.add(destination, key, value)
 
     def close(self) -> None:
-        """Flush remaining buffers and signal EOF to every A task."""
+        """Flush remaining buffers and signal EOF to every A task.
+
+        EOF flows even when the final flush raises: A ranks must never
+        block on a failed O task, and iterative supersteps rely on the EOF
+        count staying exact so the failure can propagate through the
+        control channel instead of a receive timeout.
+        """
         if self._closed:
             return
-        self._buffer.flush_all()
-        self._bcomm.send_eof()
-        self._closed = True
+        try:
+            self._buffer.flush_all()
+        finally:
+            self._bcomm.send_eof()
+            self._closed = True
 
     @property
     def counters(self) -> dict[str, int]:
@@ -86,10 +103,13 @@ class AContext:
     """Context handed to A tasks; ``recv`` is the MPI_D_Recv equivalent."""
 
     def __init__(self, bcomm: BipartiteComm | None, store: ChunkStore, *,
-                 sort: bool = True, a_index: int | None = None, num_o: int = 0):
+                 sort: bool = True, a_index: int | None = None, num_o: int = 0,
+                 cache: KVCache | None = None, superstep: int | None = None):
         self._bcomm = bcomm
         self._store = store
         self._sort = sort
+        self.cache = cache
+        self.superstep = superstep
         self._a_index = a_index if a_index is not None else (
             bcomm.a_index if bcomm is not None else 0
         )

@@ -28,6 +28,7 @@ from repro.datampi.checkpoint import (
 )
 from repro.datampi.communicator import BipartiteComm
 from repro.datampi.context import AContext, OContext
+from repro.datampi.kvcache import KVCache
 from repro.datampi.partition import Partitioner
 from repro.datampi.receiver import DEFAULT_SPILL_BYTES, ChunkStore
 from repro.mpi.comm import Comm
@@ -36,6 +37,12 @@ from repro.mpi.transport import available_transports
 
 OTask = Callable[[OContext, Any], None]
 ATask = Callable[[AContext], Any]
+
+#: The DataMPI spec's three execution modes.  ``common`` is the run-once
+#: O/A job this class implements; ``iteration`` and ``streaming`` are
+#: driven by :mod:`repro.datampi.modes` on top of the same superstep
+#: phases below.
+EXECUTION_MODES = ("common", "iteration", "streaming")
 
 
 @dataclass(frozen=True)
@@ -55,6 +62,13 @@ class DataMPIConf:
     #: (forked processes + shared-memory rings), or ``inline``.  ``None``
     #: defers to the runtime default (``REPRO_TRANSPORT`` env var or thread).
     transport: str | None = None
+    #: Execution mode: ``common`` (run-once), ``iteration`` (kept-alive
+    #: ranks + cross-iteration KV cache), or ``streaming`` (windowed
+    #: unbounded input).  Iteration/streaming jobs are driven by
+    #: :class:`repro.datampi.modes.IterativeJob` / ``StreamingJob``.
+    mode: str = "common"
+    #: Capacity of the per-rank cross-superstep KV cache (None = unbounded).
+    cache_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_o < 1 or self.num_a < 1:
@@ -70,6 +84,29 @@ class DataMPIConf:
                 f"unknown transport {self.transport!r}; "
                 f"available: {available_transports()}"
             )
+        if self.mode not in EXECUTION_MODES:
+            raise ConfigError(
+                f"unknown execution mode {self.mode!r}; available: {EXECUTION_MODES}"
+            )
+        if self.cache_bytes is not None and self.cache_bytes < 1:
+            raise ConfigError("cache_bytes must be positive or None")
+
+
+def merge_outputs(outputs: list[Any]) -> list[Any]:
+    """Concatenate per-A-rank list outputs in rank order (Nones skipped).
+
+    The one definition of output merging, shared by every execution
+    mode's result type so merged outputs cannot diverge between modes.
+    """
+    merged: list[Any] = []
+    for output in outputs:
+        if output is None:
+            continue
+        if isinstance(output, list):
+            merged.extend(output)
+        else:
+            merged.append(output)
+    return merged
 
 
 @dataclass
@@ -81,24 +118,83 @@ class JobResult:
 
     def merged_outputs(self) -> list[Any]:
         """Concatenate per-A-rank list outputs in rank order."""
-        merged: list[Any] = []
-        for output in self.outputs:
-            if output is None:
-                continue
-            if isinstance(output, list):
-                merged.extend(output)
-            else:
-                merged.append(output)
-        return merged
+        return merge_outputs(self.outputs)
+
+
+# -- superstep phases ----------------------------------------------------------
+#
+# One O phase plus one A phase is a *superstep*: the unit Common mode runs
+# once and Iteration/Streaming modes run in a loop over kept-alive ranks.
+# The phases are module-level so every mode shares byte-identical shuffle
+# semantics (same buffers, same chunk origins, same merge order).
+
+
+def run_o_superstep(
+    bcomm: BipartiteComm,
+    conf: DataMPIConf,
+    invoke_o: Callable[[OContext, Any], None],
+    my_splits: Sequence[Any],
+    *,
+    cache: KVCache | None = None,
+    superstep: int | None = None,
+) -> dict[str, int]:
+    """Run one O rank's half of a superstep; returns its counters.
+
+    ``invoke_o`` is called once per split; EOFs flow to every A rank even
+    when it raises, so the A side never hangs on a failed O task.
+    """
+    ctx = OContext(
+        bcomm,
+        partitioner=conf.partitioner,
+        sort=conf.sort,
+        combiner=conf.combiner,
+        send_buffer_bytes=conf.send_buffer_bytes,
+        cache=cache,
+        superstep=superstep,
+    )
+    try:
+        for split in my_splits:
+            invoke_o(ctx, split)
+    finally:
+        ctx.close()  # EOF must flow even on failure so A ranks unblock
+    return ctx.counters
+
+
+def run_a_superstep(
+    bcomm: BipartiteComm,
+    conf: DataMPIConf,
+    invoke_a: Callable[[AContext], Any],
+    store: ChunkStore,
+    *,
+    cache: KVCache | None = None,
+    superstep: int | None = None,
+    checkpoint_dir: str | None = None,
+) -> tuple[Any, dict[str, int]]:
+    """Run one A rank's half of a superstep; returns (output, counters).
+
+    The caller owns ``store`` — run-once jobs clean it up immediately,
+    iterative/streaming drivers reset and reuse it across supersteps.
+    """
+    ctx = AContext(bcomm, store, sort=conf.sort, cache=cache, superstep=superstep)
+    ctx.drain()
+    if checkpoint_dir is not None:
+        write_checkpoint(checkpoint_dir, ctx.rank, store)
+    output = invoke_a(ctx)
+    return output, ctx.counters
 
 
 class DataMPIJob:
-    """A bipartite O/A job over the in-process MPI world."""
+    """A bipartite O/A job over the in-process MPI world (Common mode)."""
 
     def __init__(self, o_task: OTask, a_task: ATask, conf: DataMPIConf | None = None):
         self.o_task = o_task
         self.a_task = a_task
         self.conf = conf or DataMPIConf()
+        if self.conf.mode != "common":
+            raise ConfigError(
+                f"DataMPIJob runs Common mode only (conf.mode={self.conf.mode!r}); "
+                "use IterativeJob or StreamingJob from repro.datampi.modes"
+            )
 
     # -- normal execution -----------------------------------------------------
 
@@ -109,7 +205,11 @@ class DataMPIJob:
         def rank_main(comm: Comm) -> tuple[str, Any, dict[str, int]]:
             bcomm = BipartiteComm(comm, conf.num_o, conf.num_a)
             if bcomm.is_o:
-                return self._run_o(bcomm, splits)
+                counters = run_o_superstep(
+                    bcomm, conf, self.o_task,
+                    list(splits)[bcomm.o_index::conf.num_o],
+                )
+                return ("o", None, counters)
             return self._run_a(bcomm)
 
         rank_results = mpi_run(
@@ -119,32 +219,16 @@ class DataMPIJob:
             write_manifest(conf.checkpoint_dir, conf.num_a, conf.sort, conf.job_name)
         return self._collect(rank_results)
 
-    def _run_o(self, bcomm: BipartiteComm, splits: Sequence[Any]):
-        ctx = OContext(
-            bcomm,
-            partitioner=self.conf.partitioner,
-            sort=self.conf.sort,
-            combiner=self.conf.combiner,
-            send_buffer_bytes=self.conf.send_buffer_bytes,
-        )
-        try:
-            for split in list(splits)[bcomm.o_index::self.conf.num_o]:
-                self.o_task(ctx, split)
-        finally:
-            ctx.close()  # EOF must flow even on failure so A ranks unblock
-        return ("o", None, ctx.counters)
-
     def _run_a(self, bcomm: BipartiteComm):
         store = ChunkStore(spill_threshold=self.conf.spill_bytes)
-        ctx = AContext(bcomm, store, sort=self.conf.sort)
-        ctx.drain()
-        if self.conf.checkpoint_dir is not None:
-            write_checkpoint(self.conf.checkpoint_dir, ctx.rank, store)
         try:
-            output = self.a_task(ctx)
+            output, counters = run_a_superstep(
+                bcomm, self.conf, self.a_task, store,
+                checkpoint_dir=self.conf.checkpoint_dir,
+            )
         finally:
-            ctx.cleanup()
-        return ("a", output, ctx.counters)
+            store.cleanup()
+        return ("a", output, counters)
 
     # -- checkpoint restart -----------------------------------------------------
 

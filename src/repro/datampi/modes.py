@@ -1,0 +1,629 @@
+"""Iteration and Streaming execution modes.
+
+The DataMPI specification defines three execution modes; the paper's
+experiments exercise only *Common* (run-once O/A jobs, the
+:class:`~repro.datampi.job.DataMPIJob` driver).  This module adds the
+other two on top of the same superstep phases:
+
+* :class:`IterativeJob` — **Iteration mode**.  One world of O and A ranks
+  stays alive across supersteps.  Input splits move through the comm
+  layer once and are pinned in a per-rank :class:`KVCache`; every later
+  iteration reads them locally, so the per-iteration bytes moved drop by
+  exactly the input-scatter volume (the redundant I/O Section 4.5's
+  k-means analysis charges against one-job-per-iteration engines).
+  Per-iteration state (e.g. centroids) is broadcast from the root; a
+  user-supplied ``update`` function folds the A outputs into the next
+  state and decides convergence.
+
+* :class:`StreamingJob` — **Streaming mode**.  An unbounded sequence of
+  input splits flows through the O->A pipeline in bounded windows; every
+  window is flushed with a watermark (its 1-based window index) before
+  the next is admitted, so memory stays bounded by one window.
+
+Both modes run one control round per superstep: a state broadcast from
+the root, the input request/serve exchange, the shuffle, and an outcome
+gather.  Task failures ride the outcome gather and are re-broadcast, so a
+killed superstep fails every rank in unison on every transport backend —
+no reliance on receive timeouts.  All payloads that cross ranks are
+pickled to bytes first, which makes the per-iteration byte counters
+(``mode.state_bytes``, ``mode.scatter_bytes``, ``mode.gather_bytes``)
+exact and transport-independent.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.common.errors import CheckpointError, ConfigError, MPIError
+from repro.datampi.checkpoint import read_iteration_state, write_iteration_state
+from repro.datampi.communicator import BipartiteComm
+from repro.datampi.job import (
+    DataMPIConf,
+    merge_outputs,
+    run_a_superstep,
+    run_o_superstep,
+)
+from repro.datampi.kvcache import KVCache
+from repro.datampi.receiver import ChunkStore
+from repro.mpi.comm import Comm
+from repro.mpi.launcher import mpi_run
+
+#: Cache key under which an O rank pins its input splits across iterations.
+O_SPLITS_KEY = "o.splits"
+#: Cache key under which an A rank's previous superstep output is pinned
+#: (readable by the next superstep's A task via ``ctx.cache``).
+A_OUTPUT_KEY = "a.output"
+
+_MISSING = object()
+
+#: Counter keys every superstep reports, so per-iteration records have
+#: identical shape in every mode and on every transport.
+_CACHE_COUNTER_KEYS = (
+    "cache.hits", "cache.misses", "cache.hit_bytes",
+    "cache.evictions", "cache.rejected",
+)
+
+
+def _dumps(obj: Any) -> bytes:
+    """Canonical payload encoding: one protocol everywhere so byte
+    counters agree across transports and Python versions."""
+    return pickle.dumps(obj, protocol=4)
+
+
+# -- one superstep, executed by every rank -------------------------------------
+
+
+def _run_superstep(
+    bcomm: BipartiteComm,
+    conf: DataMPIConf,
+    invoke_o: Callable,
+    invoke_a: Callable,
+    splits: Sequence[Any] | None,
+    store: ChunkStore | None,
+    cache: KVCache | None,
+    superstep: int,
+    *,
+    cache_input: bool,
+) -> tuple[str, str | None, Any, dict[str, int], int]:
+    """Input + shuffle + compute for one rank.
+
+    Returns ``(status, error, output, counters, scatter_bytes)`` where
+    ``scatter_bytes`` is non-zero only on the input root.  Task exceptions
+    are caught and reported via ``status`` so the failure can travel the
+    control channel instead of wedging peers in blocking receives.
+    """
+    status: str = "ok"
+    error: str | None = None
+    output: Any = None
+    counters: dict[str, int] = {}
+    scatter_bytes = 0
+    cache_before = dict(cache.counters) if cache is not None else {}
+
+    if bcomm.is_o:
+        my_splits: Any = _MISSING
+        if cache is not None and cache_input:
+            my_splits = cache.get(O_SPLITS_KEY, _MISSING)
+        bcomm.request_input(my_splits is not _MISSING)
+        if bcomm.comm.rank == BipartiteComm.INPUT_ROOT:
+            all_splits = list(splits) if splits is not None else []
+            for o_index in range(bcomm.num_o):
+                if bcomm.recv_input_request(o_index):
+                    response = _dumps(("cached", None))
+                else:
+                    response = _dumps(("data", all_splits[o_index::bcomm.num_o]))
+                bcomm.send_input(o_index, response)
+                scatter_bytes += len(response)
+        kind, value = pickle.loads(bcomm.recv_input().payload)
+        if kind == "data":
+            my_splits = value
+            if cache is not None and cache_input:
+                cache.put(O_SPLITS_KEY, my_splits)
+        try:
+            counters = run_o_superstep(
+                bcomm, conf, invoke_o, my_splits, cache=cache, superstep=superstep
+            )
+        except Exception as exc:  # noqa: BLE001 - reported via the control channel
+            status = "err"
+            error = f"O rank {bcomm.o_index} failed at superstep {superstep}: {exc!r}"
+    else:
+        assert store is not None
+        try:
+            output, counters = run_a_superstep(
+                bcomm, conf, invoke_a, store, cache=cache, superstep=superstep
+            )
+        except Exception as exc:  # noqa: BLE001 - reported via the control channel
+            status = "err"
+            error = f"A rank {bcomm.a_index} failed at superstep {superstep}: {exc!r}"
+            output = None
+        if cache is not None:
+            cache.put(A_OUTPUT_KEY, output)
+        store.reset()
+
+    if cache is not None:
+        for key, value in cache.counters.items():
+            counters[key] = value - cache_before.get(key, 0)
+    else:
+        for key in _CACHE_COUNTER_KEYS:
+            counters[key] = 0
+    return status, error, output, counters, scatter_bytes
+
+
+def _merge_outcomes(
+    gathered: list[bytes],
+) -> tuple[list[tuple], int, dict[str, int], list[tuple[int, str]]]:
+    """Root side: decode the outcome gather into (outcomes, gather_bytes,
+    summed counters, [(rank, error)...])."""
+    outcomes = [pickle.loads(payload) for payload in gathered]
+    gather_bytes = sum(len(payload) for payload in gathered[1:])
+    counters: dict[str, int] = {}
+    errors: list[tuple[int, str]] = []
+    for rank, (status, error, _output, rank_counters) in enumerate(outcomes):
+        for name, value in rank_counters.items():
+            counters[name] = counters.get(name, 0) + value
+        if status != "ok":
+            errors.append((rank, error or f"rank {rank} failed"))
+    return outcomes, gather_bytes, counters, errors
+
+
+def _iteration_record(
+    superstep: int,
+    counters: dict[str, int],
+    state_bytes: int,
+    scatter_bytes: int,
+    gather_bytes: int,
+) -> dict[str, int]:
+    record = {"superstep": superstep, **counters}
+    record["mode.state_bytes"] = state_bytes
+    record["mode.scatter_bytes"] = scatter_bytes
+    record["mode.gather_bytes"] = gather_bytes
+    record["mode.bytes_moved"] = (
+        state_bytes + scatter_bytes + gather_bytes + counters.get("o.bytes_sent", 0)
+    )
+    return record
+
+
+def _merge_totals(totals: dict[str, int], record: dict[str, int]) -> None:
+    for name, value in record.items():
+        if name == "superstep":
+            continue
+        totals[name] = totals.get(name, 0) + value
+
+
+
+
+# -- Iteration mode ------------------------------------------------------------
+
+#: o_task(ctx, split, state) — Common's OTask plus the per-iteration state.
+IterOTask = Callable[[Any, Any, Any], None]
+#: a_task(ctx, state) — Common's ATask plus the per-iteration state.
+IterATask = Callable[[Any, Any], Any]
+#: update(state, merged_outputs, iteration) -> (new_state, converged).
+UpdateFn = Callable[[Any, list[Any], int], tuple[Any, bool]]
+
+
+@dataclass
+class IterativeResult:
+    """Outcome of an iterative job."""
+
+    state: Any
+    outputs: list[Any]  # final iteration's per-A-rank outputs
+    iterations: int  # total iterations completed (including resumed-over ones)
+    converged: bool
+    counters: dict[str, int] = field(default_factory=dict)
+    #: One counter record per executed iteration (root's view, all ranks
+    #: summed) — includes ``mode.bytes_moved`` and the cache counters.
+    per_iteration: list[dict[str, int]] = field(default_factory=list)
+    #: Root wall-clock seconds per executed iteration.
+    timings: list[float] = field(default_factory=list)
+    #: Iteration the run started from (non-zero after a checkpoint resume).
+    start_iteration: int = 0
+
+    def merged_outputs(self) -> list[Any]:
+        return merge_outputs(self.outputs)
+
+
+class IterativeJob:
+    """Superstep driver: Iteration mode (or its run-once Common baseline).
+
+    With ``conf.mode == "iteration"`` one world stays alive for the whole
+    run and input moves through the comm layer only when a rank's cache
+    cannot serve it.  With ``conf.mode == "common"`` the same protocol is
+    replayed with a fresh world per iteration — the one-job-per-iteration
+    pattern — which makes the two modes byte-comparable: identical
+    shuffles, state broadcasts and gathers, differing exactly by the
+    re-scattered input.
+    """
+
+    def __init__(
+        self,
+        o_task: IterOTask,
+        a_task: IterATask,
+        update: UpdateFn,
+        conf: DataMPIConf | None = None,
+        max_iterations: int = 20,
+    ):
+        self.o_task = o_task
+        self.a_task = a_task
+        self.update = update
+        self.conf = conf or DataMPIConf(mode="iteration")
+        if self.conf.mode not in ("iteration", "common"):
+            raise ConfigError(
+                f"IterativeJob supports modes 'iteration' and 'common', "
+                f"got {self.conf.mode!r}"
+            )
+        if max_iterations < 1:
+            raise ConfigError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.max_iterations = max_iterations
+
+    # -- entry point -----------------------------------------------------------
+
+    def run(
+        self, splits: Sequence[Any], initial_state: Any, *, resume: bool = False
+    ) -> IterativeResult:
+        """Iterate until ``update`` converges or ``max_iterations`` is hit.
+
+        With ``resume=True`` and a checkpoint directory configured, the
+        run continues from the last *completed* iteration's state instead
+        of ``initial_state``.
+        """
+        start_iteration, state = 0, initial_state
+        if resume:
+            if self.conf.checkpoint_dir is None:
+                raise ConfigError("resume needs a checkpoint directory")
+            saved = read_iteration_state(self.conf.checkpoint_dir)
+            if saved is None:
+                raise CheckpointError(
+                    f"no iteration checkpoint in {self.conf.checkpoint_dir}"
+                )
+            start_iteration, state = saved["iteration"], saved["state"]
+        if start_iteration >= self.max_iterations:
+            return IterativeResult(
+                state=state, outputs=[], iterations=start_iteration,
+                converged=False, start_iteration=start_iteration,
+            )
+        if self.conf.mode == "common":
+            return self._run_common(splits, state, start_iteration)
+        return self._run_iteration(splits, state, start_iteration)
+
+    # -- iteration mode: one world, superstep loop -----------------------------
+
+    def _run_iteration(
+        self, splits: Sequence[Any], start_state: Any, start_iteration: int
+    ) -> IterativeResult:
+        conf = self.conf
+
+        def rank_main(comm: Comm):
+            return self._rank_loop(comm, splits, start_state, start_iteration)
+
+        rank_results = mpi_run(
+            conf.num_o + conf.num_a, rank_main, transport=conf.transport
+        )
+        tag, payload = rank_results[0]
+        assert tag == "root"
+        payload["start_iteration"] = start_iteration
+        return IterativeResult(**payload)
+
+    def _rank_loop(
+        self, comm: Comm, splits: Sequence[Any], start_state: Any, start_iteration: int
+    ):
+        conf = self.conf
+        bcomm = BipartiteComm(comm, conf.num_o, conf.num_a)
+        is_root = comm.rank == 0
+        cache = KVCache(conf.cache_bytes)
+        store = None if bcomm.is_o else ChunkStore(spill_threshold=conf.spill_bytes)
+
+        iteration = start_iteration
+        state = start_state
+        converged = False
+        root_state = start_state
+        final_outputs: list[Any] = []
+        per_iteration: list[dict[str, int]] = []
+        timings: list[float] = []
+        totals: dict[str, int] = {}
+        pending: tuple = ("run", start_state)
+
+        try:
+            while True:
+                control = comm.bcast(_dumps(pending) if is_root else None, root=0)
+                kind, value = pickle.loads(control)
+                state_bytes = len(control) * (comm.size - 1)
+                if kind == "error":
+                    raise MPIError(value)
+                if kind == "stop":
+                    converged = bool(value)
+                    if is_root:
+                        totals["mode.shutdown_bytes"] = (
+                            totals.get("mode.shutdown_bytes", 0) + state_bytes
+                        )
+                    break
+                state = value
+                iteration += 1
+                started = time.perf_counter()
+
+                status, error, output, counters, scatter_bytes = _run_superstep(
+                    bcomm, conf,
+                    lambda ctx, split: self.o_task(ctx, split, state),
+                    lambda ctx: self.a_task(ctx, state),
+                    splits, store, cache, iteration, cache_input=True,
+                )
+                gathered = comm.gather(_dumps((status, error, output, counters)), root=0)
+
+                if is_root:
+                    outcomes, gather_bytes, summed, errors = _merge_outcomes(gathered)
+                    record = _iteration_record(
+                        iteration, summed, state_bytes, scatter_bytes, gather_bytes
+                    )
+                    per_iteration.append(record)
+                    _merge_totals(totals, record)
+                    timings.append(time.perf_counter() - started)
+                    if errors:
+                        pending = ("error", errors[0][1])
+                        continue
+                    outputs = [outcomes[r][2] for r in range(conf.num_o, comm.size)]
+                    try:
+                        new_state, done = self.update(
+                            state, merge_outputs(outputs), iteration
+                        )
+                    except Exception as exc:  # noqa: BLE001 - broadcast to all ranks
+                        pending = (
+                            "error",
+                            f"update failed at iteration {iteration}: {exc!r}",
+                        )
+                        continue
+                    root_state = new_state
+                    final_outputs = outputs
+                    if conf.checkpoint_dir is not None:
+                        write_iteration_state(
+                            conf.checkpoint_dir, iteration, new_state
+                        )
+                    if done or iteration >= self.max_iterations:
+                        pending = ("stop", done)
+                    else:
+                        pending = ("run", new_state)
+        finally:
+            if store is not None:
+                store.cleanup()
+
+        if not is_root:
+            return ("rank", None)
+        return (
+            "root",
+            {
+                "state": root_state,
+                "outputs": final_outputs,
+                "iterations": iteration,
+                "converged": converged,
+                "counters": totals,
+                "per_iteration": per_iteration,
+                "timings": timings,
+            },
+        )
+
+    # -- common-mode baseline: a fresh world per iteration ---------------------
+
+    def _run_common(
+        self, splits: Sequence[Any], start_state: Any, start_iteration: int
+    ) -> IterativeResult:
+        conf = self.conf
+        iteration = start_iteration
+        state = start_state
+        converged = False
+        final_outputs: list[Any] = []
+        per_iteration: list[dict[str, int]] = []
+        timings: list[float] = []
+        totals: dict[str, int] = {}
+
+        while iteration < self.max_iterations:
+            iteration += 1
+            superstep = iteration  # bind loop variables for the closure
+            current_state = state
+            started = time.perf_counter()
+
+            def rank_main(comm: Comm):
+                bcomm = BipartiteComm(comm, conf.num_o, conf.num_a)
+                is_root = comm.rank == 0
+                control = comm.bcast(
+                    _dumps(("run", current_state)) if is_root else None, root=0
+                )
+                _kind, bcast_state = pickle.loads(control)
+                state_bytes = len(control) * (comm.size - 1)
+                store = None if bcomm.is_o else ChunkStore(
+                    spill_threshold=conf.spill_bytes
+                )
+                try:
+                    status, error, output, counters, scatter_bytes = _run_superstep(
+                        bcomm, conf,
+                        lambda ctx, split: self.o_task(ctx, split, bcast_state),
+                        lambda ctx: self.a_task(ctx, bcast_state),
+                        splits, store, None, superstep, cache_input=False,
+                    )
+                finally:
+                    if store is not None:
+                        store.cleanup()
+                gathered = comm.gather(
+                    _dumps((status, error, output, counters)), root=0
+                )
+                if is_root:
+                    return ("root", (gathered, state_bytes, scatter_bytes))
+                return ("rank", None)
+
+            rank_results = mpi_run(
+                conf.num_o + conf.num_a, rank_main, transport=conf.transport
+            )
+            tag, payload = rank_results[0]
+            assert tag == "root"
+            gathered, state_bytes, scatter_bytes = payload
+            outcomes, gather_bytes, summed, errors = _merge_outcomes(gathered)
+            record = _iteration_record(
+                iteration, summed, state_bytes, scatter_bytes, gather_bytes
+            )
+            per_iteration.append(record)
+            _merge_totals(totals, record)
+            timings.append(time.perf_counter() - started)
+            if errors:
+                raise MPIError(errors[0][1])
+            outputs = [
+                outcomes[r][2] for r in range(conf.num_o, conf.num_o + conf.num_a)
+            ]
+            state, done = self.update(state, merge_outputs(outputs), iteration)
+            final_outputs = outputs
+            if conf.checkpoint_dir is not None:
+                write_iteration_state(conf.checkpoint_dir, iteration, state)
+            if done:
+                converged = True
+                break
+
+        return IterativeResult(
+            state=state,
+            outputs=final_outputs,
+            iterations=iteration,
+            converged=converged,
+            counters=totals,
+            per_iteration=per_iteration,
+            timings=timings,
+            start_iteration=start_iteration,
+        )
+
+
+# -- Streaming mode ------------------------------------------------------------
+
+
+@dataclass
+class WindowResult:
+    """One flushed window of a streaming job."""
+
+    watermark: int  # 1-based window index, flushed in order
+    outputs: list[Any]  # per-A-rank outputs for this window
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def merged_outputs(self) -> list[Any]:
+        return merge_outputs(self.outputs)
+
+
+@dataclass
+class StreamResult:
+    """Outcome of a streaming job: every window, in watermark order."""
+
+    windows: list[WindowResult]
+    counters: dict[str, int] = field(default_factory=dict)
+    timings: list[float] = field(default_factory=list)
+
+    def merged_outputs(self) -> list[Any]:
+        return [record for window in self.windows for record in window.merged_outputs()]
+
+
+class StreamingJob:
+    """Windowed O->A pipeline over an unbounded split sequence.
+
+    The root admits at most ``window_splits`` splits per window, scatters
+    them to the O ranks, and flushes the A outputs with a watermark before
+    admitting the next window — memory is bounded by one window however
+    long the stream runs.  O and A tasks keep the Common-mode signatures
+    (``o_task(ctx, split)`` / ``a_task(ctx)``); ``ctx.superstep`` carries
+    the window index and ``ctx.cache`` persists across windows for tasks
+    that want cross-window state.
+    """
+
+    def __init__(
+        self,
+        o_task: Callable,
+        a_task: Callable,
+        conf: DataMPIConf | None = None,
+        window_splits: int | None = None,
+    ):
+        self.o_task = o_task
+        self.a_task = a_task
+        self.conf = conf or DataMPIConf(mode="streaming")
+        if self.conf.mode != "streaming":
+            raise ConfigError(
+                f"StreamingJob needs conf.mode='streaming', got {self.conf.mode!r}"
+            )
+        if window_splits is not None and window_splits < 1:
+            raise ConfigError(f"window_splits must be >= 1, got {window_splits}")
+        self.window_splits = window_splits or self.conf.num_o
+
+    def run(self, split_stream: Iterable[Any]) -> StreamResult:
+        """Consume ``split_stream`` window by window until it is exhausted."""
+        conf = self.conf
+
+        def rank_main(comm: Comm):
+            return self._rank_loop(comm, split_stream)
+
+        rank_results = mpi_run(
+            conf.num_o + conf.num_a, rank_main, transport=conf.transport
+        )
+        tag, payload = rank_results[0]
+        assert tag == "root"
+        return StreamResult(**payload)
+
+    def _rank_loop(self, comm: Comm, split_stream: Iterable[Any]):
+        conf = self.conf
+        bcomm = BipartiteComm(comm, conf.num_o, conf.num_a)
+        is_root = comm.rank == 0
+        cache = KVCache(conf.cache_bytes)
+        store = None if bcomm.is_o else ChunkStore(spill_threshold=conf.spill_bytes)
+
+        stream = iter(split_stream) if is_root else None
+        watermark = 0
+        batch: list[Any] = []
+        windows: list[WindowResult] = []
+        timings: list[float] = []
+        totals: dict[str, int] = {}
+        pending: tuple = ()
+
+        try:
+            while True:
+                if is_root:
+                    if pending and pending[0] == "error":
+                        pass  # propagate the failure before admitting more input
+                    else:
+                        batch = list(islice(stream, self.window_splits))
+                        pending = ("window", watermark + 1) if batch else ("stop", None)
+                control = comm.bcast(_dumps(pending) if is_root else None, root=0)
+                kind, value = pickle.loads(control)
+                state_bytes = len(control) * (comm.size - 1)
+                if kind == "error":
+                    raise MPIError(value)
+                if kind == "stop":
+                    if is_root:
+                        totals["mode.shutdown_bytes"] = (
+                            totals.get("mode.shutdown_bytes", 0) + state_bytes
+                        )
+                    break
+                watermark = value
+                started = time.perf_counter()
+
+                status, error, output, counters, scatter_bytes = _run_superstep(
+                    bcomm, conf, self.o_task, self.a_task,
+                    batch if is_root else None, store, cache, watermark,
+                    cache_input=False,
+                )
+                gathered = comm.gather(_dumps((status, error, output, counters)), root=0)
+
+                if is_root:
+                    outcomes, gather_bytes, summed, errors = _merge_outcomes(gathered)
+                    record = _iteration_record(
+                        watermark, summed, state_bytes, scatter_bytes, gather_bytes
+                    )
+                    _merge_totals(totals, record)
+                    timings.append(time.perf_counter() - started)
+                    if errors:
+                        pending = ("error", errors[0][1])
+                        continue
+                    outputs = [outcomes[r][2] for r in range(conf.num_o, comm.size)]
+                    windows.append(
+                        WindowResult(
+                            watermark=watermark, outputs=outputs, counters=record
+                        )
+                    )
+        finally:
+            if store is not None:
+                store.cleanup()
+
+        if not is_root:
+            return ("rank", None)
+        return ("root", {"windows": windows, "counters": totals, "timings": timings})

@@ -132,6 +132,26 @@ class ChunkStore:
         used by checkpointing, which re-encodes them to its own layout)."""
         return [chunk for _origin, chunk, _spilled in self._all_chunks()]
 
+    def reset(self) -> None:
+        """Empty the store for reuse by the next superstep.
+
+        Iteration and Streaming modes keep one store per A rank alive
+        across supersteps; resetting drops chunks, spill files, and
+        counters while retaining the owned spill directory so repeated
+        windows do not churn temp directories.
+        """
+        for path in self._spill_files:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        self._spill_files = []
+        self._memory_chunks = []
+        self._auto_sequence = 0
+        self.memory_bytes = 0
+        self.spilled_bytes = 0
+        self.spills = 0
+
     def cleanup(self) -> None:
         """Delete spill files and the owned temp directory."""
         for path in self._spill_files:

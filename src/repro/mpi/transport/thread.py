@@ -23,16 +23,38 @@ from repro.mpi.transport.base import (
 )
 
 
+class _PoisonedError(MPIError):
+    """A blocked receive was woken because a peer rank died.
+
+    A symptom, not a cause: the transport prefers any *real* rank error
+    over these when reporting the run's failure.
+    """
+
+
 class Mailbox:
     """Thread-safe mailbox with selective (source, tag) receive."""
 
     def __init__(self) -> None:
         self._items: list[Message] = []
         self._cond = threading.Condition()
+        self._poisoned = False
 
     def put(self, message: Message) -> None:
         with self._cond:
             self._items.append(message)
+            self._cond.notify_all()
+
+    def poison(self) -> None:
+        """Fail the owning rank's next unmatched receive immediately.
+
+        Called when a peer dies: a rank blocked on a message that can now
+        never arrive must raise right away instead of waiting out the
+        receive timeout (the shm backend's control pipe and the inline
+        scheduler's deadlock poisoning already behave this way; this
+        brings the thread backend's rank lifecycle in line).
+        """
+        with self._cond:
+            self._poisoned = True
             self._cond.notify_all()
 
     def get(self, source: int, tag: int, timeout: float) -> Message:
@@ -45,6 +67,11 @@ class Mailbox:
         with self._cond:
             index = find()
             while index is None:
+                if self._poisoned:
+                    raise _PoisonedError(
+                        "recv aborted: a peer rank failed while waiting for "
+                        f"source={source} tag={tag}"
+                    )
                 if not self._cond.wait(timeout):
                     raise MPIError(
                         f"recv timed out after {timeout}s waiting for "
@@ -68,6 +95,12 @@ class World:
         self.mailboxes = [Mailbox() for _ in range(size)]
         self.barrier = threading.Barrier(size)
 
+    def abort(self) -> None:
+        """Poison every rank's blocking points after a rank death."""
+        self.barrier.abort()
+        for mailbox in self.mailboxes:
+            mailbox.poison()
+
 
 class ThreadEndpoint(Endpoint):
     """One rank's view of a threaded :class:`World`."""
@@ -90,9 +123,9 @@ class ThreadEndpoint(Endpoint):
             raise MPIError("barrier broken (peer died or timed out)") from exc
 
     def abort(self) -> None:
-        # Break the barrier so peers blocked in collectives fail fast
-        # instead of timing out.
-        self.world.barrier.abort()
+        # Break the barrier and poison mailboxes so peers blocked in
+        # collectives or receives fail fast instead of timing out.
+        self.world.abort()
 
 
 @register_transport
@@ -136,5 +169,12 @@ class ThreadTransport(Transport):
             thread.join(timeout)
             if thread.is_alive():
                 raise MPIError(f"rank thread {thread.name} did not finish in {timeout}s")
-        raise_rank_errors(errors)
+        # Poison-induced errors are symptoms of another rank's death;
+        # report the original failure when one exists.
+        real = [
+            (rank, exc)
+            for rank, exc in errors
+            if not isinstance(exc, _PoisonedError)
+        ]
+        raise_rank_errors(real or errors)
         return results

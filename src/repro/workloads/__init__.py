@@ -12,6 +12,7 @@ from repro.workloads.kmeans import (
     DEFAULT_EPSILON,
     KMeansResult,
     initial_centroids,
+    kmeans_iterative_job,
     kmeans_reference,
     run_kmeans,
 )
@@ -21,8 +22,15 @@ from repro.workloads.naivebayes import (
     generate_labeled_documents,
     run_naive_bayes,
     train_datampi,
+    train_datampi_iterative,
     train_hadoop,
     train_reference,
+)
+from repro.workloads.streaming import (
+    chunk_lines,
+    grep_streaming,
+    merge_window_counts,
+    wordcount_streaming,
 )
 from repro.workloads.sort import (
     run_normal_sort,
@@ -52,6 +60,7 @@ __all__ = [
     "DEFAULT_EPSILON",
     "KMeansResult",
     "initial_centroids",
+    "kmeans_iterative_job",
     "kmeans_reference",
     "run_kmeans",
     "LabeledDocument",
@@ -59,8 +68,13 @@ __all__ = [
     "generate_labeled_documents",
     "run_naive_bayes",
     "train_datampi",
+    "train_datampi_iterative",
     "train_hadoop",
     "train_reference",
+    "chunk_lines",
+    "grep_streaming",
+    "merge_window_counts",
+    "wordcount_streaming",
     "run_normal_sort",
     "run_text_sort",
     "sort_reference",

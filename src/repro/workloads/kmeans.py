@@ -22,7 +22,7 @@ from typing import Sequence
 from repro.bigdatabench.vectors import SparseVector, mean_vector
 from repro.common.errors import WorkloadError
 from repro.common.rng import substream
-from repro.datampi import DataMPIConf, DataMPIJob
+from repro.datampi import DataMPIConf, DataMPIJob, IterativeJob, IterativeResult
 from repro.hadoop import HadoopConf, MapReduceJob
 from repro.spark import SparkContext
 from repro.workloads.base import check_engine, split_round_robin
@@ -199,6 +199,70 @@ def _round_datampi(vectors, centroids, parallelism,
     return dict(result.merged_outputs())
 
 
+def kmeans_iterative_job(
+    vectors: Sequence[SparseVector],
+    k: int,
+    max_iterations: int = 10,
+    epsilon: float = DEFAULT_EPSILON,
+    seed: int = 0,
+    parallelism: int = 4,
+    transport: str | None = None,
+    mode: str = "iteration",
+    cache_bytes: int | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+) -> tuple[KMeansResult, IterativeResult]:
+    """K-means as a DataMPI superstep job (Iteration mode or its Common
+    baseline).
+
+    Same math, partitioning, buffers and merge order as the run-once
+    loop, so the centroids are byte-identical across modes — but with
+    ``mode="iteration"`` the input vectors cross the comm layer once and
+    are served from the per-rank cache thereafter.  Returns both the
+    workload-level :class:`KMeansResult` and the driver-level
+    :class:`IterativeResult` (per-iteration byte counters and timings).
+    """
+    if max_iterations < 1:
+        raise WorkloadError("max_iterations must be >= 1")
+
+    def o_task(ctx, split, centroids):
+        for vector in split:
+            ctx.send(_nearest(vector, centroids), (dict(vector.weights), 1))
+
+    def a_task(ctx, _centroids):
+        return [
+            (cluster, _reduce_partial_list(values))
+            for cluster, values in ctx.grouped()
+        ]
+
+    def update(centroids, merged, _iteration):
+        partials = dict(merged)
+        updated = [
+            _centroid_of(partials[index]) if index in partials else centroids[index]
+            for index in range(k)
+        ]
+        return updated, _max_shift(centroids, updated) < epsilon
+
+    job = IterativeJob(
+        o_task, a_task, update,
+        DataMPIConf(num_o=parallelism, num_a=parallelism,
+                    combiner=lambda cluster, values: _reduce_partial_list(values),
+                    job_name="kmeans-iterative", transport=transport,
+                    mode=mode, cache_bytes=cache_bytes,
+                    checkpoint_dir=checkpoint_dir),
+        max_iterations=max_iterations,
+    )
+    result = job.run(
+        split_round_robin(list(vectors), parallelism),
+        initial_centroids(vectors, k, seed),
+        resume=resume,
+    )
+    return (
+        KMeansResult(result.state, result.iterations, result.converged),
+        result,
+    )
+
+
 def run_kmeans(
     engine: str,
     vectors: Sequence[SparseVector],
@@ -208,10 +272,30 @@ def run_kmeans(
     seed: int = 0,
     parallelism: int = 4,
     transport: str | None = None,
+    mode: str = "common",
+    cache_bytes: int | None = None,
 ) -> KMeansResult:
-    """Run Mahout-style iterative K-means on one of the three engines."""
+    """Run Mahout-style iterative K-means on one of the three engines.
+
+    ``mode="iteration"`` (DataMPI engine only) keeps ranks alive across
+    iterations and serves the input from the cross-iteration KV cache;
+    the default ``"common"`` re-launches one job per iteration on every
+    engine, as the paper's setup does.
+    """
     check_engine(engine)
     if max_iterations < 1:
         raise WorkloadError("max_iterations must be >= 1")
+    if mode != "common":
+        if engine != "datampi":
+            raise WorkloadError(
+                f"execution mode {mode!r} needs the datampi engine, got {engine!r}"
+            )
+        if mode != "iteration":
+            raise WorkloadError(f"K-means supports modes 'common' and 'iteration', got {mode!r}")
+        result, _stats = kmeans_iterative_job(
+            vectors, k, max_iterations, epsilon, seed, parallelism,
+            transport=transport, cache_bytes=cache_bytes,
+        )
+        return result
     return _iterate_engine(engine, vectors, k, max_iterations, epsilon, seed,
                            parallelism, transport)

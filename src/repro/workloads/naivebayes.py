@@ -22,7 +22,7 @@ from typing import Sequence
 from repro.bigdatabench.seedmodels import all_amazon_models
 from repro.common.errors import WorkloadError
 from repro.common.rng import substream
-from repro.datampi import DataMPIConf, DataMPIJob
+from repro.datampi import DataMPIConf, DataMPIJob, IterativeJob, IterativeResult
 from repro.hadoop import HadoopConf, JobPipeline, MapReduceJob
 from repro.workloads.base import split_round_robin
 
@@ -201,11 +201,90 @@ def train_datampi(documents: Sequence[LabeledDocument], parallelism: int = 4,
     return _assemble(term_rows, label_rows, df_rows, alpha)
 
 
+#: Counting passes of the Mahout pipeline, run as one superstep each in
+#: Iteration mode (the per-iteration "state" is simply which pass runs).
+_NB_PHASES = ("term", "df", "label")
+
+
+def train_datampi_iterative(
+    documents: Sequence[LabeledDocument], parallelism: int = 4,
+    alpha: float = 1.0, transport: str | None = None,
+    mode: str = "iteration", cache_bytes: int | None = None,
+) -> tuple[NaiveBayesModel, IterativeResult]:
+    """The three counting passes as supersteps of one kept-alive world.
+
+    The documents are scattered once and pinned in the O-side cache; the
+    document-frequency and class-count passes read them locally instead
+    of re-partitioning — the chained-job redundancy Common mode pays
+    three times.  Counting math matches :func:`train_datampi` exactly, so
+    the model is bit-identical.  Returns the model plus the driver-level
+    per-superstep counters.
+    """
+
+    def o_task(ctx, split, state):
+        phase = state["phase"]
+        for doc in split:
+            if phase == "term":
+                for token in doc.tokens:
+                    ctx.send((doc.label, token), 1)
+            elif phase == "df":
+                for token in set(doc.tokens):
+                    ctx.send(token, 1)
+            else:
+                ctx.send(doc.label, 1)
+
+    def a_task(ctx, _state):
+        return [(key, sum(values)) for key, values in ctx.grouped()]
+
+    def update(state, merged, _iteration):
+        rows = dict(state["rows"])
+        rows[state["phase"]] = merged
+        done = len(rows) == len(_NB_PHASES)
+        next_phase = state["phase"] if done else _NB_PHASES[len(rows)]
+        return {"phase": next_phase, "rows": rows}, done
+
+    job = IterativeJob(
+        o_task, a_task, update,
+        DataMPIConf(num_o=parallelism, num_a=parallelism,
+                    combiner=lambda key, values: sum(values),
+                    job_name="nb-iterative", transport=transport,
+                    mode=mode, cache_bytes=cache_bytes),
+        max_iterations=len(_NB_PHASES),
+    )
+    result = job.run(
+        split_round_robin(list(documents), parallelism),
+        {"phase": _NB_PHASES[0], "rows": {}},
+    )
+    rows = result.state["rows"]
+    model = _assemble(rows["term"], rows["label"], rows["df"], alpha)
+    return model, result
+
+
 def run_naive_bayes(engine: str, documents: Sequence[LabeledDocument],
                     parallelism: int = 4, alpha: float = 1.0,
-                    transport: str | None = None) -> NaiveBayesModel:
+                    transport: str | None = None,
+                    mode: str = "common",
+                    cache_bytes: int | None = None) -> NaiveBayesModel:
     """Train Naive Bayes on ``hadoop`` or ``datampi`` (no Spark — the paper's
-    BigDataBench release lacks it, Section 4.6)."""
+    BigDataBench release lacks it, Section 4.6).
+
+    ``mode="iteration"`` (DataMPI engine only) chains the three counting
+    passes over one kept-alive world with the documents cached per rank.
+    """
+    if mode not in ("common", "iteration"):
+        raise WorkloadError(
+            f"Naive Bayes supports modes 'common' and 'iteration', got {mode!r}"
+        )
+    if mode == "iteration":
+        if engine != "datampi":
+            raise WorkloadError(
+                f"execution mode {mode!r} needs the datampi engine, got {engine!r}"
+            )
+        model, _stats = train_datampi_iterative(
+            documents, parallelism, alpha, transport=transport,
+            cache_bytes=cache_bytes,
+        )
+        return model
     if engine == "hadoop":
         return train_hadoop(documents, parallelism, alpha)
     if engine == "datampi":

@@ -68,3 +68,55 @@ class TestWorkloadCommand:
 
     def test_unknown_workload(self, capsys):
         assert main(["workload", "hadoop", "join"]) == 2
+
+
+class TestWorkloadModes:
+    def test_kmeans_iteration_mode(self, capsys):
+        assert main(["workload", "datampi", "kmeans", "--mode", "iteration",
+                     "--vectors", "60", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "verified=True" in out
+        assert "cache served" in out
+
+    def test_kmeans_common_mode_any_engine(self, capsys):
+        assert main(["workload", "hadoop", "kmeans",
+                     "--vectors", "60", "--k", "3"]) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_wordcount_streaming_mode(self, capsys):
+        assert main(["workload", "datampi", "wordcount", "--mode", "streaming",
+                     "--lines", "240"]) == 0
+        out = capsys.readouterr().out
+        assert "windows flushed" in out
+        assert "verified=True" in out
+
+    def test_grep_streaming_mode(self, capsys):
+        assert main(["workload", "datampi", "grep", "--mode", "streaming",
+                     "--lines", "240"]) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_mode_needs_datampi_engine(self, capsys):
+        assert main(["workload", "spark", "wordcount",
+                     "--mode", "iteration"]) == 2
+        assert "datampi" in capsys.readouterr().err
+
+    def test_sort_rejects_streaming(self, capsys):
+        assert main(["workload", "datampi", "sort", "--mode", "streaming"]) == 2
+        assert "common" in capsys.readouterr().err
+
+    def test_wordcount_and_grep_reject_iteration(self, capsys):
+        for name in ("wordcount", "grep"):
+            assert main(["workload", "datampi", name,
+                         "--mode", "iteration"]) == 2
+            assert "common and streaming" in capsys.readouterr().err
+
+    def test_kmeans_rejects_streaming(self, capsys):
+        assert main(["workload", "datampi", "kmeans",
+                     "--mode", "streaming"]) == 2
+        assert "kmeans" in capsys.readouterr().err
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["workload", "datampi", "wordcount", "--mode", "turbo"]
+            )

@@ -1,0 +1,141 @@
+"""Property tests for the cross-iteration KV cache.
+
+Invariants: put/get/evict round-trips preserve values (including nested
+containers), byte accounting always equals the sum of ``record_size``
+over live entries, a capacity bound is never exceeded, and eviction is
+strictly LRU.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.kv import record_size
+from repro.datampi import KVCache
+
+# Keys must be hashable: scalars and (nested) tuples of scalars.
+scalar_keys = st.one_of(
+    st.text(max_size=12),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.booleans(),
+)
+keys = st.one_of(scalar_keys, st.tuples(scalar_keys, scalar_keys))
+
+# Values can be anything the record-size model understands, nested.
+scalar_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+values = st.recursive(
+    scalar_values,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def live_bytes(cache: KVCache) -> int:
+    return sum(cache.size_of(key) for key in cache)
+
+
+class TestRoundTrip:
+    @given(key=keys, value=values)
+    def test_put_get_round_trips(self, key, value):
+        cache = KVCache()
+        assert cache.put(key, value)
+        assert cache.get(key, "sentinel") == value or value != value  # NaN-free
+        assert cache.get(key) == value
+        assert key in cache
+
+    @given(key=keys, first=values, second=values)
+    def test_overwrite_keeps_last_value_and_reaccounts(self, key, first, second):
+        cache = KVCache()
+        cache.put(key, first)
+        cache.put(key, second)
+        assert len(cache) == 1
+        assert cache.get(key) == second
+        assert cache.used_bytes == record_size(key, second)
+
+    @given(key=keys, value=values)
+    def test_evict_removes_and_zeroes_accounting(self, key, value):
+        cache = KVCache()
+        cache.put(key, value)
+        assert cache.evict(key)
+        assert key not in cache
+        assert cache.used_bytes == 0
+        assert cache.get(key, "gone") == "gone"
+        assert not cache.evict(key)  # second evict is a no-op
+
+    @given(key=keys, value=values)
+    def test_hit_bytes_match_entry_size(self, key, value):
+        cache = KVCache()
+        cache.put(key, value)
+        cache.get(key)
+        cache.get(key)
+        assert cache.hit_bytes == 2 * record_size(key, value)
+        assert cache.hits == 2 and cache.misses == 0
+
+
+class TestAccounting:
+    @given(entries=st.dictionaries(keys, values, max_size=12))
+    def test_used_bytes_equals_sum_of_record_sizes(self, entries):
+        cache = KVCache()
+        for key, value in entries.items():
+            cache.put(key, value)
+        expected = sum(record_size(k, v) for k, v in entries.items())
+        assert cache.used_bytes == expected
+        assert cache.used_bytes == live_bytes(cache)
+
+    @given(
+        entries=st.lists(st.tuples(keys, values), max_size=16),
+        evict_every=st.integers(min_value=2, max_value=4),
+    )
+    def test_interleaved_puts_and_evicts_stay_consistent(self, entries, evict_every):
+        cache = KVCache()
+        for index, (key, value) in enumerate(entries):
+            cache.put(key, value)
+            if index % evict_every == 0:
+                cache.evict(key)
+        assert cache.used_bytes == live_bytes(cache)
+        assert cache.used_bytes >= 0
+
+
+class TestCapacity:
+    @given(
+        entries=st.lists(st.tuples(keys, values), min_size=1, max_size=16),
+        capacity=st.integers(min_value=1, max_value=400),
+    )
+    @settings(max_examples=60)
+    def test_capacity_never_exceeded(self, entries, capacity):
+        cache = KVCache(capacity_bytes=capacity)
+        for key, value in entries:
+            stored = cache.put(key, value)
+            assert stored == (record_size(key, value) <= capacity)
+            assert cache.used_bytes <= capacity
+            assert cache.used_bytes == live_bytes(cache)
+
+    def test_eviction_is_lru(self):
+        sizes = record_size("a", b"x" * 40)
+        cache = KVCache(capacity_bytes=3 * sizes)
+        for key in ("a", "b", "c"):
+            cache.put(key, b"x" * 40)
+        cache.get("a")  # refresh "a": now "b" is least recently used
+        cache.put("d", b"x" * 40)
+        assert "b" not in cache
+        assert all(key in cache for key in ("a", "c", "d"))
+        assert cache.evictions == 1
+
+    def test_oversized_entry_rejected_and_stale_value_dropped(self):
+        cache = KVCache(capacity_bytes=64)
+        assert cache.put("k", b"small")
+        assert not cache.put("k", b"x" * 200)
+        # The stale small value must not survive a failed replacement.
+        assert "k" not in cache
+        assert cache.rejected == 1
+        assert cache.used_bytes == 0

@@ -6,6 +6,12 @@ Outputs are serialized to bytes with a stable encoder and compared against
 the ``thread`` backend's result, so any divergence — ordering, float
 summation order, partition routing — fails loudly.  This is the guarantee
 that makes the transport layer a pure performance knob.
+
+The mode x transport matrix extends the same guarantee to the Iteration
+and Streaming execution modes: merged outputs, per-superstep counters,
+and (for iteration mode) the evolved state must be byte-identical on
+every backend, because the superstep control traffic (state broadcast,
+input scatter, outcome gather) is pickled to bytes before it travels.
 """
 
 import pickle
@@ -20,12 +26,17 @@ from repro.workloads import (
     generate_labeled_documents,
     grep_datampi,
     grep_reference,
+    grep_streaming,
+    kmeans_iterative_job,
+    merge_window_counts,
     run_kmeans,
     run_naive_bayes,
     sort_reference,
     text_sort_datampi,
+    train_datampi_iterative,
     wordcount_datampi,
     wordcount_reference,
+    wordcount_streaming,
 )
 
 TRANSPORTS = ("thread", "shm", "inline")
@@ -131,3 +142,96 @@ class TestManyChunkEquivalence:
         other = self._run(alt_transport)
         assert stable_bytes(other.outputs) == stable_bytes(reference.outputs)
         assert other.counters == reference.counters
+
+
+# -- mode x transport matrix ----------------------------------------------------
+#
+# Each execution mode runs one representative workload on every backend;
+# outputs AND the driver's per-superstep counter records must agree with
+# the thread backend byte for byte.
+
+KMEANS_VECTORS = [
+    SparseVector({dim: rng.random() for dim in rng.sample(range(12), 4)})
+    for rng in [substream(11, "mode-matrix-kmeans")]
+    for _ in range(60)
+]
+
+DOCUMENTS = generate_labeled_documents(30, words_per_doc=10, seed=5)
+
+
+def _iteration_kmeans(transport):
+    result, stats = kmeans_iterative_job(
+        KMEANS_VECTORS, k=4, max_iterations=3, parallelism=PARALLELISM,
+        transport=transport,
+    )
+    return result, stats
+
+
+def _iteration_naive_bayes(transport):
+    model, stats = train_datampi_iterative(
+        DOCUMENTS, parallelism=PARALLELISM, transport=transport
+    )
+    return model, stats
+
+
+def _streaming_wordcount(transport):
+    return wordcount_streaming(LINES, parallelism=PARALLELISM,
+                               lines_per_split=30, transport=transport)
+
+
+def _streaming_grep(transport):
+    return grep_streaming(LINES, r"ba[a-z]*", parallelism=PARALLELISM,
+                          lines_per_split=30, transport=transport)
+
+
+class TestModeTransportMatrix:
+    """2 modes x 3 transports x 2 workloads, all against the thread run."""
+
+    def test_iteration_kmeans(self, alt_transport):
+        reference, ref_stats = _iteration_kmeans("thread")
+        other, other_stats = _iteration_kmeans(alt_transport)
+        assert stable_bytes(other.centroids) == stable_bytes(reference.centroids)
+        assert other.iterations == reference.iterations
+        assert other.converged == reference.converged
+        assert other_stats.per_iteration == ref_stats.per_iteration
+        assert other_stats.counters == ref_stats.counters
+        assert stable_bytes(other_stats.merged_outputs()) == \
+            stable_bytes(ref_stats.merged_outputs())
+
+    def test_iteration_naive_bayes(self, alt_transport):
+        reference, ref_stats = _iteration_naive_bayes("thread")
+        other, other_stats = _iteration_naive_bayes(alt_transport)
+        for attribute in ("class_term_counts", "class_doc_counts", "vocabulary"):
+            assert stable_bytes(getattr(other, attribute)) == \
+                stable_bytes(getattr(reference, attribute))
+        assert other_stats.per_iteration == ref_stats.per_iteration
+
+    def test_streaming_wordcount(self, alt_transport):
+        reference = _streaming_wordcount("thread")
+        assert merge_window_counts(reference) == wordcount_reference(LINES)
+        other = _streaming_wordcount(alt_transport)
+        assert [w.watermark for w in other.windows] == \
+            [w.watermark for w in reference.windows]
+        for mine, theirs in zip(other.windows, reference.windows):
+            assert stable_bytes(mine.outputs) == stable_bytes(theirs.outputs)
+            assert mine.counters == theirs.counters
+        assert other.counters == reference.counters
+
+    def test_streaming_grep(self, alt_transport):
+        reference = _streaming_grep("thread")
+        assert merge_window_counts(reference) == \
+            grep_reference(LINES, r"ba[a-z]*")
+        other = _streaming_grep(alt_transport)
+        assert stable_bytes([w.outputs for w in other.windows]) == \
+            stable_bytes([w.outputs for w in reference.windows])
+        assert other.counters == reference.counters
+
+    def test_iteration_mode_agrees_with_common_mode_across_transports(
+        self, alt_transport
+    ):
+        """The mode axis itself: iteration-mode centroids equal the
+        one-job-per-iteration baseline's on every backend."""
+        baseline = run_kmeans("datampi", KMEANS_VECTORS, k=4, max_iterations=3,
+                              parallelism=PARALLELISM, transport="thread")
+        other, _stats = _iteration_kmeans(alt_transport)
+        assert stable_bytes(other.centroids) == stable_bytes(baseline.centroids)
