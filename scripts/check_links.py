@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Offline link check for the repository's markdown docs.
+
+Verifies that every relative link in the given markdown files (or every
+``*.md`` under the given directories) points at a file that exists, and
+that fragment links (``file.md#heading`` or ``#heading``) resolve to a
+real heading using GitHub's anchor slug rules.  External ``http(s)``
+and ``mailto`` links are only syntax-checked — CI must not depend on the
+network.
+
+Usage::
+
+    python scripts/check_links.py             # README.md + docs/
+    python scripts/check_links.py FILE_OR_DIR ...
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+DEFAULT_TARGETS = ["README.md", "docs"]
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's markdown heading -> anchor id transformation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(targets: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.suffix == ".md":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {target}")
+    return files
+
+
+def strip_fences(text: str) -> str:
+    """Remove fenced code blocks: their contents are not markdown."""
+    return re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+
+
+def heading_anchors(path: Path) -> set[str]:
+    headings = HEADING_RE.findall(strip_fences(path.read_text()))
+    return {github_slug(h) for h in headings}
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken links in one markdown file, as printable messages."""
+    problems: list[str] = []
+    text = strip_fences(path.read_text())
+    for match in LINK_RE.finditer(text):
+        # '[t](path "title")' carries an optional title; the path is the
+        # first token (paths with literal spaces are not valid markdown
+        # without <> wrapping, which these docs do not use).
+        tokens = match.group(1).split()
+        if not tokens:
+            problems.append(f"{path}: empty link target -> [..]({match.group(1)})")
+            continue
+        target = tokens[0]
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment and resolved.suffix == ".md":
+            if github_slug(fragment) not in heading_anchors(resolved):
+                problems.append(f"{path}: broken anchor -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    targets = argv or DEFAULT_TARGETS
+    files = markdown_files(targets)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+    problems = [problem for path in files for problem in check_file(path)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,6 +6,8 @@ Subcommands:
 * ``run <experiment>``          — regenerate one table/figure and print it
 * ``simulate <fw> <wl> <size>`` — one simulated job (e.g. datampi text_sort 8GB)
 * ``workload <engine> <name>``  — run a functional workload on generated data
+* ``experiment run|report|list``— drive the workload × engine × scale matrix
+  end-to-end and render the paper's figures into ``reports/``
 
 The DataMPI engine's IPC backend is selectable with
 ``workload --transport {thread,shm,inline}``: threads in one process
@@ -214,6 +216,75 @@ def _cmd_workload(args) -> int:
     return 0
 
 
+DEFAULT_MATRIX_DIR = "results/matrix"
+DEFAULT_REPORTS_DIR = "reports"
+
+
+def _cmd_experiment_list(args) -> int:
+    from repro.experiments.spec import cells_table, get_spec
+
+    spec = get_spec(args.spec, transport=args.transport)
+    print(f"experiment {spec.name!r}: {len(spec.cells)} cells "
+          f"(seed={spec.seed}, parallelism={spec.parallelism}, "
+          f"max_iterations={spec.max_iterations})")
+    print(report.render_table(
+        ["cell", "workload", "mode", "engine", "scale", "transport"],
+        cells_table(spec),
+    ))
+    return 0
+
+
+def _cmd_experiment_run(args) -> int:
+    from repro.experiments.matrix import MatrixRunner, verify_cross_engine
+    from repro.experiments.spec import get_spec
+
+    name = "quick" if args.quick else args.spec
+    spec = get_spec(name, transport=args.transport)
+
+    def progress(result) -> None:
+        state = "cached" if result.resumed else result.status
+        bytes_moved = ("-" if result.bytes_moved is None
+                       else f"{result.bytes_moved:,}B")
+        print(f"  [{state:>6}] {result.spec.cell_id:<40} "
+              f"{result.elapsed_sec:7.3f}s  {bytes_moved}")
+
+    print(f"running experiment {spec.name!r} "
+          f"({len(spec.cells)} cells) -> {args.out}")
+    runner = MatrixRunner(spec, args.out, progress=progress)
+    result = runner.run(resume=not args.no_resume)
+    failed = result.failed_cells()
+    agree = verify_cross_engine(result)
+    print(f"done: {result.executed} executed, {result.resumed} resumed, "
+          f"{len(failed)} failed; cross-engine outputs agree on "
+          f"{sum(agree.values())}/{len(agree)} comparisons")
+    for cell in failed:
+        print(f"  FAILED {cell.spec.cell_id}: {cell.error}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_experiment_report(args) -> int:
+    from repro.common.errors import ReproError
+    from repro.experiments.matrix import load_matrix
+    from repro.experiments.reportbuilder import ReportBuilder
+
+    try:
+        matrix = load_matrix(args.out)
+    except ReproError as exc:
+        print(f"cannot load matrix from {args.out!r}: {exc}", file=sys.stderr)
+        return 2
+    written = ReportBuilder(matrix, args.reports).build()
+    if not matrix.complete:
+        print(f"warning: matrix run is incomplete "
+              f"({len(matrix.results)}/{len(matrix.spec.cells)} cells "
+              f"recorded); figures have holes — re-run "
+              f"'repro experiment run' to finish it", file=sys.stderr)
+    print(f"report for experiment {matrix.spec.name!r} "
+          f"({len(matrix.results)} cells):")
+    for path in written:
+        print(f"  {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="datampi-repro",
@@ -254,6 +325,44 @@ def build_parser() -> argparse.ArgumentParser:
                          "jobs, kept-alive iteration with a KV cache, or "
                          "windowed streaming")
     wl.set_defaults(func=_cmd_workload)
+
+    exp = sub.add_parser(
+        "experiment",
+        help="drive the workload x engine x scale matrix (see docs/experiments.md)",
+    )
+    exp_sub = exp.add_subparsers(dest="experiment_command", required=True)
+
+    exp_list = exp_sub.add_parser("list", help="list a matrix spec's cells")
+    exp_list.add_argument("--spec", choices=["quick", "full"], default="quick")
+    exp_list.add_argument("--transport", choices=available_transports(),
+                          default="inline",
+                          help="IPC backend for the datampi-engine cells")
+    exp_list.set_defaults(func=_cmd_experiment_list)
+
+    exp_run = exp_sub.add_parser(
+        "run", help="execute every cell (resumable, cell-level checkpoints)"
+    )
+    which = exp_run.add_mutually_exclusive_group()
+    which.add_argument("--spec", choices=["quick", "full"], default="quick")
+    which.add_argument("--quick", action="store_true",
+                       help="shorthand for --spec quick")
+    exp_run.add_argument("--out", default=DEFAULT_MATRIX_DIR,
+                         help="matrix checkpoint/result directory")
+    exp_run.add_argument("--no-resume", action="store_true",
+                         help="re-execute cells even when checkpointed")
+    exp_run.add_argument("--transport", choices=available_transports(),
+                         default="inline",
+                         help="IPC backend for the datampi-engine cells")
+    exp_run.set_defaults(func=_cmd_experiment_run)
+
+    exp_report = exp_sub.add_parser(
+        "report", help="render the recorded matrix into reports/"
+    )
+    exp_report.add_argument("--out", default=DEFAULT_MATRIX_DIR,
+                            help="matrix directory to read")
+    exp_report.add_argument("--reports", default=DEFAULT_REPORTS_DIR,
+                            help="directory the figure artifacts go to")
+    exp_report.set_defaults(func=_cmd_experiment_report)
     return parser
 
 

@@ -24,6 +24,45 @@ _MAGIC = b"DMPICKPT"
 _ITER_MAGIC = b"DMPIITER"
 
 
+def atomic_write_bytes(path: str, payload: bytes) -> int:
+    """Write ``payload`` to ``path`` atomically (tmp file + rename).
+
+    A kill mid-write leaves either the old file or no file — never a
+    truncated one.  This is the durability primitive every checkpoint in
+    the repository builds on (iteration state, matrix cells, reports).
+    Returns the bytes written.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    temporary = path + ".tmp"
+    with open(temporary, "wb") as handle:
+        handle.write(payload)
+    os.replace(temporary, path)  # rename is atomic: a kill keeps the old file
+    return len(payload)
+
+
+def atomic_write_text(path: str, text: str) -> int:
+    """Atomically write UTF-8 ``text`` to ``path``; returns bytes written."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str, obj: Any) -> int:
+    """Atomically serialize ``obj`` as JSON to ``path``; returns bytes."""
+    return atomic_write_text(path, json.dumps(obj, indent=2, sort_keys=True) + "\n")
+
+
+def read_json(path: str) -> Any:
+    """Load one JSON document; raises :class:`CheckpointError` on damage."""
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint file at {path}")
+    with open(path, encoding="utf-8") as handle:
+        try:
+            return json.load(handle)
+        except ValueError as exc:
+            raise CheckpointError(f"corrupt checkpoint JSON {path}: {exc}") from exc
+
+
 def checkpoint_path(directory: str, a_rank: int) -> str:
     return os.path.join(directory, f"a{a_rank:05d}.ckpt")
 
@@ -78,16 +117,10 @@ def write_iteration_state(directory: str, iteration: int, state: Any) -> int:
     """Atomically persist the state completed at ``iteration``; returns bytes."""
     if iteration < 1:
         raise CheckpointError(f"iteration must be >= 1, got {iteration}")
-    os.makedirs(directory, exist_ok=True)
     payload = _ITER_MAGIC + pickle.dumps(
         {"iteration": iteration, "state": state}, protocol=4
     )
-    path = iteration_state_path(directory)
-    temporary = path + ".tmp"
-    with open(temporary, "wb") as handle:
-        handle.write(payload)
-    os.replace(temporary, path)  # rename is atomic: a kill keeps the old file
-    return len(payload)
+    return atomic_write_bytes(iteration_state_path(directory), payload)
 
 
 def read_iteration_state(directory: str) -> dict | None:

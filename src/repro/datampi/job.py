@@ -47,7 +47,24 @@ EXECUTION_MODES = ("common", "iteration", "streaming")
 
 @dataclass(frozen=True)
 class DataMPIConf:
-    """Static configuration of a DataMPI job."""
+    """Static configuration of a DataMPI job.
+
+    A frozen value object shared by every execution mode: the O/A world
+    shape, shuffle behaviour (sort/partitioner/combiner), buffer and
+    spill thresholds, the IPC ``transport`` and the execution ``mode``.
+    Validation happens at construction, so a bad configuration fails
+    before any rank is launched.
+
+    Examples:
+        >>> from repro.datampi import DataMPIConf
+        >>> conf = DataMPIConf(num_o=2, num_a=2, transport="inline")
+        >>> conf.mode
+        'common'
+        >>> DataMPIConf(num_o=0, num_a=1)
+        Traceback (most recent call last):
+            ...
+        repro.common.errors.ConfigError: num_o and num_a must be >= 1 (got 0, 1)
+    """
 
     num_o: int = 4
     num_a: int = 4
@@ -184,7 +201,26 @@ def run_a_superstep(
 
 
 class DataMPIJob:
-    """A bipartite O/A job over the in-process MPI world (Common mode)."""
+    """A bipartite O/A job over the in-process MPI world (Common mode).
+
+    The library's top-level entry point: O tasks emit key-value pairs
+    with ``ctx.send``; the library partitions, optionally combines and
+    sorts, and moves them to the A tasks, which consume them key-grouped
+    and return outputs (collected in A-rank order).
+
+    Examples:
+        Word counting with two O ranks feeding one A rank:
+
+        >>> from repro.datampi import DataMPIConf, DataMPIJob
+        >>> def o_task(ctx, split):
+        ...     for word in split.split():
+        ...         ctx.send(word, 1)
+        >>> def a_task(ctx):
+        ...     return [(word, sum(ones)) for word, ones in ctx.grouped()]
+        >>> conf = DataMPIConf(num_o=2, num_a=1, transport="inline")
+        >>> DataMPIJob(o_task, a_task, conf).run(["b a", "a"]).merged_outputs()
+        [('a', 2), ('b', 1)]
+    """
 
     def __init__(self, o_task: OTask, a_task: ATask, conf: DataMPIConf | None = None):
         self.o_task = o_task

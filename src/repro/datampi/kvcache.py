@@ -26,7 +26,26 @@ _MISSING = object()
 
 
 class KVCache:
-    """LRU key-value cache with ``record_size``-based byte accounting."""
+    """LRU key-value cache with ``record_size``-based byte accounting.
+
+    Examples:
+        >>> from repro.datampi.kvcache import KVCache
+        >>> cache = KVCache(capacity_bytes=1024)
+        >>> cache.put("o.splits", [b"chunk-0", b"chunk-1"])
+        True
+        >>> cache.get("o.splits")
+        [b'chunk-0', b'chunk-1']
+        >>> cache.get("absent", "fallback")
+        'fallback'
+        >>> cache.counters["cache.hits"], cache.counters["cache.misses"]
+        (1, 1)
+
+        Oversized entries are rejected outright instead of emptying the
+        cache to no avail:
+
+        >>> cache.put("huge", b"x" * 4096)
+        False
+    """
 
     def __init__(self, capacity_bytes: int | None = None):
         if capacity_bytes is not None and capacity_bytes < 1:

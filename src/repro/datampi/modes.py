@@ -236,6 +236,27 @@ class IterativeJob:
     pattern — which makes the two modes byte-comparable: identical
     shuffles, state broadcasts and gathers, differing exactly by the
     re-scattered input.
+
+    Examples:
+        Accumulate split values into ``state`` until the total reaches 10
+        (two supersteps: 0 -> 3 -> 12):
+
+        >>> from repro.datampi import DataMPIConf, IterativeJob
+        >>> def o_task(ctx, split, state):
+        ...     ctx.send(0, split + state)
+        >>> def a_task(ctx, state):
+        ...     return [v for _key, values in ctx.grouped() for v in values]
+        >>> def update(state, outputs, iteration):
+        ...     total = state + sum(outputs)
+        ...     return total, total >= 10
+        >>> conf = DataMPIConf(num_o=2, num_a=1, mode="iteration",
+        ...                    transport="inline")
+        >>> job = IterativeJob(o_task, a_task, update, conf, max_iterations=5)
+        >>> result = job.run([1, 2], 0)
+        >>> (result.state, result.iterations, result.converged)
+        (12, 2, True)
+        >>> result.counters["cache.hits"] > 0  # input served locally
+        True
     """
 
     def __init__(
@@ -526,6 +547,23 @@ class StreamingJob:
     (``o_task(ctx, split)`` / ``a_task(ctx)``); ``ctx.superstep`` carries
     the window index and ``ctx.cache`` persists across windows for tasks
     that want cross-window state.
+
+    Examples:
+        Three splits in windows of two — the second window holds the
+        stream's tail:
+
+        >>> from repro.datampi import DataMPIConf, StreamingJob
+        >>> def o_task(ctx, split):
+        ...     for word in split:
+        ...         ctx.send(word, 1)
+        >>> def a_task(ctx):
+        ...     return [(word, sum(ones)) for word, ones in ctx.grouped()]
+        >>> conf = DataMPIConf(num_o=2, num_a=1, mode="streaming",
+        ...                    transport="inline")
+        >>> job = StreamingJob(o_task, a_task, conf, window_splits=2)
+        >>> result = job.run(iter([["a"], ["b", "a"], ["b"]]))
+        >>> [(w.watermark, w.merged_outputs()) for w in result.windows]
+        [(1, [('a', 2), ('b', 1)]), (2, [('b', 1)])]
     """
 
     def __init__(

@@ -1,4 +1,16 @@
-"""Experiment runners for every table and figure of the evaluation."""
+"""Experiment runners: per-figure drivers plus the cross-engine matrix.
+
+Two generations of experiment code live here.  The per-figure drivers
+(:mod:`~repro.experiments.figures`, :mod:`~repro.experiments.radar`)
+regenerate individual tables/figures of the paper from the analytical
+models.  The matrix subsystem (:mod:`~repro.experiments.spec`,
+:mod:`~repro.experiments.matrix`, :mod:`~repro.experiments.profiler`,
+:mod:`~repro.experiments.reportbuilder`) runs the full workload ×
+engine × transport × mode × scale comparison end to end — functional
+runs with exact byte counters paired with modeled testbed seconds — and
+renders the figures into ``reports/``; it is driven by
+``repro experiment run|report|list``.
+"""
 
 from repro.experiments.figures import (
     APP_SIZES,
@@ -20,7 +32,14 @@ from repro.experiments.figures import (
     table1,
     table2,
 )
-from repro.experiments.plots import ascii_radar, ascii_series, ascii_sweep
+import importlib
+
+from repro.experiments.plots import (
+    ascii_bars,
+    ascii_radar,
+    ascii_series,
+    ascii_sweep,
+)
 from repro.experiments.radar import AXES, RadarData, compute_radar
 from repro.experiments.report import (
     improvement_range,
@@ -29,6 +48,37 @@ from repro.experiments.report import (
     render_table,
     sweep_table,
 )
+# The matrix subsystem pulls in the functional workload stack; load it
+# lazily (PEP 562) so `repro list`-style CLI startup stays cheap.
+_LAZY_ATTRS = {
+    "CellResult": "repro.experiments.matrix",
+    "MatrixResult": "repro.experiments.matrix",
+    "MatrixRunner": "repro.experiments.matrix",
+    "execute_cell": "repro.experiments.matrix",
+    "load_matrix": "repro.experiments.matrix",
+    "verify_cross_engine": "repro.experiments.matrix",
+    "ResourceProfiler": "repro.experiments.profiler",
+    "ResourceUsage": "repro.experiments.profiler",
+    "ReportBuilder": "repro.experiments.reportbuilder",
+    "CellSpec": "repro.experiments.spec",
+    "DataScale": "repro.experiments.spec",
+    "ExperimentSpec": "repro.experiments.spec",
+    "MATRIX_ENGINES": "repro.experiments.spec",
+    "SCALES": "repro.experiments.spec",
+    "WORKLOAD_MODES": "repro.experiments.spec",
+    "full_spec": "repro.experiments.spec",
+    "get_spec": "repro.experiments.spec",
+    "quick_spec": "repro.experiments.spec",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_ATTRS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
 
 __all__ = [
     "APP_SIZES",
@@ -49,6 +99,7 @@ __all__ = [
     "resource_profile",
     "table1",
     "table2",
+    "ascii_bars",
     "ascii_radar",
     "ascii_series",
     "ascii_sweep",
@@ -60,4 +111,22 @@ __all__ = [
     "profile_table",
     "render_table",
     "sweep_table",
+    "CellResult",
+    "CellSpec",
+    "DataScale",
+    "ExperimentSpec",
+    "MATRIX_ENGINES",
+    "MatrixResult",
+    "MatrixRunner",
+    "ReportBuilder",
+    "ResourceProfiler",
+    "ResourceUsage",
+    "SCALES",
+    "WORKLOAD_MODES",
+    "execute_cell",
+    "full_spec",
+    "get_spec",
+    "load_matrix",
+    "quick_spec",
+    "verify_cross_engine",
 ]

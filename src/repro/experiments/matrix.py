@@ -1,0 +1,465 @@
+"""MatrixRunner: execute every cell of an :class:`ExperimentSpec`.
+
+Each cell runs the *functional* workload on its engine (real outputs,
+real byte counters, CPU/RSS profiled) and pairs it with the *analytical*
+model's cluster-scale seconds at the cell's paper-equivalent input size —
+the same measured/modeled pairing the repository's figure benchmarks use.
+
+Results checkpoint at cell granularity: every finished cell is written
+atomically (the same tmp-file + rename primitive the iteration
+checkpoints use, :func:`repro.datampi.checkpoint.atomic_write_bytes`),
+so a killed matrix resumes from the first unfinished cell.  A cell
+checkpoint records the spec hash it was produced under; editing the spec
+invalidates stale cells instead of silently mixing matrices.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.bigdatabench import TextGenerator, generate_kmeans_vectors
+from repro.common.errors import ConfigError
+from repro.datampi.checkpoint import atomic_write_json, read_json
+from repro.experiments.profiler import ResourceProfiler
+from repro.experiments.spec import (
+    MODEL_FRAMEWORKS,
+    MODEL_WORKLOADS,
+    CellSpec,
+    ExperimentSpec,
+)
+from repro.perfmodels import iterative_kmeans, simulate
+from repro.workloads import (
+    grep_datampi_result,
+    grep_hadoop_result,
+    grep_spark,
+    grep_streaming,
+    kmeans_iterative_job,
+    merge_window_counts,
+    run_kmeans,
+    text_sort_datampi_result,
+    text_sort_hadoop_result,
+    text_sort_spark,
+    wordcount_datampi_result,
+    wordcount_hadoop_result,
+    wordcount_spark,
+    wordcount_streaming,
+)
+
+#: Grep pattern every grep cell searches (the CLI default).
+GREP_PATTERN = r"ba[a-z]*"
+
+#: Clusters every kmeans cell trains.
+KMEANS_K = 4
+
+SPEC_FILE = "spec.json"
+MANIFEST_FILE = "manifest.json"
+CELLS_DIR = "cells"
+
+
+def checksum(obj: Any) -> str:
+    """Stable digest of a JSON-serializable canonical output."""
+    canonical = json.dumps(obj, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _canonical_counts(counts: dict) -> list[list]:
+    return [[key, count] for key, count in sorted(counts.items())]
+
+
+def _canonical_centroids(centroids) -> list[list[list]]:
+    return [sorted([dim, weight] for dim, weight in c.weights.items())
+            for c in centroids]
+
+
+@dataclass
+class CellResult:
+    """Everything one executed cell recorded."""
+
+    spec: CellSpec
+    status: str = "ok"  # "ok" | "failed"
+    error: str | None = None
+    #: Measured wall seconds of the functional run (this machine).
+    elapsed_sec: float = 0.0
+    #: Modeled seconds on the paper's 8-node testbed at the cell's
+    #: ``paper_bytes`` scale (None where no model applies, e.g. streaming).
+    modeled_sec: float | None = None
+    #: Total bytes the engine moved (None where not instrumented).
+    bytes_moved: int | None = None
+    #: Per-iteration bytes for iterative cells.
+    per_iteration_bytes: list[int] | None = None
+    #: Iterations executed (iterative) or windows flushed (streaming).
+    iterations: int | None = None
+    #: Digest of the canonical output — must agree across engines.
+    output_checksum: str | None = None
+    counters: dict[str, int] = field(default_factory=dict)
+    resource: dict = field(default_factory=dict)
+    #: True when this result was loaded from a checkpoint, not executed.
+    resumed: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "status": self.status,
+            "error": self.error,
+            "elapsed_sec": self.elapsed_sec,
+            "modeled_sec": self.modeled_sec,
+            "bytes_moved": self.bytes_moved,
+            "per_iteration_bytes": self.per_iteration_bytes,
+            "iterations": self.iterations,
+            "output_checksum": self.output_checksum,
+            "counters": self.counters,
+            "resource": self.resource,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, resumed: bool = False) -> "CellResult":
+        return cls(
+            spec=CellSpec.from_dict(data["spec"]),
+            status=data["status"],
+            error=data.get("error"),
+            elapsed_sec=data["elapsed_sec"],
+            modeled_sec=data.get("modeled_sec"),
+            bytes_moved=data.get("bytes_moved"),
+            per_iteration_bytes=data.get("per_iteration_bytes"),
+            iterations=data.get("iterations"),
+            output_checksum=data.get("output_checksum"),
+            counters=dict(data.get("counters", {})),
+            resource=dict(data.get("resource", {})),
+            resumed=resumed,
+        )
+
+
+@dataclass
+class MatrixResult:
+    """Outcome of one matrix run (or a load of a recorded one)."""
+
+    spec: ExperimentSpec
+    results: list[CellResult]
+    out_dir: str
+    executed: int = 0
+    resumed: int = 0
+    #: False when loaded from a run that never finished (no manifest, or
+    #: fewer recorded cells than the spec declares) — reports built from
+    #: an incomplete matrix must say so rather than render silent holes.
+    complete: bool = True
+
+    def by_cell_id(self) -> dict[str, CellResult]:
+        return {result.spec.cell_id: result for result in self.results}
+
+    def failed_cells(self) -> list[CellResult]:
+        return [result for result in self.results if result.status != "ok"]
+
+
+# -- per-cell execution ---------------------------------------------------------
+
+
+def _modeled_sec(cell: CellSpec, iterations: int | None) -> float | None:
+    """Analytical cluster-scale seconds for this cell, if a model applies."""
+    if cell.mode == "streaming":
+        return None  # the paper (and the models) have no streaming runs
+    framework = MODEL_FRAMEWORKS[cell.engine]
+    paper_bytes = cell.data_scale.paper_bytes
+    if cell.mode == "iteration" and iterations:
+        cumulative = iterative_kmeans(paper_bytes, iterations).cumulative
+        return cumulative[framework][-1]
+    run = simulate(framework, MODEL_WORKLOADS[cell.workload], paper_bytes,
+                   executions=1)
+    return None if run.failed else run.elapsed_sec
+
+
+def _partial_result(cell: CellSpec) -> CellResult:
+    return CellResult(spec=cell)
+
+
+def _fill_counts_cell(result: CellResult, counts: dict,
+                      counters: dict[str, int], bytes_moved: int | None) -> None:
+    result.output_checksum = checksum(_canonical_counts(counts))
+    result.counters = dict(counters)
+    result.bytes_moved = bytes_moved
+
+
+def _execute_counting(cell: CellSpec, spec: ExperimentSpec,
+                      lines: list[str]) -> CellResult:
+    """wordcount/grep cells: all engines, common + streaming modes."""
+    result = _partial_result(cell)
+    parallelism = spec.parallelism
+    if cell.mode == "streaming":
+        runner = wordcount_streaming if cell.workload == "wordcount" \
+            else grep_streaming
+        args = (lines,) if cell.workload == "wordcount" else (lines, GREP_PATTERN)
+        stream = runner(*args, parallelism=parallelism,
+                        lines_per_split=max(1, len(lines) // 8),
+                        transport=cell.transport)
+        _fill_counts_cell(result, merge_window_counts(stream), stream.counters,
+                          stream.counters.get("mode.bytes_moved"))
+        result.iterations = len(stream.windows)
+        return result
+    if cell.engine == "datampi":
+        runner = wordcount_datampi_result if cell.workload == "wordcount" \
+            else grep_datampi_result
+        args = (lines,) if cell.workload == "wordcount" else (lines, GREP_PATTERN)
+        job = runner(*args, parallelism=parallelism, transport=cell.transport)
+        _fill_counts_cell(result, dict(job.merged_outputs()), job.counters,
+                          job.counters.get("o.bytes_sent"))
+    elif cell.engine == "hadoop-model":
+        runner = wordcount_hadoop_result if cell.workload == "wordcount" \
+            else grep_hadoop_result
+        args = (lines,) if cell.workload == "wordcount" else (lines, GREP_PATTERN)
+        job = runner(*args, parallelism=parallelism)
+        counts = {kv.key: kv.value for kv in job.merged_outputs()}
+        _fill_counts_cell(result, counts, job.counters,
+                          job.counters.get("shuffle_bytes"))
+    else:  # spark-model: outputs only; bytes are not instrumented
+        runner = wordcount_spark if cell.workload == "wordcount" else grep_spark
+        args = (lines,) if cell.workload == "wordcount" else (lines, GREP_PATTERN)
+        counts = runner(*args, parallelism=parallelism)
+        _fill_counts_cell(result, counts, {}, None)
+    return result
+
+
+def _execute_text_sort(cell: CellSpec, spec: ExperimentSpec,
+                       lines: list[str]) -> CellResult:
+    result = _partial_result(cell)
+    parallelism = spec.parallelism
+    if cell.engine == "datampi":
+        job = text_sort_datampi_result(lines, parallelism,
+                                       transport=cell.transport)
+        output = [line for ranked in job.outputs for line in ranked]
+        result.counters = dict(job.counters)
+        result.bytes_moved = job.counters.get("o.bytes_sent")
+    elif cell.engine == "hadoop-model":
+        job = text_sort_hadoop_result(lines, parallelism)
+        output = [kv.key for kv in job.merged_outputs()]
+        result.counters = dict(job.counters)
+        result.bytes_moved = job.counters.get("shuffle_bytes")
+    else:
+        output = text_sort_spark(lines, parallelism)
+    result.output_checksum = checksum(output)
+    return result
+
+
+def _execute_kmeans(cell: CellSpec, spec: ExperimentSpec, vectors) -> CellResult:
+    """K-means cells.
+
+    * ``datampi``: the real superstep driver — Iteration mode (kept-alive
+      world + KV cache) or its Common replay, per the cell's mode.
+    * ``hadoop-model``: the one-job-per-iteration pattern (fresh world
+      per superstep, no cache) — Hadoop/Mahout's execution model — with
+      measured per-iteration bytes.
+    * ``spark-model``: the functional RDD engine iterating over a cached
+      RDD; byte counters are not instrumented on this engine.
+
+    All three converge to byte-identical centroids from the shared seed,
+    which the cross-engine checksum in the reports verifies.
+    """
+    result = _partial_result(cell)
+    common = dict(k=KMEANS_K, max_iterations=spec.max_iterations,
+                  seed=spec.seed, parallelism=spec.parallelism)
+    if cell.engine == "spark-model":
+        kres = run_kmeans("spark", vectors, **common)
+        result.iterations = kres.iterations
+        result.output_checksum = checksum(_canonical_centroids(kres.centroids))
+        return result
+    mode = "iteration" if (cell.engine == "datampi" and
+                           cell.mode == "iteration") else "common"
+    # The hadoop-model replay is a measurement device, not a transport
+    # benchmark: pin it to the deterministic backend so its byte counters
+    # never depend on the ambient REPRO_TRANSPORT default.
+    transport = cell.transport if cell.engine == "datampi" else "inline"
+    kres, stats = kmeans_iterative_job(vectors, transport=transport,
+                                       mode=mode, **common)
+    result.iterations = kres.iterations
+    result.output_checksum = checksum(_canonical_centroids(kres.centroids))
+    result.counters = dict(stats.counters)
+    result.bytes_moved = stats.counters.get("mode.bytes_moved")
+    result.per_iteration_bytes = [
+        record["mode.bytes_moved"] for record in stats.per_iteration
+    ]
+    return result
+
+
+def execute_cell(cell: CellSpec, spec: ExperimentSpec) -> CellResult:
+    """Run one cell's functional workload (no profiling, no modeling)."""
+    scale = cell.data_scale
+    if cell.workload == "kmeans":
+        vectors, _labels = generate_kmeans_vectors(scale.vectors, seed=spec.seed)
+        return _execute_kmeans(cell, spec, vectors)
+    lines = TextGenerator(seed=spec.seed).lines(scale.lines)
+    if cell.workload in ("wordcount", "grep"):
+        return _execute_counting(cell, spec, lines)
+    if cell.workload == "text_sort":
+        return _execute_text_sort(cell, spec, lines)
+    raise ConfigError(f"no executor for workload {cell.workload!r}")
+
+
+# -- the runner -----------------------------------------------------------------
+
+
+class MatrixRunner:
+    """Executes a spec cell by cell with profiling and resumable checkpoints."""
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        out_dir: str,
+        profile_interval_sec: float = 0.02,
+        progress: Callable[[CellResult], None] | None = None,
+    ):
+        self.spec = spec
+        self.out_dir = out_dir
+        self.profile_interval_sec = profile_interval_sec
+        self.progress = progress or (lambda result: None)
+
+    def cell_path(self, cell: CellSpec) -> str:
+        return os.path.join(self.out_dir, CELLS_DIR, f"{cell.cell_id}.json")
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute_cell(self, cell: CellSpec) -> CellResult:
+        """Execute one cell: profiled functional run + analytical model.
+
+        Public and monkeypatch-friendly: the resume tests replace this to
+        observe (or interrupt) the per-cell execution order.
+        """
+        profiler = ResourceProfiler(interval_sec=self.profile_interval_sec)
+        result, usage = profiler.profile(execute_cell, cell, self.spec)
+        result.elapsed_sec = usage.wall_sec
+        result.resource = usage.to_dict()
+        result.modeled_sec = _modeled_sec(cell, result.iterations)
+        return result
+
+    def run(self, resume: bool = True) -> MatrixResult:
+        """Run every cell, checkpointing each; resume skips finished ones.
+
+        A cell whose workload raises is recorded as ``failed`` and
+        checkpointed (so the report can show the hole), but failed cells
+        are always re-executed on resume.
+        """
+        os.makedirs(os.path.join(self.out_dir, CELLS_DIR), exist_ok=True)
+        atomic_write_json(os.path.join(self.out_dir, SPEC_FILE),
+                          {"spec_hash": self.spec.spec_hash,
+                           **self.spec.to_dict()})
+        results: list[CellResult] = []
+        executed = resumed = 0
+        for cell in self.spec.cells:
+            loaded = self._load_cell(cell) if resume else None
+            if loaded is not None:
+                results.append(loaded)
+                resumed += 1
+                self.progress(loaded)
+                continue
+            try:
+                result = self.execute_cell(cell)
+            except Exception as exc:  # noqa: BLE001 - recorded, matrix continues
+                result = CellResult(spec=cell, status="failed",
+                                    error=f"{type(exc).__name__}: {exc}")
+            atomic_write_json(self.cell_path(cell),
+                              {"spec_hash": self.spec.spec_hash,
+                               "result": result.to_dict()})
+            results.append(result)
+            executed += 1
+            self.progress(result)
+        atomic_write_json(os.path.join(self.out_dir, MANIFEST_FILE), {
+            "complete": True,
+            "spec_hash": self.spec.spec_hash,
+            "num_cells": len(results),
+            "executed": executed,
+            "resumed": resumed,
+            "failed": len([r for r in results if r.status != "ok"]),
+        })
+        return MatrixResult(spec=self.spec, results=results,
+                            out_dir=self.out_dir, executed=executed,
+                            resumed=resumed)
+
+    def _load_cell(self, cell: CellSpec) -> CellResult | None:
+        """A finished cell's checkpoint, if it is valid for this spec."""
+        path = self.cell_path(cell)
+        if not os.path.exists(path):
+            return None
+        try:
+            record = read_json(path)
+        except Exception:  # noqa: BLE001 - damaged checkpoint: re-run the cell
+            return None
+        if record.get("spec_hash") != self.spec.spec_hash:
+            return None  # spec changed since this cell ran
+        if record.get("result", {}).get("status") != "ok":
+            return None  # failed cells always retry
+        return CellResult.from_dict(record["result"], resumed=True)
+
+
+def load_matrix(out_dir: str) -> MatrixResult:
+    """Load a recorded matrix (for ``repro experiment report``).
+
+    A matrix whose run was killed mid-way (no manifest, or missing
+    cells) loads fine but is flagged ``complete=False`` so reports can
+    say they were built from a partial run.
+    """
+    spec_doc = read_json(os.path.join(out_dir, SPEC_FILE))
+    spec = ExperimentSpec.from_dict(spec_doc)
+    results: list[CellResult] = []
+    for cell in spec.cells:
+        path = os.path.join(out_dir, CELLS_DIR, f"{cell.cell_id}.json")
+        if not os.path.exists(path):
+            continue
+        record = read_json(path)
+        if record.get("spec_hash") != spec.spec_hash:
+            continue
+        results.append(CellResult.from_dict(record["result"], resumed=True))
+    if not results:
+        raise ConfigError(
+            f"no recorded cells under {out_dir!r}; run the matrix first"
+        )
+    manifest_path = os.path.join(out_dir, MANIFEST_FILE)
+    complete = (
+        len(results) == len(spec.cells)
+        and os.path.exists(manifest_path)
+        and bool(read_json(manifest_path).get("complete"))
+    )
+    return MatrixResult(spec=spec, results=results, out_dir=out_dir,
+                        resumed=len(results), complete=complete)
+
+
+def verify_cross_engine(result: MatrixResult) -> dict[str, bool]:
+    """Per (workload, mode, scale) group: do all engines' checksums agree?
+
+    Groups with a single contributing cell are dropped — one digest
+    compared against nothing is not a verification and must not inflate
+    the "agree on N/N" summary.  Streaming cells are compared against
+    their common-mode counterparts — the windowed totals must reproduce
+    the batch answer.  Spark's K-means is excluded: its reduction order
+    only guarantees centroids to 1e-9 (asserted by
+    ``tests/test_workloads_apps.py``), not byte identity, so it has no
+    place in an exact-digest comparison.
+    """
+    groups: dict[str, list[str]] = {}
+    for cell_result in result.results:
+        if cell_result.status != "ok" or cell_result.output_checksum is None:
+            continue
+        cell = cell_result.spec
+        if cell.engine == "spark-model" and cell.workload == "kmeans":
+            continue
+        mode = "common" if cell.mode == "streaming" else cell.mode
+        key = f"{cell.workload}.{mode}.{cell.scale}"
+        groups.setdefault(key, []).append(cell_result.output_checksum)
+    return {
+        key: len(set(checksums)) == 1
+        for key, checksums in sorted(groups.items())
+        if len(checksums) >= 2
+    }
+
+
+__all__: Sequence[str] = (
+    "CellResult",
+    "GREP_PATTERN",
+    "KMEANS_K",
+    "MatrixResult",
+    "MatrixRunner",
+    "checksum",
+    "execute_cell",
+    "load_matrix",
+    "verify_cross_engine",
+)

@@ -39,6 +39,20 @@ def ascii_series(series: Sequence[tuple[float, float]], width: int = 60,
     return header + "\n".join(rows) + "\n" + axis + "\n" + footer
 
 
+def ascii_bars(values: Sequence[tuple[str, float]], width: int = 40,
+               title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart of labeled values (bytes-per-iteration panels)."""
+    if not values:
+        return f"{title}\n(no data)"
+    peak = max(value for _label, value in values) or 1.0
+    label_width = max(len(label) for label, _value in values)
+    lines = [title] if title else []
+    for label, value in values:
+        bar = "#" * max(1, int(width * value / peak))
+        lines.append(f"{label:<{label_width}}  {bar} {value:,.0f}{unit}")
+    return "\n".join(lines)
+
+
 def ascii_sweep(series: Mapping[str, Mapping[int, AveragedRun]],
                 width: int = 56, title: str = "") -> str:
     """Bar-style chart of a Figure 3/6 sweep (one row per size/framework)."""

@@ -1,0 +1,160 @@
+"""Resource profiling for matrix cells: CPU/RSS samples + exact byte counters.
+
+Section 5 of the paper explains DataMPI's wins with utilization traces:
+CPU, memory, and network sampled over each run.  This profiler is the
+reproduction's counterpart, with one deliberate split:
+
+* **Sampled series** (best-effort): a daemon thread records process CPU
+  time and resident-set size at a fixed interval while the cell runs.
+  These vary run to run like the paper's `dstat` traces did.
+* **Counters** (exact): byte counters the engines themselves maintain —
+  the per-transport chunk bytes, the mode-level scatter/gather/state
+  bytes, the KV-cache hit bytes.  These are computed from the payloads
+  that actually moved, so on a deterministic transport (``inline``) two
+  runs of the same cell produce *identical* counter deltas; the sampled
+  series never feeds a number the reports compare across engines.
+
+Usage::
+
+    profiler = ResourceProfiler(interval_sec=0.02)
+    with profiler:
+        result = run_cell()
+    usage = profiler.usage()     # ResourceUsage
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+def _cpu_seconds() -> float:
+    """Process CPU time (user + system), in seconds."""
+    times = os.times()
+    return times.user + times.system
+
+
+def _rss_kb() -> int:
+    """Resident set size in KiB; 0 where /proc is unavailable."""
+    try:
+        with open("/proc/self/status", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    try:
+        import resource
+        import sys
+
+        peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        # Linux reports ru_maxrss in KiB, the BSDs/macOS in bytes.
+        return peak // 1024 if sys.platform == "darwin" else peak
+    except Exception:  # pragma: no cover - exotic platforms
+        return 0
+
+
+@dataclass
+class ResourceUsage:
+    """What one profiled section consumed."""
+
+    wall_sec: float
+    cpu_sec: float
+    max_rss_kb: int
+    #: (elapsed seconds, cumulative cpu seconds, rss KiB) samples.
+    samples: list[tuple[float, float, int]] = field(default_factory=list)
+    sample_interval_sec: float = 0.0
+
+    @property
+    def cpu_util_pct(self) -> float:
+        """Mean CPU utilization of the section (one core = 100%)."""
+        if self.wall_sec <= 0:
+            return 0.0
+        return 100.0 * self.cpu_sec / self.wall_sec
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_sec": self.wall_sec,
+            "cpu_sec": self.cpu_sec,
+            "cpu_util_pct": self.cpu_util_pct,
+            "max_rss_kb": self.max_rss_kb,
+            "num_samples": len(self.samples),
+            "sample_interval_sec": self.sample_interval_sec,
+            "samples": [
+                [round(t, 6), round(cpu, 6), rss] for t, cpu, rss in self.samples
+            ],
+        }
+
+
+class ResourceProfiler:
+    """Samples this process's CPU time and RSS while a section runs.
+
+    Context-manager based so cell execution stays a plain function call;
+    re-usable (each ``with`` block starts a fresh measurement).  The
+    sampler is a daemon thread — it can never keep the process alive —
+    and takes one final sample at exit so even sections shorter than the
+    interval report a complete trace.
+    """
+
+    def __init__(self, interval_sec: float = 0.02):
+        if interval_sec <= 0:
+            raise ValueError(f"interval_sec must be positive, got {interval_sec}")
+        self.interval_sec = interval_sec
+        self._usage: ResourceUsage | None = None
+        self._stop: threading.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._samples: list[tuple[float, float, int]] = []
+        self._t0 = 0.0
+        self._cpu0 = 0.0
+
+    # -- context manager --------------------------------------------------------
+
+    def __enter__(self) -> "ResourceProfiler":
+        self._usage = None
+        self._samples = []
+        self._stop = threading.Event()
+        self._t0 = time.perf_counter()
+        self._cpu0 = _cpu_seconds()
+        self._thread = threading.Thread(target=self._sample_loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._stop is not None and self._thread is not None
+        self._stop.set()
+        self._thread.join()
+        wall = time.perf_counter() - self._t0
+        cpu = _cpu_seconds() - self._cpu0
+        self._samples.append((wall, cpu, _rss_kb()))
+        self._usage = ResourceUsage(
+            wall_sec=wall,
+            cpu_sec=cpu,
+            max_rss_kb=max(rss for _t, _c, rss in self._samples),
+            samples=self._samples,
+            sample_interval_sec=self.interval_sec,
+        )
+
+    def _sample_loop(self) -> None:
+        assert self._stop is not None
+        while not self._stop.wait(self.interval_sec):
+            self._samples.append((
+                time.perf_counter() - self._t0,
+                _cpu_seconds() - self._cpu0,
+                _rss_kb(),
+            ))
+
+    # -- results -----------------------------------------------------------------
+
+    def usage(self) -> ResourceUsage:
+        """The last completed section's usage."""
+        if self._usage is None:
+            raise RuntimeError("profiler has not completed a section yet")
+        return self._usage
+
+    def profile(self, func, *args, **kwargs):
+        """Run ``func`` under profiling; returns ``(result, ResourceUsage)``."""
+        with self:
+            result = func(*args, **kwargs)
+        return result, self.usage()

@@ -1,0 +1,334 @@
+"""Declarative experiment matrix: workload × engine × transport × mode × scale.
+
+The paper's contribution is a *comparison matrix* — DataMPI vs Hadoop vs
+Spark across BigDataBench workloads at several data scales — not any
+single workload.  An :class:`ExperimentSpec` declares such a matrix; the
+:class:`~repro.experiments.matrix.MatrixRunner` executes every cell and
+the :class:`~repro.experiments.reportbuilder.ReportBuilder` renders the
+paper's figures from the recorded results.
+
+Engines
+-------
+
+``datampi``
+    The real O/A superstep stack (``repro.datampi``): functional runs
+    with exact byte counters, on any transport and execution mode.
+``hadoop-model``
+    Hadoop's execution pattern on the reproduction's engines: common
+    cells run the functional MapReduce engine (``repro.hadoop``);
+    iterative cells replay the one-job-per-iteration pattern (a fresh
+    world per superstep, no cross-iteration cache — Mahout's structure).
+    Modeled cluster-scale seconds come from ``perfmodels.HadoopModel``.
+``spark-model``
+    Common cells run the functional RDD engine (``repro.spark``);
+    iterative cells iterate over a cached RDD.  Modeled seconds come
+    from ``perfmodels.SparkModel``.  Byte counters are not instrumented
+    on this engine, so bytes-moved cells report ``None``.
+
+Every engine executes a cell on the *same generated input* (same seed,
+same scale), so cross-engine output checksums must agree — the matrix is
+a correctness check as much as a measurement.
+
+Example::
+
+    >>> from repro.experiments.spec import quick_spec
+    >>> spec = quick_spec()
+    >>> len(spec.cells) >= 8
+    True
+    >>> spec.cells[0].cell_id
+    'wordcount.common.datampi.tiny.inline'
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.common.errors import ConfigError
+from repro.common.units import GB
+from repro.mpi.transport import available_transports
+
+#: Engines a matrix cell can run on (see the module docstring).
+MATRIX_ENGINES = ("datampi", "hadoop-model", "spark-model")
+
+#: Execution modes each workload supports (mirrors the CLI's rules).
+WORKLOAD_MODES = {
+    "wordcount": ("common", "streaming"),
+    "grep": ("common", "streaming"),
+    "text_sort": ("common",),
+    "kmeans": ("common", "iteration"),
+}
+
+#: Workload name the analytical performance models use for a matrix workload.
+MODEL_WORKLOADS = {
+    "wordcount": "wordcount",
+    "grep": "grep",
+    "text_sort": "text_sort",
+    "kmeans": "kmeans",
+}
+
+#: Analytical model behind each engine.
+MODEL_FRAMEWORKS = {
+    "datampi": "datampi",
+    "hadoop-model": "hadoop",
+    "spark-model": "spark",
+}
+
+
+@dataclass(frozen=True)
+class DataScale:
+    """One point on the matrix's data-scale axis.
+
+    ``lines``/``vectors`` size the *functional* input (what the real jobs
+    process); ``paper_bytes`` is the cluster-scale input size fed to the
+    analytical models so each cell also reports the paper-testbed seconds
+    for its scale.
+    """
+
+    name: str
+    lines: int
+    vectors: int
+    paper_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.lines < 1 or self.vectors < 1 or self.paper_bytes < 1:
+            raise ConfigError(f"degenerate data scale {self!r}")
+
+
+#: The built-in scales.  ``tiny``/``small`` keep the quick matrix under a
+#: few seconds; ``medium`` exists so full runs show a second decade.
+SCALES = {
+    "tiny": DataScale("tiny", lines=240, vectors=60, paper_bytes=8 * GB),
+    "small": DataScale("small", lines=720, vectors=120, paper_bytes=32 * GB),
+    "medium": DataScale("medium", lines=2400, vectors=240, paper_bytes=64 * GB),
+}
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One cell of the matrix: a single (workload, mode, engine, scale,
+    transport) execution."""
+
+    workload: str
+    mode: str
+    engine: str
+    scale: str
+    #: IPC backend for the ``datampi`` engine; ``None`` on model engines
+    #: (they do not run over the MPI substrate).
+    transport: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOAD_MODES:
+            raise ConfigError(
+                f"unknown matrix workload {self.workload!r}; "
+                f"available: {sorted(WORKLOAD_MODES)}"
+            )
+        if self.engine not in MATRIX_ENGINES:
+            raise ConfigError(
+                f"unknown matrix engine {self.engine!r}; "
+                f"available: {MATRIX_ENGINES}"
+            )
+        if self.mode not in WORKLOAD_MODES[self.workload]:
+            raise ConfigError(
+                f"workload {self.workload!r} supports modes "
+                f"{WORKLOAD_MODES[self.workload]}, got {self.mode!r}"
+            )
+        if self.mode == "streaming" and self.engine != "datampi":
+            raise ConfigError(
+                f"streaming cells need the datampi engine, got {self.engine!r}"
+            )
+        if self.scale not in SCALES:
+            raise ConfigError(
+                f"unknown data scale {self.scale!r}; available: {sorted(SCALES)}"
+            )
+        if self.engine != "datampi":
+            if self.transport is not None:
+                raise ConfigError(
+                    f"engine {self.engine!r} does not run over a transport"
+                )
+        elif self.transport is not None and \
+                self.transport not in available_transports():
+            raise ConfigError(
+                f"unknown transport {self.transport!r}; "
+                f"available: {available_transports()}"
+            )
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identifier, also the checkpoint file stem."""
+        parts = [self.workload, self.mode, self.engine, self.scale]
+        if self.transport is not None:
+            parts.append(self.transport)
+        return ".".join(parts)
+
+    @property
+    def data_scale(self) -> DataScale:
+        return SCALES[self.scale]
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "mode": self.mode,
+            "engine": self.engine,
+            "scale": self.scale,
+            "transport": self.transport,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CellSpec":
+        return cls(
+            workload=data["workload"],
+            mode=data["mode"],
+            engine=data["engine"],
+            scale=data["scale"],
+            transport=data.get("transport"),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, ordered collection of matrix cells."""
+
+    name: str
+    cells: tuple[CellSpec, ...] = field(default_factory=tuple)
+    #: Input-generation seed; identical across cells so every engine
+    #: processes the same data and output checksums are comparable.
+    seed: int = 7
+    #: O/A (and map/reduce) parallelism of the functional runs.
+    parallelism: int = 3
+    #: Superstep budget for iterative cells.
+    max_iterations: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("experiment spec needs a name")
+        if not self.cells:
+            raise ConfigError(f"experiment spec {self.name!r} has no cells")
+        ids = [cell.cell_id for cell in self.cells]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ConfigError(f"duplicate matrix cells: {dupes}")
+        if self.parallelism < 1 or self.max_iterations < 1:
+            raise ConfigError("parallelism and max_iterations must be >= 1")
+
+    @classmethod
+    def matrix(
+        cls,
+        name: str,
+        workloads: Sequence[str],
+        engines: Sequence[str],
+        modes: Sequence[str],
+        scales: Sequence[str],
+        transport: str | None = "inline",
+        **kwargs,
+    ) -> "ExperimentSpec":
+        """Build the filtered product of the axes.
+
+        Invalid combinations (streaming on a model engine, a mode a
+        workload does not support) are silently skipped, so callers can
+        pass the full axes and get only the runnable cells.
+        """
+        cells: list[CellSpec] = []
+        for workload in workloads:
+            for mode in modes:
+                if mode not in WORKLOAD_MODES.get(workload, ()):
+                    continue
+                for engine in engines:
+                    if mode == "streaming" and engine != "datampi":
+                        continue
+                    for scale in scales:
+                        cells.append(CellSpec(
+                            workload=workload, mode=mode, engine=engine,
+                            scale=scale,
+                            transport=transport if engine == "datampi" else None,
+                        ))
+        return cls(name=name, cells=tuple(cells), **kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "parallelism": self.parallelism,
+            "max_iterations": self.max_iterations,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        return cls(
+            name=data["name"],
+            seed=data.get("seed", 7),
+            parallelism=data.get("parallelism", 3),
+            max_iterations=data.get("max_iterations", 4),
+            cells=tuple(CellSpec.from_dict(c) for c in data["cells"]),
+        )
+
+    @property
+    def spec_hash(self) -> str:
+        """Content hash guarding checkpoint resume against spec edits."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def iterative_cells(self) -> list[CellSpec]:
+        return [cell for cell in self.cells if cell.mode == "iteration"]
+
+
+# -- presets -------------------------------------------------------------------
+
+
+def quick_spec(transport: str | None = "inline") -> ExperimentSpec:
+    """The acceptance matrix: 2 workloads × 2 engines × 2 scales.
+
+    WordCount (common) and K-means (iteration) on the real DataMPI stack
+    vs the Hadoop execution model, at two data scales — the minimal
+    matrix that still exhibits the paper's two headline effects
+    (communication efficiency and the iterative input-reuse gap).
+    """
+    return ExperimentSpec.matrix(
+        "quick",
+        workloads=("wordcount", "kmeans"),
+        engines=("datampi", "hadoop-model"),
+        modes=("common", "iteration"),
+        scales=("tiny", "small"),
+        transport=transport,
+    )
+
+
+def full_spec(transport: str | None = "inline") -> ExperimentSpec:
+    """Every workload × engine × mode × scale combination that runs."""
+    return ExperimentSpec.matrix(
+        "full",
+        workloads=tuple(WORKLOAD_MODES),
+        engines=MATRIX_ENGINES,
+        modes=("common", "iteration", "streaming"),
+        scales=("tiny", "small", "medium"),
+        transport=transport,
+    )
+
+
+PRESET_SPECS = {
+    "quick": quick_spec,
+    "full": full_spec,
+}
+
+
+def get_spec(name: str, transport: str | None = "inline") -> ExperimentSpec:
+    """Resolve a preset spec by name."""
+    try:
+        factory = PRESET_SPECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment spec {name!r}; available: {sorted(PRESET_SPECS)}"
+        ) from None
+    return factory(transport=transport)
+
+
+def cells_table(spec: ExperimentSpec) -> Iterable[list[str]]:
+    """Rows for ``repro experiment list``: one per cell."""
+    for cell in spec.cells:
+        yield [
+            cell.cell_id, cell.workload, cell.mode, cell.engine, cell.scale,
+            cell.transport or "-",
+        ]

@@ -32,5 +32,15 @@ def mpi_run(
     ``transport`` is a backend name (``thread``, ``shm``, ``inline``), a
     :class:`Transport` instance, or ``None`` for the default (``thread``,
     overridable via the ``REPRO_TRANSPORT`` environment variable).
+
+    Examples:
+        Every rank contributes to an allreduce-style sum via gather:
+
+        >>> from repro.mpi import mpi_run
+        >>> def main(comm):
+        ...     gathered = comm.gather(comm.rank, root=0)
+        ...     return sum(gathered) if comm.rank == 0 else None
+        >>> mpi_run(4, main, transport="inline")
+        [6, None, None, None]
     """
     return get_transport(transport).run(world_size, main, args, timeout)

@@ -133,7 +133,21 @@ def default_transport_name() -> str:
 
 def get_transport(spec: str | Transport | None = None, **kwargs: Any) -> Transport:
     """Resolve a backend: an instance passes through, a name is constructed,
-    ``None`` means the default."""
+    ``None`` means the default.
+
+    This is the transport layer's connect entry point — everything that
+    launches ranks (``mpi_run``, the job drivers) goes through it.
+
+    Examples:
+        >>> from repro.mpi.transport import available_transports, get_transport
+        >>> available_transports()
+        ('inline', 'shm', 'thread')
+        >>> get_transport("inline").name
+        'inline'
+        >>> transport = get_transport("inline")
+        >>> get_transport(transport) is transport  # instances pass through
+        True
+    """
     if isinstance(spec, Transport):
         return spec
     name = spec or default_transport_name()

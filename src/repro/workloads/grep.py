@@ -26,7 +26,8 @@ def grep_reference(lines: Sequence[str], pattern: str) -> dict[str, int]:
     return counts
 
 
-def grep_hadoop(lines: Sequence[str], pattern: str, parallelism: int = 4) -> dict[str, int]:
+def grep_hadoop_result(lines: Sequence[str], pattern: str, parallelism: int = 4):
+    """Grep on the functional MapReduce engine, with its counters."""
     compiled = re.compile(pattern)
 
     def mapper(_offset, line):
@@ -41,7 +42,11 @@ def grep_hadoop(lines: Sequence[str], pattern: str, parallelism: int = 4) -> dic
         HadoopConf(num_reduces=parallelism, combiner=lambda m, cs: sum(cs),
                    job_name="grep"),
     )
-    result = job.run(split_round_robin(list(enumerate(lines)), parallelism))
+    return job.run(split_round_robin(list(enumerate(lines)), parallelism))
+
+
+def grep_hadoop(lines: Sequence[str], pattern: str, parallelism: int = 4) -> dict[str, int]:
+    result = grep_hadoop_result(lines, pattern, parallelism)
     return {kv.key: kv.value for kv in result.merged_outputs()}
 
 
@@ -58,8 +63,9 @@ def grep_spark(lines: Sequence[str], pattern: str, parallelism: int = 4,
     return dict(counts.collect())
 
 
-def grep_datampi(lines: Sequence[str], pattern: str, parallelism: int = 4,
-                 transport: str | None = None) -> dict[str, int]:
+def grep_datampi_result(lines: Sequence[str], pattern: str, parallelism: int = 4,
+                        transport: str | None = None):
+    """Grep as a DataMPI O/A job, with its counters."""
     compiled = re.compile(pattern)
 
     def o_task(ctx, split):
@@ -76,8 +82,13 @@ def grep_datampi(lines: Sequence[str], pattern: str, parallelism: int = 4,
                     combiner=lambda m, vs: sum(vs), job_name="grep",
                     transport=transport),
     )
-    result = job.run(split_round_robin(list(lines), parallelism))
-    return dict(result.merged_outputs())
+    return job.run(split_round_robin(list(lines), parallelism))
+
+
+def grep_datampi(lines: Sequence[str], pattern: str, parallelism: int = 4,
+                 transport: str | None = None) -> dict[str, int]:
+    return dict(grep_datampi_result(lines, pattern, parallelism,
+                                    transport=transport).merged_outputs())
 
 
 def run_grep(engine: str, lines: Sequence[str], pattern: str,

@@ -38,7 +38,8 @@ def _sample_keys(lines: Sequence[str], sample_size: int = 256, seed: int = 0) ->
     return rng.sample(list(lines), sample_size)
 
 
-def text_sort_hadoop(lines: Sequence[str], parallelism: int = 4) -> list[str]:
+def text_sort_hadoop_result(lines: Sequence[str], parallelism: int = 4):
+    """Text Sort on the functional MapReduce engine, with its counters."""
     partitioner = RangePartitioner(_sample_keys(lines), parallelism)
 
     def mapper(_offset, line):
@@ -52,7 +53,11 @@ def text_sort_hadoop(lines: Sequence[str], parallelism: int = 4) -> list[str]:
         mapper, reducer,
         HadoopConf(num_reduces=parallelism, partitioner=partitioner, job_name="sort"),
     )
-    result = job.run(split_round_robin(list(enumerate(lines)), parallelism))
+    return job.run(split_round_robin(list(enumerate(lines)), parallelism))
+
+
+def text_sort_hadoop(lines: Sequence[str], parallelism: int = 4) -> list[str]:
+    result = text_sort_hadoop_result(lines, parallelism)
     return [kv.key for kv in result.merged_outputs()]
 
 
@@ -63,8 +68,9 @@ def text_sort_spark(lines: Sequence[str], parallelism: int = 4,
     return [key for key, _ in pairs.sort_by_key(parallelism).collect()]
 
 
-def text_sort_datampi(lines: Sequence[str], parallelism: int = 4,
-                      transport: str | None = None) -> list[str]:
+def text_sort_datampi_result(lines: Sequence[str], parallelism: int = 4,
+                             transport: str | None = None):
+    """Text Sort as a DataMPI O/A job, with its counters."""
     partitioner = RangePartitioner(_sample_keys(lines), parallelism)
 
     def o_task(ctx, split):
@@ -80,7 +86,12 @@ def text_sort_datampi(lines: Sequence[str], parallelism: int = 4,
                     partitioner=partitioner, job_name="text-sort",
                     transport=transport),
     )
-    result = job.run(split_round_robin(list(lines), parallelism))
+    return job.run(split_round_robin(list(lines), parallelism))
+
+
+def text_sort_datampi(lines: Sequence[str], parallelism: int = 4,
+                      transport: str | None = None) -> list[str]:
+    result = text_sort_datampi_result(lines, parallelism, transport=transport)
     return [line for output in result.outputs for line in output]
 
 

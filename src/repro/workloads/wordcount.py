@@ -27,7 +27,13 @@ def wordcount_reference(lines: Sequence[str]) -> dict[str, int]:
     return counts
 
 
-def wordcount_hadoop(lines: Sequence[str], parallelism: int = 4) -> dict[str, int]:
+def wordcount_hadoop_result(lines: Sequence[str], parallelism: int = 4):
+    """WordCount on the functional MapReduce engine, with its counters.
+
+    Returns the raw :class:`~repro.hadoop.mapreduce.HadoopResult` so
+    callers (e.g. the experiment matrix) can read ``shuffle_bytes`` and
+    the other stage counters alongside the outputs.
+    """
     def mapper(_offset, line):
         for word in line.split():
             yield word, 1
@@ -41,7 +47,11 @@ def wordcount_hadoop(lines: Sequence[str], parallelism: int = 4) -> dict[str, in
                    job_name="wordcount"),
     )
     splits = split_round_robin(list(enumerate(lines)), parallelism)
-    result = job.run(splits)
+    return job.run(splits)
+
+
+def wordcount_hadoop(lines: Sequence[str], parallelism: int = 4) -> dict[str, int]:
+    result = wordcount_hadoop_result(lines, parallelism)
     return {kv.key: kv.value for kv in result.merged_outputs()}
 
 
@@ -57,8 +67,13 @@ def wordcount_spark(lines: Sequence[str], parallelism: int = 4,
     return dict(counts.collect())
 
 
-def wordcount_datampi(lines: Sequence[str], parallelism: int = 4,
-                      transport: str | None = None) -> dict[str, int]:
+def wordcount_datampi_result(lines: Sequence[str], parallelism: int = 4,
+                             transport: str | None = None):
+    """WordCount as a DataMPI O/A job, with its counters.
+
+    Returns the raw :class:`~repro.datampi.job.JobResult` so callers can
+    read ``o.bytes_sent`` and friends alongside the outputs.
+    """
     def o_task(ctx, split):
         for line in split:
             for word in line.split():
@@ -74,8 +89,13 @@ def wordcount_datampi(lines: Sequence[str], parallelism: int = 4,
                     job_name="wordcount",
                     transport=transport),
     )
-    result = job.run(split_round_robin(list(lines), parallelism))
-    return dict(result.merged_outputs())
+    return job.run(split_round_robin(list(lines), parallelism))
+
+
+def wordcount_datampi(lines: Sequence[str], parallelism: int = 4,
+                      transport: str | None = None) -> dict[str, int]:
+    return dict(wordcount_datampi_result(lines, parallelism,
+                                         transport=transport).merged_outputs())
 
 
 def run_wordcount(engine: str, lines: Sequence[str], parallelism: int = 4,

@@ -1,0 +1,83 @@
+"""The offline markdown link checker used by the CI docs job."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "check_links", REPO_ROOT / "scripts" / "check_links.py"
+)
+check_links = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_links)
+
+
+class TestSlug:
+    @pytest.mark.parametrize("heading,slug", [
+        ("Quickstart", "quickstart"),
+        ("The experiment matrix", "the-experiment-matrix"),
+        ("Measured vs modeled, exact vs sampled",
+         "measured-vs-modeled-exact-vs-sampled"),
+        ("Benchmark JSON schema (`extra_info`)",
+         "benchmark-json-schema-extra_info"),
+    ])
+    def test_github_slug(self, heading, slug):
+        assert check_links.github_slug(heading) == slug
+
+
+class TestCheckFile:
+    def test_valid_relative_link_and_anchor(self, tmp_path):
+        (tmp_path / "target.md").write_text("# Real Heading\n\ntext\n")
+        source = tmp_path / "source.md"
+        source.write_text(
+            "[ok](target.md) [ok2](target.md#real-heading) "
+            "[ext](https://example.com/x)\n"
+        )
+        assert check_links.check_file(source) == []
+
+    def test_broken_file_link_is_reported(self, tmp_path):
+        source = tmp_path / "source.md"
+        source.write_text("[broken](missing.md)\n")
+        problems = check_links.check_file(source)
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_broken_anchor_is_reported(self, tmp_path):
+        (tmp_path / "target.md").write_text("# Only Heading\n")
+        source = tmp_path / "source.md"
+        source.write_text("[bad](target.md#other-heading)\n")
+        problems = check_links.check_file(source)
+        assert len(problems) == 1 and "broken anchor" in problems[0]
+
+    def test_fenced_code_blocks_are_ignored(self, tmp_path):
+        source = tmp_path / "source.md"
+        source.write_text("```\n[not a link](nowhere.md)\n```\n")
+        assert check_links.check_file(source) == []
+
+    def test_empty_link_target_is_reported_not_crashed(self, tmp_path):
+        source = tmp_path / "source.md"
+        source.write_text("[oops]( )\n")
+        problems = check_links.check_file(source)
+        assert len(problems) == 1 and "empty link target" in problems[0]
+
+    def test_link_title_is_not_part_of_the_path(self, tmp_path):
+        (tmp_path / "target.md").write_text("# H\n")
+        source = tmp_path / "source.md"
+        source.write_text('[ok](target.md "a title") [bad](missing.md "t")\n')
+        problems = check_links.check_file(source)
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_headings_inside_fences_are_not_anchors(self, tmp_path):
+        (tmp_path / "target.md").write_text(
+            "# Real\n\n```sh\n# install deps\n```\n"
+        )
+        source = tmp_path / "source.md"
+        source.write_text("[bad](target.md#install-deps)\n")
+        problems = check_links.check_file(source)
+        assert len(problems) == 1 and "broken anchor" in problems[0]
+
+
+class TestRepoDocs:
+    def test_repo_markdown_set_has_no_broken_links(self, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        assert check_links.main([]) == 0

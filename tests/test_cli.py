@@ -120,3 +120,48 @@ class TestWorkloadModes:
             build_parser().parse_args(
                 ["workload", "datampi", "wordcount", "--mode", "turbo"]
             )
+
+
+class TestExperimentCommand:
+    def test_list_names_every_quick_cell(self, capsys):
+        assert main(["experiment", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "kmeans.iteration.datampi.tiny.inline" in out
+        assert "wordcount.common.hadoop-model.small" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+    def test_rejects_unknown_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "run", "--spec", "nightly"])
+
+    def test_spec_and_quick_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "run", "--spec", "full", "--quick"]
+            )
+
+    def test_report_without_matrix_fails_cleanly(self, capsys, tmp_path):
+        assert main(["experiment", "report", "--out", str(tmp_path / "x")]) == 2
+        assert "cannot load matrix" in capsys.readouterr().err
+
+    def test_run_then_resume_then_report(self, capsys, tmp_path):
+        out = str(tmp_path / "matrix")
+        reports = str(tmp_path / "reports")
+        assert main(["experiment", "run", "--quick", "--out", out]) == 0
+        first = capsys.readouterr().out
+        assert "12 cells" in first and "12 executed" in first
+        assert "cross-engine outputs agree on 6/6" in first
+
+        assert main(["experiment", "run", "--quick", "--out", out]) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 12 resumed" in second
+
+        assert main(["experiment", "report", "--out", out,
+                     "--reports", reports]) == 0
+        listed = capsys.readouterr().out
+        for artifact in ("execution_time.json", "speedup.md",
+                         "bytes_per_iteration.json", "index.md"):
+            assert artifact in listed

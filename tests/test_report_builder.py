@@ -1,0 +1,123 @@
+"""ReportBuilder: figure artifacts rendered from a recorded matrix."""
+
+import json
+
+import pytest
+
+from repro.datampi.checkpoint import read_json
+from repro.experiments.matrix import MatrixRunner, load_matrix
+from repro.experiments.reportbuilder import FIGURE_PAPER_REFS, ReportBuilder
+from repro.experiments.spec import CellSpec, ExperimentSpec
+
+
+@pytest.fixture(scope="module")
+def recorded_matrix(tmp_path_factory):
+    out = tmp_path_factory.mktemp("matrix")
+    spec = ExperimentSpec(
+        "report-fixture",
+        (
+            CellSpec("wordcount", "common", "datampi", "tiny", "inline"),
+            CellSpec("wordcount", "common", "hadoop-model", "tiny"),
+            CellSpec("kmeans", "iteration", "datampi", "tiny", "inline"),
+            CellSpec("kmeans", "iteration", "hadoop-model", "tiny"),
+        ),
+        max_iterations=3,
+    )
+    MatrixRunner(spec, str(out)).run()
+    return load_matrix(str(out))
+
+
+@pytest.fixture()
+def built_reports(recorded_matrix, tmp_path):
+    reports = tmp_path / "reports"
+    written = ReportBuilder(recorded_matrix, str(reports)).build()
+    return reports, written
+
+
+class TestArtifacts:
+    def test_every_figure_emits_json_and_markdown(self, built_reports):
+        reports, written = built_reports
+        for name in FIGURE_PAPER_REFS:
+            assert (reports / f"{name}.json").exists()
+            assert (reports / f"{name}.md").exists()
+        assert (reports / "index.md").exists()
+        assert set(written) == {
+            str(reports / f"{name}.{ext}")
+            for name in FIGURE_PAPER_REFS for ext in ("json", "md")
+        } | {str(reports / "index.md")}
+
+    def test_figure_json_carries_paper_reference_and_spec_hash(
+            self, built_reports, recorded_matrix):
+        reports, _written = built_reports
+        for name, ref in FIGURE_PAPER_REFS.items():
+            doc = read_json(str(reports / f"{name}.json"))
+            assert doc["figure"] == name
+            assert doc["paper"] == ref
+            assert doc["spec_hash"] == recorded_matrix.spec.spec_hash
+
+    def test_json_artifacts_are_valid_json(self, built_reports):
+        reports, _written = built_reports
+        for path in reports.glob("*.json"):
+            json.loads(path.read_text())
+
+
+class TestFigureContent:
+    def test_execution_time_has_one_row_per_cell(self, built_reports,
+                                                 recorded_matrix):
+        reports, _ = built_reports
+        doc = read_json(str(reports / "execution_time.json"))
+        assert len(doc["rows"]) == len(recorded_matrix.results)
+        engines = {row["engine"] for row in doc["rows"]}
+        assert engines == {"datampi", "hadoop-model"}
+        for row in doc["rows"]:
+            assert row["measured_sec"] > 0
+            assert row["modeled_sec"] > 0
+
+    def test_speedup_reports_datampi_advantage(self, built_reports):
+        reports, _ = built_reports
+        doc = read_json(str(reports / "speedup.json"))
+        rows = {(r["workload"], r["mode"]): r for r in doc["rows"]}
+        # modeled cluster seconds: DataMPI beats the Hadoop model everywhere
+        for row in doc["rows"]:
+            assert row["modeled_speedup_vs_hadoop_model"] > 1.0
+        # measured bytes: the iterative cell's cache shrinks DataMPI's total
+        assert rows[("kmeans", "iteration")]["bytes_ratio_vs_hadoop_model"] > 1.0
+
+    def test_bytes_per_iteration_covers_iterative_cells_only(
+            self, built_reports):
+        reports, _ = built_reports
+        doc = read_json(str(reports / "bytes_per_iteration.json"))
+        assert {row["engine"] for row in doc["rows"]} == \
+            {"datampi", "hadoop-model"}
+        for row in doc["rows"]:
+            assert row["workload"] == "kmeans"
+            assert len(row["per_iteration_bytes"]) == row["iterations"]
+            assert row["total_bytes"] == sum(row["per_iteration_bytes"])
+
+    def test_resources_rows_expose_profiler_fields(self, built_reports,
+                                                   recorded_matrix):
+        reports, _ = built_reports
+        doc = read_json(str(reports / "resources.json"))
+        assert len(doc["rows"]) == len(recorded_matrix.results)
+        for row in doc["rows"]:
+            assert row["wall_sec"] > 0
+            assert row["num_samples"] >= 1
+
+    def test_index_links_every_figure_and_verification(self, built_reports):
+        reports, _ = built_reports
+        index = (reports / "index.md").read_text()
+        for name in FIGURE_PAPER_REFS:
+            assert f"{name}.md" in index
+        assert "Cross-engine output verification" in index
+        assert "False" not in index  # all engines agreed on this fixture
+
+    def test_rebuild_is_idempotent(self, recorded_matrix, tmp_path):
+        reports = tmp_path / "reports"
+        first = ReportBuilder(recorded_matrix, str(reports)).build()
+        snapshot = {p: (reports / p).read_text()
+                    for p in ("execution_time.json", "speedup.json",
+                              "bytes_per_iteration.json", "index.md")}
+        second = ReportBuilder(recorded_matrix, str(reports)).build()
+        assert first == second
+        for name, content in snapshot.items():
+            assert (reports / name).read_text() == content

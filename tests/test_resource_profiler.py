@@ -1,0 +1,107 @@
+"""ResourceProfiler: sampling mechanics and counter determinism.
+
+The profiler's contract splits measured quantities in two: sampled
+CPU/RSS series (best-effort, vary run to run) and engine byte counters
+(exact).  The determinism tests pin the exact half on the inline
+transport — two runs of the same cell must agree bit for bit — which is
+what lets the reports compare bytes across engines without tolerances.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.matrix import execute_cell
+from repro.experiments.profiler import ResourceProfiler, ResourceUsage
+from repro.experiments.spec import CellSpec, ExperimentSpec
+
+
+class TestProfilerMechanics:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            ResourceProfiler(interval_sec=0.0)
+
+    def test_usage_before_any_section_raises(self):
+        with pytest.raises(RuntimeError):
+            ResourceProfiler().usage()
+
+    def test_profile_returns_result_and_usage(self):
+        result, usage = ResourceProfiler(interval_sec=0.005).profile(
+            lambda: sum(range(100_000))
+        )
+        assert result == sum(range(100_000))
+        assert isinstance(usage, ResourceUsage)
+        assert usage.wall_sec > 0
+        assert usage.samples, "a final sample is always taken"
+        assert usage.max_rss_kb >= 0
+
+    def test_samples_are_monotonic(self):
+        profiler = ResourceProfiler(interval_sec=0.002)
+        with profiler:
+            time.sleep(0.02)
+        samples = profiler.usage().samples
+        assert len(samples) >= 2
+        times = [t for t, _cpu, _rss in samples]
+        cpus = [cpu for _t, cpu, _rss in samples]
+        assert times == sorted(times)
+        assert cpus == sorted(cpus)
+
+    def test_profiler_is_reusable(self):
+        profiler = ResourceProfiler(interval_sec=0.005)
+        with profiler:
+            pass
+        first = profiler.usage()
+        with profiler:
+            time.sleep(0.01)
+        second = profiler.usage()
+        assert second is not first
+        assert second.wall_sec >= 0.01
+
+    def test_exception_still_records_usage(self):
+        profiler = ResourceProfiler(interval_sec=0.005)
+        with pytest.raises(ValueError):
+            with profiler:
+                raise ValueError("task failed")
+        assert profiler.usage().wall_sec >= 0
+
+    def test_to_dict_is_json_shaped(self):
+        _result, usage = ResourceProfiler(interval_sec=0.005).profile(lambda: None)
+        doc = usage.to_dict()
+        assert set(doc) == {
+            "wall_sec", "cpu_sec", "cpu_util_pct", "max_rss_kb",
+            "num_samples", "sample_interval_sec", "samples",
+        }
+        assert doc["num_samples"] == len(doc["samples"])
+
+
+class TestCounterDeterminism:
+    """The exact half of the contract, on the deterministic transport."""
+
+    SPEC = ExperimentSpec(
+        "determinism",
+        (
+            CellSpec("wordcount", "common", "datampi", "tiny", "inline"),
+            CellSpec("kmeans", "iteration", "datampi", "tiny", "inline"),
+        ),
+        max_iterations=3,
+    )
+
+    @pytest.mark.parametrize("index", [0, 1])
+    def test_inline_cell_counters_are_identical_across_runs(self, index):
+        cell = self.SPEC.cells[index]
+        first = execute_cell(cell, self.SPEC)
+        second = execute_cell(cell, self.SPEC)
+        assert first.counters == second.counters
+        assert first.bytes_moved == second.bytes_moved
+        assert first.per_iteration_bytes == second.per_iteration_bytes
+        assert first.output_checksum == second.output_checksum
+
+    def test_profiled_run_does_not_perturb_counters(self):
+        cell = self.SPEC.cells[0]
+        bare = execute_cell(cell, self.SPEC)
+        profiled, usage = ResourceProfiler(interval_sec=0.001).profile(
+            execute_cell, cell, self.SPEC
+        )
+        assert profiled.counters == bare.counters
+        assert profiled.output_checksum == bare.output_checksum
+        assert usage.wall_sec > 0
