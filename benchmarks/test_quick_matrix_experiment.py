@@ -1,9 +1,9 @@
 """The scaled-down paper matrix, recorded into the benchmark JSON.
 
-Runs the `quick` experiment spec — WordCount (common) and K-means
-(iteration) × {datampi, hadoop-model} × {tiny, small} on the inline
-transport — end to end through the MatrixRunner and asserts the paper's
-cross-engine shape:
+Runs the `quick` experiment spec — WordCount and Normal Sort (common),
+K-means and Naive Bayes (common + iteration) × {datampi, hadoop-model,
+spark-model} × {tiny, small} on the inline transport — end to end
+through the MatrixRunner and asserts the paper's cross-engine shape:
 
 * every engine produces identical outputs on every comparable cell
   (the matrix compares performance, not answers);
@@ -70,9 +70,19 @@ def test_quick_matrix_cross_engine(benchmark, once, tmp_path):
                                   hadoop.per_iteration_bytes[1:])
         )
         assert datampi.bytes_moved < hadoop.bytes_moved
-        iterative_pairs.append((cell.scale, datampi, hadoop))
+        iterative_pairs.append(
+            (f"{cell.workload}.{cell.scale}", datampi, hadoop))
 
     assert iterative_pairs, "the quick spec must contain iterative cells"
+    assert {pair[0].split(".")[0] for pair in iterative_pairs} == \
+        {"kmeans", "naive_bayes"}
+
+    # The expanded matrix instruments Spark's shuffles, so the bytes
+    # comparison against the spark-model engine is populated wherever
+    # Spark has an implementation (everywhere but Naive Bayes).
+    spark_bytes = [r.bytes_moved for r in result.results
+                   if r.spec.engine == "spark-model"]
+    assert spark_bytes and all(b is not None and b > 0 for b in spark_bytes)
 
     benchmark.extra_info["experiment"] = "quick-matrix"
     benchmark.extra_info["cells"] = len(result.results)
@@ -89,6 +99,6 @@ def test_quick_matrix_cross_engine(benchmark, once, tmp_path):
         for r in result.results
     ]
     benchmark.extra_info["iterative_bytes_saved"] = {
-        scale: hadoop.bytes_moved - datampi.bytes_moved
-        for scale, datampi, hadoop in iterative_pairs
+        pair_key: hadoop.bytes_moved - datampi.bytes_moved
+        for pair_key, datampi, hadoop in iterative_pairs
     }

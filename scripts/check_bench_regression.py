@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Gate a pytest-benchmark JSON artifact against a committed baseline.
+
+The trajectory benchmarks publish their measurements through
+``--benchmark-json``; downstream tooling diffs the ``extra_info`` blocks
+(byte counters, speedups, per-cell results).  A refactor that silently
+drops a benchmark, or stops populating an ``extra_info`` key, corrupts
+that record long before anyone reads it.  This script fails CI when:
+
+* the JSON is missing or contains **zero benchmarks** (the signature of
+  a collection error swallowed by a permissive pytest invocation);
+* a suite named in the baseline no longer matches at least
+  ``min_count`` benchmarks;
+* a matched benchmark is missing one of the suite's required
+  ``extra_info`` keys.
+
+Timing comparisons are opt-in (``--max-slowdown``) because CI machines
+are not comparable to the baseline machine: a suite with a
+``median_sec`` in the baseline then also fails when its fastest matched
+benchmark is more than ``max-slowdown`` times slower.
+
+Usage:
+
+    python scripts/check_bench_regression.py bench.json \
+        --baseline benchmarks/baseline.json [--max-slowdown 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_json(path: pathlib.Path, what: str) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SystemExit(f"{what} not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{what} is not valid JSON ({path}): {exc}")
+
+
+def check(report: dict, baseline: dict, max_slowdown: float | None = None) -> list[str]:
+    """Every violated expectation, as human-readable strings."""
+    problems: list[str] = []
+    benchmarks = report.get("benchmarks", [])
+    if not benchmarks:
+        return ["benchmark JSON contains zero benchmarks (collection error?)"]
+    for suite in baseline.get("suites", []):
+        match = suite["match"]
+        required = suite.get("require_extra_info", [])
+        min_count = suite.get("min_count", 1)
+        matched = [b for b in benchmarks if match in b.get("fullname", "")]
+        if len(matched) < min_count:
+            problems.append(
+                f"{match}: expected >= {min_count} benchmark(s), "
+                f"found {len(matched)}"
+            )
+            continue
+        for bench in matched:
+            extra = bench.get("extra_info") or {}
+            missing = [key for key in required if key not in extra]
+            if missing:
+                problems.append(
+                    f"{bench['fullname']}: extra_info missing "
+                    f"{', '.join(sorted(missing))}"
+                )
+        baseline_median = suite.get("median_sec")
+        if max_slowdown is not None and baseline_median:
+            fastest = min(b["stats"]["median"] for b in matched)
+            if fastest > baseline_median * max_slowdown:
+                problems.append(
+                    f"{match}: fastest median {fastest:.6f}s exceeds "
+                    f"{max_slowdown}x baseline ({baseline_median:.6f}s)"
+                )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("report", type=pathlib.Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/baseline.json"))
+    parser.add_argument("--max-slowdown", type=float, default=None,
+                        help="fail suites with a baseline median_sec when "
+                             "slower than this factor (off by default: CI "
+                             "machines are not the baseline machine)")
+    args = parser.parse_args(argv)
+    report = load_json(args.report, "benchmark report")
+    baseline = load_json(args.baseline, "baseline")
+    problems = check(report, baseline, args.max_slowdown)
+    if problems:
+        print(f"benchmark regression gate FAILED ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    suites = len(baseline.get("suites", []))
+    print(f"benchmark regression gate passed: "
+          f"{len(report['benchmarks'])} benchmark(s) against {suites} "
+          f"baseline suite(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Diff two rendered report directories, honouring the determinism contract.
+
+The :class:`~repro.experiments.reportbuilder.ReportBuilder` guarantees
+that every artifact except the volatile set (``timings.*`` — measured
+wall clock and sampled CPU/RSS) is byte-identical between serial and
+parallel runs of the same spec.  The CI ``matrix-parallel`` job renders
+both and calls this script to enforce it:
+
+    python scripts/diff_reports.py reports-serial reports-parallel
+
+Volatile artifacts are only checked for *presence* (both runs must emit
+them); everything else must match byte for byte.  Exit codes: ``0``
+identical, ``1`` differences found, ``2`` bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+#: Fallback when the repro package is not importable (matches
+#: ``repro.experiments.reportbuilder.VOLATILE_ARTIFACTS``).
+DEFAULT_VOLATILE = frozenset({"timings.json", "timings.md"})
+
+
+def volatile_artifacts() -> frozenset[str]:
+    """The authoritative volatile set, from the package when available."""
+    try:
+        from repro.experiments.reportbuilder import VOLATILE_ARTIFACTS
+    except ImportError:
+        return DEFAULT_VOLATILE
+    return frozenset(VOLATILE_ARTIFACTS)
+
+
+def first_differing_line(left: bytes, right: bytes) -> int:
+    """1-based line number of the first difference (for the report)."""
+    for number, (a, b) in enumerate(
+        zip(left.splitlines(), right.splitlines()), start=1
+    ):
+        if a != b:
+            return number
+    return min(len(left.splitlines()), len(right.splitlines())) + 1
+
+
+def compare_reports(
+    left: pathlib.Path,
+    right: pathlib.Path,
+    volatile: frozenset[str] | None = None,
+) -> list[str]:
+    """Problems between two report directories; empty means identical."""
+    volatile = volatile_artifacts() if volatile is None else volatile
+    problems: list[str] = []
+    left_names = {p.name for p in left.iterdir() if p.is_file()}
+    right_names = {p.name for p in right.iterdir() if p.is_file()}
+    for name in sorted(left_names - right_names):
+        problems.append(f"{name}: only in {left}")
+    for name in sorted(right_names - left_names):
+        problems.append(f"{name}: only in {right}")
+    for name in sorted(left_names & right_names):
+        if name in volatile:
+            continue
+        a = (left / name).read_bytes()
+        b = (right / name).read_bytes()
+        if a != b:
+            problems.append(
+                f"{name}: differs (first difference at line "
+                f"{first_differing_line(a, b)})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("left", type=pathlib.Path)
+    parser.add_argument("right", type=pathlib.Path)
+    parser.add_argument(
+        "--include-volatile",
+        action="store_true",
+        help="also require the volatile artifacts to match "
+        "(they never should between independent runs)",
+    )
+    args = parser.parse_args(argv)
+    for directory in (args.left, args.right):
+        if not directory.is_dir():
+            print(f"not a directory: {directory}", file=sys.stderr)
+            return 2
+    volatile = frozenset() if args.include_volatile else None
+    problems = compare_reports(args.left, args.right, volatile)
+    if problems:
+        print(f"reports differ ({len(problems)} problem(s)):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    skipped = sorted(volatile_artifacts()) if not args.include_volatile else []
+    print(
+        f"reports identical ({args.left} == {args.right}"
+        + (f", volatile skipped: {', '.join(skipped)})" if skipped else ")")
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

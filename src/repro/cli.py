@@ -220,17 +220,36 @@ DEFAULT_MATRIX_DIR = "results/matrix"
 DEFAULT_REPORTS_DIR = "reports"
 
 
+def _parallel_workers(value: str) -> int:
+    """argparse type for --parallel: a clean usage error, not a traceback."""
+    workers = int(value)
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one worker per CPU core), got {workers}"
+        )
+    return workers
+
+
 def _cmd_experiment_list(args) -> int:
+    from repro.experiments.matrix import checkpoint_status
     from repro.experiments.spec import cells_table, get_spec
 
     spec = get_spec(args.spec, transport=args.transport)
+    status = checkpoint_status(spec, args.out)
     print(f"experiment {spec.name!r}: {len(spec.cells)} cells "
           f"(seed={spec.seed}, parallelism={spec.parallelism}, "
-          f"max_iterations={spec.max_iterations})")
+          f"max_iterations={spec.max_iterations}); "
+          f"checkpoints under {args.out!r}")
     print(report.render_table(
-        ["cell", "workload", "mode", "engine", "scale", "transport"],
-        cells_table(spec),
+        ["cell", "workload", "mode", "engine", "scale", "transport", "status"],
+        cells_table(spec, status),
     ))
+    counts: dict[str, int] = {}
+    for state in status.values():
+        counts[state] = counts.get(state, 0) + 1
+    summary = ", ".join(f"{counts[s]} {s}" for s in
+                        ("done", "failed", "stale", "pending") if s in counts)
+    print(f"checkpoint status: {summary}")
     return 0
 
 
@@ -248,9 +267,12 @@ def _cmd_experiment_run(args) -> int:
         print(f"  [{state:>6}] {result.spec.cell_id:<40} "
               f"{result.elapsed_sec:7.3f}s  {bytes_moved}")
 
+    runner = MatrixRunner(spec, args.out, progress=progress,
+                          workers=args.parallel)
+    how = "serially" if runner.workers <= 1 \
+        else f"on {runner.workers} workers"
     print(f"running experiment {spec.name!r} "
-          f"({len(spec.cells)} cells) -> {args.out}")
-    runner = MatrixRunner(spec, args.out, progress=progress)
+          f"({len(spec.cells)} cells, {how}) -> {args.out}")
     result = runner.run(resume=not args.no_resume)
     failed = result.failed_cells()
     agree = verify_cross_engine(result)
@@ -332,11 +354,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_sub = exp.add_subparsers(dest="experiment_command", required=True)
 
-    exp_list = exp_sub.add_parser("list", help="list a matrix spec's cells")
+    exp_list = exp_sub.add_parser(
+        "list", help="list a matrix spec's cells and their checkpoint status"
+    )
     exp_list.add_argument("--spec", choices=["quick", "full"], default="quick")
     exp_list.add_argument("--transport", choices=available_transports(),
                           default="inline",
                           help="IPC backend for the datampi-engine cells")
+    exp_list.add_argument("--out", default=DEFAULT_MATRIX_DIR,
+                          help="matrix checkpoint directory to inspect")
     exp_list.set_defaults(func=_cmd_experiment_list)
 
     exp_run = exp_sub.add_parser(
@@ -353,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
     exp_run.add_argument("--transport", choices=available_transports(),
                          default="inline",
                          help="IPC backend for the datampi-engine cells")
+    exp_run.add_argument("--parallel", type=_parallel_workers, nargs="?",
+                         const=0, default=1, metavar="N",
+                         help="execute cells on a process pool of N workers "
+                              "(bare --parallel sizes the pool to the CPU "
+                              "count; default: serial).  Serial and parallel "
+                              "runs render byte-identical reports")
     exp_run.set_defaults(func=_cmd_experiment_run)
 
     exp_report = exp_sub.add_parser(

@@ -11,17 +11,31 @@ checkpoints use, :func:`repro.datampi.checkpoint.atomic_write_bytes`),
 so a killed matrix resumes from the first unfinished cell.  A cell
 checkpoint records the spec hash it was produced under; editing the spec
 invalidates stale cells instead of silently mixing matrices.
+
+Cells are independent, so the runner can execute them on a **process
+pool** (``MatrixRunner(..., workers=N)``; ``repro experiment run
+--parallel N``).  Each worker runs exactly the serial per-cell pipeline —
+profiled functional run (the profiler samples *inside* the worker
+process) plus the analytical model — and streams the result back to the
+parent, which writes the same spec-hash-guarded atomic checkpoint files.
+A parallel run killed mid-flight therefore resumes exactly like a serial
+one: surviving cell files are reused, missing and failed cells re-run.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import hashlib
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.bigdatabench import TextGenerator, generate_kmeans_vectors
+from repro.bigdatabench import (
+    TextGenerator,
+    generate_kmeans_vectors,
+    to_sequence_file,
+)
 from repro.common.errors import ConfigError
 from repro.datampi.checkpoint import atomic_write_json, read_json
 from repro.experiments.profiler import ResourceProfiler
@@ -32,17 +46,25 @@ from repro.experiments.spec import (
     ExperimentSpec,
 )
 from repro.perfmodels import iterative_kmeans, simulate
+from repro.spark import SparkContext
 from repro.workloads import (
+    generate_labeled_documents,
     grep_datampi_result,
     grep_hadoop_result,
     grep_spark,
     grep_streaming,
     kmeans_iterative_job,
     merge_window_counts,
+    normal_sort_datampi_result,
+    normal_sort_hadoop_result,
+    normal_sort_spark,
     run_kmeans,
     text_sort_datampi_result,
     text_sort_hadoop_result,
     text_sort_spark,
+    train_datampi_iterative,
+    train_datampi_result,
+    train_hadoop_result,
     wordcount_datampi_result,
     wordcount_hadoop_result,
     wordcount_spark,
@@ -73,6 +95,18 @@ def _canonical_counts(counts: dict) -> list[list]:
 def _canonical_centroids(centroids) -> list[list[list]]:
     return [sorted([dim, weight] for dim, weight in c.weights.items())
             for c in centroids]
+
+
+def _canonical_model(model) -> dict:
+    """Canonical JSON form of a trained Naive Bayes model."""
+    return {
+        "doc_counts": sorted(model.class_doc_counts.items()),
+        "term_counts": [
+            [label, sorted(counts.items())]
+            for label, counts in sorted(model.class_term_counts.items())
+        ],
+        "vocabulary": sorted(model.vocabulary),
+    }
 
 
 @dataclass
@@ -163,7 +197,10 @@ def _modeled_sec(cell: CellSpec, iterations: int | None) -> float | None:
         return None  # the paper (and the models) have no streaming runs
     framework = MODEL_FRAMEWORKS[cell.engine]
     paper_bytes = cell.data_scale.paper_bytes
-    if cell.mode == "iteration" and iterations:
+    if cell.mode == "iteration" and iterations and cell.workload == "kmeans":
+        # Only K-means has a calibrated *iterative* model; the Naive
+        # Bayes supersteps are the Mahout pipeline's chained passes, so
+        # its iteration cells report the pipeline model's seconds.
         cumulative = iterative_kmeans(paper_bytes, iterations).cumulative
         return cumulative[framework][-1]
     run = simulate(framework, MODEL_WORKLOADS[cell.workload], paper_bytes,
@@ -213,32 +250,102 @@ def _execute_counting(cell: CellSpec, spec: ExperimentSpec,
         counts = {kv.key: kv.value for kv in job.merged_outputs()}
         _fill_counts_cell(result, counts, job.counters,
                           job.counters.get("shuffle_bytes"))
-    else:  # spark-model: outputs only; bytes are not instrumented
+    else:  # spark-model: instrumented context supplies the shuffle bytes
         runner = wordcount_spark if cell.workload == "wordcount" else grep_spark
         args = (lines,) if cell.workload == "wordcount" else (lines, GREP_PATTERN)
-        counts = runner(*args, parallelism=parallelism)
-        _fill_counts_cell(result, counts, {}, None)
+        ctx = SparkContext(default_parallelism=parallelism)
+        counts = runner(*args, parallelism=parallelism, ctx=ctx)
+        _fill_counts_cell(result, counts, dict(ctx.counters),
+                          ctx.counters.get("shuffle_bytes"))
     return result
 
 
-def _execute_text_sort(cell: CellSpec, spec: ExperimentSpec,
-                       lines: list[str]) -> CellResult:
+def _execute_sort(cell: CellSpec, spec: ExperimentSpec,
+                  lines: list[str]) -> CellResult:
+    """text_sort and normal_sort cells on all three engines.
+
+    Normal Sort first runs the ToSeqFile conversion (key = value = line,
+    DEFLATE-compressed) and sorts the decompressed records, recording the
+    compression counters alongside the sort's shuffle bytes — the
+    workload the paper's Spark baseline OOMs on at cluster scale.
+    """
     result = _partial_result(cell)
     parallelism = spec.parallelism
+    seqfile = to_sequence_file(lines) if cell.workload == "normal_sort" \
+        else None
     if cell.engine == "datampi":
-        job = text_sort_datampi_result(lines, parallelism,
-                                       transport=cell.transport)
+        job = normal_sort_datampi_result(seqfile, parallelism,
+                                         transport=cell.transport) \
+            if seqfile else \
+            text_sort_datampi_result(lines, parallelism,
+                                     transport=cell.transport)
         output = [line for ranked in job.outputs for line in ranked]
         result.counters = dict(job.counters)
         result.bytes_moved = job.counters.get("o.bytes_sent")
     elif cell.engine == "hadoop-model":
-        job = text_sort_hadoop_result(lines, parallelism)
+        job = normal_sort_hadoop_result(seqfile, parallelism) if seqfile \
+            else text_sort_hadoop_result(lines, parallelism)
         output = [kv.key for kv in job.merged_outputs()]
         result.counters = dict(job.counters)
         result.bytes_moved = job.counters.get("shuffle_bytes")
     else:
-        output = text_sort_spark(lines, parallelism)
+        ctx = SparkContext(default_parallelism=parallelism)
+        output = normal_sort_spark(seqfile, parallelism, ctx=ctx) if seqfile \
+            else text_sort_spark(lines, parallelism, ctx=ctx)
+        result.counters = dict(ctx.counters)
+        result.bytes_moved = ctx.counters.get("shuffle_bytes")
+    if seqfile is not None:
+        result.counters.update({
+            "seqfile.raw_bytes": seqfile.raw_bytes,
+            "seqfile.compressed_bytes": seqfile.compressed_bytes,
+            "seqfile.records": seqfile.num_records,
+        })
     result.output_checksum = checksum(output)
+    return result
+
+
+def _execute_naive_bayes(cell: CellSpec, spec: ExperimentSpec,
+                         documents) -> CellResult:
+    """Naive Bayes cells (no spark-model: the paper's release lacks it).
+
+    * ``datampi`` common: the Mahout pipeline's three counting passes as
+      chained run-once DataMPI jobs.
+    * ``datampi`` iteration: the same passes as supersteps of one
+      kept-alive world — the documents cross the transport once and the
+      later passes read them from the per-rank cache.
+    * ``hadoop-model`` common: the functional MapReduce pipeline.
+    * ``hadoop-model`` iteration: the one-job-per-pass replay (fresh
+      world per superstep, no cache) with measured per-pass bytes.
+
+    Every path trains a bit-identical model, which the cross-engine
+    checksum verifies.
+    """
+    result = _partial_result(cell)
+    parallelism = spec.parallelism
+    if cell.mode == "common":
+        if cell.engine == "datampi":
+            model, counters = train_datampi_result(
+                documents, parallelism, transport=cell.transport)
+            result.bytes_moved = counters.get("o.bytes_sent")
+        else:
+            model, counters = train_hadoop_result(documents, parallelism)
+            result.bytes_moved = counters.get("shuffle_bytes")
+        result.counters = dict(counters)
+        result.output_checksum = checksum(_canonical_model(model))
+        return result
+    # Iteration cells mirror the kmeans pattern: the hadoop-model replay
+    # is a measurement device pinned to the deterministic backend.
+    mode = "iteration" if cell.engine == "datampi" else "common"
+    transport = cell.transport if cell.engine == "datampi" else "inline"
+    model, stats = train_datampi_iterative(
+        documents, parallelism, transport=transport, mode=mode)
+    result.iterations = len(stats.per_iteration)
+    result.output_checksum = checksum(_canonical_model(model))
+    result.counters = dict(stats.counters)
+    result.bytes_moved = stats.counters.get("mode.bytes_moved")
+    result.per_iteration_bytes = [
+        record["mode.bytes_moved"] for record in stats.per_iteration
+    ]
     return result
 
 
@@ -251,7 +358,7 @@ def _execute_kmeans(cell: CellSpec, spec: ExperimentSpec, vectors) -> CellResult
       per superstep, no cache) — Hadoop/Mahout's execution model — with
       measured per-iteration bytes.
     * ``spark-model``: the functional RDD engine iterating over a cached
-      RDD; byte counters are not instrumented on this engine.
+      RDD; the instrumented context reports its shuffle bytes.
 
     All three converge to byte-identical centroids from the shared seed,
     which the cross-engine checksum in the reports verifies.
@@ -260,9 +367,13 @@ def _execute_kmeans(cell: CellSpec, spec: ExperimentSpec, vectors) -> CellResult
     common = dict(k=KMEANS_K, max_iterations=spec.max_iterations,
                   seed=spec.seed, parallelism=spec.parallelism)
     if cell.engine == "spark-model":
-        kres = run_kmeans("spark", vectors, **common)
+        ctx = SparkContext(default_parallelism=spec.parallelism,
+                           memory_capacity=1 << 30)
+        kres = run_kmeans("spark", vectors, spark_ctx=ctx, **common)
         result.iterations = kres.iterations
         result.output_checksum = checksum(_canonical_centroids(kres.centroids))
+        result.counters = dict(ctx.counters)
+        result.bytes_moved = ctx.counters.get("shuffle_bytes")
         return result
     mode = "iteration" if (cell.engine == "datampi" and
                            cell.mode == "iteration") else "common"
@@ -288,19 +399,55 @@ def execute_cell(cell: CellSpec, spec: ExperimentSpec) -> CellResult:
     if cell.workload == "kmeans":
         vectors, _labels = generate_kmeans_vectors(scale.vectors, seed=spec.seed)
         return _execute_kmeans(cell, spec, vectors)
+    if cell.workload == "naive_bayes":
+        documents = generate_labeled_documents(scale.docs, seed=spec.seed)
+        return _execute_naive_bayes(cell, spec, documents)
     lines = TextGenerator(seed=spec.seed).lines(scale.lines)
     if cell.workload in ("wordcount", "grep"):
         return _execute_counting(cell, spec, lines)
-    if cell.workload == "text_sort":
-        return _execute_text_sort(cell, spec, lines)
+    if cell.workload in ("text_sort", "normal_sort"):
+        return _execute_sort(cell, spec, lines)
     raise ConfigError(f"no executor for workload {cell.workload!r}")
 
 
 # -- the runner -----------------------------------------------------------------
 
 
+def _run_cell_worker(payload: dict) -> dict:
+    """Pool-worker entry point: one cell, profiled inside this process.
+
+    Module-level (picklable) and dict-in/dict-out so the pool only ever
+    moves JSON-serializable payloads.  The profiler samples *this*
+    worker's CPU/RSS, so a parallel matrix attributes resources per cell
+    exactly like a serial one.  Failures are captured into a ``failed``
+    result rather than raised — a crashing workload must not take the
+    pool down with it.
+    """
+    cell = CellSpec.from_dict(payload["cell"])
+    spec = ExperimentSpec.from_dict(payload["spec"])
+    try:
+        profiler = ResourceProfiler(interval_sec=payload["interval"])
+        result, usage = profiler.profile(execute_cell, cell, spec)
+        result.elapsed_sec = usage.wall_sec
+        result.resource = usage.to_dict()
+        result.modeled_sec = _modeled_sec(cell, result.iterations)
+    except Exception as exc:  # noqa: BLE001 - recorded, matrix continues
+        result = CellResult(spec=cell, status="failed",
+                            error=f"{type(exc).__name__}: {exc}")
+    return result.to_dict()
+
+
 class MatrixRunner:
-    """Executes a spec cell by cell with profiling and resumable checkpoints."""
+    """Executes a spec cell by cell with profiling and resumable checkpoints.
+
+    ``workers`` selects the execution strategy: ``None`` or ``1`` runs
+    cells serially in this process; ``N > 1`` runs them on a process pool
+    of ``N`` workers; ``0`` sizes the pool to ``os.cpu_count()``.  Both
+    strategies write identical checkpoints and, because the
+    :class:`~repro.experiments.reportbuilder.ReportBuilder` is
+    order-independent and byte counters are exact, render byte-identical
+    reports (``tests/test_parallel_matrix.py`` asserts this).
+    """
 
     def __init__(
         self,
@@ -308,11 +455,20 @@ class MatrixRunner:
         out_dir: str,
         profile_interval_sec: float = 0.02,
         progress: Callable[[CellResult], None] | None = None,
+        workers: int | None = None,
     ):
         self.spec = spec
         self.out_dir = out_dir
         self.profile_interval_sec = profile_interval_sec
         self.progress = progress or (lambda result: None)
+        if workers is None:
+            self.workers = 1
+        elif workers == 0:
+            self.workers = os.cpu_count() or 1
+        elif workers >= 1:
+            self.workers = workers
+        else:
+            raise ConfigError(f"workers must be >= 0, got {workers}")
 
     def cell_path(self, cell: CellSpec) -> str:
         return os.path.join(self.out_dir, CELLS_DIR, f"{cell.cell_id}.json")
@@ -323,7 +479,8 @@ class MatrixRunner:
         """Execute one cell: profiled functional run + analytical model.
 
         Public and monkeypatch-friendly: the resume tests replace this to
-        observe (or interrupt) the per-cell execution order.
+        observe (or interrupt) the per-cell execution order (serial runs
+        only — pool workers run the module-level :func:`_run_cell_worker`).
         """
         profiler = ResourceProfiler(interval_sec=self.profile_interval_sec)
         result, usage = profiler.profile(execute_cell, cell, self.spec)
@@ -331,6 +488,52 @@ class MatrixRunner:
         result.resource = usage.to_dict()
         result.modeled_sec = _modeled_sec(cell, result.iterations)
         return result
+
+    def _checkpoint(self, cell: CellSpec, result: CellResult) -> None:
+        atomic_write_json(self.cell_path(cell),
+                          {"spec_hash": self.spec.spec_hash,
+                           "result": result.to_dict()})
+
+    def _run_serial(self, pending: list[CellSpec],
+                    by_id: dict[str, CellResult]) -> int:
+        for cell in pending:
+            try:
+                result = self.execute_cell(cell)
+            except Exception as exc:  # noqa: BLE001 - recorded, matrix continues
+                result = CellResult(spec=cell, status="failed",
+                                    error=f"{type(exc).__name__}: {exc}")
+            self._checkpoint(cell, result)
+            by_id[cell.cell_id] = result
+            self.progress(result)
+        return len(pending)
+
+    def _run_parallel(self, pending: list[CellSpec],
+                      by_id: dict[str, CellResult]) -> int:
+        """Fan pending cells out to a process pool, checkpointing as they
+        stream back (completion order).  If the pool breaks (a worker
+        SIGKILLed mid-cell), everything checkpointed so far is already on
+        disk — the next run resumes from the surviving cells.
+        """
+        spec_doc = self.spec.to_dict()
+        executed = 0
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))) as pool:
+            futures = {
+                pool.submit(_run_cell_worker, {
+                    "cell": cell.to_dict(),
+                    "spec": spec_doc,
+                    "interval": self.profile_interval_sec,
+                }): cell
+                for cell in pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                cell = futures[future]
+                result = CellResult.from_dict(future.result())
+                self._checkpoint(cell, result)
+                by_id[cell.cell_id] = result
+                executed += 1
+                self.progress(result)
+        return executed
 
     def run(self, resume: bool = True) -> MatrixResult:
         """Run every cell, checkpointing each; resume skips finished ones.
@@ -343,26 +546,22 @@ class MatrixRunner:
         atomic_write_json(os.path.join(self.out_dir, SPEC_FILE),
                           {"spec_hash": self.spec.spec_hash,
                            **self.spec.to_dict()})
-        results: list[CellResult] = []
-        executed = resumed = 0
+        by_id: dict[str, CellResult] = {}
+        pending: list[CellSpec] = []
+        resumed = 0
         for cell in self.spec.cells:
             loaded = self._load_cell(cell) if resume else None
             if loaded is not None:
-                results.append(loaded)
+                by_id[cell.cell_id] = loaded
                 resumed += 1
                 self.progress(loaded)
-                continue
-            try:
-                result = self.execute_cell(cell)
-            except Exception as exc:  # noqa: BLE001 - recorded, matrix continues
-                result = CellResult(spec=cell, status="failed",
-                                    error=f"{type(exc).__name__}: {exc}")
-            atomic_write_json(self.cell_path(cell),
-                              {"spec_hash": self.spec.spec_hash,
-                               "result": result.to_dict()})
-            results.append(result)
-            executed += 1
-            self.progress(result)
+            else:
+                pending.append(cell)
+        if self.workers > 1 and len(pending) > 1:
+            executed = self._run_parallel(pending, by_id)
+        else:
+            executed = self._run_serial(pending, by_id)
+        results = [by_id[cell.cell_id] for cell in self.spec.cells]
         atomic_write_json(os.path.join(self.out_dir, MANIFEST_FILE), {
             "complete": True,
             "spec_hash": self.spec.spec_hash,
@@ -377,18 +576,41 @@ class MatrixRunner:
 
     def _load_cell(self, cell: CellSpec) -> CellResult | None:
         """A finished cell's checkpoint, if it is valid for this spec."""
-        path = self.cell_path(cell)
-        if not os.path.exists(path):
-            return None
-        try:
-            record = read_json(path)
-        except Exception:  # noqa: BLE001 - damaged checkpoint: re-run the cell
-            return None
-        if record.get("spec_hash") != self.spec.spec_hash:
-            return None  # spec changed since this cell ran
-        if record.get("result", {}).get("status") != "ok":
-            return None  # failed cells always retry
+        state, record = _classify_checkpoint(self.cell_path(cell),
+                                             self.spec.spec_hash)
+        if state != "done":
+            return None  # pending/stale cells re-run; failed cells retry
         return CellResult.from_dict(record["result"], resumed=True)
+
+
+def _classify_checkpoint(path: str, spec_hash: str) -> tuple[str, dict | None]:
+    """The single source of truth for checkpoint validity.
+
+    Returns ``(state, record)`` where state is one of:
+
+    ``pending``   no checkpoint file (never ran, or killed before done)
+    ``stale``     unreadable, or recorded under a different spec hash
+    ``failed``    recorded under this spec but the workload raised
+    ``done``      valid — a resumed run reuses it
+
+    ``record`` is the parsed checkpoint for ``failed``/``done`` (so
+    callers can read the result) and ``None`` otherwise.  Resume
+    (:meth:`MatrixRunner._load_cell`), loading
+    (:func:`load_matrix`) and inspection (:func:`checkpoint_status`)
+    all classify through here, so ``repro experiment list`` can never
+    disagree with what a resumed run will actually do.
+    """
+    if not os.path.exists(path):
+        return "pending", None
+    try:
+        record = read_json(path)
+    except Exception:  # noqa: BLE001 - damaged checkpoint
+        return "stale", None
+    if record.get("spec_hash") != spec_hash:
+        return "stale", None  # spec changed since this cell ran
+    if record.get("result", {}).get("status") != "ok":
+        return "failed", record
+    return "done", record
 
 
 def load_matrix(out_dir: str) -> MatrixResult:
@@ -403,12 +625,9 @@ def load_matrix(out_dir: str) -> MatrixResult:
     results: list[CellResult] = []
     for cell in spec.cells:
         path = os.path.join(out_dir, CELLS_DIR, f"{cell.cell_id}.json")
-        if not os.path.exists(path):
-            continue
-        record = read_json(path)
-        if record.get("spec_hash") != spec.spec_hash:
-            continue
-        results.append(CellResult.from_dict(record["result"], resumed=True))
+        state, record = _classify_checkpoint(path, spec.spec_hash)
+        if state in ("done", "failed"):  # reports show failed cells as holes
+            results.append(CellResult.from_dict(record["result"], resumed=True))
     if not results:
         raise ConfigError(
             f"no recorded cells under {out_dir!r}; run the matrix first"
@@ -421,6 +640,30 @@ def load_matrix(out_dir: str) -> MatrixResult:
     )
     return MatrixResult(spec=spec, results=results, out_dir=out_dir,
                         resumed=len(results), complete=complete)
+
+
+def checkpoint_status(spec: ExperimentSpec, out_dir: str) -> dict[str, str]:
+    """Per-cell checkpoint state of a matrix directory, for inspection.
+
+    ``done``
+        A valid checkpoint recorded under this spec's hash — a resumed
+        run will reuse it.
+    ``failed``
+        Recorded under this spec but the cell's workload raised — a
+        resumed run will retry it.
+    ``stale``
+        A checkpoint exists but was produced under a different spec (or
+        is unreadable) — a resumed run will re-execute it.
+    ``pending``
+        No checkpoint — never ran (or the run was killed before this
+        cell finished).
+    """
+    status: dict[str, str] = {}
+    for cell in spec.cells:
+        path = os.path.join(out_dir, CELLS_DIR, f"{cell.cell_id}.json")
+        state, _record = _classify_checkpoint(path, spec.spec_hash)
+        status[cell.cell_id] = state
+    return status
 
 
 def verify_cross_engine(result: MatrixResult) -> dict[str, bool]:
@@ -458,6 +701,7 @@ __all__: Sequence[str] = (
     "KMEANS_K",
     "MatrixResult",
     "MatrixRunner",
+    "checkpoint_status",
     "checksum",
     "execute_cell",
     "load_matrix",

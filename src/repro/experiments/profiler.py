@@ -14,6 +14,12 @@ reproduction's counterpart, with one deliberate split:
   runs of the same cell produce *identical* counter deltas; the sampled
   series never feeds a number the reports compare across engines.
 
+The profiler is **worker-safe**: it only reads this process's own clock,
+CPU time and ``/proc/self`` RSS, so a matrix cell running inside a pool
+worker profiles that worker exactly as a serial cell profiles the main
+process.  :meth:`ResourceUsage.to_dict`/:meth:`ResourceUsage.from_dict`
+round-trip the trace across the process boundary.
+
 Usage::
 
     profiler = ResourceProfiler(interval_sec=0.02)
@@ -86,6 +92,18 @@ class ResourceUsage:
                 [round(t, 6), round(cpu, 6), rss] for t, cpu, rss in self.samples
             ],
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResourceUsage":
+        """Rebuild a usage record serialized by :meth:`to_dict` (the
+        worker → parent path of a parallel matrix run)."""
+        return cls(
+            wall_sec=data["wall_sec"],
+            cpu_sec=data["cpu_sec"],
+            max_rss_kb=data["max_rss_kb"],
+            samples=[tuple(sample) for sample in data.get("samples", [])],
+            sample_interval_sec=data.get("sample_interval_sec", 0.0),
+        )
 
 
 class ResourceProfiler:

@@ -6,18 +6,32 @@ machine-readable artifact (what the trajectory benchmarks diff) and a
 artifact back to the table/figure of the paper it reproduces.  All files
 are written atomically, so a live report directory is never half-updated.
 
+**Determinism contract.**  Every artifact except the ones named in
+:data:`VOLATILE_ARTIFACTS` is a pure function of the matrix's
+*deterministic* record — exact byte counters, output digests, iteration
+counts, modeled seconds — and the builder iterates results in spec order,
+so serial and parallel runs of the same spec render **byte-identical**
+reports (``scripts/diff_reports.py`` enforces this in CI).  Everything
+machine- and run-dependent (measured wall seconds, sampled CPU/RSS) is
+quarantined in the ``timings`` artifact, which is explicitly marked
+``volatile``.
+
 Figures:
 
-``execution_time``   measured wall seconds (functional run, this machine)
-                     and modeled seconds (paper's 8-node testbed) per
-                     cell — the paper's Figures 3/6 comparison axis.
+``execution_time``   modeled seconds (paper's 8-node testbed) per cell,
+                     with exact bytes moved — the paper's Figures 3/6
+                     comparison axis.
 ``speedup``          DataMPI's modeled speedup over the other engines per
                      (workload, mode, scale) — the 29–57% headline.
 ``bytes_per_iteration``  bytes moved per iteration for iterative cells —
                      Section 4.5/4.6's redundant-I/O analysis, the number
                      Iteration mode exists to shrink.
-``resources``        CPU utilization, peak RSS and bytes per cell — the
-                     shape of Section 5's utilization argument.
+``resources``        the exact per-cell byte counters the engines
+                     maintain — the communication half of Section 5's
+                     utilization argument.
+``timings``          measured wall seconds and sampled CPU/RSS of each
+                     cell on *this machine* (volatile: excluded from the
+                     determinism diff).
 """
 
 from __future__ import annotations
@@ -38,9 +52,17 @@ FIGURE_PAPER_REFS = {
     "speedup": "Section 4.4/4.6: DataMPI's 29-57% improvements over Hadoop",
     "bytes_per_iteration": "Sections 4.5-4.6: per-iteration redundant I/O "
                            "of one-job-per-iteration execution",
-    "resources": "Figure 4 / Section 5: CPU, memory and network "
-                 "utilization profiles",
+    "resources": "Figure 4 / Section 5: communication volume per cell "
+                 "(exact byte counters)",
+    "timings": "Figure 4 / Section 5: measured wall clock and sampled "
+               "CPU/RSS on this machine",
 }
+
+#: Artifacts that legitimately differ between two runs of the same spec
+#: (measured time, sampled utilization).  ``scripts/diff_reports.py`` and
+#: the determinism tests skip exactly this set; everything else must be
+#: byte-identical between serial and parallel runs.
+VOLATILE_ARTIFACTS = frozenset({"timings.json", "timings.md"})
 
 
 def _fmt(value: Any, suffix: str = "", precision: int = 3) -> str:
@@ -76,7 +98,6 @@ class ReportBuilder:
                 "scale": cell.scale,
                 "transport": cell.transport,
                 "status": result.status,
-                "measured_sec": round(result.elapsed_sec, 6),
                 "modeled_sec": None if result.modeled_sec is None
                 else round(result.modeled_sec, 3),
                 "iterations": result.iterations,
@@ -141,6 +162,22 @@ class ReportBuilder:
         return rows
 
     def resources_rows(self) -> list[dict]:
+        """Deterministic per-cell counters (the exact half of the profile)."""
+        rows = []
+        for result in self.matrix.results:
+            rows.append({
+                "cell": result.spec.cell_id,
+                "status": result.status,
+                "bytes_moved": result.bytes_moved,
+                "counters": {
+                    name: result.counters[name]
+                    for name in sorted(result.counters)
+                },
+            })
+        return rows
+
+    def timings_rows(self) -> list[dict]:
+        """Volatile per-cell measurements (this machine, this run)."""
         rows = []
         for result in self.matrix.results:
             resource = result.resource
@@ -152,7 +189,6 @@ class ReportBuilder:
                 else round(resource.get("cpu_util_pct", 0.0), 1),
                 "max_rss_kb": resource.get("max_rss_kb"),
                 "num_samples": resource.get("num_samples"),
-                "bytes_moved": result.bytes_moved,
             })
         return rows
 
@@ -165,6 +201,7 @@ class ReportBuilder:
             "experiment": self.matrix.spec.name,
             "spec_hash": self.matrix.spec.spec_hash,
             "complete": self.matrix.complete,
+            "volatile": f"{name}.json" in VOLATILE_ARTIFACTS,
             **payload,
         }
 
@@ -183,23 +220,26 @@ class ReportBuilder:
         written += self._build_speedup()
         written += self._build_bytes_per_iteration()
         written += self._build_resources()
+        written += self._build_timings()
         written += self._build_index(written)
         return written
 
     def _build_execution_time(self) -> list[str]:
         rows = self.execution_time_rows()
         table = render_table(
-            ["workload", "mode", "engine", "scale", "measured", "modeled",
+            ["workload", "mode", "engine", "scale", "modeled", "iterations",
              "bytes moved"],
             [[r["workload"], r["mode"], r["engine"], r["scale"],
-              _fmt(r["measured_sec"], "s"), _fmt(r["modeled_sec"], "s", 1),
+              _fmt(r["modeled_sec"], "s", 1), _fmt(r["iterations"]),
               _fmt(r["bytes_moved"])] for r in rows],
         )
         markdown = (
             f"# Execution time\n\n{FIGURE_PAPER_REFS['execution_time']}.\n\n"
-            "`measured` is this machine's functional run; `modeled` is the\n"
-            "calibrated analytical model at the cell's paper-testbed input\n"
-            "size (see `docs/experiments.md`).\n\n```\n" + table + "\n```\n"
+            "`modeled` is the calibrated analytical model at the cell's\n"
+            "paper-testbed input size; `bytes moved` is the exact counter\n"
+            "of the functional run (see `docs/experiments.md`).  Wall\n"
+            "seconds measured on this machine live in `timings.md`, the\n"
+            "volatile artifact.\n\n```\n" + table + "\n```\n"
         )
         return self._write("execution_time",
                            self._figure_doc("execution_time", {"rows": rows}),
@@ -209,11 +249,13 @@ class ReportBuilder:
         rows = self.speedup_rows()
         table = render_table(
             ["workload", "mode", "scale", "modeled x vs hadoop-model",
-             "modeled x vs spark-model", "bytes x vs hadoop-model"],
+             "modeled x vs spark-model", "bytes x vs hadoop-model",
+             "bytes x vs spark-model"],
             [[r["workload"], r["mode"], r["scale"],
               _fmt(r.get("modeled_speedup_vs_hadoop_model")),
               _fmt(r.get("modeled_speedup_vs_spark_model")),
-              _fmt(r.get("bytes_ratio_vs_hadoop_model"))] for r in rows],
+              _fmt(r.get("bytes_ratio_vs_hadoop_model")),
+              _fmt(r.get("bytes_ratio_vs_spark_model"))] for r in rows],
         )
         markdown = (
             f"# DataMPI speedup\n\n{FIGURE_PAPER_REFS['speedup']}.\n\n"
@@ -260,19 +302,48 @@ class ReportBuilder:
     def _build_resources(self) -> list[str]:
         rows = self.resources_rows()
         table = render_table(
-            ["cell", "status", "wall", "cpu util", "peak RSS", "bytes moved"],
-            [[r["cell"], r["status"], _fmt(r["wall_sec"], "s"),
-              _fmt(r["cpu_util_pct"], "%", 1),
-              _fmt(r["max_rss_kb"], " KiB"), _fmt(r["bytes_moved"])]
-             for r in rows],
+            ["cell", "status", "bytes moved"],
+            [[r["cell"], r["status"], _fmt(r["bytes_moved"])] for r in rows],
         )
+        counter_lines = [
+            f"{r['cell']}: " + (", ".join(
+                f"{name}={value:,}" for name, value in r["counters"].items()
+            ) or "-")
+            for r in rows
+        ]
         markdown = (
-            f"# Resource profile\n\n{FIGURE_PAPER_REFS['resources']}.\n\n"
-            "CPU/RSS are sampled on this machine; byte counters are exact\n"
-            "(computed from the payloads that moved).\n\n```\n" + table + "\n```\n"
+            f"# Resource profile (exact counters)\n\n"
+            f"{FIGURE_PAPER_REFS['resources']}.\n\n"
+            "Byte counters are exact — computed from the payloads that\n"
+            "actually moved — so these numbers are identical for serial and\n"
+            "parallel runs of the same spec.  Sampled CPU/RSS live in\n"
+            "`timings.md`, the volatile artifact.\n\n```\n" + table + "\n```\n\n"
+            "Per-cell counters:\n\n```\n" + "\n".join(counter_lines) + "\n```\n"
         )
         return self._write("resources",
                            self._figure_doc("resources", {"rows": rows}),
+                           markdown)
+
+    def _build_timings(self) -> list[str]:
+        rows = self.timings_rows()
+        table = render_table(
+            ["cell", "status", "wall", "cpu util", "peak RSS", "samples"],
+            [[r["cell"], r["status"], _fmt(r["wall_sec"], "s"),
+              _fmt(r["cpu_util_pct"], "%", 1),
+              _fmt(r["max_rss_kb"], " KiB"), _fmt(r["num_samples"])]
+             for r in rows],
+        )
+        markdown = (
+            f"# Timings (volatile)\n\n{FIGURE_PAPER_REFS['timings']}.\n\n"
+            "Wall seconds and CPU/RSS samples of the functional runs on\n"
+            "*this machine*.  These legitimately differ between runs (and\n"
+            "between serial and parallel execution), so this artifact is\n"
+            "excluded from the determinism diff — never compare engines\n"
+            "with it; use `execution_time.md` and `resources.md`.\n\n"
+            "```\n" + table + "\n```\n"
+        )
+        return self._write("timings",
+                           self._figure_doc("timings", {"rows": rows}),
                            markdown)
 
     def _build_index(self, written: list[str]) -> list[str]:
@@ -303,7 +374,17 @@ class ReportBuilder:
             "|----------|------------|",
         ]
         for name, ref in FIGURE_PAPER_REFS.items():
-            lines.append(f"| [`{name}.md`]({name}.md) / `{name}.json` | {ref} |")
+            volatile = " *(volatile)*" if f"{name}.json" in VOLATILE_ARTIFACTS \
+                else ""
+            lines.append(
+                f"| [`{name}.md`]({name}.md) / `{name}.json` | {ref}{volatile} |"
+            )
+        lines += [
+            "",
+            "Artifacts not marked *volatile* are deterministic: serial and",
+            "parallel runs of the same spec render them byte-identically",
+            "(`scripts/diff_reports.py` verifies).",
+        ]
         lines += [
             "",
             "## Cross-engine output verification",

@@ -16,6 +16,7 @@ import itertools
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.errors import ReproError
+from repro.common.kv import record_size
 from repro.common.rng import substream
 from repro.datampi.partition import RangePartitioner, hash_partitioner
 from repro.spark.memory import DEFAULT_JAVA_EXPANSION, MemoryManager, estimate_bytes
@@ -39,6 +40,12 @@ class SparkContext:
         self.default_parallelism = default_parallelism
         self.memory = MemoryManager(memory_capacity, java_expansion)
         self._next_rdd_id = itertools.count()
+        #: Exact byte counters, mirroring the Hadoop engine's
+        #: ``shuffle_bytes`` and DataMPI's ``o.bytes_sent``: every record
+        #: entering a shuffle (post map-side combine) is charged at its
+        #: :func:`~repro.common.kv.record_size`, so cross-engine bytes
+        #: ratios compare the same serialized payloads.
+        self.counters: dict[str, int] = {"shuffle_bytes": 0, "shuffles": 0}
 
     def new_rdd_id(self) -> int:
         return next(self._next_rdd_id)
@@ -330,6 +337,11 @@ class ShuffledRDD(RDD):
             for bucket in self._buckets
         )
         self.ctx.memory.charge(self._charged, purpose=f"{self.name} shuffle")
+        self.ctx.counters["shuffle_bytes"] += sum(
+            record_size(key, value)
+            for bucket in self._buckets for key, value in bucket
+        )
+        self.ctx.counters["shuffles"] += 1
         return self._buckets
 
     def free_shuffle(self) -> None:

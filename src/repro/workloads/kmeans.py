@@ -107,14 +107,14 @@ def kmeans_reference(
 
 
 def _iterate_engine(engine: str, vectors, k, max_iterations, epsilon, seed,
-                    parallelism, transport=None):
+                    parallelism, transport=None,
+                    spark_ctx: SparkContext | None = None):
     """Shared iteration driver; ``one_round`` differs per engine."""
     centroids = initial_centroids(vectors, k, seed)
-    spark_ctx: SparkContext | None = None
     cached_rdd = None
     if engine == "spark":
-        spark_ctx = SparkContext(default_parallelism=parallelism,
-                                 memory_capacity=1 << 30)
+        spark_ctx = spark_ctx or SparkContext(default_parallelism=parallelism,
+                                              memory_capacity=1 << 30)
         cached_rdd = spark_ctx.parallelize(
             [(index, vector) for index, vector in enumerate(vectors)], parallelism
         ).cache()
@@ -274,13 +274,16 @@ def run_kmeans(
     transport: str | None = None,
     mode: str = "common",
     cache_bytes: int | None = None,
+    spark_ctx: SparkContext | None = None,
 ) -> KMeansResult:
     """Run Mahout-style iterative K-means on one of the three engines.
 
     ``mode="iteration"`` (DataMPI engine only) keeps ranks alive across
     iterations and serves the input from the cross-iteration KV cache;
     the default ``"common"`` re-launches one job per iteration on every
-    engine, as the paper's setup does.
+    engine, as the paper's setup does.  ``spark_ctx`` lets callers pass
+    an instrumented :class:`~repro.spark.SparkContext` (the experiment
+    matrix reads its ``shuffle_bytes`` counter after the run).
     """
     check_engine(engine)
     if max_iterations < 1:
@@ -298,4 +301,4 @@ def run_kmeans(
         )
         return result
     return _iterate_engine(engine, vectors, k, max_iterations, epsilon, seed,
-                           parallelism, transport)
+                           parallelism, transport, spark_ctx=spark_ctx)

@@ -120,9 +120,17 @@ def _assemble(term_rows, doc_rows, vocab_rows, alpha) -> NaiveBayesModel:
     return NaiveBayesModel(term_counts, doc_counts, vocabulary, alpha)
 
 
-def train_hadoop(documents: Sequence[LabeledDocument], parallelism: int = 4,
-                 alpha: float = 1.0) -> NaiveBayesModel:
-    """Mahout-on-Hadoop: three chained counting MapReduce jobs."""
+def train_hadoop_result(
+    documents: Sequence[LabeledDocument], parallelism: int = 4,
+    alpha: float = 1.0,
+) -> tuple[NaiveBayesModel, dict[str, int]]:
+    """Mahout-on-Hadoop: three chained counting MapReduce jobs.
+
+    Returns the trained model together with the pipeline's summed
+    counters (``shuffle_bytes`` etc. across all three jobs), so the
+    experiment matrix can report the bytes the chained-job structure
+    moves.
+    """
     pipeline = JobPipeline(num_splits=parallelism)
     splits = split_round_robin([(d.doc_id, d) for d in documents], parallelism)
 
@@ -161,17 +169,32 @@ def train_hadoop(documents: Sequence[LabeledDocument], parallelism: int = 4,
     )
     label_result = pipeline.run_job(label_job, splits)
 
-    return _assemble(
+    model = _assemble(
         [(kv.key, kv.value) for kv in term_result.merged_outputs()],
         [(kv.key, kv.value) for kv in label_result.merged_outputs()],
         [(kv.key, kv.value) for kv in df_result.merged_outputs()],
         alpha,
     )
+    return model, pipeline.total_counters
 
 
-def train_datampi(documents: Sequence[LabeledDocument], parallelism: int = 4,
-                  alpha: float = 1.0, transport: str | None = None) -> NaiveBayesModel:
-    """The same three counting passes as chained DataMPI jobs."""
+def train_hadoop(documents: Sequence[LabeledDocument], parallelism: int = 4,
+                 alpha: float = 1.0) -> NaiveBayesModel:
+    """Mahout-on-Hadoop: three chained counting MapReduce jobs."""
+    model, _counters = train_hadoop_result(documents, parallelism, alpha)
+    return model
+
+
+def train_datampi_result(
+    documents: Sequence[LabeledDocument], parallelism: int = 4,
+    alpha: float = 1.0, transport: str | None = None,
+) -> tuple[NaiveBayesModel, dict[str, int]]:
+    """The same three counting passes as chained DataMPI jobs.
+
+    Returns the trained model plus the three jobs' summed counters
+    (``o.bytes_sent`` etc.), the Common-mode cost the Iteration-mode
+    variant exists to undercut.
+    """
     splits = split_round_robin(list(documents), parallelism)
     conf = DataMPIConf(num_o=parallelism, num_a=parallelism,
                        combiner=lambda key, values: sum(values),
@@ -195,10 +218,26 @@ def train_datampi(documents: Sequence[LabeledDocument], parallelism: int = 4,
         for doc in split:
             ctx.send(doc.label, 1)
 
-    term_rows = DataMPIJob(term_o, sum_a_task, conf).run(splits).merged_outputs()
-    df_rows = DataMPIJob(df_o, sum_a_task, conf).run(splits).merged_outputs()
-    label_rows = DataMPIJob(label_o, sum_a_task, conf).run(splits).merged_outputs()
-    return _assemble(term_rows, label_rows, df_rows, alpha)
+    totals: dict[str, int] = {}
+
+    def run_pass(o_task):
+        result = DataMPIJob(o_task, sum_a_task, conf).run(splits)
+        for name, value in result.counters.items():
+            totals[name] = totals.get(name, 0) + value
+        return result.merged_outputs()
+
+    term_rows = run_pass(term_o)
+    df_rows = run_pass(df_o)
+    label_rows = run_pass(label_o)
+    return _assemble(term_rows, label_rows, df_rows, alpha), totals
+
+
+def train_datampi(documents: Sequence[LabeledDocument], parallelism: int = 4,
+                  alpha: float = 1.0, transport: str | None = None) -> NaiveBayesModel:
+    """The same three counting passes as chained DataMPI jobs."""
+    model, _counters = train_datampi_result(documents, parallelism, alpha,
+                                            transport=transport)
+    return model
 
 
 #: Counting passes of the Mahout pipeline, run as one superstep each in

@@ -117,3 +117,24 @@ def run_normal_sort(engine: str, seqfile: SequenceFile, parallelism: int = 4,
     check_engine(engine)
     lines = [key for key, _value in seqfile.records()]
     return run_text_sort(engine, lines, parallelism, transport=transport)
+
+
+def normal_sort_datampi_result(seqfile: SequenceFile, parallelism: int = 4,
+                               transport: str | None = None):
+    """Normal Sort as a DataMPI O/A job (decompress + total-order sort),
+    with its counters."""
+    lines = [key for key, _value in seqfile.records()]
+    return text_sort_datampi_result(lines, parallelism, transport=transport)
+
+
+def normal_sort_hadoop_result(seqfile: SequenceFile, parallelism: int = 4):
+    """Normal Sort on the functional MapReduce engine, with its counters."""
+    lines = [key for key, _value in seqfile.records()]
+    return text_sort_hadoop_result(lines, parallelism)
+
+
+def normal_sort_spark(seqfile: SequenceFile, parallelism: int = 4,
+                      ctx: SparkContext | None = None) -> list[str]:
+    """Normal Sort on the functional RDD engine."""
+    lines = [key for key, _value in seqfile.records()]
+    return text_sort_spark(lines, parallelism, ctx=ctx)

@@ -1,0 +1,159 @@
+"""The CI gate scripts: report determinism diff + benchmark baseline check."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "scripts" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+diff_reports = _load("diff_reports")
+check_bench = _load("check_bench_regression")
+
+
+class TestDiffReports:
+    def _dirs(self, tmp_path, left: dict, right: dict):
+        a, b = tmp_path / "a", tmp_path / "b"
+        for directory, files in ((a, left), (b, right)):
+            directory.mkdir()
+            for name, content in files.items():
+                (directory / name).write_text(content)
+        return a, b
+
+    def test_identical_dirs_pass(self, tmp_path):
+        files = {"index.md": "# hi\n", "speedup.json": "{}"}
+        a, b = self._dirs(tmp_path, files, dict(files))
+        assert diff_reports.compare_reports(a, b) == []
+        assert diff_reports.main([str(a), str(b)]) == 0
+
+    def test_volatile_artifacts_are_skipped(self, tmp_path):
+        a, b = self._dirs(
+            tmp_path,
+            {"index.md": "# hi\n", "timings.json": '{"wall": 1}'},
+            {"index.md": "# hi\n", "timings.json": '{"wall": 2}'},
+        )
+        assert diff_reports.compare_reports(a, b) == []
+        # ... unless explicitly included
+        assert diff_reports.main([str(a), str(b), "--include-volatile"]) == 1
+
+    def test_content_difference_is_reported_with_line(self, tmp_path):
+        a, b = self._dirs(
+            tmp_path,
+            {"index.md": "line1\nline2\n"},
+            {"index.md": "line1\nCHANGED\n"},
+        )
+        problems = diff_reports.compare_reports(a, b)
+        assert problems == ["index.md: differs (first difference at line 2)"]
+        assert diff_reports.main([str(a), str(b)]) == 1
+
+    def test_missing_artifact_is_reported(self, tmp_path):
+        a, b = self._dirs(
+            tmp_path,
+            {"index.md": "x", "speedup.md": "y"},
+            {"index.md": "x"},
+        )
+        problems = diff_reports.compare_reports(a, b)
+        assert len(problems) == 1 and "only in" in problems[0]
+
+    def test_missing_directory_is_usage_error(self, tmp_path):
+        assert diff_reports.main([str(tmp_path / "no"), str(tmp_path)]) == 2
+
+    def test_default_volatile_set_matches_reportbuilder(self):
+        from repro.experiments.reportbuilder import VOLATILE_ARTIFACTS
+
+        assert diff_reports.DEFAULT_VOLATILE == frozenset(VOLATILE_ARTIFACTS)
+        assert diff_reports.volatile_artifacts() == \
+            frozenset(VOLATILE_ARTIFACTS)
+
+
+def _bench(fullname: str, extra_info: dict, median: float = 0.01) -> dict:
+    return {"fullname": fullname, "extra_info": extra_info,
+            "stats": {"median": median}}
+
+
+class TestCheckBenchRegression:
+    BASELINE = {
+        "suites": [
+            {"match": "test_transport", "min_count": 2,
+             "require_extra_info": ["transport", "bytes_moved"],
+             "median_sec": 0.01},
+            {"match": "test_matrix", "min_count": 1,
+             "require_extra_info": ["cells"]},
+        ]
+    }
+
+    def good_report(self) -> dict:
+        return {"benchmarks": [
+            _bench("bench.py::test_transport[a]",
+                   {"transport": "a", "bytes_moved": 1}),
+            _bench("bench.py::test_transport[b]",
+                   {"transport": "b", "bytes_moved": 2}),
+            _bench("bench.py::test_matrix", {"cells": 12}),
+        ]}
+
+    def test_good_report_passes(self):
+        assert check_bench.check(self.good_report(), self.BASELINE) == []
+
+    def test_zero_benchmarks_fails(self):
+        problems = check_bench.check({"benchmarks": []}, self.BASELINE)
+        assert problems and "collection error" in problems[0]
+
+    def test_missing_suite_fails(self):
+        report = self.good_report()
+        report["benchmarks"] = report["benchmarks"][2:]
+        problems = check_bench.check(report, self.BASELINE)
+        assert any("test_transport" in p and "expected >= 2" in p
+                   for p in problems)
+
+    def test_missing_extra_info_key_fails(self):
+        report = self.good_report()
+        del report["benchmarks"][0]["extra_info"]["bytes_moved"]
+        problems = check_bench.check(report, self.BASELINE)
+        assert problems == [
+            "bench.py::test_transport[a]: extra_info missing bytes_moved"
+        ]
+
+    def test_slowdown_gate_is_opt_in(self):
+        report = self.good_report()
+        for bench in report["benchmarks"]:
+            bench["stats"]["median"] = 99.0
+        assert check_bench.check(report, self.BASELINE) == []
+        problems = check_bench.check(report, self.BASELINE, max_slowdown=20)
+        assert any("exceeds" in p for p in problems)
+        # fast enough runs pass the gate too
+        assert check_bench.check(self.good_report(), self.BASELINE,
+                                 max_slowdown=20) == []
+
+    def test_main_against_committed_baseline_schema(self, tmp_path):
+        """The committed baseline must parse and gate a realistic JSON."""
+        baseline_path = REPO_ROOT / "benchmarks" / "baseline.json"
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["suites"], "committed baseline must name suites"
+        for suite in baseline["suites"]:
+            assert suite["match"] and suite["require_extra_info"]
+
+        report = {"benchmarks": [
+            _bench(f"benchmarks/{suite['match']}[{index}]",
+                   dict.fromkeys(suite["require_extra_info"], 1))
+            for suite in baseline["suites"]
+            for index in range(suite.get("min_count", 1))
+        ]}
+        report_path = tmp_path / "bench.json"
+        report_path.write_text(json.dumps(report))
+        assert check_bench.main(
+            [str(report_path), "--baseline", str(baseline_path)]) == 0
+
+    def test_main_fails_on_missing_report(self, tmp_path):
+        with pytest.raises(SystemExit):
+            check_bench.main([str(tmp_path / "absent.json")])

@@ -152,16 +152,47 @@ class TestExperimentCommand:
         reports = str(tmp_path / "reports")
         assert main(["experiment", "run", "--quick", "--out", out]) == 0
         first = capsys.readouterr().out
-        assert "12 cells" in first and "12 executed" in first
-        assert "cross-engine outputs agree on 6/6" in first
+        assert "32 cells" in first and "32 executed" in first
+        assert "cross-engine outputs agree on 12/12" in first
 
         assert main(["experiment", "run", "--quick", "--out", out]) == 0
         second = capsys.readouterr().out
-        assert "0 executed, 12 resumed" in second
+        assert "0 executed, 32 resumed" in second
 
         assert main(["experiment", "report", "--out", out,
                      "--reports", reports]) == 0
         listed = capsys.readouterr().out
         for artifact in ("execution_time.json", "speedup.md",
-                         "bytes_per_iteration.json", "index.md"):
+                         "bytes_per_iteration.json", "timings.json",
+                         "index.md"):
             assert artifact in listed
+
+    def test_negative_parallel_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "run", "--quick", "--parallel", "-2"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_run_parallel_resumes_serial_checkpoints(self, capsys, tmp_path):
+        out = str(tmp_path / "matrix")
+        assert main(["experiment", "run", "--quick", "--out", out,
+                     "--parallel", "2"]) == 0
+        first = capsys.readouterr().out
+        assert "on 2 workers" in first and "32 executed" in first
+
+        assert main(["experiment", "run", "--quick", "--out", out]) == 0
+        second = capsys.readouterr().out
+        assert "serially" in second and "0 executed, 32 resumed" in second
+
+    def test_list_shows_checkpoint_status(self, capsys, tmp_path):
+        out = str(tmp_path / "matrix")
+        assert main(["experiment", "list", "--out", out]) == 0
+        before = capsys.readouterr().out
+        assert "pending" in before and "32 pending" in before
+
+        assert main(["experiment", "run", "--quick", "--out", out,
+                     "--parallel", "2"]) == 0
+        capsys.readouterr()
+        assert main(["experiment", "list", "--out", out]) == 0
+        after = capsys.readouterr().out
+        assert "32 done" in after and "pending" not in after.split("\n")[-2]

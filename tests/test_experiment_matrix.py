@@ -6,6 +6,7 @@ from repro.common.errors import ConfigError
 from repro.experiments.matrix import (
     CellResult,
     MatrixRunner,
+    checkpoint_status,
     execute_cell,
     load_matrix,
     verify_cross_engine,
@@ -101,9 +102,22 @@ class TestExperimentSpec:
     def test_full_spec_covers_every_workload_and_engine(self):
         spec = full_spec()
         assert {c.workload for c in spec.cells} == \
-            {"wordcount", "grep", "text_sort", "kmeans"}
+            {"wordcount", "grep", "text_sort", "normal_sort", "kmeans",
+             "naive_bayes"}
         assert {c.engine for c in spec.cells} == \
             {"datampi", "hadoop-model", "spark-model"}
+        assert {c.scale for c in spec.cells} == \
+            {"tiny", "small", "medium", "large"}
+
+    def test_spark_model_never_gets_naive_bayes_cells(self):
+        """The paper's BigDataBench release lacks Spark Naive Bayes."""
+        spec = full_spec()
+        assert not any(
+            c.workload == "naive_bayes" and c.engine == "spark-model"
+            for c in spec.cells
+        )
+        with pytest.raises(ConfigError):
+            CellSpec("naive_bayes", "common", "spark-model", "tiny")
 
     def test_get_spec_rejects_unknown_preset(self):
         with pytest.raises(ConfigError):
@@ -149,6 +163,77 @@ class TestExecuteCell:
         result = execute_cell(
             CellSpec("kmeans", "iteration", "hadoop-model", "tiny"), tiny_spec())
         assert result.per_iteration_bytes
+
+    def test_spark_cells_report_shuffle_bytes(self):
+        """The instrumented SparkContext populates bytes_moved, so the
+        bytes_ratio_vs_spark_model report column stops reporting '-'."""
+        spec = tiny_spec()
+        for workload, mode in (("wordcount", "common"), ("grep", "common"),
+                               ("text_sort", "common"), ("kmeans", "common"),
+                               ("normal_sort", "common")):
+            result = execute_cell(
+                CellSpec(workload, mode, "spark-model", "tiny"), spec)
+            assert result.bytes_moved and result.bytes_moved > 0, workload
+            assert result.counters["shuffles"] >= 1
+
+    def test_naive_bayes_cells_agree_across_engines(self):
+        spec = tiny_spec()
+        checksums = set()
+        for engine, mode in (("datampi", "common"), ("hadoop-model", "common"),
+                             ("datampi", "iteration"),
+                             ("hadoop-model", "iteration")):
+            result = execute_cell(
+                CellSpec("naive_bayes", mode, engine, "tiny",
+                         "inline" if engine == "datampi" else None),
+                spec,
+            )
+            assert result.bytes_moved and result.bytes_moved > 0
+            checksums.add(result.output_checksum)
+        assert len(checksums) == 1
+
+    def test_naive_bayes_iteration_caches_like_kmeans(self):
+        """Warm passes of the kept-alive pipeline move fewer bytes than
+        the one-job-per-pass replay; the first pass costs the same."""
+        spec = tiny_spec()
+        datampi = execute_cell(
+            CellSpec("naive_bayes", "iteration", "datampi", "tiny", "inline"),
+            spec)
+        hadoop = execute_cell(
+            CellSpec("naive_bayes", "iteration", "hadoop-model", "tiny"), spec)
+        assert datampi.iterations == hadoop.iterations == 3
+        assert datampi.per_iteration_bytes[0] == hadoop.per_iteration_bytes[0]
+        for warm_datampi, warm_hadoop in zip(datampi.per_iteration_bytes[1:],
+                                             hadoop.per_iteration_bytes[1:]):
+            assert warm_datampi < warm_hadoop
+        assert datampi.bytes_moved < hadoop.bytes_moved
+
+    def test_normal_sort_cells_agree_and_record_compression(self):
+        spec = tiny_spec()
+        results = {
+            engine: execute_cell(
+                CellSpec("normal_sort", "common", engine, "tiny",
+                         "inline" if engine == "datampi" else None),
+                spec,
+            )
+            for engine in ("datampi", "hadoop-model", "spark-model")
+        }
+        assert len({r.output_checksum for r in results.values()}) == 1
+        for result in results.values():
+            ratio = (result.counters["seqfile.raw_bytes"]
+                     / result.counters["seqfile.compressed_bytes"])
+            assert ratio > 1.0  # real text compresses
+            assert result.counters["seqfile.records"] == 240
+
+    def test_normal_sort_output_matches_text_sort_of_same_lines(self):
+        """ToSeqFile is lossless: sorting the decompressed records gives
+        the same answer as sorting the original text."""
+        spec = tiny_spec()
+        normal = execute_cell(
+            CellSpec("normal_sort", "common", "datampi", "tiny", "inline"),
+            spec)
+        text = execute_cell(
+            CellSpec("text_sort", "common", "datampi", "tiny", "inline"), spec)
+        assert normal.output_checksum == text.output_checksum
 
     def test_iteration_mode_moves_fewer_bytes_than_hadoop_pattern(self):
         spec = tiny_spec()
@@ -311,6 +396,69 @@ class TestMatrixRunner:
 
         MatrixRunner(spec, str(tmp_path)).run()
         assert load_matrix(str(tmp_path)).complete is True
+
+
+class TestCheckpointStatus:
+    def test_fresh_directory_is_all_pending(self, tmp_path):
+        spec = tiny_spec()
+        status = checkpoint_status(spec, str(tmp_path))
+        assert set(status) == {c.cell_id for c in spec.cells}
+        assert set(status.values()) == {"pending"}
+
+    def test_completed_run_is_all_done(self, tmp_path):
+        spec = tiny_spec()
+        MatrixRunner(spec, str(tmp_path)).run()
+        assert set(checkpoint_status(spec, str(tmp_path)).values()) == {"done"}
+
+    def test_spec_edit_marks_cells_stale(self, tmp_path):
+        MatrixRunner(tiny_spec(), str(tmp_path)).run()
+        changed = tiny_spec(seed=8)
+        assert set(checkpoint_status(changed, str(tmp_path)).values()) == \
+            {"stale"}
+
+    def test_failed_cell_reported_failed(self, tmp_path):
+        spec = tiny_spec()
+        runner = MatrixRunner(spec, str(tmp_path))
+        original = runner.execute_cell
+
+        def flaky(cell):
+            if cell.cell_id == spec.cells[1].cell_id:
+                raise RuntimeError("boom")
+            return original(cell)
+
+        runner.execute_cell = flaky
+        runner.run()
+        status = checkpoint_status(spec, str(tmp_path))
+        assert status[spec.cells[1].cell_id] == "failed"
+        assert all(state == "done" for cell_id, state in status.items()
+                   if cell_id != spec.cells[1].cell_id)
+
+    def test_killed_run_mixes_done_and_pending(self, tmp_path):
+        spec = tiny_spec()
+        runner = MatrixRunner(spec, str(tmp_path))
+        original = runner.execute_cell
+        executed: list = []
+
+        def dying(cell):
+            if len(executed) >= 2:
+                raise KeyboardInterrupt
+            executed.append(cell.cell_id)
+            return original(cell)
+
+        runner.execute_cell = dying
+        with pytest.raises(KeyboardInterrupt):
+            runner.run()
+        status = checkpoint_status(spec, str(tmp_path))
+        assert sorted(s for s in status.values()) == \
+            sorted(["done", "done"] + ["pending"] * (len(spec.cells) - 2))
+
+    def test_damaged_checkpoint_is_stale(self, tmp_path):
+        spec = tiny_spec()
+        MatrixRunner(spec, str(tmp_path)).run()
+        victim = tmp_path / "cells" / f"{spec.cells[0].cell_id}.json"
+        victim.write_text("{ not json")
+        status = checkpoint_status(spec, str(tmp_path))
+        assert status[spec.cells[0].cell_id] == "stale"
 
 
 class TestCellResult:

@@ -70,8 +70,11 @@ class TestFigureContent:
         engines = {row["engine"] for row in doc["rows"]}
         assert engines == {"datampi", "hadoop-model"}
         for row in doc["rows"]:
-            assert row["measured_sec"] > 0
+            # deterministic artifact: modeled seconds and exact bytes
+            # only — the measured wall clock lives in timings.json
             assert row["modeled_sec"] > 0
+            assert row["bytes_moved"] > 0
+            assert "measured_sec" not in row
 
     def test_speedup_reports_datampi_advantage(self, built_reports):
         reports, _ = built_reports
@@ -94,10 +97,22 @@ class TestFigureContent:
             assert len(row["per_iteration_bytes"]) == row["iterations"]
             assert row["total_bytes"] == sum(row["per_iteration_bytes"])
 
-    def test_resources_rows_expose_profiler_fields(self, built_reports,
-                                                   recorded_matrix):
+    def test_resources_rows_expose_exact_counters(self, built_reports,
+                                                  recorded_matrix):
         reports, _ = built_reports
         doc = read_json(str(reports / "resources.json"))
+        assert doc["volatile"] is False
+        assert len(doc["rows"]) == len(recorded_matrix.results)
+        for row in doc["rows"]:
+            assert row["bytes_moved"] > 0
+            assert row["counters"]
+            assert list(row["counters"]) == sorted(row["counters"])
+
+    def test_timings_rows_expose_profiler_fields(self, built_reports,
+                                                 recorded_matrix):
+        reports, _ = built_reports
+        doc = read_json(str(reports / "timings.json"))
+        assert doc["volatile"] is True
         assert len(doc["rows"]) == len(recorded_matrix.results)
         for row in doc["rows"]:
             assert row["wall_sec"] > 0

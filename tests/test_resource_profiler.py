@@ -105,3 +105,24 @@ class TestCounterDeterminism:
         assert profiled.counters == bare.counters
         assert profiled.output_checksum == bare.output_checksum
         assert usage.wall_sec > 0
+
+
+class TestUsageRoundTrip:
+    """The worker -> parent serialization path of parallel matrix runs."""
+
+    def test_to_dict_from_dict_round_trips(self):
+        profiler = ResourceProfiler(interval_sec=0.001)
+        with profiler:
+            sum(range(50_000))
+        usage = profiler.usage()
+        restored = ResourceUsage.from_dict(usage.to_dict())
+        assert restored.wall_sec == usage.wall_sec
+        assert restored.cpu_sec == usage.cpu_sec
+        assert restored.max_rss_kb == usage.max_rss_kb
+        assert restored.sample_interval_sec == usage.sample_interval_sec
+        assert len(restored.samples) == len(usage.samples)
+        assert restored.cpu_util_pct == pytest.approx(usage.cpu_util_pct)
+        # the dict form is JSON-serializable (it crosses the pool pipe)
+        import json
+
+        assert json.loads(json.dumps(usage.to_dict())) == usage.to_dict()
