@@ -17,7 +17,7 @@ import pytest
 
 from repro.mpi import mpi_run
 
-TRANSPORTS = ("thread", "shm", "inline")
+TRANSPORTS = ("thread", "shm", "inline", "tcp")
 
 SHARED_PAYLOAD_BYTES = 512 * 1024
 SHARED_READERS = 3

@@ -8,11 +8,14 @@ Subcommands:
 * ``workload <engine> <name>``  — run a functional workload on generated data
 * ``experiment run|report|list``— drive the workload × engine × scale matrix
   end-to-end and render the paper's figures into ``reports/``
+* ``experiment worker --join``  — execute matrix cells for a run serving
+  on another process or machine (``experiment run --serve``)
 
 The DataMPI engine's IPC backend is selectable with
-``workload --transport {thread,shm,inline}``: threads in one process
-(default), forked processes over shared-memory rings, or a deterministic
-inline scheduler.  Its execution mode is selectable with
+``workload --transport {thread,shm,inline,tcp}``: threads in one process
+(default), forked processes over shared-memory rings, a deterministic
+inline scheduler, or processes joined by TCP socket pairs
+(``--hosts``/``--port`` choose the bind addresses).  Its execution mode is selectable with
 ``workload --mode {common,iteration,streaming}``: run-once jobs
 (default), kept-alive ranks with a cross-iteration KV cache (kmeans),
 or windowed unbounded input (wordcount, grep).
@@ -145,6 +148,22 @@ def _cmd_workload(args) -> int:
         print(f"--mode {args.mode} needs the datampi engine", file=sys.stderr)
         return 2
 
+    if args.hosts is not None or args.port != 0:
+        # Backend options only the tcp transport understands; resolve them
+        # into a constructed instance the job drivers pass through.
+        if args.transport != "tcp":
+            print("--hosts/--port need --transport tcp", file=sys.stderr)
+            return 2
+        from repro.common.errors import MPIError
+        from repro.mpi.transport import get_transport
+
+        try:
+            args.transport = get_transport("tcp", hosts=args.hosts,
+                                           port=args.port)
+        except MPIError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     if args.name == "kmeans":
         if args.mode == "streaming":
             print("kmeans supports modes common and iteration", file=sys.stderr)
@@ -222,7 +241,12 @@ DEFAULT_REPORTS_DIR = "reports"
 
 def _parallel_workers(value: str) -> int:
     """argparse type for --parallel: a clean usage error, not a traceback."""
-    workers = int(value)
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer worker count, got {value!r}"
+        ) from None
     if workers < 0:
         raise argparse.ArgumentTypeError(
             f"must be >= 0 (0 = one worker per CPU core), got {workers}"
@@ -253,24 +277,34 @@ def _cmd_experiment_list(args) -> int:
     return 0
 
 
+def _progress_line(result) -> None:
+    state = "cached" if result.resumed else result.status
+    bytes_moved = ("-" if result.bytes_moved is None
+                   else f"{result.bytes_moved:,}B")
+    print(f"  [{state:>6}] {result.spec.cell_id:<40} "
+          f"{result.elapsed_sec:7.3f}s  {bytes_moved}")
+
+
 def _cmd_experiment_run(args) -> int:
+    from repro.common.errors import ConfigError
     from repro.experiments.matrix import MatrixRunner, verify_cross_engine
     from repro.experiments.spec import get_spec
 
     name = "quick" if args.quick else args.spec
     spec = get_spec(name, transport=args.transport)
 
-    def progress(result) -> None:
-        state = "cached" if result.resumed else result.status
-        bytes_moved = ("-" if result.bytes_moved is None
-                       else f"{result.bytes_moved:,}B")
-        print(f"  [{state:>6}] {result.spec.cell_id:<40} "
-              f"{result.elapsed_sec:7.3f}s  {bytes_moved}")
-
-    runner = MatrixRunner(spec, args.out, progress=progress,
-                          workers=args.parallel)
-    how = "serially" if runner.workers <= 1 \
-        else f"on {runner.workers} workers"
+    try:
+        runner = MatrixRunner(spec, args.out, progress=_progress_line,
+                              workers=args.parallel, serve=args.serve)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.serve is not None:
+        how = f"serving workers on {runner.serve}"
+    elif runner.workers <= 1:
+        how = "serially"
+    else:
+        how = f"on {runner.workers} workers"
     print(f"running experiment {spec.name!r} "
           f"({len(spec.cells)} cells, {how}) -> {args.out}")
     result = runner.run(resume=not args.no_resume)
@@ -282,6 +316,21 @@ def _cmd_experiment_run(args) -> int:
     for cell in failed:
         print(f"  FAILED {cell.spec.cell_id}: {cell.error}", file=sys.stderr)
     return 1 if failed else 0
+
+
+def _cmd_experiment_worker(args) -> int:
+    from repro.common.errors import ReproError
+    from repro.experiments.matrix import run_matrix_worker
+
+    print(f"joining matrix parent at {args.join}")
+    try:
+        executed = run_matrix_worker(args.join, progress=_progress_line,
+                                     connect_timeout=args.connect_timeout)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker done: {executed} cell(s) executed")
+    return 0
 
 
 def _cmd_experiment_report(args) -> int:
@@ -342,6 +391,11 @@ def build_parser() -> argparse.ArgumentParser:
     wl.add_argument("--transport", choices=available_transports(), default=None,
                     help="IPC backend for the datampi engine "
                          "(default: thread, or REPRO_TRANSPORT)")
+    wl.add_argument("--hosts", default=None, metavar="H1,H2,...",
+                    help="tcp transport only: comma-separated bind addresses; "
+                         "ranks are assigned round-robin over the list")
+    wl.add_argument("--port", type=int, default=0,
+                    help="tcp transport only: rendezvous port (0 = ephemeral)")
     wl.add_argument("--mode", choices=EXECUTION_MODES, default="common",
                     help="execution mode for the datampi engine: run-once "
                          "jobs, kept-alive iteration with a KV cache, or "
@@ -385,7 +439,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "(bare --parallel sizes the pool to the CPU "
                               "count; default: serial).  Serial and parallel "
                               "runs render byte-identical reports")
+    exp_run.add_argument("--serve", default=None, metavar="HOST:PORT",
+                         help="also admit distributed workers ('repro "
+                              "experiment worker --join HOST:PORT') that "
+                              "claim cells via claim files next to the "
+                              "checkpoints; port 0 binds an ephemeral port "
+                              "(printed).  Mutually exclusive with --parallel")
     exp_run.set_defaults(func=_cmd_experiment_run)
+
+    exp_worker = exp_sub.add_parser(
+        "worker",
+        help="join a serving matrix run and execute claimable cells "
+             "(multi-host runs need the matrix --out directory on a "
+             "shared filesystem)",
+    )
+    exp_worker.add_argument("--join", required=True, metavar="HOST:PORT",
+                            help="address the parent passed to --serve")
+    exp_worker.add_argument("--connect-timeout", type=float, default=30.0,
+                            help="seconds to keep retrying the first connect "
+                                 "(the parent may still be starting)")
+    exp_worker.set_defaults(func=_cmd_experiment_worker)
 
     exp_report = exp_sub.add_parser(
         "report", help="render the recorded matrix into reports/"

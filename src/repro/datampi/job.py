@@ -33,7 +33,7 @@ from repro.datampi.partition import Partitioner
 from repro.datampi.receiver import DEFAULT_SPILL_BYTES, ChunkStore
 from repro.mpi.comm import Comm
 from repro.mpi.launcher import mpi_run
-from repro.mpi.transport import available_transports
+from repro.mpi.transport import Transport, available_transports
 
 OTask = Callable[[OContext, Any], None]
 ATask = Callable[[AContext], Any]
@@ -76,9 +76,12 @@ class DataMPIConf:
     checkpoint_dir: str | None = None
     job_name: str = "datampi-job"
     #: IPC backend the job's ranks run over: ``thread`` (default), ``shm``
-    #: (forked processes + shared-memory rings), or ``inline``.  ``None``
+    #: (forked processes + shared-memory rings), ``inline``, or ``tcp``
+    #: (processes/machines over socket pairs).  Also accepts a constructed
+    #: :class:`~repro.mpi.transport.Transport` instance — how backend
+    #: options like the tcp transport's ``hosts=`` reach a job.  ``None``
     #: defers to the runtime default (``REPRO_TRANSPORT`` env var or thread).
-    transport: str | None = None
+    transport: str | Transport | None = None
     #: Execution mode: ``common`` (run-once), ``iteration`` (kept-alive
     #: ranks + cross-iteration KV cache), or ``streaming`` (windowed
     #: unbounded input).  Iteration/streaming jobs are driven by
@@ -96,7 +99,8 @@ class DataMPIConf:
             raise ConfigError("send_buffer_bytes must be positive")
         if self.spill_bytes < 1:
             raise ConfigError("spill_bytes must be positive")
-        if self.transport is not None and self.transport not in available_transports():
+        if self.transport is not None and not isinstance(self.transport, Transport) \
+                and self.transport not in available_transports():
             raise ConfigError(
                 f"unknown transport {self.transport!r}; "
                 f"available: {available_transports()}"

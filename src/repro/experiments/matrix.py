@@ -20,6 +20,19 @@ process) plus the analytical model — and streams the result back to the
 parent, which writes the same spec-hash-guarded atomic checkpoint files.
 A parallel run killed mid-flight therefore resumes exactly like a serial
 one: surviving cell files are reused, missing and failed cells re-run.
+
+Cells can also be executed by **distributed workers** on other processes
+or machines (``MatrixRunner(..., serve="host:port")`` plus
+``repro experiment worker --join host:port``).  Coordination reuses the
+checkpoint directory: a worker takes a cell by atomically creating a
+**claim file** next to its checkpoint (``cells/<cell_id>.claim``,
+``O_EXCL`` — first creator wins, everyone else skips), runs the exact
+per-cell pipeline :func:`_run_cell_worker` runs on the process pool, and
+streams the result to the parent over a length-prefixed TCP frame
+channel (the tcp transport's wire format).  The parent is the only
+writer of checkpoints and reports, so serial, pooled, and distributed
+runs are byte-identical; a worker that dies mid-cell simply forfeits its
+claim and the parent re-runs the cell.
 """
 
 from __future__ import annotations
@@ -28,6 +41,9 @@ import concurrent.futures
 import hashlib
 import json
 import os
+import socket
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -36,8 +52,14 @@ from repro.bigdatabench import (
     generate_kmeans_vectors,
     to_sequence_file,
 )
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, JobError, ReproError
 from repro.datampi.checkpoint import atomic_write_json, read_json
+from repro.mpi.transport.tcp import (
+    format_address,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
 from repro.experiments.profiler import ResourceProfiler
 from repro.experiments.spec import (
     MODEL_FRAMEWORKS,
@@ -437,6 +459,293 @@ def _run_cell_worker(payload: dict) -> dict:
     return result.to_dict()
 
 
+# -- distributed workers ---------------------------------------------------------
+#
+# Frame kinds for the worker protocol (the tcp transport reserves 16+ for
+# higher-level protocols reusing its framing).
+
+_WK_HELLO = 16    #: worker -> parent: {"proto": 1}
+_WK_WELCOME = 17  #: parent -> worker: {"worker_id", "spec", "out_dir", "interval"}
+_WK_RESULT = 18   #: worker -> parent: {"cell_id", "result"}
+_WK_BYE = 19      #: worker -> parent: no more claimable cells
+
+_WORKER_PROTO = 1
+
+#: Seconds the acceptor waits for a connection's hello before dropping it
+#: (strays are handled serially, so this bounds admission latency too).
+_WK_HELLO_TIMEOUT = 5.0
+
+CLAIM_SUFFIX = ".claim"
+
+
+def claim_path(out_dir: str, cell_id: str) -> str:
+    return os.path.join(out_dir, CELLS_DIR, cell_id + CLAIM_SUFFIX)
+
+
+def try_claim_cell(out_dir: str, cell_id: str, spec_hash: str,
+                   owner: str) -> bool:
+    """Atomically claim one cell; False when someone already holds it.
+
+    ``O_CREAT | O_EXCL`` makes the filesystem the arbiter: exactly one
+    creator wins, on a local disk or a shared mount.  The file records
+    the owner so a coordinator can tell a live claim from a dead one.
+    """
+    path = claim_path(out_dir, cell_id)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    try:
+        descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+        json.dump({"owner": owner, "spec_hash": spec_hash,
+                   "pid": os.getpid(), "host": socket.gethostname()}, handle)
+    return True
+
+
+def release_claim(out_dir: str, cell_id: str) -> None:
+    try:
+        os.unlink(claim_path(out_dir, cell_id))
+    except FileNotFoundError:
+        pass
+
+
+def claim_owner(out_dir: str, cell_id: str) -> str | None:
+    """The recorded owner of a cell's claim, or None when unclaimed."""
+    try:
+        return read_json(claim_path(out_dir, cell_id)).get("owner")
+    except Exception:  # noqa: BLE001 - missing or mid-write claim
+        return None
+
+
+def run_matrix_worker(
+    address: str,
+    progress: Callable[[CellResult], None] | None = None,
+    connect_timeout: float = 30.0,
+) -> int:
+    """Join a serving matrix run and execute claimable cells until dry.
+
+    The ``repro experiment worker --join`` entry point.  Connects to the
+    parent, receives the spec and checkpoint directory, then sweeps the
+    cells: checkpointed cells are skipped, claimable ones are claimed,
+    executed with the exact process-pool pipeline, and streamed back.
+    The *parent* writes every checkpoint and releases the claim — this
+    process only computes.  Returns the number of cells it executed.
+    """
+    progress = progress or (lambda result: None)
+    host, port = parse_address(address)
+    deadline = time.monotonic() + connect_timeout
+    while True:  # the parent may still be binding its listener
+        try:
+            sock = socket.create_connection((host, port), timeout=2.0)
+            break
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise JobError(
+                    f"no matrix parent serving at {address} after "
+                    f"{connect_timeout}s"
+                ) from None
+            time.sleep(0.1)
+    try:
+        # Bound the handshake: a wrong-but-listening port (or a wedged
+        # parent) accepts the connect but never answers the hello, and an
+        # unbounded read would hang the worker CLI forever.
+        sock.settimeout(max(connect_timeout, 10.0))
+        try:
+            send_frame(sock, _WK_HELLO, obj={"proto": _WORKER_PROTO})
+            frame = recv_frame(sock)
+        except socket.timeout:
+            raise JobError(
+                f"{address} accepted the connection but never answered the "
+                f"worker hello (not a serving matrix parent?)"
+            ) from None
+        except (OSError, ReproError):  # torn mid-handshake
+            frame = None
+        sock.settimeout(None)
+        if frame is None:
+            # The parent accepted then hung up: its run finished (or it
+            # died) before this worker was admitted.  Nothing to do.
+            return 0
+        if frame[0] != _WK_WELCOME:
+            raise JobError(f"matrix parent at {address} rejected the worker")
+        welcome = frame[2]
+        spec = ExperimentSpec.from_dict(welcome["spec"])
+        out_dir = welcome["out_dir"]
+        owner = welcome["worker_id"]
+        executed = 0
+        try:
+            for cell in spec.cells:
+                state, _record = _classify_checkpoint(
+                    os.path.join(out_dir, CELLS_DIR, f"{cell.cell_id}.json"),
+                    spec.spec_hash,
+                )
+                if state == "done":
+                    continue
+                if not try_claim_cell(out_dir, cell.cell_id, spec.spec_hash,
+                                      owner):
+                    continue
+                result_doc = _run_cell_worker({
+                    "cell": cell.to_dict(),
+                    "spec": welcome["spec"],
+                    "interval": welcome["interval"],
+                })
+                send_frame(sock, _WK_RESULT,
+                           obj={"cell_id": cell.cell_id, "result": result_doc})
+                executed += 1
+                progress(CellResult.from_dict(result_doc))
+            send_frame(sock, _WK_BYE)
+        except OSError as exc:
+            raise JobError(
+                f"lost connection to the matrix parent at {address} after "
+                f"{executed} cell(s): {exc}"
+            ) from exc
+    finally:
+        sock.close()
+    return executed
+
+
+class _MatrixServer:
+    """Parent-side listener: admits workers, drains their streamed results.
+
+    One acceptor thread plus one reader thread per worker; results land
+    in a queue the runner's coordination loop drains.  Worker liveness is
+    tracked so the coordinator can reclaim cells whose owner died.
+    """
+
+    def __init__(self, spec: ExperimentSpec, out_dir: str, address: str,
+                 interval: float):
+        self._spec_doc = spec.to_dict()
+        self._out_dir = out_dir
+        self._interval = interval
+        host, port = parse_address(address)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+        except OSError as exc:
+            self._listener.close()
+            raise ConfigError(
+                f"cannot serve matrix workers on {address}: {exc}"
+            ) from exc
+        self._listener.listen(16)
+        self.address = format_address(self._listener.getsockname()[:2])
+        self._lock = threading.Lock()
+        self._results: list[tuple[str, CellResult]] = []
+        self._live: set[str] = set()
+        self._ever: set[str] = set()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._conns: list[socket.socket] = []
+        self._next_id = 0
+
+    def __enter__(self) -> "_MatrixServer":
+        acceptor = threading.Thread(target=self._accept_loop,
+                                    name="matrix-accept", daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._listener.close()
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:  # unblock readers parked in recv_frame
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(2.0)
+
+    # -- coordinator interface -------------------------------------------------
+
+    def drain_results(self) -> list[tuple[str, CellResult]]:
+        with self._lock:
+            drained, self._results = self._results, []
+            return drained
+
+    def owner_is_live(self, owner: str | None) -> bool:
+        """Claims by workers this server never admitted count as dead —
+        they are leftovers of an earlier, departed run."""
+        with self._lock:
+            return owner is not None and owner in self._live
+
+    def workers_seen(self) -> int:
+        with self._lock:
+            return len(self._ever)
+
+    # -- threads ---------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        try:
+            self._listener.settimeout(0.2)
+        except OSError:
+            return  # already closed: the run finished before we started
+        while not self._stop.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            try:
+                # Bound the hello read: an accepted socket is blocking, and
+                # one silent connection (port scan, health check) must not
+                # wedge the single acceptor thread — and with it all
+                # future worker admission — forever.
+                conn.settimeout(_WK_HELLO_TIMEOUT)
+                try:
+                    frame = recv_frame(conn)
+                except Exception:  # noqa: BLE001 - timeout, garbage bytes
+                    frame = None
+                if frame is None or frame[0] != _WK_HELLO or \
+                        frame[2].get("proto") != _WORKER_PROTO:
+                    conn.close()
+                    continue
+                conn.settimeout(None)
+                with self._lock:
+                    self._next_id += 1
+                    worker_id = f"worker-{self._next_id}"
+                    self._live.add(worker_id)
+                    self._ever.add(worker_id)
+                    self._conns.append(conn)
+                send_frame(conn, _WK_WELCOME, obj={
+                    "worker_id": worker_id,
+                    "spec": self._spec_doc,
+                    "out_dir": self._out_dir,
+                    "interval": self._interval,
+                })
+            except OSError:
+                conn.close()
+                continue
+            reader = threading.Thread(
+                target=self._read_loop, args=(conn, worker_id),
+                name=f"matrix-{worker_id}", daemon=True,
+            )
+            reader.start()
+            self._threads.append(reader)
+
+    def _read_loop(self, conn: socket.socket, worker_id: str) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    frame = recv_frame(conn)
+                except Exception:  # noqa: BLE001 - torn connection
+                    frame = None
+                if frame is None or frame[0] == _WK_BYE:
+                    return
+                if frame[0] != _WK_RESULT:
+                    continue
+                payload = frame[2]
+                result = CellResult.from_dict(payload["result"])
+                with self._lock:
+                    self._results.append((payload["cell_id"], result))
+        finally:
+            conn.close()
+            with self._lock:
+                self._live.discard(worker_id)
+
+
 class MatrixRunner:
     """Executes a spec cell by cell with profiling and resumable checkpoints.
 
@@ -447,6 +756,12 @@ class MatrixRunner:
     :class:`~repro.experiments.reportbuilder.ReportBuilder` is
     order-independent and byte counters are exact, render byte-identical
     reports (``tests/test_parallel_matrix.py`` asserts this).
+
+    ``serve="host:port"`` instead runs the *distributed* strategy: the
+    runner executes cells itself while also admitting remote workers
+    (:func:`run_matrix_worker`) that claim cells via claim files and
+    stream results back; the parent stays the only checkpoint writer, so
+    reports remain byte-identical to a serial run.
     """
 
     def __init__(
@@ -456,19 +771,40 @@ class MatrixRunner:
         profile_interval_sec: float = 0.02,
         progress: Callable[[CellResult], None] | None = None,
         workers: int | None = None,
+        serve: str | None = None,
+        worker_timeout: float = 600.0,
     ):
         self.spec = spec
         self.out_dir = out_dir
         self.profile_interval_sec = profile_interval_sec
         self.progress = progress or (lambda result: None)
+        self.serve = serve
+        self.worker_timeout = worker_timeout
         if workers is None:
-            self.workers = 1
-        elif workers == 0:
-            self.workers = os.cpu_count() or 1
-        elif workers >= 1:
-            self.workers = workers
-        else:
-            raise ConfigError(f"workers must be >= 0, got {workers}")
+            workers = 1
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise ConfigError(
+                f"workers must be an integer >= 0 "
+                f"(0 = one worker per CPU core), got {workers!r}"
+            )
+        if workers < 0:
+            raise ConfigError(
+                f"workers must be >= 0 (0 = one worker per CPU core), "
+                f"got {workers}"
+            )
+        self.workers = workers if workers >= 1 else (os.cpu_count() or 1)
+        if serve is not None and self.workers > 1:
+            raise ConfigError(
+                "serve (distributed workers) and workers (process pool) "
+                "are mutually exclusive; pick one parallelism strategy"
+            )
+        self._server: _MatrixServer | None = None
+        if serve is not None:
+            # Bind eagerly so the resolved address (an ephemeral port is
+            # legal) is known before run() — workers need it to join.
+            self._server = _MatrixServer(spec, out_dir, serve,
+                                         profile_interval_sec)
+            self.serve = self._server.address
 
     def cell_path(self, cell: CellSpec) -> str:
         return os.path.join(self.out_dir, CELLS_DIR, f"{cell.cell_id}.json")
@@ -535,6 +871,84 @@ class MatrixRunner:
                 self.progress(result)
         return executed
 
+    def _run_distributed(self, pending: list[CellSpec],
+                         by_id: dict[str, CellResult]) -> int:
+        """Coordinate this process plus any joined workers over claim files.
+
+        The parent claims and executes cells like any worker, drains
+        streamed worker results between cells, and is the only process
+        that writes checkpoints.  Claims whose owner has disconnected (or
+        predates this run) are released and re-executed, so a dying
+        worker costs its in-flight cell, nothing more.
+        """
+        remaining = {cell.cell_id: cell for cell in pending}
+        # Sweep *every* cell's claim, not just the pending ones: a parent
+        # killed between checkpointing a cell and releasing its claim
+        # leaves a claim beside a done checkpoint, which no longer shows
+        # up as pending but must not survive into this run.
+        for cell in self.spec.cells:
+            release_claim(self.out_dir, cell.cell_id)
+        executed = 0
+
+        def record(cell: CellSpec, result: CellResult) -> None:
+            nonlocal executed
+            self._checkpoint(cell, result)
+            by_id[cell.cell_id] = result
+            release_claim(self.out_dir, cell.cell_id)
+            del remaining[cell.cell_id]
+            executed += 1
+            self.progress(result)
+
+        assert self._server is not None
+        with self._server as server:
+            last_progress = time.monotonic()
+            while remaining:
+                progressed = False
+                for cell_id, result in server.drain_results():
+                    if cell_id in remaining:
+                        record(remaining[cell_id], result)
+                        progressed = True
+                claimed = None
+                for cell in list(remaining.values()):
+                    if try_claim_cell(self.out_dir, cell.cell_id,
+                                      self.spec.spec_hash, "parent"):
+                        claimed = cell
+                        break
+                if claimed is not None:
+                    try:
+                        result = self.execute_cell(claimed)
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        result = CellResult(
+                            spec=claimed, status="failed",
+                            error=f"{type(exc).__name__}: {exc}")
+                    record(claimed, result)
+                    progressed = True
+                else:
+                    # Everything left is claimed by workers: reap claims
+                    # whose owner is gone, then wait for live streams.
+                    for cell_id in list(remaining):
+                        owner = claim_owner(self.out_dir, cell_id)
+                        if owner != "parent" and not server.owner_is_live(owner):
+                            release_claim(self.out_dir, cell_id)
+                            progressed = True
+                    if not progressed and remaining:
+                        time.sleep(0.05)
+                if progressed:
+                    last_progress = time.monotonic()
+                elif time.monotonic() - last_progress > self.worker_timeout:
+                    raise JobError(
+                        f"distributed matrix stalled: cells "
+                        f"{sorted(remaining)} still claimed after "
+                        f"{self.worker_timeout}s without progress"
+                    )
+        # Closing sweep, after the server (and its workers) are gone: a
+        # worker can win a claim in the window between the parent
+        # checkpointing that cell and releasing it (the duplicate result
+        # is dropped above); no claim file may outlive the run.
+        for cell in self.spec.cells:
+            release_claim(self.out_dir, cell.cell_id)
+        return executed
+
     def run(self, resume: bool = True) -> MatrixResult:
         """Run every cell, checkpointing each; resume skips finished ones.
 
@@ -557,7 +971,9 @@ class MatrixRunner:
                 self.progress(loaded)
             else:
                 pending.append(cell)
-        if self.workers > 1 and len(pending) > 1:
+        if self.serve is not None:
+            executed = self._run_distributed(pending, by_id)
+        elif self.workers > 1 and len(pending) > 1:
             executed = self._run_parallel(pending, by_id)
         else:
             executed = self._run_serial(pending, by_id)
@@ -703,7 +1119,12 @@ __all__: Sequence[str] = (
     "MatrixRunner",
     "checkpoint_status",
     "checksum",
+    "claim_owner",
+    "claim_path",
     "execute_cell",
     "load_matrix",
+    "release_claim",
+    "run_matrix_worker",
+    "try_claim_cell",
     "verify_cross_engine",
 )

@@ -5,6 +5,7 @@ from repro.mpi.launcher import mpi_run
 from repro.mpi.transport import (
     InlineTransport,
     ShmTransport,
+    TcpTransport,
     ThreadTransport,
     Transport,
     available_transports,
@@ -18,6 +19,7 @@ __all__ = [
     "InlineTransport",
     "Message",
     "ShmTransport",
+    "TcpTransport",
     "ThreadTransport",
     "Transport",
     "World",

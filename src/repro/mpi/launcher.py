@@ -1,8 +1,9 @@
 """SPMD launcher: run one function on every rank over a chosen transport.
 
 ``mpi_run`` is the moral equivalent of ``mpirun -np N``: it resolves a
-transport backend (threads, forked shared-memory processes, or the
-deterministic inline scheduler), spawns N ranks, hands each a
+transport backend (threads, forked shared-memory processes, the
+deterministic inline scheduler, or TCP socket pairs), spawns N ranks,
+hands each a
 :class:`~repro.mpi.comm.Comm`, and collects per-rank return values.  If
 any rank raises, the first exception is re-raised in the caller (wrapped
 in :class:`~repro.common.errors.MPIError`) after all ranks have been
@@ -29,7 +30,8 @@ def mpi_run(
 ) -> list[Any]:
     """Run ``main(comm, *args)`` on ``world_size`` ranks; returns results by rank.
 
-    ``transport`` is a backend name (``thread``, ``shm``, ``inline``), a
+    ``transport`` is a backend name (``thread``, ``shm``, ``inline``,
+    ``tcp``), a
     :class:`Transport` instance, or ``None`` for the default (``thread``,
     overridable via the ``REPRO_TRANSPORT`` environment variable).
 

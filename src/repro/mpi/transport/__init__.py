@@ -5,7 +5,9 @@ Importing this package registers the built-in backends:
 * ``thread`` — ranks as threads in one process (default);
 * ``shm``    — ranks as forked processes, chunk payloads through
   ``multiprocessing.shared_memory`` ring buffers;
-* ``inline`` — deterministic cooperative scheduling for unit tests.
+* ``inline`` — deterministic cooperative scheduling for unit tests;
+* ``tcp``    — ranks as processes (or machines) joined by socket pairs,
+  with a rendezvous step so ranks can live anywhere reachable.
 """
 
 from repro.mpi.transport.base import (
@@ -31,6 +33,14 @@ from repro.mpi.transport.shm import (
     ShmRing,
     ShmTransport,
 )
+from repro.mpi.transport.tcp import (
+    TcpEndpoint,
+    TcpTransport,
+    TcpWorldServer,
+    join_world,
+    parse_address,
+    parse_hosts,
+)
 from repro.mpi.transport.thread import (
     Mailbox,
     ThreadEndpoint,
@@ -55,6 +65,9 @@ __all__ = [
     "ShmEndpoint",
     "ShmRing",
     "ShmTransport",
+    "TcpEndpoint",
+    "TcpTransport",
+    "TcpWorldServer",
     "ThreadEndpoint",
     "ThreadTransport",
     "Transport",
@@ -62,5 +75,8 @@ __all__ = [
     "available_transports",
     "default_transport_name",
     "get_transport",
+    "join_world",
+    "parse_address",
+    "parse_hosts",
     "register_transport",
 ]

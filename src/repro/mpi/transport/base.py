@@ -10,7 +10,9 @@ interface (send/recv/collectives) can run over interchangeable backends:
 * ``shm``    — ranks are OS processes exchanging chunk payloads through
   ``multiprocessing.shared_memory`` ring buffers (true parallelism);
 * ``inline`` — ranks are cooperatively scheduled one at a time in
-  deterministic rank order (reproducible unit testing).
+  deterministic rank order (reproducible unit testing);
+* ``tcp``    — ranks are processes exchanging length-prefixed message
+  frames over one socket pair per rank pair, on one host or many.
 
 A backend provides two things: a :class:`Transport` that launches one
 callable per rank and collects results, and per-rank :class:`Endpoint`
@@ -21,6 +23,7 @@ on top of the endpoint primitives, so all backends share one semantics.
 
 from __future__ import annotations
 
+import inspect
 import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
@@ -138,17 +141,31 @@ def get_transport(spec: str | Transport | None = None, **kwargs: Any) -> Transpo
     This is the transport layer's connect entry point — everything that
     launches ranks (``mpi_run``, the job drivers) goes through it.
 
+    Backend options (e.g. the tcp backend's ``hosts=``/``port=``) pass
+    through as keyword arguments; an option the chosen backend does not
+    accept raises :class:`MPIError` naming both, instead of silently
+    dropping it or surfacing a bare ``TypeError``.
+
     Examples:
         >>> from repro.mpi.transport import available_transports, get_transport
         >>> available_transports()
-        ('inline', 'shm', 'thread')
+        ('inline', 'shm', 'tcp', 'thread')
         >>> get_transport("inline").name
         'inline'
         >>> transport = get_transport("inline")
         >>> get_transport(transport) is transport  # instances pass through
         True
+        >>> get_transport("thread", hosts="a,b")
+        Traceback (most recent call last):
+            ...
+        repro.common.errors.MPIError: transport 'thread' does not accept option(s) 'hosts'; it takes no options
     """
     if isinstance(spec, Transport):
+        if kwargs:
+            raise MPIError(
+                f"transport options {sorted(kwargs)} cannot be applied to an "
+                f"already-constructed {spec.name!r} transport instance"
+            )
         return spec
     name = spec or default_transport_name()
     try:
@@ -157,7 +174,41 @@ def get_transport(spec: str | Transport | None = None, **kwargs: Any) -> Transpo
         raise MPIError(
             f"unknown transport {name!r}; available: {available_transports()}"
         ) from None
+    _check_transport_kwargs(name, cls, kwargs)
     return cls(**kwargs)
+
+
+def _check_transport_kwargs(
+    name: str, cls: type[Transport], kwargs: dict[str, Any]
+) -> None:
+    """Reject options the backend's constructor does not accept, by name."""
+    if not kwargs:
+        return
+    if cls.__init__ is object.__init__:  # backend defines no constructor
+        raise MPIError(
+            f"transport {name!r} does not accept option(s) "
+            f"{', '.join(repr(k) for k in sorted(kwargs))}; it takes no options"
+        )
+    parameters = inspect.signature(cls.__init__).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return
+    accepted = [
+        param for param, spec in parameters.items()
+        if param != "self" and spec.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    ]
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        takes = (
+            f"accepted option(s): {', '.join(sorted(accepted))}"
+            if accepted else "it takes no options"
+        )
+        raise MPIError(
+            f"transport {name!r} does not accept option(s) "
+            f"{', '.join(repr(k) for k in unknown)}; {takes}"
+        )
 
 
 def raise_rank_errors(errors: list[tuple[int, BaseException]]) -> None:

@@ -37,6 +37,7 @@ from repro.mpi.transport.base import (
     raise_rank_errors,
     register_transport,
 )
+from repro.mpi.transport.thread import _PoisonedError
 
 #: Per-(sender, receiver) ring capacity for chunk payloads.
 DEFAULT_RING_BYTES = 1 << 20
@@ -196,7 +197,12 @@ class ShmEndpoint(Endpoint):
                 if match(message, source, tag):
                     return self._stash.pop(index)
             if self._aborted:
-                raise MPIError(f"rank {self.rank} aborted: a peer rank failed")
+                # A poison *symptom*, not a cause: raise the dedicated
+                # class so the collector prefers the original rank error
+                # (same rule as the thread and tcp backends).
+                raise _PoisonedError(
+                    f"rank {self.rank} aborted: a peer rank failed"
+                )
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise MPIError(
@@ -237,6 +243,28 @@ class ShmEndpoint(Endpoint):
         self._barrier.abort()
 
 
+def _destroy_rings(rings: list[list[ShmRing | None]]) -> None:
+    """Close and unlink every ring, unconditionally.
+
+    Unlink must not depend on a clean close: if ``close`` raises (e.g. a
+    buffer still exported somewhere after an abort), skipping ``unlink``
+    would leak the kernel object until reboot.  Each ring is destroyed
+    independently so one bad ring cannot shadow the rest.
+    """
+    for row in rings:
+        for ring in row:
+            if ring is None:
+                continue
+            try:
+                ring.close()
+            except Exception:  # noqa: BLE001 - cleanup must reach unlink
+                pass
+            try:
+                ring.unlink()
+            except Exception:  # noqa: BLE001 - one bad ring must not
+                pass           # shadow the rest (or the real rank error)
+
+
 @register_transport
 class ShmTransport(Transport):
     """Fork one process per rank; move chunks through shared-memory rings."""
@@ -265,30 +293,21 @@ class ShmTransport(Transport):
             raise MPIError(f"world size must be >= 1, got {world_size}")
         ctx = self._ctx
 
-        # Fabric: rings[s][d] and data pipes carry s -> d traffic.
-        rings: list[list[ShmRing | None]] = [
-            [
-                ShmRing(ctx, self.ring_bytes) if s != d else None
-                for d in range(world_size)
-            ]
-            for s in range(world_size)
-        ]
+        # Fabric: rings[s][d] and data pipes carry s -> d traffic.  All of
+        # it is built *inside* the try below: a failure mid-construction
+        # (shared-memory space or file descriptors exhausted) must still
+        # unlink every segment already created, or the kernel keeps them
+        # until reboot and the resource tracker complains at exit.
+        rings: list[list[ShmRing | None]] = []
         data_readers: list[list[Connection | None]] = [
             [None] * world_size for _ in range(world_size)
         ]
         data_writers: list[list[Connection | None]] = [
             [None] * world_size for _ in range(world_size)
         ]
-        for s in range(world_size):
-            for d in range(world_size):
-                if s == d:
-                    continue
-                reader, writer = ctx.Pipe(duplex=False)
-                data_readers[s][d] = reader  # read end, owned by rank d
-                data_writers[s][d] = writer  # write end, owned by rank s
-        control_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
-        result_pipes = [ctx.Pipe(duplex=False) for _ in range(world_size)]
-        barrier = ctx.Barrier(world_size)
+        control_pipes: list[tuple[Connection, Connection]] = []
+        result_pipes: list[tuple[Connection, Connection]] = []
+        processes: list[Any] = []
 
         def child(rank: int) -> None:
             endpoint = ShmEndpoint(
@@ -314,11 +333,27 @@ class ShmTransport(Transport):
                 # Unpicklable result or exception: degrade to its repr.
                 result_conn.send(("err", MPIError(f"rank {rank}: {outcome[1]!r}")))
 
-        processes = [
-            ctx.Process(target=child, args=(rank,), name=f"mpi-rank-{rank}", daemon=True)
-            for rank in range(world_size)
-        ]
         try:
+            for s in range(world_size):
+                row: list[ShmRing | None] = []
+                rings.append(row)  # appended first: a failed row still cleans up
+                for d in range(world_size):
+                    row.append(ShmRing(ctx, self.ring_bytes) if s != d else None)
+            for s in range(world_size):
+                for d in range(world_size):
+                    if s == d:
+                        continue
+                    reader, writer = ctx.Pipe(duplex=False)
+                    data_readers[s][d] = reader  # read end, owned by rank d
+                    data_writers[s][d] = writer  # write end, owned by rank s
+            control_pipes.extend(ctx.Pipe(duplex=False) for _ in range(world_size))
+            result_pipes.extend(ctx.Pipe(duplex=False) for _ in range(world_size))
+            barrier = ctx.Barrier(world_size)
+            processes.extend(
+                ctx.Process(target=child, args=(rank,),
+                            name=f"mpi-rank-{rank}", daemon=True)
+                for rank in range(world_size)
+            )
             for process in processes:
                 process.start()
             results, errors = self._collect(
@@ -333,11 +368,7 @@ class ShmTransport(Transport):
                 if process.is_alive():
                     process.terminate()
                 process.join(5.0)
-            for row in rings:
-                for ring in row:
-                    if ring is not None:
-                        ring.close()
-                        ring.unlink()
+            _destroy_rings(rings)
             for grid in (data_readers, data_writers):
                 for row in grid:
                     for conn in row:
@@ -346,7 +377,14 @@ class ShmTransport(Transport):
             for reader, writer in control_pipes + result_pipes:
                 reader.close()
                 writer.close()
-        raise_rank_errors(errors)
+        # Poison-induced errors are symptoms of another rank's death;
+        # report the original failure when one exists.
+        real = [
+            (rank, exc)
+            for rank, exc in errors
+            if not isinstance(exc, _PoisonedError)
+        ]
+        raise_rank_errors(real or errors)
         return results
 
     @staticmethod

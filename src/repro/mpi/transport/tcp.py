@@ -1,0 +1,764 @@
+"""TCP transport: ranks as separate processes — or separate machines —
+joined by one socket pair per rank pair.
+
+The paper's DataMPI moves key-value chunks *between cluster nodes* over
+MVAPICH2; every other backend here (``thread``, ``shm``, ``inline``) is
+single-machine.  This backend keeps the exact :class:`Endpoint` /
+:class:`Transport` contract but carries :class:`Message` frames over TCP,
+so ranks can live in separate processes on one host (the CI path) or in
+separate processes on separate hosts (the paper's cluster shape).
+
+Wire design
+-----------
+
+* **Rendezvous** — every rank opens its own peer-listener socket, then
+  connects to one well-known rendezvous address and registers
+  ``(rank, host, port)``.  Once the whole world has registered, the
+  rendezvous broadcasts the address map and each pair ``(i, j)`` with
+  ``j > i`` establishes one socket: ``j`` connects to ``i``'s listener.
+  The rendezvous connection stays open as the rank's *control* channel
+  (outcome reporting, abort broadcast, shutdown).
+* **Framing** — every message is one length-prefixed frame
+  (``kind, tag, length`` header + pickled payload), so a reader never
+  depends on TCP segment boundaries.
+* **Demux** — each rank runs one demux thread ``select``-ing over all of
+  its peer sockets plus the control channel, parsing frames into the same
+  tag/source-matched :class:`~repro.mpi.transport.thread.Mailbox` the
+  thread backend uses — selective receive semantics are shared by
+  construction.
+* **Fail-fast abort** — a failing rank sends poison (``ABORT``) frames to
+  every peer before reporting its error; the launcher re-broadcasts abort
+  over the control channels when a rank dies without a word (hard kill —
+  the kernel closes its sockets, so peers *also* see EOF and poison
+  locally).  Blocked receives raise immediately instead of waiting out
+  their timeout, exactly like the shm control pipe and the thread
+  backend's mailbox poisoning.
+
+:class:`TcpTransport` (``get_transport("tcp", hosts=..., port=...)``)
+forks one local process per rank — closures need no pickling, which is
+what the equivalence suite runs.  For ranks on *other* machines, the
+serving side runs :class:`TcpWorldServer` and each remote process calls
+:func:`join_world` with the rendezvous address; the wire protocol is
+identical (the localhost spawn is just ``join_world`` with fork instead
+of ssh).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import selectors
+import socket
+import struct
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.common.errors import MPIError
+from repro.mpi.transport.base import (
+    JOIN_TIMEOUT,
+    Endpoint,
+    Message,
+    Transport,
+    raise_rank_errors,
+    register_transport,
+)
+from repro.mpi.transport.thread import Mailbox, _PoisonedError
+
+#: Frame header: kind (1 byte), tag (u64), payload length (u64).
+FRAME_HEADER = struct.Struct(">BQQ")
+
+#: Peer-connection preamble: the connecting rank announces itself.
+_HELLO = struct.Struct(">I")
+
+# -- frame kinds (one byte; 16+ is reserved for higher-level protocols
+#    that reuse this framing, e.g. the distributed matrix workers) -------------
+KIND_DATA = 1      #: point-to-point payload (tag = message tag)
+KIND_ABORT = 2     #: poison: a peer rank failed, blocked receives must raise
+KIND_REGISTER = 3  #: rank -> rendezvous: (rank | None, host, port)
+KIND_ADDRS = 4     #: rendezvous -> rank: {"rank": r, "addrs": [(host, port)]}
+KIND_OUTCOME = 5   #: rank -> launcher: (rank, "ok" | "err", value)
+KIND_SHUTDOWN = 6  #: launcher -> rank: world complete, tear down
+
+#: Barrier control messages ride ordinary frames in a tag range far above
+#: anything user code (tags >= 0) or the collectives (1<<20 + seq*8) use.
+_BARRIER_TAG_BASE = 1 << 40
+
+#: Seconds a finished rank waits for the launcher's shutdown frame before
+#: tearing down unilaterally.
+_SHUTDOWN_GRACE = 30.0
+
+#: Seconds the rendezvous waits for an accepted connection's registration
+#: frame.  Real ranks register immediately after connecting; this bounds
+#: how long one silent stray connection can stall the (serial) accept
+#: loop without letting it eat the whole world-formation deadline.
+_REGISTER_TIMEOUT = 2.0
+
+_CONTROL = -1  # demux selector key for the control channel
+
+
+# -- framing helpers (shared with the distributed matrix protocol) -------------
+
+
+def _recv_exact(sock: socket.socket, length: int) -> bytes | None:
+    """Read exactly ``length`` bytes; ``None`` on clean EOF at a frame
+    boundary; raises :class:`MPIError` on EOF mid-frame."""
+    if length == 0:
+        return b""
+    parts: list[bytes] = []
+    received = 0
+    while received < length:
+        try:
+            data = sock.recv(min(1 << 16, length - received))
+        except socket.timeout:
+            raise  # a bounded read electing to give up, not a torn peer
+        except OSError as exc:
+            raise MPIError(f"connection lost mid-frame: {exc}") from exc
+        if not data:
+            if received == 0:
+                return None
+            raise MPIError("connection closed mid-frame (truncated message)")
+        parts.append(data)
+        received += len(data)
+    return b"".join(parts)
+
+
+def send_frame(
+    sock: socket.socket,
+    kind: int,
+    tag: int = 0,
+    obj: Any = None,
+    payload: bytes | None = None,
+) -> None:
+    """Send one frame; ``obj`` is pickled unless a pre-encoded ``payload``
+    is supplied."""
+    if payload is None:
+        payload = pickle.dumps(obj, protocol=4)
+    sock.sendall(FRAME_HEADER.pack(kind, tag, len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket) -> tuple[int, int, Any] | None:
+    """Receive one frame as ``(kind, tag, obj)``; ``None`` on clean EOF."""
+    header = _recv_exact(sock, FRAME_HEADER.size)
+    if header is None:
+        return None
+    kind, tag, length = FRAME_HEADER.unpack(header)
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise MPIError("connection closed mid-frame (missing payload)")
+    return kind, tag, pickle.loads(payload)
+
+
+# -- address specs -------------------------------------------------------------
+
+
+def parse_hosts(hosts: str | Sequence[str] | None) -> list[str]:
+    """Normalise a hosts spec: ``None`` (localhost), a comma-separated
+    string, or a sequence of host names/addresses.  Ranks are assigned
+    round-robin over the list."""
+    if hosts is None:
+        return ["127.0.0.1"]
+    entries = [h.strip() for h in hosts.split(",")] if isinstance(hosts, str) \
+        else [str(h).strip() for h in hosts]
+    entries = [h for h in entries if h]
+    if not entries:
+        raise MPIError(f"empty hosts spec {hosts!r}")
+    return entries
+
+
+def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
+    """``"host:port"`` (or an already-split tuple) -> ``(host, port)``."""
+    if isinstance(address, (tuple, list)):
+        host, port = address
+    else:
+        host, sep, port = str(address).rpartition(":")
+        if not sep or not host:
+            raise MPIError(f"address must be HOST:PORT, got {address!r}")
+    try:
+        port = int(port)
+    except (TypeError, ValueError):
+        raise MPIError(f"bad port in address {address!r}") from None
+    if not 0 <= port <= 65535:
+        raise MPIError(f"port out of range in address {address!r}")
+    return host, port
+
+
+def format_address(address: tuple[str, int]) -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+# -- the endpoint --------------------------------------------------------------
+
+
+class TcpEndpoint(Endpoint):
+    """One rank's handle on the socket fabric.
+
+    Sends happen on the rank's main thread only (one writer per socket —
+    no locking needed); a single demux thread drains every peer socket
+    plus the control channel into the mailbox.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        peers: list[socket.socket | None],
+        control: socket.socket,
+    ):
+        self.rank = rank
+        self.size = size
+        self._peers = peers
+        self._control = control
+        self._mailbox = Mailbox()
+        self._barrier_gen = 0
+        self._stop = threading.Event()
+        self.shutdown_received = threading.Event()
+        self._demux = threading.Thread(
+            target=self._demux_loop, name=f"tcp-demux-{rank}", daemon=True
+        )
+        self._demux.start()
+
+    # -- Endpoint contract -----------------------------------------------------
+
+    def send(self, dest: int, message: Message) -> None:
+        if dest == self.rank:
+            self._mailbox.put(message)  # loopback: no wire to cross
+            return
+        payload = message.payload
+        if isinstance(payload, (bytearray, memoryview)):
+            payload = bytes(payload)  # normalise, like the shm backend
+        sock = self._peers[dest]
+        assert sock is not None
+        try:
+            send_frame(sock, KIND_DATA, tag=message.tag, obj=payload)
+        except OSError as exc:
+            raise MPIError(
+                f"send to rank {dest} failed: peer unreachable ({exc})"
+            ) from exc
+
+    def recv(self, source: int, tag: int, timeout: float) -> Message:
+        return self._mailbox.get(source, tag, timeout)
+
+    def barrier(self, timeout: float) -> None:
+        """Centralised barrier over ordinary frames: everyone reports to
+        rank 0, rank 0 releases everyone.  SPMD code executes barriers in
+        the same order on all ranks, so a per-endpoint generation counter
+        sequences them without negotiation."""
+        generation = self._barrier_gen
+        self._barrier_gen += 1
+        tag = _BARRIER_TAG_BASE + generation
+        if self.rank == 0:
+            for source in range(1, self.size):
+                self.recv(source, tag, timeout)  # arrivals
+            for dest in range(1, self.size):
+                self.send(dest, Message(0, tag, None))  # release
+        else:
+            self.send(0, Message(self.rank, tag, None))
+            self.recv(0, tag, timeout)
+
+    def abort(self) -> None:
+        """Poison local receives and tell every peer to do the same."""
+        self.poison_peers()
+        self._mailbox.poison()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def poison_peers(self) -> None:
+        """Best-effort ABORT frame to every peer (dead peers are skipped)."""
+        for sock in self._peers:
+            if sock is None:
+                continue
+            try:
+                send_frame(sock, KIND_ABORT)
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        self._stop.set()
+        self._demux.join(2.0)
+        for sock in self._peers:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    # -- demux -----------------------------------------------------------------
+
+    def _demux_loop(self) -> None:
+        selector = selectors.DefaultSelector()
+        for peer_rank, sock in enumerate(self._peers):
+            if sock is not None:
+                selector.register(sock, selectors.EVENT_READ, peer_rank)
+        selector.register(self._control, selectors.EVENT_READ, _CONTROL)
+        with selector:
+            while not self._stop.is_set():
+                for key, _events in selector.select(timeout=0.1):
+                    self._demux_one(selector, key.fileobj, key.data)
+
+    def _demux_one(self, selector, sock, who: int) -> None:
+        try:
+            frame = recv_frame(sock)
+        except (MPIError, OSError):
+            frame = None  # a torn connection is a peer death
+        if frame is None:
+            # EOF.  A healthy world tears sockets down only after the
+            # launcher's shutdown, so an early EOF means the other side
+            # died without a word (hard kill) — fail blocked receives now.
+            selector.unregister(sock)
+            if not self.shutdown_received.is_set():
+                self._mailbox.poison()
+            if who == _CONTROL:
+                self.shutdown_received.set()  # launcher is gone; stop waiting
+            return
+        kind, tag, obj = frame
+        if kind == KIND_DATA:
+            self._mailbox.put(Message(who, tag, obj))
+        elif kind == KIND_ABORT:
+            self._mailbox.poison()
+        elif kind == KIND_SHUTDOWN:
+            self.shutdown_received.set()
+
+
+# -- rendezvous ----------------------------------------------------------------
+
+
+class _Rendezvous:
+    """Listener that forms one world: registrations in, address map out.
+
+    The accepted connections double as per-rank control channels and are
+    returned to the launcher for outcome collection.
+    """
+
+    def __init__(self, world_size: int, bind_host: str, port: int):
+        self.world_size = world_size
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((bind_host, port))
+        except OSError as exc:
+            self._listener.close()
+            raise MPIError(
+                f"cannot bind tcp rendezvous on {bind_host}:{port}: {exc}"
+            ) from exc
+        self._listener.listen(world_size)
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+
+    def wait_for_world(
+        self, deadline: float
+    ) -> tuple[list[socket.socket], list[tuple[int, BaseException]]]:
+        """Accept registrations until every rank is present, then broadcast
+        the address map.  Returns the per-rank control sockets plus any
+        failures reported *during* rendezvous (a rank that died before it
+        could register its listener)."""
+        controls: list[socket.socket | None] = [None] * self.world_size
+        addrs: list[tuple[str, int] | None] = [None] * self.world_size
+        failures: list[tuple[int, BaseException]] = []
+        while any(c is None for c in controls) and not failures:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                missing = [r for r, c in enumerate(controls) if c is None]
+                raise MPIError(
+                    f"tcp rendezvous incomplete: ranks {missing} never "
+                    f"registered"
+                )
+            self._listener.settimeout(min(remaining, 1.0))
+            try:
+                conn, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            # Accepted sockets are blocking regardless of the listener's
+            # timeout: bound the registration read too, or one silent
+            # connection (port scan, health check, wedged rank) pins the
+            # rendezvous past its deadline forever.
+            conn.settimeout(
+                max(0.1, min(_REGISTER_TIMEOUT, deadline - time.monotonic()))
+            )
+            try:
+                frame = recv_frame(conn)
+            except Exception:  # noqa: BLE001 - timeout, torn read, garbage bytes
+                conn.close()
+                continue  # not a rank; the deadline still governs the world
+            conn.settimeout(None)
+            if frame is None:
+                conn.close()
+                raise MPIError("a rank died during tcp rendezvous")
+            kind, _tag, obj = frame
+            if kind == KIND_OUTCOME:  # died before it could register
+                rank, _status, value = obj
+                failures.append((rank, value))
+                conn.close()
+                continue
+            if kind != KIND_REGISTER:
+                conn.close()
+                raise MPIError(f"unexpected frame kind {kind} during rendezvous")
+            rank = obj["rank"]
+            if rank is None:  # external joiner without a pinned rank
+                rank = next(r for r, c in enumerate(controls) if c is None)
+            if not 0 <= rank < self.world_size or controls[rank] is not None:
+                conn.close()
+                raise MPIError(f"bad or duplicate rank {rank} at rendezvous")
+            controls[rank] = conn
+            addrs[rank] = (obj["host"], obj["port"])
+        if failures:
+            for conn in controls:
+                if conn is not None:
+                    try:
+                        send_frame(conn, KIND_ABORT)
+                        send_frame(conn, KIND_SHUTDOWN)
+                    except OSError:
+                        pass
+            return [c for c in controls if c is not None], failures
+        for rank, conn in enumerate(controls):
+            send_frame(conn, KIND_ADDRS, obj={"rank": rank, "addrs": addrs})
+        return controls, []  # type: ignore[return-value]
+
+    def close(self) -> None:
+        self._listener.close()
+
+
+# -- rank side -----------------------------------------------------------------
+
+
+def _build_endpoint(
+    control: socket.socket,
+    bind_host: str,
+    rank: int | None,
+    deadline: float,
+) -> TcpEndpoint:
+    """Register with the rendezvous and wire up the pair sockets.
+
+    Pair direction is deterministic: rank ``j`` *connects* to every
+    ``i < j`` and *accepts* from every ``j' > j``.  Connects complete
+    through the listen backlog, so no ordering between ranks can deadlock.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.bind((bind_host, 0))
+    except OSError as exc:
+        listener.close()
+        raise MPIError(
+            f"rank cannot bind its peer listener on {bind_host!r}: {exc} "
+            f"(hosts entries must be addresses of this machine)"
+        ) from exc
+    # Listen *before* registering: the moment the address map goes out,
+    # higher ranks may connect, and a bound-but-not-listening socket
+    # refuses them.  The world size is not known yet, so use a generous
+    # fixed backlog (connects complete through it without an accept).
+    listener.listen(128)
+    host, port = listener.getsockname()[:2]
+    send_frame(control, KIND_REGISTER,
+               obj={"rank": rank, "host": host, "port": port})
+    frame = recv_frame(control)
+    if frame is None:
+        listener.close()
+        raise MPIError("tcp rendezvous closed before the world formed")
+    kind, _tag, obj = frame
+    if kind == KIND_ABORT or kind != KIND_ADDRS:
+        listener.close()
+        raise MPIError("tcp world formation aborted (a peer rank failed)")
+    rank = obj["rank"]
+    addrs = obj["addrs"]
+    world_size = len(addrs)
+    peers: list[socket.socket | None] = [None] * world_size
+    try:
+        for lower in range(rank):
+            remaining = max(0.1, deadline - time.monotonic())
+            sock = socket.create_connection(addrs[lower], timeout=remaining)
+            sock.settimeout(None)
+            sock.sendall(_HELLO.pack(rank))
+            peers[lower] = sock
+        for _ in range(world_size - 1 - rank):
+            listener.settimeout(max(0.1, deadline - time.monotonic()))
+            conn, _peer = listener.accept()
+            conn.settimeout(None)
+            hello = _recv_exact(conn, _HELLO.size)
+            if hello is None:
+                raise MPIError("peer hung up during tcp pair handshake")
+            peers[_HELLO.unpack(hello)[0]] = conn
+    except (OSError, socket.timeout) as exc:
+        for sock in peers:
+            if sock is not None:
+                sock.close()
+        raise MPIError(f"tcp pair handshake failed: {exc}") from exc
+    finally:
+        listener.close()
+    return TcpEndpoint(rank, world_size, peers, control)
+
+
+def _pickled_outcome(rank: int, status: str, value: Any) -> bytes:
+    """Outcome payload, degrading unpicklable results to their repr."""
+    try:
+        return pickle.dumps((rank, status, value), protocol=4)
+    except Exception:  # noqa: BLE001 - closures, sockets, ...
+        return pickle.dumps(
+            (rank, "err", MPIError(f"rank {rank}: {value!r}")), protocol=4
+        )
+
+
+def _run_rank(
+    control: socket.socket,
+    bind_host: str,
+    rank: int | None,
+    main: Callable[..., Any],
+    args: tuple,
+    timeout: float,
+) -> tuple[str, Any]:
+    """One rank's full lifecycle: fabric, ``main``, outcome, shutdown."""
+    from repro.mpi.comm import Comm  # local import: comm builds on this module
+
+    deadline = time.monotonic() + timeout
+    endpoint = None
+    try:
+        endpoint = _build_endpoint(control, bind_host, rank, deadline)
+        rank = endpoint.rank
+        outcome = ("ok", main(Comm.from_endpoint(endpoint), *args))
+    except BaseException as exc:  # noqa: BLE001 - reported to the launcher
+        if endpoint is not None:
+            endpoint.poison_peers()
+        outcome = ("err", exc)
+    try:
+        send_frame(control, KIND_OUTCOME,
+                   payload=_pickled_outcome(rank if rank is not None else -1,
+                                            *outcome))
+    except OSError:
+        pass  # launcher is gone; EOF already tells the story
+    if endpoint is not None:
+        # Keep the fabric alive until the launcher says the whole world is
+        # done: peers may still be receiving, and an early close would
+        # read as a death.
+        endpoint.shutdown_received.wait(
+            min(_SHUTDOWN_GRACE, max(0.1, deadline - time.monotonic()))
+        )
+        endpoint.close()
+    return outcome
+
+
+# -- launcher side -------------------------------------------------------------
+
+
+def _collect_outcomes(
+    controls: list[socket.socket], timeout: float
+) -> tuple[list[Any], list[tuple[int, BaseException]]]:
+    """Gather per-rank outcomes; poison every survivor on first failure.
+
+    A control EOF before an outcome is a hard death (the kernel closes a
+    killed process's sockets), reported as such instead of hanging.
+    """
+    world_size = len(controls)
+    results: list[Any] = [None] * world_size
+    errors: list[tuple[int, BaseException]] = []
+    poisoned = False
+    pending = set(range(world_size))
+    selector = selectors.DefaultSelector()
+    for rank, sock in enumerate(controls):
+        selector.register(sock, selectors.EVENT_READ, rank)
+
+    def poison_survivors() -> None:
+        nonlocal poisoned
+        if poisoned:
+            return
+        poisoned = True
+        for rank in pending:
+            try:
+                send_frame(controls[rank], KIND_ABORT)
+            except OSError:
+                pass
+
+    deadline = time.monotonic() + timeout
+    with selector:
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise MPIError(
+                    f"ranks {sorted(pending)} did not finish in {timeout}s"
+                )
+            for key, _events in selector.select(timeout=min(remaining, 0.5)):
+                rank = key.data
+                try:
+                    frame = recv_frame(key.fileobj)
+                except (MPIError, OSError):
+                    frame = None
+                if frame is None:
+                    status, value = "err", MPIError(
+                        f"rank {rank} died without reporting a result"
+                    )
+                else:
+                    kind, _tag, obj = frame
+                    if kind != KIND_OUTCOME:
+                        continue  # stray frame; keep waiting for the outcome
+                    _rank, status, value = obj
+                selector.unregister(key.fileobj)
+                pending.discard(rank)
+                if status == "ok":
+                    results[rank] = value
+                else:
+                    errors.append((rank, value))
+                    poison_survivors()
+    return results, errors
+
+
+def _finish_world(
+    controls: list[socket.socket],
+    results: list[Any],
+    errors: list[tuple[int, BaseException]],
+) -> list[Any]:
+    """Broadcast shutdown, prefer real failures over poison symptoms."""
+    for sock in controls:
+        try:
+            send_frame(sock, KIND_SHUTDOWN)
+        except OSError:
+            pass
+    real = [(rank, exc) for rank, exc in errors
+            if not isinstance(exc, _PoisonedError)]
+    raise_rank_errors(real or errors)
+    return results
+
+
+@register_transport
+class TcpTransport(Transport):
+    """Fork one process per rank; move every message over TCP sockets.
+
+    ``hosts`` is a comma-separated spec (or sequence) naming the address
+    each rank binds — ranks are assigned round-robin over the list, so
+    ``hosts="10.0.0.1,10.0.0.2"`` alternates ranks across two interfaces.
+    :meth:`run` spawns every rank locally (fork), which is the CI path;
+    for ranks on other machines use :class:`TcpWorldServer` +
+    :func:`join_world`, which speak the same wire protocol.  ``port`` is
+    the rendezvous port (0 = ephemeral).
+    """
+
+    name = "tcp"
+
+    def __init__(self, hosts: str | Sequence[str] | None = None, port: int = 0):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise MPIError(
+                "tcp transport spawn needs the fork start method "
+                "(unavailable on this platform); launch ranks externally "
+                "with join_world instead"
+            )
+        self.hosts = parse_hosts(hosts)
+        if not 0 <= int(port) <= 65535:
+            raise MPIError(f"rendezvous port out of range: {port}")
+        self.port = int(port)
+        self._ctx = multiprocessing.get_context("fork")
+
+    def host_for_rank(self, rank: int) -> str:
+        return self.hosts[rank % len(self.hosts)]
+
+    def run(
+        self,
+        world_size: int,
+        main: Callable[..., Any],
+        args: tuple = (),
+        timeout: float = JOIN_TIMEOUT,
+    ) -> list[Any]:
+        if world_size < 1:
+            raise MPIError(f"world size must be >= 1, got {world_size}")
+        rendezvous = _Rendezvous(world_size, self.hosts[0], self.port)
+        address = rendezvous.address
+
+        def child(rank: int) -> None:
+            control = socket.create_connection(address, timeout=timeout)
+            _run_rank(control, self.host_for_rank(rank), rank, main, args,
+                      timeout)
+            control.close()
+
+        processes = [
+            self._ctx.Process(target=child, args=(rank,),
+                              name=f"tcp-rank-{rank}", daemon=True)
+            for rank in range(world_size)
+        ]
+        controls: list[socket.socket] = []
+        try:
+            for process in processes:
+                process.start()
+            deadline = time.monotonic() + timeout
+            controls, early = rendezvous.wait_for_world(deadline)
+            if early:
+                raise_rank_errors(early)
+            results, errors = _collect_outcomes(
+                controls, max(0.1, deadline - time.monotonic())
+            )
+            return _finish_world(controls, results, errors)
+        finally:
+            rendezvous.close()
+            for sock in controls:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+                process.join(5.0)
+
+
+class TcpWorldServer:
+    """Rendezvous + outcome collection for externally launched ranks.
+
+    The multi-machine entry point: run this where results should land,
+    hand its ``address`` to ``world_size`` processes (any mix of hosts)
+    that each call :func:`join_world`, then :meth:`run` blocks until the
+    world completes and returns results by rank — raising the lowest
+    failing rank's error exactly like every other backend.
+
+        server = TcpWorldServer(world_size=2, bind="0.0.0.0", port=9997)
+        # on each node:  join_world("serverhost:9997", main)
+        results = server.run()
+    """
+
+    def __init__(self, world_size: int, bind: str = "127.0.0.1", port: int = 0):
+        if world_size < 1:
+            raise MPIError(f"world size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self._rendezvous = _Rendezvous(world_size, bind, port)
+        self.address = format_address(self._rendezvous.address)
+
+    def run(self, timeout: float = JOIN_TIMEOUT) -> list[Any]:
+        deadline = time.monotonic() + timeout
+        controls: list[socket.socket] = []
+        try:
+            controls, early = self._rendezvous.wait_for_world(deadline)
+            if early:
+                raise_rank_errors(early)
+            results, errors = _collect_outcomes(
+                controls, max(0.1, deadline - time.monotonic())
+            )
+            return _finish_world(controls, results, errors)
+        finally:
+            self._rendezvous.close()
+            for sock in controls:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+def join_world(
+    address: str | tuple[str, int],
+    main: Callable[..., Any],
+    args: tuple = (),
+    rank: int | None = None,
+    bind_host: str = "127.0.0.1",
+    timeout: float = JOIN_TIMEOUT,
+) -> Any:
+    """Join a :class:`TcpWorldServer` world as one rank and run ``main``.
+
+    ``rank=None`` lets the rendezvous assign the next free rank;
+    ``bind_host`` is the address this process's peer listener binds (it
+    must be reachable by the other ranks).  Returns this rank's result;
+    raises the local failure if ``main`` raised here.
+    """
+    host, port = parse_address(address)
+    control = socket.create_connection((host, port), timeout=timeout)
+    control.settimeout(None)
+    try:
+        status, value = _run_rank(control, bind_host, rank, main, args, timeout)
+    finally:
+        control.close()
+    if status == "err":
+        if isinstance(value, MPIError) or not isinstance(value, Exception):
+            raise value
+        raise MPIError(f"joined rank failed: {value!r}") from value
+    return value

@@ -196,3 +196,55 @@ class TestExperimentCommand:
         assert main(["experiment", "list", "--out", out]) == 0
         after = capsys.readouterr().out
         assert "32 done" in after and "pending" not in after.split("\n")[-2]
+
+
+class TestDistributedExperimentCommands:
+    def test_non_integer_parallel_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "run", "--quick", "--parallel", "many"])
+        assert "expected an integer worker count" in capsys.readouterr().err
+
+    def test_serve_and_parallel_conflict_is_one_line(self, capsys, tmp_path):
+        assert main(["experiment", "run", "--quick",
+                     "--out", str(tmp_path / "m"),
+                     "--parallel", "4", "--serve", "127.0.0.1:0"]) == 2
+        err = capsys.readouterr().err
+        assert "mutually exclusive" in err
+        assert "Traceback" not in err
+
+    def test_worker_requires_join(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "worker"])
+
+    def test_worker_without_parent_is_one_line_error(self, capsys):
+        assert main(["experiment", "worker", "--join", "127.0.0.1:9",
+                     "--connect-timeout", "0.3"]) == 2
+        err = capsys.readouterr().err
+        assert "no matrix parent serving" in err
+        assert "Traceback" not in err
+
+    def test_serve_run_completes_without_workers(self, capsys, tmp_path):
+        out = str(tmp_path / "matrix")
+        assert main(["experiment", "run", "--quick", "--out", out,
+                     "--serve", "127.0.0.1:0"]) == 0
+        output = capsys.readouterr().out
+        assert "serving workers on 127.0.0.1:" in output
+        assert "32 executed" in output
+
+
+class TestWorkloadTransportOptions:
+    def test_tcp_transport_runs_a_workload(self, capsys):
+        assert main(["workload", "datampi", "wordcount", "--lines", "120",
+                     "--transport", "tcp"]) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_hosts_spec_feeds_the_tcp_transport(self, capsys):
+        assert main(["workload", "datampi", "wordcount", "--lines", "120",
+                     "--transport", "tcp", "--hosts", "127.0.0.1"]) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_hosts_without_tcp_is_rejected(self, capsys):
+        assert main(["workload", "datampi", "wordcount",
+                     "--hosts", "127.0.0.1"]) == 2
+        assert "--hosts/--port need --transport tcp" in capsys.readouterr().err

@@ -1,0 +1,302 @@
+"""Distributed MatrixRunner: claim files, cooperating workers, determinism.
+
+The distributed strategy (``serve=`` + :func:`run_matrix_worker`) must be
+behaviourally indistinguishable from a serial run: the parent stays the
+only checkpoint writer, claim files arbitrate cell ownership exactly
+once, a dead worker's claims are reclaimed, and the rendered reports are
+byte-identical to a serial run of the same spec.
+"""
+
+import importlib.util
+import json
+import os
+import pathlib
+import threading
+
+import pytest
+
+from repro.common.errors import ConfigError, JobError
+from repro.experiments.matrix import (
+    MatrixRunner,
+    claim_owner,
+    claim_path,
+    release_claim,
+    run_matrix_worker,
+    try_claim_cell,
+)
+from repro.experiments.reportbuilder import ReportBuilder
+from repro.experiments.spec import CellSpec, ExperimentSpec
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "diff_reports", REPO_ROOT / "scripts" / "diff_reports.py"
+)
+diff_reports = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(diff_reports)
+
+SERVE = "127.0.0.1:0"  # ephemeral port; the bound address is on the runner
+
+
+def small_spec(**kwargs) -> ExperimentSpec:
+    kwargs.setdefault("max_iterations", 3)
+    return ExperimentSpec("small-distributed", (
+        CellSpec("wordcount", "common", "datampi", "tiny", "inline"),
+        CellSpec("wordcount", "common", "hadoop-model", "tiny"),
+        CellSpec("wordcount", "common", "spark-model", "tiny"),
+        CellSpec("grep", "common", "datampi", "tiny", "inline"),
+        CellSpec("kmeans", "iteration", "datampi", "tiny", "inline"),
+        CellSpec("naive_bayes", "iteration", "datampi", "tiny", "inline"),
+    ), **kwargs)
+
+
+def deterministic_record(result):
+    return {
+        r.spec.cell_id: (r.status, r.bytes_moved, r.output_checksum,
+                         r.iterations, r.per_iteration_bytes, r.counters)
+        for r in result.results
+    }
+
+
+def run_with_workers(runner: MatrixRunner, num_workers: int):
+    """Drive a serving runner plus ``num_workers`` in-process workers
+    (threads running the exact CLI worker entry point)."""
+    executed: dict[int, int] = {}
+
+    def worker(slot: int) -> None:
+        executed[slot] = run_matrix_worker(runner.serve, connect_timeout=15.0)
+
+    threads = [threading.Thread(target=worker, args=(slot,))
+               for slot in range(num_workers)]
+    for thread in threads:
+        thread.start()
+    result = runner.run()
+    for thread in threads:
+        thread.join(30.0)
+    return result, executed
+
+
+class TestClaimFiles:
+    def test_first_claim_wins(self, tmp_path):
+        out = str(tmp_path)
+        assert try_claim_cell(out, "cell-a", "hash", "worker-1") is True
+        assert try_claim_cell(out, "cell-a", "hash", "worker-2") is False
+        assert claim_owner(out, "cell-a") == "worker-1"
+
+    def test_release_makes_cell_claimable_again(self, tmp_path):
+        out = str(tmp_path)
+        assert try_claim_cell(out, "cell-a", "hash", "worker-1")
+        release_claim(out, "cell-a")
+        assert claim_owner(out, "cell-a") is None
+        assert try_claim_cell(out, "cell-a", "hash", "worker-2")
+
+    def test_release_of_unclaimed_cell_is_a_noop(self, tmp_path):
+        release_claim(str(tmp_path), "never-claimed")
+
+    def test_claim_records_owner_and_spec_hash(self, tmp_path):
+        out = str(tmp_path)
+        try_claim_cell(out, "cell-b", "deadbeef", "worker-3")
+        with open(claim_path(out, "cell-b"), encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert record["owner"] == "worker-3"
+        assert record["spec_hash"] == "deadbeef"
+
+    def test_concurrent_claims_yield_exactly_one_winner(self, tmp_path):
+        out = str(tmp_path)
+        wins: list[str] = []
+        barrier = threading.Barrier(8)
+
+        def contender(name: str) -> None:
+            barrier.wait()
+            if try_claim_cell(out, "contested", "hash", name):
+                wins.append(name)
+
+        threads = [threading.Thread(target=contender, args=(f"w{i}",))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert len(wins) == 1
+        assert claim_owner(out, "contested") == wins[0]
+
+
+class TestDistributedExecution:
+    def test_parent_and_worker_split_the_matrix(self, tmp_path):
+        spec = small_spec()
+        serial = MatrixRunner(spec, str(tmp_path / "serial")).run()
+        runner = MatrixRunner(spec, str(tmp_path / "dist"), serve=SERVE)
+        result, executed = run_with_workers(runner, num_workers=1)
+        assert not result.failed_cells()
+        assert result.executed == len(spec.cells)
+        # Work genuinely split: the worker claimed at least one cell.
+        assert executed[0] >= 1
+        assert executed[0] < len(spec.cells)
+        assert deterministic_record(result) == deterministic_record(serial)
+
+    def test_reports_byte_identical_to_serial(self, tmp_path):
+        spec = small_spec()
+        MatrixRunner(spec, str(tmp_path / "serial")).run()
+        runner = MatrixRunner(spec, str(tmp_path / "dist"), serve=SERVE)
+        run_with_workers(runner, num_workers=2)
+        from repro.experiments.matrix import load_matrix
+
+        ReportBuilder(load_matrix(str(tmp_path / "serial")),
+                      str(tmp_path / "rep-serial")).build()
+        ReportBuilder(load_matrix(str(tmp_path / "dist")),
+                      str(tmp_path / "rep-dist")).build()
+        assert diff_reports.compare_reports(
+            tmp_path / "rep-serial", tmp_path / "rep-dist") == []
+
+    def test_no_claim_files_left_behind(self, tmp_path):
+        runner = MatrixRunner(small_spec(), str(tmp_path), serve=SERVE)
+        run_with_workers(runner, num_workers=1)
+        leftovers = [name for name in os.listdir(tmp_path / "cells")
+                     if name.endswith(".claim")]
+        assert leftovers == []
+
+    def test_parent_alone_completes_a_served_run(self, tmp_path):
+        """Serving with no worker ever joining must still finish."""
+        runner = MatrixRunner(small_spec(), str(tmp_path), serve=SERVE)
+        result = runner.run()
+        assert not result.failed_cells()
+        assert result.executed == len(small_spec().cells)
+
+    def test_stale_claims_from_a_dead_run_are_swept(self, tmp_path):
+        """Claims left by a previous (crashed) run must not block cells."""
+        spec = small_spec()
+        out = str(tmp_path)
+        for cell in spec.cells:
+            assert try_claim_cell(out, cell.cell_id, spec.spec_hash,
+                                  "worker-from-last-tuesday")
+        result = MatrixRunner(spec, out, serve=SERVE).run()
+        assert not result.failed_cells()
+        assert result.executed == len(spec.cells)
+
+    def test_distributed_resumes_serial_checkpoints(self, tmp_path):
+        """Strategy is not part of the spec hash: a distributed run picks
+        up a serial run's finished cells."""
+        spec = small_spec()
+        out = str(tmp_path)
+        MatrixRunner(spec, out).run()
+        runner = MatrixRunner(spec, out, serve=SERVE)
+        result = runner.run()
+        assert result.executed == 0
+        assert result.resumed == len(spec.cells)
+
+    def test_worker_skips_checkpointed_cells(self, tmp_path):
+        spec = small_spec()
+        out = str(tmp_path)
+        MatrixRunner(spec, out).run()
+        runner = MatrixRunner(spec, out, serve=SERVE)
+        result, executed = run_with_workers(runner, num_workers=1)
+        assert executed[0] == 0
+        assert result.resumed == len(spec.cells)
+
+    def test_mid_claim_worker_death_is_reclaimed(self, tmp_path, monkeypatch):
+        """A claim whose owner was admitted but died before streaming its
+        result must be released and re-executed by the parent."""
+        spec = small_spec()
+        out = str(tmp_path)
+        victim = spec.cells[0].cell_id
+
+        import repro.experiments.matrix as matrix_module
+
+        original = matrix_module._run_cell_worker
+
+        def dying_worker(address: str) -> None:
+            # A worker that claims its first cell and then vanishes
+            # without sending the result (its socket closes with it).
+            def die(payload):
+                raise SystemExit(0)
+
+            monkeypatch.setattr(matrix_module, "_run_cell_worker", die)
+            try:
+                run_matrix_worker(address, connect_timeout=15.0)
+            except BaseException:
+                pass
+            finally:
+                monkeypatch.setattr(matrix_module, "_run_cell_worker",
+                                    original)
+
+        runner = MatrixRunner(spec, out, serve=SERVE, worker_timeout=60.0)
+        thread = threading.Thread(target=dying_worker, args=(runner.serve,))
+        thread.start()
+        result = runner.run()
+        thread.join(30.0)
+        assert not result.failed_cells()
+        assert {r.spec.cell_id for r in result.results} == \
+            {cell.cell_id for cell in spec.cells}
+        assert victim in {r.spec.cell_id for r in result.results}
+
+
+class TestWorkersValidation:
+    """`--parallel 0` is documented (CPU count); everything else bogus
+    must be a one-line ConfigError, never a pool traceback."""
+
+    def test_negative_workers_one_line_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="must be >= 0"):
+            MatrixRunner(small_spec(), str(tmp_path), workers=-3)
+
+    def test_non_integer_workers_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="must be an integer"):
+            MatrixRunner(small_spec(), str(tmp_path), workers=2.5)
+
+    def test_bool_workers_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="must be an integer"):
+            MatrixRunner(small_spec(), str(tmp_path), workers=True)
+
+    def test_serve_and_pool_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ConfigError, match="mutually exclusive"):
+            MatrixRunner(small_spec(), str(tmp_path), workers=4, serve=SERVE)
+
+
+class TestWorkerEntryPoint:
+    def test_worker_without_parent_fails_cleanly(self):
+        with pytest.raises(JobError, match="no matrix parent serving"):
+            run_matrix_worker("127.0.0.1:9", connect_timeout=0.5)
+
+    def test_worker_against_mute_listener_errors_instead_of_hanging(self):
+        """Joining a wrong-but-listening port (some other service) must
+        surface a JobError once the handshake times out, not hang."""
+        import socket as socket_module
+
+        mute = socket_module.socket()
+        mute.bind(("127.0.0.1", 0))
+        mute.listen(1)
+        host, port = mute.getsockname()[:2]
+        try:
+            with pytest.raises(JobError, match="never answered"):
+                run_matrix_worker(f"{host}:{port}", connect_timeout=1.0)
+        finally:
+            mute.close()
+
+    def test_silent_stray_connection_does_not_block_admission(
+        self, tmp_path, monkeypatch
+    ):
+        """One connection that never sends a hello must not wedge the
+        acceptor: a real worker arriving later still gets admitted."""
+        import socket as socket_module
+        import time
+
+        import repro.experiments.matrix as matrix_module
+
+        monkeypatch.setattr(matrix_module, "_WK_HELLO_TIMEOUT", 0.3)
+        spec = small_spec()
+        runner = MatrixRunner(spec, str(tmp_path), serve=SERVE)
+        # Slow the parent down so the matrix outlives the stray's timeout
+        # window and the admitted worker demonstrably claims cells.
+        original = MatrixRunner.execute_cell
+
+        def slowed(self, cell):
+            time.sleep(0.7)
+            return original(self, cell)
+
+        monkeypatch.setattr(MatrixRunner, "execute_cell", slowed)
+        host, port = runner.serve.rsplit(":", 1)
+        stray = socket_module.create_connection((host, int(port)))
+        try:
+            result, executed = run_with_workers(runner, num_workers=1)
+        finally:
+            stray.close()
+        assert not result.failed_cells()
+        assert executed[0] >= 1  # the real worker was admitted and worked

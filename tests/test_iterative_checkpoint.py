@@ -20,7 +20,7 @@ from repro.datampi import (
     write_iteration_state,
 )
 
-TRANSPORTS = ("thread", "shm")
+TRANSPORTS = ("thread", "shm", "tcp")
 
 SPLITS = [list(range(6)), list(range(6, 12))]
 

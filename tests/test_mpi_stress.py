@@ -53,7 +53,7 @@ def _stress_main(comm, seed):
     return observed, tag_observed
 
 
-@pytest.mark.parametrize("transport", ["thread", "shm", "inline"])
+@pytest.mark.parametrize("transport", ["thread", "shm", "inline", "tcp"])
 def test_non_overtaking_under_stress(transport):
     results = mpi_run(
         NUM_SENDERS + NUM_RECEIVERS, _stress_main, args=(1234,), transport=transport
@@ -70,7 +70,7 @@ def test_non_overtaking_under_stress(transport):
             assert sequences == sorted(sequences)
 
 
-@pytest.mark.parametrize("transport", ["thread", "shm"])
+@pytest.mark.parametrize("transport", ["thread", "shm", "tcp"])
 def test_selective_recv_by_tag_under_stress(transport):
     """Receivers drain tag-by-tag; selective matching must never lose or
     reorder messages within one (source, tag) stream."""
@@ -103,7 +103,7 @@ class TestRecvTimeout:
     def test_default_timeout_is_recv_timeout(self):
         assert RECV_TIMEOUT == 120.0
 
-    @pytest.mark.parametrize("transport", ["thread", "shm"])
+    @pytest.mark.parametrize("transport", ["thread", "shm", "tcp"])
     def test_blocked_recv_raises_instead_of_hanging(self, transport):
         def main(comm):
             if comm.rank == 1:

@@ -17,11 +17,12 @@ from repro.mpi.transport import (
     InlineTransport,
     ShmRing,
     ShmTransport,
+    TcpTransport,
     ThreadTransport,
     Transport,
 )
 
-TRANSPORTS = ("thread", "shm", "inline")
+TRANSPORTS = ("thread", "shm", "inline", "tcp")
 
 
 @pytest.fixture(params=TRANSPORTS)
@@ -37,6 +38,7 @@ class TestRegistry:
         assert isinstance(get_transport("thread"), ThreadTransport)
         assert isinstance(get_transport("shm"), ShmTransport)
         assert isinstance(get_transport("inline"), InlineTransport)
+        assert isinstance(get_transport("tcp"), TcpTransport)
 
     def test_instance_passthrough(self):
         instance = ThreadTransport()
@@ -53,6 +55,26 @@ class TestRegistry:
     def test_default_is_thread(self, monkeypatch):
         monkeypatch.delenv("REPRO_TRANSPORT", raising=False)
         assert isinstance(get_transport(), ThreadTransport)
+
+    def test_backend_options_pass_through(self):
+        transport = get_transport("tcp", hosts="127.0.0.1", port=0)
+        assert transport.hosts == ["127.0.0.1"]
+        assert get_transport("shm", ring_bytes=4096).ring_bytes == 4096
+
+    def test_unknown_option_names_backend_and_kwarg(self):
+        """A kwarg the backend does not accept must raise MPIError naming
+        both, not vanish silently or surface a bare TypeError."""
+        with pytest.raises(MPIError, match=r"'thread'.*'hosts'"):
+            get_transport("thread", hosts="a,b")
+        with pytest.raises(MPIError, match=r"'inline'.*'port'"):
+            get_transport("inline", port=99)
+        with pytest.raises(MPIError, match=r"'shm'.*'hosts'.*ring_bytes"):
+            get_transport("shm", hosts="a")  # names the accepted options
+
+    def test_options_rejected_on_instance_passthrough(self):
+        instance = ThreadTransport()
+        with pytest.raises(MPIError, match="already-constructed"):
+            get_transport(instance, hosts="a")
 
 
 class TestSharedSemantics:
@@ -243,6 +265,75 @@ class TestShmSpecifics:
         finally:
             ring.close()
             ring.unlink()
+
+
+class TestShmSegmentLeaks:
+    """Every SharedMemory segment must be unlinked on *every* exit path.
+
+    A leaked segment outlives the process (kernel object until reboot)
+    and triggers resource_tracker warnings; the run() cleanup therefore
+    may not depend on the fabric having been fully built, nor on any
+    rank having exited cleanly.
+    """
+
+    @staticmethod
+    def _recording_ring(monkeypatch, fail_at: int | None = None):
+        """Record every segment name ShmTransport creates; optionally
+        blow up on the ``fail_at``-th construction (mid-fabric abort)."""
+        from repro.mpi.transport import shm as shm_module
+
+        real = shm_module.ShmRing
+        created: list[str] = []
+        calls = {"n": 0}
+
+        class Recording(real):
+            def __init__(self, ctx, capacity):
+                calls["n"] += 1
+                if fail_at is not None and calls["n"] == fail_at:
+                    raise MPIError("injected fabric construction failure")
+                super().__init__(ctx, capacity)
+                created.append(self._shm.name)
+
+        monkeypatch.setattr(shm_module, "ShmRing", Recording)
+        return created
+
+    @staticmethod
+    def _assert_all_unlinked(names):
+        from multiprocessing import shared_memory
+
+        assert names, "the run never built any ring"
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                segment = shared_memory.SharedMemory(name=name)
+                segment.close()  # attach succeeded: it leaked
+
+    def test_normal_exit_unlinks_every_segment(self, monkeypatch):
+        created = self._recording_ring(monkeypatch)
+        assert mpi_run(3, lambda comm: comm.rank, transport="shm") == [0, 1, 2]
+        self._assert_all_unlinked(created)
+
+    def test_rank_failure_unlinks_every_segment(self, monkeypatch):
+        created = self._recording_ring(monkeypatch)
+
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("mid-run abort")
+            comm.barrier()
+
+        with pytest.raises(MPIError):
+            mpi_run(3, main, transport="shm")
+        self._assert_all_unlinked(created)
+
+    def test_abort_mid_fabric_construction_unlinks_partial_fabric(
+        self, monkeypatch
+    ):
+        """An exception while the rings are still being built (shm space
+        or descriptors exhausted) must unlink the ones already created —
+        including the partially-built row the failure interrupted."""
+        created = self._recording_ring(monkeypatch, fail_at=4)
+        with pytest.raises(MPIError, match="injected fabric construction"):
+            mpi_run(3, lambda comm: None, transport="shm")
+        self._assert_all_unlinked(created)
 
 
 class TestInlineSpecifics:

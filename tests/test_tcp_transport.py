@@ -1,0 +1,260 @@
+"""TCP-transport specifics: framing, address specs, multi-process worlds,
+and externally joined ranks (the separate-machines code path).
+
+The shared-semantics and equivalence guarantees are covered by
+``test_mpi_transports.py`` / ``test_transport_equivalence.py`` (tcp is in
+their transport lists); this file pins what only this backend has: the
+hosts/port options, the rendezvous, and the wire protocol.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.common.errors import MPIError
+from repro.mpi import mpi_run
+from repro.mpi.transport import (
+    TcpTransport,
+    TcpWorldServer,
+    join_world,
+    parse_address,
+    parse_hosts,
+)
+from repro.mpi.transport.tcp import recv_frame, send_frame
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestSpecs:
+    def test_parse_hosts_default_is_localhost(self):
+        assert parse_hosts(None) == ["127.0.0.1"]
+
+    def test_parse_hosts_comma_separated(self):
+        assert parse_hosts("node-a, node-b,node-c") == \
+            ["node-a", "node-b", "node-c"]
+
+    def test_parse_hosts_sequence(self):
+        assert parse_hosts(["x", "y"]) == ["x", "y"]
+
+    def test_parse_hosts_empty_rejected(self):
+        with pytest.raises(MPIError, match="empty hosts"):
+            parse_hosts(" , ,")
+
+    def test_ranks_assigned_round_robin(self):
+        transport = TcpTransport(hosts="a,b")
+        assert [transport.host_for_rank(r) for r in range(4)] == \
+            ["a", "b", "a", "b"]
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.1:9997") == ("10.0.0.1", 9997)
+        assert parse_address(("h", 80)) == ("h", 80)
+
+    def test_parse_address_rejects_garbage(self):
+        with pytest.raises(MPIError, match="HOST:PORT"):
+            parse_address("no-port-here")
+        with pytest.raises(MPIError, match="bad port"):
+            parse_address("host:nan")
+        with pytest.raises(MPIError, match="out of range"):
+            parse_address("host:70000")
+
+    def test_bad_port_rejected_at_construction(self):
+        with pytest.raises(MPIError, match="port out of range"):
+            TcpTransport(port=-1)
+
+    def test_unreachable_bind_host_fails_loudly(self):
+        """A hosts entry that is not an address of this machine must
+        surface as an MPIError, not a hang."""
+        with pytest.raises(MPIError, match="cannot bind|rendezvous"):
+            TcpTransport(hosts="203.0.113.7").run(
+                2, lambda comm: None, timeout=5.0
+            )
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, 1, tag=42, obj={"payload": b"x" * 100_000})
+            kind, tag, obj = recv_frame(right)
+            assert (kind, tag) == (1, 42)
+            assert obj == {"payload": b"x" * 100_000}
+        finally:
+            left.close()
+            right.close()
+
+    def test_clean_eof_is_none(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            assert recv_frame(right) is None
+        finally:
+            right.close()
+
+    def test_truncated_frame_raises(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, 1, tag=0, obj=b"y" * 4096)
+            # Steal only half the frame, then cut the connection.
+            right.recv(10)
+            left.close()
+            with pytest.raises(MPIError, match="mid-frame"):
+                while recv_frame(right) is not None:
+                    pass
+        finally:
+            right.close()
+
+
+class TestProcessWorld:
+    def test_ranks_are_distinct_processes(self):
+        def main(comm):
+            return comm.allgather(os.getpid())
+
+        pids = mpi_run(4, main, transport="tcp")[0]
+        assert len(set(pids)) == 4
+        assert os.getpid() not in pids
+
+    def test_rank_pair_sockets_carry_bulk_payloads(self):
+        blob = bytes(range(256)) * 2048  # 512 KiB
+
+        def main(comm):
+            if comm.rank == 0:
+                for dest in range(1, comm.size):
+                    comm.send(dest, blob, tag=5)
+                return None
+            return comm.recv(source=0, tag=5).payload == blob
+
+        assert mpi_run(3, main, transport="tcp")[1:] == [True, True]
+
+    def test_finished_rank_keeps_fabric_alive_for_peers(self):
+        """A rank returning early must not tear down its sockets while
+        peers still exchange messages (teardown waits for the launcher's
+        shutdown broadcast)."""
+
+        def main(comm):
+            if comm.rank == 0:
+                return "early"  # finishes immediately
+            if comm.rank == 1:
+                comm.send(2, "late-message", tag=9)
+                return None
+            return comm.recv(source=1, tag=9, timeout=30.0).payload
+
+        assert mpi_run(3, main, transport="tcp") == \
+            ["early", None, "late-message"]
+
+    def test_explicit_rendezvous_port(self):
+        with socket.socket() as probe:  # find a free port, then release it
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        transport = TcpTransport(port=port)
+        assert mpi_run(2, lambda comm: comm.rank, transport=transport) == [0, 1]
+
+
+_JOIN_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.mpi.transport import join_world
+
+def main(comm, base):
+    return comm.allreduce(base + comm.rank)
+
+print("result", join_world({address!r}, main, args=(10,)))
+"""
+
+
+class TestExternalJoin:
+    """Ranks in *separately launched* processes — no fork inheritance, so
+    this exercises exactly the wire protocol separate machines would."""
+
+    def _spawn_joiner(self, address: str) -> subprocess.Popen:
+        script = _JOIN_SCRIPT.format(
+            src=os.path.join(REPO_ROOT, "src"), address=address
+        )
+        return subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+
+    def test_world_of_external_processes(self):
+        world_size = 3
+        server = TcpWorldServer(world_size=world_size)
+        joiners = [self._spawn_joiner(server.address)
+                   for _ in range(world_size)]
+        results = server.run(timeout=60.0)
+        expected = sum(10 + rank for rank in range(world_size))
+        assert results == [expected] * world_size
+        for process in joiners:
+            output, _ = process.communicate(timeout=30)
+            assert process.returncode == 0, output
+            assert f"result {expected}" in output
+
+    def test_mixed_local_thread_and_external_rank(self):
+        """join_world from a plain thread of this process (what a worker
+        embedded in another program would do)."""
+        server = TcpWorldServer(world_size=2)
+        joined: dict[int, int] = {}
+
+        def joiner(slot: int) -> None:
+            joined[slot] = join_world(
+                server.address, lambda comm: comm.allreduce(1), timeout=30.0
+            )
+
+        threads = [threading.Thread(target=joiner, args=(slot,))
+                   for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        assert server.run(timeout=30.0) == [2, 2]
+        for thread in threads:
+            thread.join(10.0)
+        assert joined == {0: 2, 1: 2}
+
+    def test_joined_rank_failure_propagates_to_server(self):
+        server = TcpWorldServer(world_size=2)
+
+        def joiner(fail: bool) -> None:
+            def main(comm):
+                if fail:
+                    raise ValueError("joined rank exploded")
+                comm.recv(source=1 - comm.rank, timeout=30.0)
+
+            try:
+                join_world(server.address, main, rank=0 if fail else 1,
+                           timeout=30.0)
+            except Exception:
+                pass  # asserted via the server below
+
+        threads = [threading.Thread(target=joiner, args=(fail,))
+                   for fail in (True, False)]
+        for thread in threads:
+            thread.start()
+        with pytest.raises(MPIError, match="joined rank exploded"):
+            server.run(timeout=30.0)
+        for thread in threads:
+            thread.join(10.0)
+
+    def test_rendezvous_times_out_when_ranks_never_join(self):
+        server = TcpWorldServer(world_size=2)
+        with pytest.raises(MPIError, match="rendezvous incomplete"):
+            server.run(timeout=1.0)
+
+    def test_silent_stray_connection_does_not_wedge_rendezvous(self):
+        """A connection that never sends a registration (port scan,
+        health check) must not block the world from forming, nor pin
+        the rendezvous past its deadline."""
+        server = TcpWorldServer(world_size=1)
+        host, port = parse_address(server.address)
+        stray = socket.create_connection((host, port))
+        try:
+            joiner = threading.Thread(
+                target=join_world,
+                args=(server.address, lambda comm: comm.rank),
+                kwargs={"timeout": 30.0},
+            )
+            joiner.start()
+            assert server.run(timeout=10.0) == [0]
+            joiner.join(10.0)
+        finally:
+            stray.close()

@@ -39,7 +39,7 @@ from repro.workloads import (
     wordcount_streaming,
 )
 
-TRANSPORTS = ("thread", "shm", "inline")
+TRANSPORTS = ("thread", "shm", "inline", "tcp")
 ALT_TRANSPORTS = tuple(t for t in TRANSPORTS if t != "thread")
 
 LINES = TextGenerator(seed=7).lines(240)

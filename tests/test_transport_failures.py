@@ -1,0 +1,170 @@
+"""Failure semantics pinned across *all four* backends.
+
+Every transport must present the same :class:`MPIError` surface for the
+two failure families that matter to the job drivers:
+
+* **recv timeout / can-never-match** — a blocked receive surfaces
+  ``MPIError`` (the inline scheduler proves non-delivery instantly and
+  says "deadlock"; the others wait out the timeout and say "timed out" —
+  both are the same contract: raise, never hang);
+* **peer death** — when a rank raises, is hard-killed, or abandons a
+  collective, every *other* rank blocked on it must fail fast via the
+  backend's poison path, and the run must report the original failure,
+  not the poison symptom.
+
+This suite is parametrized over the full backend list so a new transport
+(tcp was added this way) cannot ship with divergent failure behaviour.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.common.errors import MPIError
+from repro.mpi import mpi_run
+
+ALL_BACKENDS = ("thread", "shm", "inline", "tcp")
+
+#: Backends whose ranks are OS processes a hard kill can take out.
+PROCESS_BACKENDS = ("shm", "tcp")
+
+#: A blocked rank must fail well before this (poison, not timeout).
+FAIL_FAST_SECONDS = 10.0
+
+#: Timeout given to receives that must be cut short by peer death.
+LONG_RECV = 60.0
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend(request):
+    return request.param
+
+
+@pytest.fixture(params=PROCESS_BACKENDS)
+def process_backend(request):
+    return request.param
+
+
+class TestRecvTimeout:
+    def test_unsatisfiable_recv_raises_mpierror(self, backend):
+        """Nobody ever sends tag 7: MPIError, never a hang."""
+
+        def main(comm):
+            if comm.rank == 1:
+                comm.recv(source=0, tag=7, timeout=0.3)
+            return None
+
+        start = time.monotonic()
+        with pytest.raises(MPIError, match="timed out|deadlock"):
+            mpi_run(2, main, transport=backend)
+        assert time.monotonic() - start < FAIL_FAST_SECONDS
+
+    def test_single_rank_self_deadlock(self, backend):
+        def main(comm):
+            comm.recv(source=0, tag=3, timeout=0.2)
+
+        with pytest.raises(MPIError, match="timed out|deadlock|rank 0"):
+            mpi_run(1, main, transport=backend)
+
+    def test_mismatched_tag_does_not_satisfy_recv(self, backend):
+        """Selective receive must not be satisfied by a near-miss; the
+        timeout error is the proof the message was (correctly) skipped."""
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(1, "noise", tag=1)
+                return None
+            comm.recv(source=0, tag=2, timeout=0.3)
+            return None
+
+        with pytest.raises(MPIError, match="timed out|deadlock"):
+            mpi_run(2, main, transport=backend)
+
+
+class TestPeerDeath:
+    def test_original_error_wins_over_poison(self, backend):
+        """The run reports the rank that *caused* the failure, not the
+        ranks that were poisoned awake by it."""
+
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("the original failure")
+            comm.recv(source=0, tag=3, timeout=LONG_RECV)
+
+        with pytest.raises(MPIError, match="the original failure"):
+            mpi_run(2, main, transport=backend)
+
+    def test_blocked_recv_fails_fast_after_peer_death(self, backend):
+        """Peer death must cut a long-timeout receive short."""
+
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early death")
+            comm.recv(source=0, tag=3, timeout=LONG_RECV)
+
+        start = time.monotonic()
+        with pytest.raises(MPIError):
+            mpi_run(3, main, transport=backend)
+        assert time.monotonic() - start < FAIL_FAST_SECONDS
+
+    def test_blocked_barrier_fails_fast_after_peer_death(self, backend):
+        def main(comm):
+            if comm.rank == 0:
+                raise RuntimeError("no barrier for you")
+            comm.barrier(timeout=LONG_RECV)
+
+        start = time.monotonic()
+        with pytest.raises(MPIError):
+            mpi_run(3, main, transport=backend)
+        assert time.monotonic() - start < FAIL_FAST_SECONDS
+
+    def test_blocked_collective_fails_fast_after_peer_death(self, backend):
+        def main(comm):
+            if comm.rank == 2:
+                raise RuntimeError("gather will never complete")
+            return comm.gather(comm.rank, root=0)
+
+        start = time.monotonic()
+        with pytest.raises(MPIError, match="gather will never complete"):
+            mpi_run(3, main, transport=backend)
+        assert time.monotonic() - start < FAIL_FAST_SECONDS
+
+
+class TestHardKill:
+    """SIGKILL-grade death: the rank reports nothing, its process simply
+    vanishes.  Only the process backends can lose a rank this way."""
+
+    def test_killed_rank_is_reported_not_awaited(self, process_backend):
+        def main(comm):
+            if comm.rank == 0:
+                os._exit(17)  # no exception, no cleanup, no goodbye
+            comm.recv(source=0, tag=3, timeout=LONG_RECV)
+
+        start = time.monotonic()
+        with pytest.raises(MPIError, match="died without reporting|aborted|peer"):
+            mpi_run(2, main, transport=process_backend)
+        assert time.monotonic() - start < FAIL_FAST_SECONDS
+
+    def test_killed_rank_unblocks_whole_world(self, process_backend):
+        def main(comm):
+            if comm.rank == 1:
+                os._exit(1)
+            comm.barrier(timeout=LONG_RECV)
+
+        start = time.monotonic()
+        with pytest.raises(MPIError):
+            mpi_run(4, main, transport=process_backend)
+        assert time.monotonic() - start < FAIL_FAST_SECONDS
+
+    def test_survivor_results_are_not_fabricated(self, process_backend):
+        """After a kill, the launcher must raise — never return a result
+        list with holes where the dead rank's value would be."""
+
+        def main(comm):
+            if comm.rank == 0:
+                os._exit(3)
+            return "survivor"
+
+        with pytest.raises(MPIError):
+            mpi_run(2, main, transport=process_backend)
