@@ -286,7 +286,7 @@ def _progress_line(result) -> None:
 
 
 def _cmd_experiment_run(args) -> int:
-    from repro.common.errors import ConfigError
+    from repro.common.errors import ConfigError, ReproError
     from repro.experiments.matrix import MatrixRunner, verify_cross_engine
     from repro.experiments.spec import get_spec
 
@@ -307,7 +307,11 @@ def _cmd_experiment_run(args) -> int:
         how = f"on {runner.workers} workers"
     print(f"running experiment {spec.name!r} "
           f"({len(spec.cells)} cells, {how}) -> {args.out}")
-    result = runner.run(resume=not args.no_resume)
+    try:
+        result = runner.run(resume=not args.no_resume)
+    except ReproError as exc:  # e.g. a stalled distributed run
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     failed = result.failed_cells()
     agree = verify_cross_engine(result)
     print(f"done: {result.executed} executed, {result.resumed} resumed, "
@@ -441,10 +445,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "runs render byte-identical reports")
     exp_run.add_argument("--serve", default=None, metavar="HOST:PORT",
                          help="also admit distributed workers ('repro "
-                              "experiment worker --join HOST:PORT') that "
+                              "experiment worker --join TOKEN') that "
                               "claim cells via claim files next to the "
-                              "checkpoints; port 0 binds an ephemeral port "
-                              "(printed).  Mutually exclusive with --parallel")
+                              "checkpoints; port 0 binds an ephemeral port.  "
+                              "Workers must authenticate: the printed join "
+                              "token (HOST:PORT/KEY) carries a generated "
+                              "key, or set REPRO_MATRIX_AUTHKEY on both "
+                              "sides.  Mutually exclusive with --parallel")
     exp_run.set_defaults(func=_cmd_experiment_run)
 
     exp_worker = exp_sub.add_parser(
@@ -453,8 +460,11 @@ def build_parser() -> argparse.ArgumentParser:
              "(multi-host runs need the matrix --out directory on a "
              "shared filesystem)",
     )
-    exp_worker.add_argument("--join", required=True, metavar="HOST:PORT",
-                            help="address the parent passed to --serve")
+    exp_worker.add_argument("--join", required=True, metavar="TOKEN",
+                            help="join token the serving parent printed "
+                                 "(HOST:PORT/KEY), or a bare HOST:PORT with "
+                                 "REPRO_MATRIX_AUTHKEY set to the parent's "
+                                 "key")
     exp_worker.add_argument("--connect-timeout", type=float, default=30.0,
                             help="seconds to keep retrying the first connect "
                                  "(the parent may still be starting)")

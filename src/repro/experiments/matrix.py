@@ -24,20 +24,24 @@ one: surviving cell files are reused, missing and failed cells re-run.
 Cells can also be executed by **distributed workers** on other processes
 or machines (``MatrixRunner(..., serve="host:port")`` plus
 ``repro experiment worker --join host:port``).  Coordination reuses the
-checkpoint directory: a worker takes a cell by atomically creating a
-**claim file** next to its checkpoint (``cells/<cell_id>.claim``,
-``O_EXCL`` — first creator wins, everyone else skips), runs the exact
+checkpoint directory: a worker takes a cell by atomically linking a
+**claim file** into place next to its checkpoint
+(``cells/<cell_id>.claim`` — first link wins, everyone else skips, and
+the file is never visible without its owner record), runs the exact
 per-cell pipeline :func:`_run_cell_worker` runs on the process pool, and
 streams the result to the parent over a length-prefixed TCP frame
-channel (the tcp transport's wire format).  The parent is the only
-writer of checkpoints and reports, so serial, pooled, and distributed
-runs are byte-identical; a worker that dies mid-cell simply forfeits its
-claim and the parent re-runs the cell.
+channel (the tcp transport's wire format).  Workers authenticate with an
+HMAC challenge before any frame crosses the wire (frames unpickle); the
+shared key rides the printed join token or ``REPRO_MATRIX_AUTHKEY``.
+The parent is the only writer of checkpoints and reports, so serial,
+pooled, and distributed runs are byte-identical; a worker that dies
+mid-cell simply forfeits its claim and the parent re-runs the cell.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import glob
 import hashlib
 import json
 import os
@@ -55,9 +59,13 @@ from repro.bigdatabench import (
 from repro.common.errors import ConfigError, JobError, ReproError
 from repro.datampi.checkpoint import atomic_write_json, read_json
 from repro.mpi.transport.tcp import (
+    answer_challenge,
+    deliver_challenge,
     format_address,
     parse_address,
+    parse_authkey,
     recv_frame,
+    resolve_authkey,
     send_frame,
 )
 from repro.experiments.profiler import ResourceProfiler
@@ -471,9 +479,18 @@ _WK_BYE = 19      #: worker -> parent: no more claimable cells
 
 _WORKER_PROTO = 1
 
-#: Seconds the acceptor waits for a connection's hello before dropping it
-#: (strays are handled serially, so this bounds admission latency too).
+#: Seconds the acceptor waits for a connection's handshake + hello before
+#: dropping it (strays are handled serially, so this bounds admission
+#: latency too).
 _WK_HELLO_TIMEOUT = 5.0
+
+#: Environment variable supplying the worker protocol's shared secret
+#: when the join token does not carry one (e.g. CI pinning a fixed
+#: address for both sides).  Like the tcp transport, workers must clear
+#: an HMAC challenge before any frame — frames unpickle — so the parent
+#: either takes this key or generates one and embeds it in the printed
+#: join token (``HOST:PORT/KEY``).
+MATRIX_AUTHKEY_ENV_VAR = "REPRO_MATRIX_AUTHKEY"
 
 CLAIM_SUFFIX = ".claim"
 
@@ -486,19 +503,27 @@ def try_claim_cell(out_dir: str, cell_id: str, spec_hash: str,
                    owner: str) -> bool:
     """Atomically claim one cell; False when someone already holds it.
 
-    ``O_CREAT | O_EXCL`` makes the filesystem the arbiter: exactly one
-    creator wins, on a local disk or a shared mount.  The file records
-    the owner so a coordinator can tell a live claim from a dead one.
+    The owner record is written to a private temp file first and
+    ``os.link``-ed into place, so the filesystem stays the arbiter
+    (exactly one link wins, on a local disk or a shared mount) *and* a
+    claim file is never observable without its owner — a coordinator
+    reading a claim mid-creation must not mistake it for a dead one.
     """
     path = claim_path(out_dir, cell_id)
     os.makedirs(os.path.dirname(path), exist_ok=True)
-    try:
-        descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-    except FileExistsError:
-        return False
-    with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+    # The temp name must be unique across *hosts* too — workers on a
+    # shared mount can collide on pid + thread ident alone.
+    tmp = (f"{path}.{socket.gethostname()}.{os.getpid()}"
+           f".{threading.get_ident()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
         json.dump({"owner": owner, "spec_hash": spec_hash,
                    "pid": os.getpid(), "host": socket.gethostname()}, handle)
+    try:
+        os.link(tmp, path)
+    except FileExistsError:
+        return False
+    finally:
+        os.unlink(tmp)
     return True
 
 
@@ -507,6 +532,18 @@ def release_claim(out_dir: str, cell_id: str) -> None:
         os.unlink(claim_path(out_dir, cell_id))
     except FileNotFoundError:
         pass
+
+
+def sweep_claim_debris(out_dir: str) -> None:
+    """Remove orphaned claim temp files (a claimant killed between
+    writing its record and the link/unlink leaves one behind); the
+    stale-claim sweep only covers ``.claim`` files themselves."""
+    pattern = os.path.join(out_dir, CELLS_DIR, f"*{CLAIM_SUFFIX}.*.tmp")
+    for leftover in glob.glob(pattern):
+        try:
+            os.unlink(leftover)
+        except OSError:
+            pass  # another sweeper got it, or the mount refuses: not fatal
 
 
 def claim_owner(out_dir: str, cell_id: str) -> str | None:
@@ -525,14 +562,17 @@ def run_matrix_worker(
     """Join a serving matrix run and execute claimable cells until dry.
 
     The ``repro experiment worker --join`` entry point.  Connects to the
-    parent, receives the spec and checkpoint directory, then sweeps the
-    cells: checkpointed cells are skipped, claimable ones are claimed,
-    executed with the exact process-pool pipeline, and streamed back.
-    The *parent* writes every checkpoint and releases the claim — this
-    process only computes.  Returns the number of cells it executed.
+    parent, clears its HMAC challenge (the key rides the join token's
+    ``/KEY`` segment or ``REPRO_MATRIX_AUTHKEY``), receives the spec and
+    checkpoint directory, then sweeps the cells: checkpointed cells are
+    skipped, claimable ones are claimed, executed with the exact
+    process-pool pipeline, and streamed back.  The *parent* writes every
+    checkpoint and releases the claim — this process only computes.
+    Returns the number of cells it executed.
     """
     progress = progress or (lambda result: None)
     host, port = parse_address(address)
+    authkey = parse_authkey(address) or os.environ.get(MATRIX_AUTHKEY_ENV_VAR)
     deadline = time.monotonic() + connect_timeout
     while True:  # the parent may still be binding its listener
         try:
@@ -547,19 +587,34 @@ def run_matrix_worker(
             time.sleep(0.1)
     try:
         # Bound the handshake: a wrong-but-listening port (or a wedged
-        # parent) accepts the connect but never answers the hello, and an
-        # unbounded read would hang the worker CLI forever.
+        # parent) accepts the connect but never answers the challenge, and
+        # an unbounded read would hang the worker CLI forever.
         sock.settimeout(max(connect_timeout, 10.0))
         try:
-            send_frame(sock, _WK_HELLO, obj={"proto": _WORKER_PROTO})
-            frame = recv_frame(sock)
+            if authkey is None:
+                # The parent always challenges first.  Anything arriving
+                # proves this is an authenticating parent we cannot
+                # answer; a clean EOF means its run already finished.
+                if sock.recv(1):
+                    raise JobError(
+                        f"matrix parent at {address} requires an authkey: "
+                        f"join with the full token printed by --serve "
+                        f"(HOST:PORT/KEY) or set {MATRIX_AUTHKEY_ENV_VAR}"
+                    )
+                frame = None
+            elif not answer_challenge(sock, authkey):
+                frame = None  # parent hung up before admitting us
+            else:
+                try:
+                    send_frame(sock, _WK_HELLO, obj={"proto": _WORKER_PROTO})
+                    frame = recv_frame(sock)
+                except (OSError, ReproError):  # torn mid-handshake
+                    frame = None
         except socket.timeout:
             raise JobError(
                 f"{address} accepted the connection but never answered the "
-                f"worker hello (not a serving matrix parent?)"
+                f"worker handshake (not a serving matrix parent?)"
             ) from None
-        except (OSError, ReproError):  # torn mid-handshake
-            frame = None
         sock.settimeout(None)
         if frame is None:
             # The parent accepted then hung up: its run finished (or it
@@ -612,11 +667,17 @@ class _MatrixServer:
     """
 
     def __init__(self, spec: ExperimentSpec, out_dir: str, address: str,
-                 interval: float):
+                 interval: float, authkey: str | bytes | None = None):
         self._spec_doc = spec.to_dict()
         self._out_dir = out_dir
         self._interval = interval
         host, port = parse_address(address)
+        # Workers must authenticate before any frame is exchanged (frames
+        # unpickle).  A generated key is embedded in the advertised join
+        # token; a supplied one (argument or env) stays out of it.
+        self._authkey, token = resolve_authkey(
+            authkey or parse_authkey(address), MATRIX_AUTHKEY_ENV_VAR
+        )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -627,11 +688,10 @@ class _MatrixServer:
                 f"cannot serve matrix workers on {address}: {exc}"
             ) from exc
         self._listener.listen(16)
-        self.address = format_address(self._listener.getsockname()[:2])
+        self.address = format_address(self._listener.getsockname()[:2], token)
         self._lock = threading.Lock()
         self._results: list[tuple[str, CellResult]] = []
         self._live: set[str] = set()
-        self._ever: set[str] = set()
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._conns: list[socket.socket] = []
@@ -670,10 +730,6 @@ class _MatrixServer:
         with self._lock:
             return owner is not None and owner in self._live
 
-    def workers_seen(self) -> int:
-        with self._lock:
-            return len(self._ever)
-
     # -- threads ---------------------------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -689,16 +745,23 @@ class _MatrixServer:
             except OSError:
                 return  # listener closed
             try:
-                # Bound the hello read: an accepted socket is blocking, and
-                # one silent connection (port scan, health check) must not
-                # wedge the single acceptor thread — and with it all
-                # future worker admission — forever.
+                # Bound the handshake + hello read: an accepted socket is
+                # blocking, and one silent connection (port scan, health
+                # check) must not wedge the single acceptor thread — and
+                # with it all future worker admission — forever.
                 conn.settimeout(_WK_HELLO_TIMEOUT)
                 try:
+                    # Challenge before the first frame: frames unpickle,
+                    # and this port admits anything on the network.
+                    deliver_challenge(conn, self._authkey)
                     frame = recv_frame(conn)
-                except Exception:  # noqa: BLE001 - timeout, garbage bytes
+                except Exception:  # noqa: BLE001 - timeout, bad key, garbage
                     frame = None
+                # The whole validation stays inside this thread's guard:
+                # a malformed hello (e.g. a non-dict payload) must drop
+                # the connection, never kill the single acceptor.
                 if frame is None or frame[0] != _WK_HELLO or \
+                        not isinstance(frame[2], dict) or \
                         frame[2].get("proto") != _WORKER_PROTO:
                     conn.close()
                     continue
@@ -707,7 +770,6 @@ class _MatrixServer:
                     self._next_id += 1
                     worker_id = f"worker-{self._next_id}"
                     self._live.add(worker_id)
-                    self._ever.add(worker_id)
                     self._conns.append(conn)
                 send_frame(conn, _WK_WELCOME, obj={
                     "worker_id": worker_id,
@@ -888,6 +950,7 @@ class MatrixRunner:
         # up as pending but must not survive into this run.
         for cell in self.spec.cells:
             release_claim(self.out_dir, cell.cell_id)
+        sweep_claim_debris(self.out_dir)
         executed = 0
 
         def record(cell: CellSpec, result: CellResult) -> None:
@@ -926,9 +989,13 @@ class MatrixRunner:
                 else:
                     # Everything left is claimed by workers: reap claims
                     # whose owner is gone, then wait for live streams.
+                    # A missing claim (owner None) is *claimable*, not
+                    # orphaned — releasing it would race a worker linking
+                    # its claim right now; the next sweep picks it up.
                     for cell_id in list(remaining):
                         owner = claim_owner(self.out_dir, cell_id)
-                        if owner != "parent" and not server.owner_is_live(owner):
+                        if owner is not None and owner != "parent" \
+                                and not server.owner_is_live(owner):
                             release_claim(self.out_dir, cell_id)
                             progressed = True
                     if not progressed and remaining:
@@ -947,6 +1014,7 @@ class MatrixRunner:
         # is dropped above); no claim file may outlive the run.
         for cell in self.spec.cells:
             release_claim(self.out_dir, cell.cell_id)
+        sweep_claim_debris(self.out_dir)
         return executed
 
     def run(self, resume: bool = True) -> MatrixResult:
@@ -960,6 +1028,16 @@ class MatrixRunner:
         atomic_write_json(os.path.join(self.out_dir, SPEC_FILE),
                           {"spec_hash": self.spec.spec_hash,
                            **self.spec.to_dict()})
+        if not resume:
+            # Delete the stale checkpoints rather than merely ignoring
+            # them: distributed workers decide what to execute from the
+            # files on disk, so a lingering "done" checkpoint would make
+            # every worker skip every cell and the run degrade to serial.
+            for cell in self.spec.cells:
+                try:
+                    os.unlink(self.cell_path(cell))
+                except FileNotFoundError:
+                    pass
         by_id: dict[str, CellResult] = {}
         pending: list[CellSpec] = []
         resumed = 0

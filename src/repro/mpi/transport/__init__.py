@@ -34,12 +34,18 @@ from repro.mpi.transport.shm import (
     ShmTransport,
 )
 from repro.mpi.transport.tcp import (
+    AUTHKEY_ENV_VAR,
+    MAX_FRAME_BYTES,
     TcpEndpoint,
     TcpTransport,
     TcpWorldServer,
+    answer_challenge,
+    deliver_challenge,
     join_world,
     parse_address,
+    parse_authkey,
     parse_hosts,
+    resolve_authkey,
 )
 from repro.mpi.transport.thread import (
     Mailbox,
@@ -51,9 +57,11 @@ from repro.mpi.transport.thread import (
 __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
+    "AUTHKEY_ENV_VAR",
     "DEFAULT_TRANSPORT",
     "DEFAULT_RING_BYTES",
     "JOIN_TIMEOUT",
+    "MAX_FRAME_BYTES",
     "RECV_TIMEOUT",
     "RING_MIN_BYTES",
     "TRANSPORT_ENV_VAR",
@@ -72,11 +80,15 @@ __all__ = [
     "ThreadTransport",
     "Transport",
     "World",
+    "answer_challenge",
     "available_transports",
     "default_transport_name",
+    "deliver_challenge",
     "get_transport",
     "join_world",
     "parse_address",
+    "parse_authkey",
     "parse_hosts",
     "register_transport",
+    "resolve_authkey",
 ]

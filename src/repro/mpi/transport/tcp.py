@@ -41,12 +41,38 @@ serving side runs :class:`TcpWorldServer` and each remote process calls
 :func:`join_world` with the rendezvous address; the wire protocol is
 identical (the localhost spawn is just ``join_world`` with fork instead
 of ssh).
+
+Security
+--------
+
+Frame payloads are pickled, and unpickling attacker-controlled bytes is
+arbitrary code execution — so **no socket ever reaches the frame layer
+unauthenticated**.  Every accepted connection (rendezvous, peer pair,
+and the experiment matrix's worker protocol, which reuses this framing)
+must first clear an HMAC-SHA256 challenge-response over a per-world
+shared secret (:func:`deliver_challenge` / :func:`answer_challenge`,
+the ``multiprocessing.connection`` scheme with mutual proof) before a
+single frame byte is read.  Strays that cannot answer — port scans,
+health checks, probes — are dropped without deserialising anything, and
+frame lengths are capped at :data:`MAX_FRAME_BYTES` so a hostile header
+cannot demand a multi-gigabyte buffer.
+
+The secret comes from (in priority order) an explicit ``authkey=``
+argument, the key segment of an address token (``HOST:PORT/KEY`` — what
+:class:`TcpWorldServer` prints when it generated the key itself), or the
+``REPRO_TCP_AUTHKEY`` environment variable.  :class:`TcpTransport`
+generates a random key per run; forked ranks inherit it.  The handshake
+authenticates, but the wire is not encrypted — treat the address token
+as a credential and run on networks where eavesdropping is acceptable.
 """
 
 from __future__ import annotations
 
+import hmac
 import multiprocessing
+import os
 import pickle
+import secrets
 import selectors
 import socket
 import struct
@@ -67,6 +93,18 @@ from repro.mpi.transport.thread import Mailbox, _PoisonedError
 
 #: Frame header: kind (1 byte), tag (u64), payload length (u64).
 FRAME_HEADER = struct.Struct(">BQQ")
+
+#: Hard cap on a single frame's payload.  Honest peers never approach it
+#: (the shm backend chunks at kilobytes); its job is to stop a hostile or
+#: corrupt length field from demanding a multi-gigabyte allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Environment variable supplying the world's shared secret when the
+#: address token does not carry one (e.g. CI pinning a fixed port).
+AUTHKEY_ENV_VAR = "REPRO_TCP_AUTHKEY"
+
+#: Size of the handshake nonce and of each HMAC-SHA256 digest.
+AUTH_NONCE_BYTES = 32
 
 #: Peer-connection preamble: the connecting rank announces itself.
 _HELLO = struct.Struct(">I")
@@ -138,15 +176,111 @@ def send_frame(
 
 
 def recv_frame(sock: socket.socket) -> tuple[int, int, Any] | None:
-    """Receive one frame as ``(kind, tag, obj)``; ``None`` on clean EOF."""
+    """Receive one frame as ``(kind, tag, obj)``; ``None`` on clean EOF.
+
+    Frames carry pickle, so callers must only hand this sockets that have
+    cleared :func:`deliver_challenge`/:func:`answer_challenge` first.
+    """
     header = _recv_exact(sock, FRAME_HEADER.size)
     if header is None:
         return None
     kind, tag, length = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise MPIError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap "
+            f"(corrupt stream or hostile peer)"
+        )
     payload = _recv_exact(sock, length)
     if payload is None:
         raise MPIError("connection closed mid-frame (missing payload)")
     return kind, tag, pickle.loads(payload)
+
+
+# -- authentication ------------------------------------------------------------
+
+
+def _coerce_authkey(authkey: str | bytes) -> bytes:
+    if isinstance(authkey, str):
+        return authkey.encode("utf-8")
+    return bytes(authkey)
+
+
+def resolve_authkey(
+    explicit: str | bytes | None, env_var: str = AUTHKEY_ENV_VAR
+) -> tuple[bytes, str | None]:
+    """Pick a world's shared secret: explicit argument, then the
+    environment, then a fresh random key.
+
+    Returns ``(key_bytes, token)`` where ``token`` is the printable form
+    to embed in address tokens — set only for *generated* keys, so a
+    secret the operator supplied out-of-band is never echoed back into
+    printed addresses or logs.
+    """
+    if explicit is not None:
+        return _coerce_authkey(explicit), None
+    env = os.environ.get(env_var, "")
+    if env:
+        return env.encode("utf-8"), None
+    token = secrets.token_hex(16)
+    return token.encode("utf-8"), token
+
+
+def _auth_digest(authkey: bytes, role: bytes, nonce: bytes) -> bytes:
+    return hmac.new(authkey, role + nonce, "sha256").digest()
+
+
+def deliver_challenge(sock: socket.socket, authkey: str | bytes) -> None:
+    """Server half of the pre-pickle handshake: nonce out, client digest
+    in, server proof out.  Raises :class:`MPIError` when the peer cannot
+    authenticate — the caller must drop the connection *before* any
+    frame is read, because frames unpickle."""
+    authkey = _coerce_authkey(authkey)
+    nonce = secrets.token_bytes(AUTH_NONCE_BYTES)
+    sock.sendall(nonce)
+    digest = _recv_exact(sock, AUTH_NONCE_BYTES)
+    if digest is None or not hmac.compare_digest(
+        digest, _auth_digest(authkey, b"client:", nonce)
+    ):
+        raise MPIError(
+            "tcp handshake failed: peer could not authenticate "
+            "(wrong or missing authkey)"
+        )
+    sock.sendall(_auth_digest(authkey, b"server:", nonce))
+
+
+def answer_challenge(sock: socket.socket, authkey: str | bytes) -> bool:
+    """Client half of the handshake.  ``False`` when the server hung up
+    before issuing a challenge (it is gone, not hostile); raises
+    :class:`MPIError` when the server rejects the key — the mutual proof
+    also stops this side from unpickling frames from an impostor."""
+    authkey = _coerce_authkey(authkey)
+    try:
+        nonce = _recv_exact(sock, AUTH_NONCE_BYTES)
+        if nonce is None:
+            return False
+        sock.sendall(_auth_digest(authkey, b"client:", nonce))
+    except socket.timeout:
+        raise  # a bounded handshake electing to give up, not a dead server
+    except (MPIError, OSError):
+        return False  # reset mid-challenge: the server is gone
+    try:
+        proof = _recv_exact(sock, AUTH_NONCE_BYTES)
+    except socket.timeout:
+        raise
+    except (MPIError, OSError):
+        # A server that rejected the digest closes without a word; the
+        # client sees EOF or a reset exactly here.
+        proof = None
+    if proof is None or not hmac.compare_digest(
+        proof, _auth_digest(authkey, b"server:", nonce)
+    ):
+        raise MPIError(
+            "handshake rejected: authkey mismatch — the two sides are "
+            "not sharing the same secret (join with the exact address "
+            "token the server printed, or align the authkey environment "
+            "variable on both sides)"
+        )
+    return True
 
 
 # -- address specs -------------------------------------------------------------
@@ -167,11 +301,14 @@ def parse_hosts(hosts: str | Sequence[str] | None) -> list[str]:
 
 
 def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
-    """``"host:port"`` (or an already-split tuple) -> ``(host, port)``."""
+    """``"host:port"`` or ``"host:port/key"`` (or an already-split tuple)
+    -> ``(host, port)``.  The key segment, if any, is read separately by
+    :func:`parse_authkey`."""
     if isinstance(address, (tuple, list)):
         host, port = address
     else:
-        host, sep, port = str(address).rpartition(":")
+        hostport, _sep, _key = str(address).partition("/")
+        host, sep, port = hostport.rpartition(":")
         if not sep or not host:
             raise MPIError(f"address must be HOST:PORT, got {address!r}")
     try:
@@ -183,8 +320,17 @@ def parse_address(address: str | tuple[str, int]) -> tuple[str, int]:
     return host, port
 
 
-def format_address(address: tuple[str, int]) -> str:
-    return f"{address[0]}:{address[1]}"
+def parse_authkey(address: str | tuple[str, int]) -> str | None:
+    """The key segment of a ``HOST:PORT/KEY`` address token, or None."""
+    if isinstance(address, (tuple, list)):
+        return None
+    _hostport, sep, key = str(address).partition("/")
+    return key if sep and key else None
+
+
+def format_address(address: tuple[str, int], token: str | None = None) -> str:
+    base = f"{address[0]}:{address[1]}"
+    return f"{base}/{token}" if token else base
 
 
 # -- the endpoint --------------------------------------------------------------
@@ -330,8 +476,10 @@ class _Rendezvous:
     returned to the launcher for outcome collection.
     """
 
-    def __init__(self, world_size: int, bind_host: str, port: int):
+    def __init__(self, world_size: int, bind_host: str, port: int,
+                 authkey: bytes):
         self.world_size = world_size
+        self._authkey = authkey
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         try:
@@ -368,15 +516,18 @@ class _Rendezvous:
             except socket.timeout:
                 continue
             # Accepted sockets are blocking regardless of the listener's
-            # timeout: bound the registration read too, or one silent
-            # connection (port scan, health check, wedged rank) pins the
-            # rendezvous past its deadline forever.
+            # timeout: bound the handshake + registration read too, or one
+            # silent connection (port scan, health check, wedged rank)
+            # pins the rendezvous past its deadline forever.
             conn.settimeout(
                 max(0.1, min(_REGISTER_TIMEOUT, deadline - time.monotonic()))
             )
             try:
+                # Authenticate BEFORE the first frame: frames unpickle,
+                # and this port is reachable by anything on the network.
+                deliver_challenge(conn, self._authkey)
                 frame = recv_frame(conn)
-            except Exception:  # noqa: BLE001 - timeout, torn read, garbage bytes
+            except Exception:  # noqa: BLE001 - timeout, bad key, torn read
                 conn.close()
                 continue  # not a rank; the deadline still governs the world
             conn.settimeout(None)
@@ -425,6 +576,7 @@ def _build_endpoint(
     bind_host: str,
     rank: int | None,
     deadline: float,
+    authkey: bytes,
 ) -> TcpEndpoint:
     """Register with the rendezvous and wire up the pair sockets.
 
@@ -465,18 +617,43 @@ def _build_endpoint(
         for lower in range(rank):
             remaining = max(0.1, deadline - time.monotonic())
             sock = socket.create_connection(addrs[lower], timeout=remaining)
+            if not answer_challenge(sock, authkey):
+                raise MPIError("peer hung up during tcp pair handshake")
             sock.settimeout(None)
             sock.sendall(_HELLO.pack(rank))
             peers[lower] = sock
-        for _ in range(world_size - 1 - rank):
+        accepted = 0
+        while accepted < world_size - 1 - rank:
             listener.settimeout(max(0.1, deadline - time.monotonic()))
             conn, _peer = listener.accept()
-            conn.settimeout(None)
-            hello = _recv_exact(conn, _HELLO.size)
+            conn.settimeout(max(0.1, deadline - time.monotonic()))
+            try:
+                # Challenge before the hello: the peer listener is just as
+                # reachable by strays as the rendezvous is.
+                deliver_challenge(conn, authkey)
+            except (MPIError, OSError):
+                conn.close()  # stray (no/bad key); deadline still governs
+                continue
+            try:
+                hello = _recv_exact(conn, _HELLO.size)
+            except (MPIError, OSError) as exc:
+                # Past the challenge this is provably a keyed peer, so a
+                # torn read is a rank death — fail fast, don't accept-loop
+                # until the world deadline.
+                conn.close()
+                raise MPIError("peer hung up during tcp pair handshake") \
+                    from exc
             if hello is None:
+                conn.close()
                 raise MPIError("peer hung up during tcp pair handshake")
-            peers[_HELLO.unpack(hello)[0]] = conn
-    except (OSError, socket.timeout) as exc:
+            peer_rank = _HELLO.unpack(hello)[0]
+            if not rank < peer_rank < world_size or peers[peer_rank] is not None:
+                conn.close()
+                continue
+            conn.settimeout(None)
+            peers[peer_rank] = conn
+            accepted += 1
+    except (OSError, socket.timeout, MPIError) as exc:
         for sock in peers:
             if sock is not None:
                 sock.close()
@@ -503,6 +680,7 @@ def _run_rank(
     main: Callable[..., Any],
     args: tuple,
     timeout: float,
+    authkey: bytes,
 ) -> tuple[str, Any]:
     """One rank's full lifecycle: fabric, ``main``, outcome, shutdown."""
     from repro.mpi.comm import Comm  # local import: comm builds on this module
@@ -510,7 +688,7 @@ def _run_rank(
     deadline = time.monotonic() + timeout
     endpoint = None
     try:
-        endpoint = _build_endpoint(control, bind_host, rank, deadline)
+        endpoint = _build_endpoint(control, bind_host, rank, deadline, authkey)
         rank = endpoint.rank
         outcome = ("ok", main(Comm.from_endpoint(endpoint), *args))
     except BaseException as exc:  # noqa: BLE001 - reported to the launcher
@@ -630,7 +808,12 @@ class TcpTransport(Transport):
 
     name = "tcp"
 
-    def __init__(self, hosts: str | Sequence[str] | None = None, port: int = 0):
+    def __init__(
+        self,
+        hosts: str | Sequence[str] | None = None,
+        port: int = 0,
+        authkey: str | bytes | None = None,
+    ):
         if "fork" not in multiprocessing.get_all_start_methods():
             raise MPIError(
                 "tcp transport spawn needs the fork start method "
@@ -641,6 +824,10 @@ class TcpTransport(Transport):
         if not 0 <= int(port) <= 65535:
             raise MPIError(f"rendezvous port out of range: {port}")
         self.port = int(port)
+        # A fresh random secret per transport unless pinned: forked ranks
+        # inherit it, and nothing else may speak to this world's ports.
+        self.authkey = (_coerce_authkey(authkey) if authkey is not None
+                        else secrets.token_bytes(16))
         self._ctx = multiprocessing.get_context("fork")
 
     def host_for_rank(self, rank: int) -> str:
@@ -655,14 +842,21 @@ class TcpTransport(Transport):
     ) -> list[Any]:
         if world_size < 1:
             raise MPIError(f"world size must be >= 1, got {world_size}")
-        rendezvous = _Rendezvous(world_size, self.hosts[0], self.port)
+        rendezvous = _Rendezvous(world_size, self.hosts[0], self.port,
+                                 self.authkey)
         address = rendezvous.address
+        authkey = self.authkey
 
         def child(rank: int) -> None:
             control = socket.create_connection(address, timeout=timeout)
-            _run_rank(control, self.host_for_rank(rank), rank, main, args,
-                      timeout)
-            control.close()
+            try:
+                if not answer_challenge(control, authkey):
+                    return  # rendezvous already gone; launcher reports it
+                control.settimeout(None)
+                _run_rank(control, self.host_for_rank(rank), rank, main,
+                          args, timeout, authkey)
+            finally:
+                control.close()
 
         processes = [
             self._ctx.Process(target=child, args=(rank,),
@@ -704,16 +898,30 @@ class TcpWorldServer:
     failing rank's error exactly like every other backend.
 
         server = TcpWorldServer(world_size=2, bind="0.0.0.0", port=9997)
-        # on each node:  join_world("serverhost:9997", main)
+        # on each node:  join_world(server.address, main)
         results = server.run()
+
+    Joiners must present the world's shared secret before any payload is
+    exchanged (see the module's Security section).  When no ``authkey``
+    is supplied — neither the argument nor ``REPRO_TCP_AUTHKEY`` — the
+    server generates one and embeds it in ``address``
+    (``HOST:PORT/KEY``), so the address token is the credential: share
+    it only with the machines that should join.
     """
 
-    def __init__(self, world_size: int, bind: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        world_size: int,
+        bind: str = "127.0.0.1",
+        port: int = 0,
+        authkey: str | bytes | None = None,
+    ):
         if world_size < 1:
             raise MPIError(f"world size must be >= 1, got {world_size}")
         self.world_size = world_size
-        self._rendezvous = _Rendezvous(world_size, bind, port)
-        self.address = format_address(self._rendezvous.address)
+        self.authkey, token = resolve_authkey(authkey)
+        self._rendezvous = _Rendezvous(world_size, bind, port, self.authkey)
+        self.address = format_address(self._rendezvous.address, token)
 
     def run(self, timeout: float = JOIN_TIMEOUT) -> list[Any]:
         deadline = time.monotonic() + timeout
@@ -742,19 +950,38 @@ def join_world(
     rank: int | None = None,
     bind_host: str = "127.0.0.1",
     timeout: float = JOIN_TIMEOUT,
+    authkey: str | bytes | None = None,
 ) -> Any:
     """Join a :class:`TcpWorldServer` world as one rank and run ``main``.
 
     ``rank=None`` lets the rendezvous assign the next free rank;
     ``bind_host`` is the address this process's peer listener binds (it
-    must be reachable by the other ranks).  Returns this rank's result;
-    raises the local failure if ``main`` raised here.
+    must be reachable by the other ranks).  The world's shared secret
+    comes from ``authkey``, the address token's ``/KEY`` segment, or
+    ``REPRO_TCP_AUTHKEY`` — one of them is required, because every world
+    is authenticated.  Returns this rank's result; raises the local
+    failure if ``main`` raised here.
     """
     host, port = parse_address(address)
+    if authkey is None:
+        authkey = parse_authkey(address) or os.environ.get(AUTHKEY_ENV_VAR)
+    if authkey is None:
+        raise MPIError(
+            "joining a tcp world requires its authkey: use the full "
+            "address token the server printed (HOST:PORT/KEY), pass "
+            f"authkey=, or set {AUTHKEY_ENV_VAR}"
+        )
+    key = _coerce_authkey(authkey)
     control = socket.create_connection((host, port), timeout=timeout)
-    control.settimeout(None)
     try:
-        status, value = _run_rank(control, bind_host, rank, main, args, timeout)
+        if not answer_challenge(control, key):
+            raise MPIError(
+                f"tcp world at {format_address((host, port))} hung up "
+                f"before the handshake (server gone?)"
+            )
+        control.settimeout(None)
+        status, value = _run_rank(control, bind_host, rank, main, args,
+                                  timeout, key)
     finally:
         control.close()
     if status == "err":

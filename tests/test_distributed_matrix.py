@@ -11,19 +11,32 @@ import importlib.util
 import json
 import os
 import pathlib
+import pickle
+import socket
 import threading
 
 import pytest
 
-from repro.common.errors import ConfigError, JobError
+from repro.common.errors import ConfigError, JobError, MPIError
 from repro.experiments.matrix import (
+    MATRIX_AUTHKEY_ENV_VAR,
     MatrixRunner,
+    _MatrixServer,
+    _WK_HELLO,
+    _WK_WELCOME,
+    _WORKER_PROTO,
     claim_owner,
     claim_path,
     release_claim,
     run_matrix_worker,
     try_claim_cell,
 )
+from repro.mpi.transport import (
+    answer_challenge,
+    parse_address,
+    parse_authkey,
+)
+from repro.mpi.transport.tcp import FRAME_HEADER, recv_frame, send_frame
 from repro.experiments.reportbuilder import ReportBuilder
 from repro.experiments.spec import CellSpec, ExperimentSpec
 
@@ -35,6 +48,14 @@ diff_reports = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(diff_reports)
 
 SERVE = "127.0.0.1:0"  # ephemeral port; the bound address is on the runner
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_authkeys(monkeypatch):
+    """An operator's exported authkeys must not leak into the key
+    generation / token-embedding assertions."""
+    monkeypatch.delenv("REPRO_TCP_AUTHKEY", raising=False)
+    monkeypatch.delenv("REPRO_MATRIX_AUTHKEY", raising=False)
 
 
 def small_spec(**kwargs) -> ExperimentSpec:
@@ -57,7 +78,8 @@ def deterministic_record(result):
     }
 
 
-def run_with_workers(runner: MatrixRunner, num_workers: int):
+def run_with_workers(runner: MatrixRunner, num_workers: int,
+                     resume: bool = True):
     """Drive a serving runner plus ``num_workers`` in-process workers
     (threads running the exact CLI worker entry point)."""
     executed: dict[int, int] = {}
@@ -69,7 +91,7 @@ def run_with_workers(runner: MatrixRunner, num_workers: int):
                for slot in range(num_workers)]
     for thread in threads:
         thread.start()
-    result = runner.run()
+    result = runner.run(resume=resume)
     for thread in threads:
         thread.join(30.0)
     return result, executed
@@ -183,6 +205,20 @@ class TestDistributedExecution:
         assert result.executed == 0
         assert result.resumed == len(spec.cells)
 
+    def test_no_resume_keeps_workers_in_the_game(self, tmp_path):
+        """resume=False deletes the stale checkpoints, so joined workers
+        (which decide from the files on disk) re-execute cells instead of
+        silently degrading the run to parent-only."""
+        spec = small_spec()
+        out = str(tmp_path)
+        MatrixRunner(spec, out).run()
+        runner = MatrixRunner(spec, out, serve=SERVE)
+        result, executed = run_with_workers(runner, num_workers=1,
+                                            resume=False)
+        assert result.resumed == 0
+        assert result.executed == len(spec.cells)
+        assert executed[0] >= 1  # the worker genuinely participated
+
     def test_worker_skips_checkpointed_cells(self, tmp_path):
         spec = small_spec()
         out = str(tmp_path)
@@ -227,6 +263,160 @@ class TestDistributedExecution:
         assert {r.spec.cell_id for r in result.results} == \
             {cell.cell_id for cell in spec.cells}
         assert victim in {r.spec.cell_id for r in result.results}
+
+
+class _EvilPayload:
+    """Pickle whose deserialisation has a visible side effect — if the
+    flag directory ever appears, unauthenticated bytes were unpickled."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def __reduce__(self):
+        return (os.mkdir, (self.path,))
+
+
+class TestWorkerAuthentication:
+    """The worker protocol unpickles frames, so every connection must
+    clear the HMAC challenge first; the key rides the join token or the
+    environment, never the wire."""
+
+    def _server(self, tmp_path) -> _MatrixServer:
+        return _MatrixServer(small_spec(), str(tmp_path), "127.0.0.1:0", 0.02)
+
+    def test_join_token_embeds_a_generated_key(self, tmp_path):
+        runner = MatrixRunner(small_spec(), str(tmp_path), serve=SERVE)
+        assert parse_authkey(runner.serve) is not None
+        runner.run()  # parent alone finishes; also tears the server down
+
+    def test_keyless_worker_gets_a_clear_error(self, tmp_path):
+        with self._server(tmp_path) as server:
+            bare = "{}:{}".format(*parse_address(server.address))
+            with pytest.raises(JobError, match="requires an authkey"):
+                run_matrix_worker(bare, connect_timeout=5.0)
+
+    def test_wrong_key_worker_is_rejected(self, tmp_path):
+        with self._server(tmp_path) as server:
+            host, port = parse_address(server.address)
+            with pytest.raises(MPIError, match="rejected|mismatch"):
+                run_matrix_worker(f"{host}:{port}/wrong-key",
+                                  connect_timeout=5.0)
+
+    def test_env_key_round_trip(self, tmp_path, monkeypatch):
+        """The CI shape: both sides share the key via the environment and
+        the printed address stays a plain HOST:PORT."""
+        monkeypatch.setenv(MATRIX_AUTHKEY_ENV_VAR, "ci-style-shared-key")
+        runner = MatrixRunner(small_spec(), str(tmp_path), serve=SERVE)
+        assert parse_authkey(runner.serve) is None
+        result, executed = run_with_workers(runner, num_workers=1)
+        assert not result.failed_cells()
+        assert executed[0] >= 1
+
+    def test_malformed_hello_does_not_kill_the_acceptor(self, tmp_path):
+        """A hello whose payload is not a dict must drop that connection
+        only — the single acceptor thread has to keep admitting."""
+        with self._server(tmp_path) as server:
+            key = parse_authkey(server.address).encode("utf-8")
+            host_port = parse_address(server.address)
+            bad = socket.create_connection(host_port)
+            try:
+                bad.settimeout(5.0)
+                assert answer_challenge(bad, key)
+                send_frame(bad, _WK_HELLO, obj=["not", "a", "dict"])
+                good = socket.create_connection(host_port)
+                try:
+                    good.settimeout(10.0)
+                    assert answer_challenge(good, key)
+                    send_frame(good, _WK_HELLO, obj={"proto": _WORKER_PROTO})
+                    frame = recv_frame(good)
+                    assert frame is not None and frame[0] == _WK_WELCOME
+                finally:
+                    good.close()
+            finally:
+                bad.close()
+
+    def test_unauthenticated_pickle_is_never_loaded(self, tmp_path):
+        """A crafted frame sent without answering the challenge must be
+        dropped before deserialisation, and admission must survive it."""
+        flag = str(tmp_path / "pwned")
+        payload = pickle.dumps(_EvilPayload(flag))
+        with self._server(tmp_path) as server:
+            key = parse_authkey(server.address).encode("utf-8")
+            host_port = parse_address(server.address)
+            attacker = socket.create_connection(host_port)
+            try:
+                attacker.sendall(
+                    FRAME_HEADER.pack(_WK_HELLO, 0, len(payload)) + payload
+                )
+                good = socket.create_connection(host_port)
+                try:
+                    good.settimeout(10.0)
+                    assert answer_challenge(good, key)
+                    send_frame(good, _WK_HELLO, obj={"proto": _WORKER_PROTO})
+                    frame = recv_frame(good)
+                    assert frame is not None and frame[0] == _WK_WELCOME
+                finally:
+                    good.close()
+            finally:
+                attacker.close()
+        assert not os.path.exists(flag)
+
+
+class TestClaimAtomicity:
+    def test_claim_file_never_observable_without_owner(self, tmp_path):
+        """A reader racing the claimant must never see a claim file
+        without its owner record — the JSON is linked into place whole,
+        so a mid-write window would let the coordinator mistake a live
+        claim for a dead one and double-execute the cell."""
+        out = str(tmp_path)
+        stop = threading.Event()
+        bad: list[str] = []
+
+        def reader() -> None:
+            path = claim_path(out, "contested")
+            while not stop.is_set():
+                try:
+                    with open(path, encoding="utf-8") as handle:
+                        content = handle.read()
+                except FileNotFoundError:
+                    continue
+                try:
+                    doc = json.loads(content)
+                except ValueError:
+                    bad.append(content)
+                    continue
+                if "owner" not in doc:
+                    bad.append(content)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for _ in range(300):
+                assert try_claim_cell(out, "contested", "hash", "w")
+                release_claim(out, "contested")
+        finally:
+            stop.set()
+            thread.join(10.0)
+        assert bad == []
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        out = str(tmp_path)
+        assert try_claim_cell(out, "cell-a", "hash", "winner")
+        assert not try_claim_cell(out, "cell-a", "hash", "loser")
+        leftovers = [name for name in os.listdir(tmp_path / "cells")
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_orphaned_temp_files_are_swept(self, tmp_path):
+        """A claimant killed mid-claim leaves its temp file behind; the
+        distributed run's startup sweep must clear it."""
+        from repro.experiments.matrix import sweep_claim_debris
+
+        os.makedirs(tmp_path / "cells", exist_ok=True)
+        orphan = tmp_path / "cells" / "cell-x.claim.deadhost.123.456.tmp"
+        orphan.write_text("{}")
+        sweep_claim_debris(str(tmp_path))
+        assert not orphan.exists()
 
 
 class TestWorkersValidation:
@@ -292,8 +482,9 @@ class TestWorkerEntryPoint:
             return original(self, cell)
 
         monkeypatch.setattr(MatrixRunner, "execute_cell", slowed)
-        host, port = runner.serve.rsplit(":", 1)
-        stray = socket_module.create_connection((host, int(port)))
+        from repro.mpi.transport import parse_address
+
+        stray = socket_module.create_connection(parse_address(runner.serve))
         try:
             result, executed = run_with_workers(runner, num_workers=1)
         finally:

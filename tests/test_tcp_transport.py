@@ -8,6 +8,7 @@ hosts/port options, the rendezvous, and the wire protocol.
 """
 
 import os
+import pickle
 import socket
 import subprocess
 import sys
@@ -18,15 +19,26 @@ import pytest
 from repro.common.errors import MPIError
 from repro.mpi import mpi_run
 from repro.mpi.transport import (
+    MAX_FRAME_BYTES,
     TcpTransport,
     TcpWorldServer,
     join_world,
     parse_address,
+    parse_authkey,
     parse_hosts,
 )
-from repro.mpi.transport.tcp import recv_frame, send_frame
+from repro.mpi.transport.tcp import FRAME_HEADER, KIND_REGISTER, recv_frame, \
+    send_frame
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_authkeys(monkeypatch):
+    """An operator's exported authkeys must not leak into the key
+    generation / token-embedding assertions."""
+    monkeypatch.delenv("REPRO_TCP_AUTHKEY", raising=False)
+    monkeypatch.delenv("REPRO_MATRIX_AUTHKEY", raising=False)
 
 
 class TestSpecs:
@@ -101,10 +113,119 @@ class TestFraming:
             # Steal only half the frame, then cut the connection.
             right.recv(10)
             left.close()
-            with pytest.raises(MPIError, match="mid-frame"):
+            # A desynced stream surfaces either as a torn read or as a
+            # garbage length field tripping the frame cap.
+            with pytest.raises(MPIError, match="mid-frame|exceeds the"):
                 while recv_frame(right) is not None:
                     pass
         finally:
+            right.close()
+
+
+class _EvilPayload:
+    """Pickle whose deserialisation has a visible side effect — if the
+    flag directory ever appears, unauthenticated bytes were unpickled."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def __reduce__(self):
+        return (os.mkdir, (self.path,))
+
+
+class TestAuthentication:
+    """Frames carry pickle, so no connection may reach the frame layer
+    without clearing the HMAC handshake, and hostile length fields must
+    not demand unbounded buffers."""
+
+    def test_address_token_carries_the_authkey(self):
+        assert parse_address("10.0.0.1:9997/s3cret") == ("10.0.0.1", 9997)
+        assert parse_authkey("10.0.0.1:9997/s3cret") == "s3cret"
+        assert parse_authkey("10.0.0.1:9997") is None
+
+    def test_generated_key_is_embedded_in_the_server_address(self):
+        server = TcpWorldServer(world_size=1)
+        try:
+            assert parse_authkey(server.address) is not None
+        finally:
+            server._rendezvous.close()
+
+    def test_supplied_key_is_not_echoed_into_the_address(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TCP_AUTHKEY", "shared-env-secret")
+        server = TcpWorldServer(world_size=1)
+        try:
+            assert parse_authkey(server.address) is None
+        finally:
+            server._rendezvous.close()
+
+    def test_join_requires_an_authkey(self):
+        with pytest.raises(MPIError, match="requires its authkey"):
+            join_world("127.0.0.1:9997", lambda comm: None)
+
+    def test_env_var_supplies_the_key(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TCP_AUTHKEY", "shared-env-secret")
+        server = TcpWorldServer(world_size=1)
+        joiner = threading.Thread(
+            target=join_world,
+            args=(server.address, lambda comm: comm.allreduce(7)),
+            kwargs={"timeout": 30.0},
+        )
+        joiner.start()
+        assert server.run(timeout=30.0) == [7]
+        joiner.join(10.0)
+
+    def test_wrong_authkey_is_rejected(self):
+        """A wrong-key joiner gets a loud mismatch error, and the world
+        still forms once a correctly keyed rank arrives.  The bad join
+        runs to completion *before* the good one starts, so the
+        rendezvous is guaranteed to still be accepting when it
+        challenges the wrong key."""
+        server = TcpWorldServer(world_size=1)
+        results: list[list] = []
+        runner = threading.Thread(
+            target=lambda: results.append(server.run(timeout=30.0))
+        )
+        runner.start()
+        with pytest.raises(MPIError, match="mismatch"):
+            join_world(parse_address(server.address), lambda comm: None,
+                       authkey="not-the-key", timeout=10.0)
+        assert join_world(server.address, lambda comm: comm.rank,
+                          timeout=30.0) == 0
+        runner.join(15.0)
+        assert results == [[0]]
+
+    def test_crafted_pickle_frame_is_never_unpickled(self, tmp_path):
+        """A well-formed REGISTER frame with a code-executing payload,
+        sent without answering the challenge, must be dropped before any
+        byte of it is unpickled — and must not stop the world forming."""
+        flag = str(tmp_path / "pwned")
+        payload = pickle.dumps(_EvilPayload(flag))
+        server = TcpWorldServer(world_size=1)
+        attacker = socket.create_connection(parse_address(server.address))
+        attacker.sendall(
+            FRAME_HEADER.pack(KIND_REGISTER, 0, len(payload)) + payload
+        )
+        joiner = threading.Thread(
+            target=join_world,
+            args=(server.address, lambda comm: comm.rank),
+            kwargs={"timeout": 30.0},
+        )
+        joiner.start()
+        try:
+            assert server.run(timeout=15.0) == [0]
+        finally:
+            attacker.close()
+            joiner.join(10.0)
+        assert not os.path.exists(flag)
+
+    def test_oversized_frame_length_is_capped(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(FRAME_HEADER.pack(1, 0, MAX_FRAME_BYTES + 1))
+            with pytest.raises(MPIError, match="exceeds the"):
+                recv_frame(right)
+        finally:
+            left.close()
             right.close()
 
 
