@@ -66,6 +66,7 @@ def _record(benchmark, scenario: str, transport: str, bytes_moved: int) -> None:
     benchmark.extra_info["scenario"] = scenario
     benchmark.extra_info["transport"] = transport
     benchmark.extra_info["bytes_moved"] = bytes_moved
+    benchmark.extra_info["bytes_per_sec"] = round(bytes_moved / mean, 2)
     benchmark.extra_info["throughput_mib_s"] = round(bytes_moved / mean / 2 ** 20, 2)
 
 

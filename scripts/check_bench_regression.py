@@ -12,7 +12,10 @@ that record long before anyone reads it.  This script fails CI when:
 * a suite named in the baseline no longer matches at least
   ``min_count`` benchmarks;
 * a matched benchmark is missing one of the suite's required
-  ``extra_info`` keys.
+  ``extra_info`` keys;
+* a key listed in the suite's ``require_positive`` is absent, not a
+  number, or not > 0 — a throughput of zero means the scenario moved no
+  bytes, which is a broken measurement rather than a slow machine.
 
 Timing comparisons are opt-in (``--max-slowdown``) because CI machines
 are not comparable to the baseline machine: a suite with a
@@ -59,6 +62,7 @@ def check(report: dict, baseline: dict, max_slowdown: float | None = None) -> li
                 f"found {len(matched)}"
             )
             continue
+        positive = suite.get("require_positive", [])
         for bench in matched:
             extra = bench.get("extra_info") or {}
             missing = [key for key in required if key not in extra]
@@ -67,6 +71,14 @@ def check(report: dict, baseline: dict, max_slowdown: float | None = None) -> li
                     f"{bench['fullname']}: extra_info missing "
                     f"{', '.join(sorted(missing))}"
                 )
+            for key in positive:
+                value = extra.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                        or value <= 0:
+                    problems.append(
+                        f"{bench['fullname']}: extra_info[{key!r}] must be "
+                        f"a positive number, got {value!r}"
+                    )
         baseline_median = suite.get("median_sec")
         if max_slowdown is not None and baseline_median:
             fastest = min(b["stats"]["median"] for b in matched)

@@ -57,15 +57,15 @@ _ITEM_LEN = struct.Struct(">I")
 
 
 def _encode_items(items) -> bytes:
-    parts = []
+    out = bytearray()
     for item in items:
         encoded = _encode_field(item)
-        parts.append(_ITEM_LEN.pack(len(encoded)))
-        parts.append(encoded)
-    return b"".join(parts)
+        out += _ITEM_LEN.pack(len(encoded))
+        out += encoded
+    return bytes(out)
 
 
-def _decode_items(payload: bytes) -> list:
+def _decode_items(payload) -> list:
     items = []
     offset = 0
     while offset < len(payload):
@@ -100,30 +100,44 @@ def _encode_field(obj: Any) -> bytes:
     raise TypeError(f"cannot encode field of type {type(obj).__name__}")
 
 
-def _decode_field(data: bytes) -> Any:
-    tag, payload = data[:1], data[1:]
-    if tag == b"B":
-        return payload
-    if tag == b"S":
-        return payload.decode("utf-8")
-    if tag == b"T":
+# Field tag markers as ints: indexing bytes *or* a memoryview yields an
+# int, so one dispatch serves both the copying and the zero-copy path.
+_T_BYTES, _T_STR, _T_TRUE, _T_FALSE = ord("B"), ord("S"), ord("T"), ord("F")
+_T_INT, _T_FLOAT, _T_NONE = ord("I"), ord("D"), ord("N")
+_T_TUPLE, _T_LIST, _T_DICT = ord("U"), ord("L"), ord("M")
+
+
+def _decode_field(data) -> Any:
+    """Decode one encoded field from ``bytes`` or a ``memoryview``.
+
+    Memoryview input decodes in place: container fields recurse over
+    zero-copy slices, and only leaf values materialise new objects.
+    """
+    if not len(data):
+        raise ValueError("unknown field tag b''")
+    tag, payload = data[0], data[1:]
+    if tag == _T_BYTES:
+        return payload if isinstance(payload, bytes) else bytes(payload)
+    if tag == _T_STR:
+        return str(payload, "utf-8")
+    if tag == _T_TRUE:
         return True
-    if tag == b"F":
+    if tag == _T_FALSE:
         return False
-    if tag == b"I":
-        return int(payload)
-    if tag == b"D":
+    if tag == _T_INT:
+        return int(payload if isinstance(payload, bytes) else bytes(payload))
+    if tag == _T_FLOAT:
         return struct.unpack(">d", payload)[0]
-    if tag == b"N":
+    if tag == _T_NONE:
         return None
-    if tag == b"U":
+    if tag == _T_TUPLE:
         return tuple(_decode_items(payload))
-    if tag == b"L":
+    if tag == _T_LIST:
         return _decode_items(payload)
-    if tag == b"M":
+    if tag == _T_DICT:
         flat = _decode_items(payload)
         return dict(zip(flat[0::2], flat[1::2]))
-    raise ValueError(f"unknown field tag {tag!r}")
+    raise ValueError(f"unknown field tag {bytes(data[:1])!r}")
 
 
 def encode_record(key: Any, value: Any) -> bytes:
@@ -133,8 +147,13 @@ def encode_record(key: Any, value: Any) -> bytes:
     return _LEN.pack(len(key_bytes), len(value_bytes)) + key_bytes + value_bytes
 
 
-def decode_record(data: bytes, offset: int = 0) -> tuple[KeyValue, int]:
-    """Decode one record at ``offset``; returns ``(record, next_offset)``."""
+def decode_record(data, offset: int = 0) -> tuple[KeyValue, int]:
+    """Decode one record at ``offset``; returns ``(record, next_offset)``.
+
+    ``data`` may be ``bytes`` or a ``memoryview``; with a view the field
+    payloads are sliced without copying (the transport's zero-copy read
+    path decodes records straight out of a shared batch buffer).
+    """
     key_len, value_len = _LEN.unpack_from(data, offset)
     start = offset + _LEN.size
     key = _decode_field(data[start:start + key_len])
@@ -144,11 +163,19 @@ def decode_record(data: bytes, offset: int = 0) -> tuple[KeyValue, int]:
 
 def encode_stream(records: Iterable[tuple[Any, Any]]) -> bytes:
     """Encode an iterable of ``(key, value)`` pairs into one byte string."""
-    return b"".join(encode_record(key, value) for key, value in records)
+    out = bytearray()
+    for key, value in records:
+        key_bytes = _encode_field(key)
+        value_bytes = _encode_field(value)
+        out += _LEN.pack(len(key_bytes), len(value_bytes))
+        out += key_bytes
+        out += value_bytes
+    return bytes(out)
 
 
-def decode_stream(data: bytes) -> Iterator[KeyValue]:
-    """Decode all records from a byte string produced by :func:`encode_stream`."""
+def decode_stream(data) -> Iterator[KeyValue]:
+    """Decode all records from :func:`encode_stream` output (``bytes`` or
+    ``memoryview`` — views decode in place)."""
     offset = 0
     while offset < len(data):
         record, offset = decode_record(data, offset)

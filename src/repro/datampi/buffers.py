@@ -7,6 +7,12 @@ encoded, and sent immediately — while the O task keeps computing.  This
 is the "data movement is pipelining with the computation overlapped in O
 tasks" design of Section 2.3, and it is why DataMPI's shuffle is largely
 complete by the time the O phase ends (Section 4.4's network analysis).
+
+Encoded chunks leave here as ``bytes`` and stay binary all the way to
+the A task: the transports move them verbatim (``FMT_RAW`` — never
+through pickle), and the shm backend coalesces chunks below its batch
+threshold into a single ring slot, so a small ``threshold_bytes`` here
+does not translate into per-chunk descriptor traffic.
 """
 
 from __future__ import annotations

@@ -16,6 +16,7 @@ import pickle
 from typing import Any
 
 from repro.common.errors import CheckpointError
+from repro.mpi.transport.codec import PICKLE_PROTOCOL
 from repro.datampi.receiver import ChunkStore
 
 MANIFEST_NAME = "manifest.json"
@@ -118,7 +119,7 @@ def write_iteration_state(directory: str, iteration: int, state: Any) -> int:
     if iteration < 1:
         raise CheckpointError(f"iteration must be >= 1, got {iteration}")
     payload = _ITER_MAGIC + pickle.dumps(
-        {"iteration": iteration, "state": state}, protocol=4
+        {"iteration": iteration, "state": state}, protocol=PICKLE_PROTOCOL
     )
     return atomic_write_bytes(iteration_state_path(directory), payload)
 

@@ -101,10 +101,15 @@ class BipartiteComm:
         self.comm.send(self.INPUT_ROOT, cached, TAG_INPUT_REQ)
 
     def recv_input(self) -> Message:
-        """Receive the root's answer: TAG_SPLITS with bytes or a None ack."""
+        """Receive the root's answer: TAG_SPLITS with bytes or a None ack.
+
+        ``buffer=True``: split payloads feed straight into a local decode,
+        so a zero-copy view is fine and saves materialising large splits.
+        """
         if not self.is_o:
             raise CommunicatorError("only O tasks receive input")
-        return self.comm.recv(source=self.INPUT_ROOT, tag=TAG_SPLITS)
+        return self.comm.recv(source=self.INPUT_ROOT, tag=TAG_SPLITS,
+                              buffer=True)
 
     def recv_input_request(self, o_index: int) -> bool:
         """Root side: receive one O rank's cached/uncached flag."""
@@ -121,10 +126,16 @@ class BipartiteComm:
     # -- A side ---------------------------------------------------------------
 
     def recv_any(self) -> Message:
-        """Receive the next DATA or EOF message (A side only)."""
+        """Receive the next DATA or EOF message (A side only).
+
+        ``buffer=True``: chunk payloads go straight into the
+        :class:`~repro.datampi.receiver.ChunkStore`, which decodes
+        ``memoryview`` chunks in place — the zero-copy half of the shm
+        batch path.
+        """
         if self.is_o:
             raise CommunicatorError("only A tasks receive data")
-        message = self.comm.recv(tag=ANY_TAG)
+        message = self.comm.recv(tag=ANY_TAG, buffer=True)
         if message.tag not in (TAG_DATA, TAG_EOF):
             raise CommunicatorError(f"unexpected tag {message.tag} on A rank")
         return message

@@ -39,6 +39,7 @@ from itertools import islice
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.common.errors import CheckpointError, ConfigError, MPIError
+from repro.mpi.transport.codec import PICKLE_PROTOCOL
 from repro.datampi.checkpoint import read_iteration_state, write_iteration_state
 from repro.datampi.communicator import BipartiteComm
 from repro.datampi.job import (
@@ -71,7 +72,7 @@ _CACHE_COUNTER_KEYS = (
 def _dumps(obj: Any) -> bytes:
     """Canonical payload encoding: one protocol everywhere so byte
     counters agree across transports and Python versions."""
-    return pickle.dumps(obj, protocol=4)
+    return pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
 
 
 # -- one superstep, executed by every rank -------------------------------------

@@ -36,6 +36,11 @@ Origin = tuple[int, int]
 _SPILL_HEADER_BYTES = 24  # source(8) + sequence(8) + chunk length(8)
 
 
+def _view(chunk) -> memoryview:
+    """A read-only view of a stored chunk, for in-place record decoding."""
+    return chunk if isinstance(chunk, memoryview) else memoryview(chunk)
+
+
 class ChunkStore:
     """Holds received chunks in memory, spilling to disk past a threshold."""
 
@@ -53,8 +58,14 @@ class ChunkStore:
         self.spilled_bytes = 0
         self.spills = 0
 
-    def add(self, chunk: bytes, origin: Origin | None = None) -> None:
+    def add(self, chunk, origin: Origin | None = None) -> None:
         """Store one encoded chunk (already key-sorted by the sender).
+
+        ``chunk`` is ``bytes`` or a read-only ``memoryview`` — the shm
+        transport's batch path delivers views that slice one shared
+        buffer per ring slot, and the store keeps them as-is (spilling
+        and decoding both work straight from a view, so the zero-copy
+        read path survives end to end).
 
         ``origin`` identifies where the chunk came from; when omitted an
         insertion-order origin is assigned, so callers that never pass one
@@ -110,9 +121,13 @@ class ChunkStore:
         Spilled chunks decode lazily during the merge so a dataset that
         spilled precisely because it outgrew memory is not fully
         materialized as records; in-memory chunks are decoded eagerly.
+        Every chunk decodes through a ``memoryview`` so record fields are
+        sliced in place instead of copied (leaf values still materialise
+        as ordinary objects — no view outlives the decode).
         """
         return [
-            decode_stream(chunk) if spilled else iter(list(decode_stream(chunk)))
+            decode_stream(_view(chunk)) if spilled
+            else iter(list(decode_stream(_view(chunk))))
             for _origin, chunk, spilled in self._all_chunks()
         ]
 

@@ -68,11 +68,19 @@ class Comm:
     # -- point to point -------------------------------------------------------
 
     def send(self, dest: int, payload: Any, tag: int = 0) -> None:
-        """Deliver ``payload`` to ``dest`` (asynchronous, buffered)."""
+        """Deliver ``payload`` to ``dest`` (asynchronous, buffered).
+
+        Mutable byte buffers are snapshotted here: every backend then
+        delivers the bytes as they were at the moment of the send, even
+        when the transport passes payloads by reference (thread, inline)
+        or coalesces them into a later batch (shm).
+        """
         if not 0 <= dest < self.size:
             raise MPIError(f"send to invalid rank {dest}")
         if tag < 0:
             raise MPIError(f"tag must be non-negative, got {tag}")
+        if isinstance(payload, bytearray):
+            payload = bytes(payload)
         self.endpoint.send(dest, Message(self.rank, tag, payload))
 
     def recv(
@@ -80,9 +88,25 @@ class Comm:
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
         timeout: float = RECV_TIMEOUT,
+        *,
+        buffer: bool = False,
     ) -> Message:
-        """Block until a matching message arrives; returns the full message."""
-        return self.endpoint.recv(source, tag, timeout)
+        """Block until a matching message arrives; returns the full message.
+
+        Byte payloads arrive as ``bytes`` regardless of backend.  Pass
+        ``buffer=True`` to accept read-only ``memoryview`` payloads where
+        the transport can skip a copy (the shm batch path slices one
+        buffer per ring slot instead of copying each small chunk out
+        individually).  The views are backed by a private snapshot and
+        safe to hold, but they do not pickle — code that returns payloads
+        from ``main`` or stores them across process boundaries should use
+        the default.
+        """
+        message = self.endpoint.recv(source, tag, timeout)
+        if not buffer and isinstance(message.payload, memoryview):
+            message = Message(message.source, message.tag,
+                              bytes(message.payload))
+        return message
 
     # -- collectives ----------------------------------------------------------
 

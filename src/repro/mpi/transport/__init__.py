@@ -25,10 +25,22 @@ from repro.mpi.transport.base import (
     get_transport,
     register_transport,
 )
+from repro.mpi.transport.codec import (
+    FMT_BATCH,
+    FMT_PICKLE,
+    FMT_RAW,
+    PICKLE_PROTOCOL,
+    WIRE_HEADER,
+    decode_batch,
+    decode_payload,
+    encode_batch,
+    encode_payload,
+)
 from repro.mpi.transport.inline import InlineEndpoint, InlineTransport
 from repro.mpi.transport.shm import (
+    BATCH_FLUSH_BYTES,
+    BATCH_ITEM_MAX,
     DEFAULT_RING_BYTES,
-    RING_MIN_BYTES,
     ShmEndpoint,
     ShmRing,
     ShmTransport,
@@ -58,13 +70,19 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "AUTHKEY_ENV_VAR",
+    "BATCH_FLUSH_BYTES",
+    "BATCH_ITEM_MAX",
     "DEFAULT_TRANSPORT",
     "DEFAULT_RING_BYTES",
+    "FMT_BATCH",
+    "FMT_PICKLE",
+    "FMT_RAW",
     "JOIN_TIMEOUT",
     "MAX_FRAME_BYTES",
+    "PICKLE_PROTOCOL",
     "RECV_TIMEOUT",
-    "RING_MIN_BYTES",
     "TRANSPORT_ENV_VAR",
+    "WIRE_HEADER",
     "Endpoint",
     "InlineEndpoint",
     "InlineTransport",
@@ -82,8 +100,12 @@ __all__ = [
     "World",
     "answer_challenge",
     "available_transports",
+    "decode_batch",
+    "decode_payload",
     "default_transport_name",
     "deliver_challenge",
+    "encode_batch",
+    "encode_payload",
     "get_transport",
     "join_world",
     "parse_address",

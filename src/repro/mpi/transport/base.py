@@ -87,6 +87,15 @@ class Endpoint(ABC):
     def barrier(self, timeout: float) -> None:
         """Wait until every rank in the world reaches the barrier."""
 
+    def flush_sends(self) -> None:
+        """Push any locally coalesced sends to their destinations.
+
+        Backends that batch small payloads (shm) override this and call
+        it before every blocking operation and at rank finish, so a
+        buffered message can never deadlock a waiting peer.  For the
+        rest every send is already in flight: the default is a no-op.
+        """
+
     def abort(self) -> None:
         """Break collectives so peers fail fast after this rank dies."""
 

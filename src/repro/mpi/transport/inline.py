@@ -10,6 +10,10 @@ Two consequences make this the right backend for tests:
   ordering, and interleavings never vary between executions;
 * deadlock is detected *immediately* (no runnable rank left) instead of
   after ``RECV_TIMEOUT``, so a hanging test fails in milliseconds.
+
+Like the thread backend, payloads move by reference (nothing is framed
+or pickled); :meth:`repro.mpi.comm.Comm.send` snapshots mutable byte
+buffers up front, so delivered payloads are immutable here too.
 """
 
 from __future__ import annotations

@@ -6,15 +6,23 @@ pickling); every ordered (sender, receiver) pair gets
 
 * a **ring buffer** in one ``multiprocessing.shared_memory`` segment for
   ``bytes`` payloads — the encoded key-value chunks DataMPI moves — so
-  bulk data crosses the process boundary with one copy in and one copy
-  out, never through a pickle of the descriptor pipe;
-* a descriptor **pipe** carrying ``(tag, where-is-the-payload)`` tuples,
-  which doubles as the channel for small or non-bytes payloads
+  bulk data crosses the process boundary without ever passing through
+  pickle; small chunks are *batched* into one ring slot
+  (:data:`BATCH_ITEM_MAX` / :data:`BATCH_FLUSH_BYTES`) so a stream of
+  kilobyte chunks costs one descriptor and one copy-out per slot, and
+  the receive side hands the merge read-only ``memoryview`` slices that
+  decode in place;
+* a descriptor **pipe** carrying typed binary frames (the
+  :mod:`repro.mpi.transport.codec` header — no pickled tuples), which
+  doubles as the channel for oversized or non-bytes payloads
   (collectives' Python objects, EOF markers).
 
 The single-producer/single-consumer ring keeps MPI's per-(source,
 destination) non-overtaking guarantee for free: descriptors leave the
-pipe in send order, and ring space is reclaimed in the same order.
+pipe in send order, ring space is reclaimed in the same order, and a
+batch preserves the order of the sends it coalesced.  Pending batches
+are flushed before any blocking operation (receive, barrier) and when a
+rank finishes, so batching can never deadlock a waiting peer.
 """
 
 from __future__ import annotations
@@ -37,20 +45,42 @@ from repro.mpi.transport.base import (
     raise_rank_errors,
     register_transport,
 )
+from repro.mpi.transport.codec import (
+    FMT_BATCH,
+    FMT_RAW,
+    WIRE_HEADER,
+    as_buffer,
+    decode_batch,
+    decode_payload,
+    encode_batch,
+    encode_payload,
+)
 from repro.mpi.transport.thread import _PoisonedError
 
 #: Per-(sender, receiver) ring capacity for chunk payloads.
 DEFAULT_RING_BYTES = 1 << 20
 
-#: ``bytes`` payloads at least this large travel through the ring; smaller
-#: ones (and non-bytes objects) are cheaper pickled straight down the pipe.
-RING_MIN_BYTES = 256
+#: ``bytes`` payloads at most this large are coalesced into one batched
+#: ring slot instead of being written (and descriptor-signalled) one by
+#: one.  Clamped to the ring capacity for small test rings.
+BATCH_ITEM_MAX = 16 * 1024
+
+#: Flush an open batch once its encoded size reaches this many bytes.
+BATCH_FLUSH_BYTES = 64 * 1024
 
 _HEADER = struct.Struct(">QQ")  # monotonic (head, tail) byte counters
 
-_KIND_INLINE = 0
-_KIND_RING = 1
-_CTRL_ABORT = "abort"
+_BATCH_ITEM_OVERHEAD = struct.calcsize(">qI")  # codec's per-item header
+
+#: Descriptor frame kinds on the data pipes (codec WIRE_HEADER.kind).
+_KIND_INLINE = 1  #: payload rides the pipe frame itself (fmt says how)
+_KIND_RING = 2    #: payload is in the ring at (offset, length)
+_KIND_BATCH = 3   #: a batch of small payloads is in the ring
+
+#: Ring reference carried by _KIND_RING / _KIND_BATCH descriptors.
+_RING_REF = struct.Struct(">QQ")
+
+_CTRL_ABORT = b"ABRT"
 
 
 class ShmRing:
@@ -81,10 +111,12 @@ class ShmRing:
 
     # -- producer --------------------------------------------------------------
 
-    def write(self, data: bytes, timeout: float) -> int:
-        """Copy ``data`` into the ring; returns its offset.  Blocks until the
-        consumer has freed enough space; raises MPIError past ``timeout``."""
-        length = len(data)
+    def write(self, data, timeout: float) -> int:
+        """Copy ``data`` (any bytes-like) into the ring; returns its offset.
+        Blocks until the consumer has freed enough space; raises MPIError
+        past ``timeout``."""
+        data = as_buffer(data)
+        length = data.nbytes
         if length > self.capacity:
             raise MPIError(
                 f"payload of {length} bytes exceeds ring capacity {self.capacity}"
@@ -166,6 +198,18 @@ class ShmEndpoint(Endpoint):
         self._stash: list[Message] = []
         self._source_of = {id(conn): s for s, conn in enumerate(recv_conns) if conn}
         self._aborted = False
+        # Per-destination batch of small bytes payloads awaiting one ring
+        # slot.  Thresholds clamp to the ring capacity so tiny test rings
+        # still batch (or degrade to per-payload slots) correctly.
+        capacity = next((r.capacity for r in send_rings if r is not None), 0)
+        self._batch_item_max = min(
+            BATCH_ITEM_MAX, max(0, capacity - _BATCH_ITEM_OVERHEAD)
+        )
+        self._batch_flush_bytes = min(BATCH_FLUSH_BYTES, capacity)
+        self._batch_items: list[list[tuple[int, memoryview]]] = [
+            [] for _ in range(size)
+        ]
+        self._batch_bytes = [0] * size
 
     def send(self, dest: int, message: Message) -> None:
         if dest == self.rank:
@@ -176,21 +220,79 @@ class ShmEndpoint(Endpoint):
         conn = self._send_conns[dest]
         assert conn is not None
         ring = self._send_rings[dest]
-        if isinstance(payload, (bytearray, memoryview)):
-            # Normalise to bytes up front: len(memoryview) counts items, not
-            # bytes, and a memoryview cannot be pickled down the inline path.
-            payload = bytes(payload)
-        if (
-            ring is not None
-            and isinstance(payload, bytes)
-            and RING_MIN_BYTES <= len(payload) <= ring.capacity
-        ):
-            position = ring.write(payload, JOIN_TIMEOUT)
-            conn.send((_KIND_RING, message.tag, position, len(payload)))
-        else:
-            conn.send((_KIND_INLINE, message.tag, payload))
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            view = as_buffer(payload)
+            length = view.nbytes
+            if ring is not None and length <= self._batch_item_max:
+                self._batch_add(dest, message.tag, view)
+                return
+            # FIFO: anything already batched for this peer goes first.
+            self._flush_batch(dest)
+            if ring is not None and length <= ring.capacity:
+                offset = ring.write(view, JOIN_TIMEOUT)
+                conn.send_bytes(
+                    WIRE_HEADER.pack(_KIND_RING, FMT_RAW, self.rank,
+                                     message.tag, _RING_REF.size)
+                    + _RING_REF.pack(offset, length)
+                )
+                return
+            # Larger than the ring: raw bytes ride the pipe frame itself.
+            conn.send_bytes(b"".join([
+                WIRE_HEADER.pack(_KIND_INLINE, FMT_RAW, self.rank,
+                                 message.tag, length),
+                view,
+            ]))
+            return
+        self._flush_batch(dest)
+        fmt, parts, total = encode_payload(payload)
+        conn.send_bytes(b"".join([
+            WIRE_HEADER.pack(_KIND_INLINE, fmt, self.rank,
+                             message.tag, total),
+            *parts,
+        ]))
+
+    # -- sender-side batching --------------------------------------------------
+
+    def _batch_add(self, dest: int, tag: int, view: memoryview) -> None:
+        cost = _BATCH_ITEM_OVERHEAD + view.nbytes
+        items = self._batch_items[dest]
+        ring = self._send_rings[dest]
+        assert ring is not None
+        if items and self._batch_bytes[dest] + cost > ring.capacity:
+            self._flush_batch(dest)
+            items = self._batch_items[dest]
+        items.append((tag, view))
+        self._batch_bytes[dest] += cost
+        if self._batch_bytes[dest] >= self._batch_flush_bytes:
+            self._flush_batch(dest)
+
+    def _flush_batch(self, dest: int) -> None:
+        items = self._batch_items[dest]
+        if not items:
+            return
+        data = encode_batch(items)
+        self._batch_items[dest] = []
+        self._batch_bytes[dest] = 0
+        ring = self._send_rings[dest]
+        conn = self._send_conns[dest]
+        assert ring is not None and conn is not None
+        offset = ring.write(data, JOIN_TIMEOUT)
+        conn.send_bytes(
+            WIRE_HEADER.pack(_KIND_BATCH, FMT_BATCH, self.rank, 0,
+                             _RING_REF.size)
+            + _RING_REF.pack(offset, len(data))
+        )
+
+    def flush_sends(self) -> None:
+        """Push every pending batch out — called before any blocking
+        operation and when the rank finishes, so no peer can wait on a
+        payload parked in a local batch."""
+        for dest, items in enumerate(self._batch_items):
+            if items:
+                self._flush_batch(dest)
 
     def recv(self, source: int, tag: int, timeout: float) -> Message:
+        self.flush_sends()
         deadline = time.monotonic() + timeout
         while True:
             for index, message in enumerate(self._stash):
@@ -213,27 +315,51 @@ class ShmEndpoint(Endpoint):
 
     def _poll(self, timeout: float) -> None:
         """Drain every readable connection into the stash (ring payloads are
-        copied out immediately so ring space frees in order)."""
+        copied out immediately so ring space frees in order).
+
+        Batched slots are read out of the ring once and split into
+        read-only ``memoryview`` slices — one slice per message — so the
+        A-side merge decodes records in place instead of copying each
+        small chunk out individually.
+        """
         conns = [c for c in self._recv_conns if c is not None] + [self._control]
         ready = connection_wait(conns, timeout)
         for conn in ready:
             if conn is self._control:
-                self._control.recv()
+                self._control.recv_bytes()
                 self._aborted = True
                 continue
             source = self._source_of[id(conn)]
-            descriptor = conn.recv()
-            kind = descriptor[0]
+            raw = conn.recv_bytes()
+            try:
+                kind, fmt, _source, tag, length = WIRE_HEADER.unpack_from(raw)
+            except struct.error as exc:
+                raise MPIError(f"corrupt shm descriptor: {exc}") from exc
+            body = memoryview(raw)[WIRE_HEADER.size:]
+            if body.nbytes != length:
+                raise MPIError(
+                    f"corrupt shm descriptor: header claims {length} "
+                    f"bytes, frame carries {body.nbytes}"
+                )
             if kind == _KIND_RING:
-                _, tag, position, length = descriptor
+                offset, size = _RING_REF.unpack(body)
                 ring = self._recv_rings[source]
                 assert ring is not None
-                payload: Any = ring.read(position, length)
+                self._stash.append(Message(source, tag, ring.read(offset, size)))
+            elif kind == _KIND_BATCH:
+                offset, size = _RING_REF.unpack(body)
+                ring = self._recv_rings[source]
+                assert ring is not None
+                for item_tag, payload in decode_batch(ring.read(offset, size)):
+                    self._stash.append(Message(source, item_tag, payload))
+            elif kind == _KIND_INLINE:
+                payload: Any = decode_payload(fmt, body)
+                self._stash.append(Message(source, tag, payload))
             else:
-                _, tag, payload = descriptor
-            self._stash.append(Message(source, tag, payload))
+                raise MPIError(f"unknown shm descriptor kind {kind}")
 
     def barrier(self, timeout: float) -> None:
+        self.flush_sends()
         try:
             self._barrier.wait(timeout)
         except threading.BrokenBarrierError as exc:
@@ -323,7 +449,11 @@ class ShmTransport(Transport):
             comm = Comm.from_endpoint(endpoint)
             result_conn = result_pipes[rank][1]
             try:
-                outcome = ("ok", main(comm, *args))
+                result = main(comm, *args)
+                # Anything still parked in a send batch must reach its
+                # peer before this rank reports success and exits.
+                endpoint.flush_sends()
+                outcome = ("ok", result)
             except BaseException as exc:  # noqa: BLE001 - reported to parent
                 barrier.abort()
                 outcome = ("err", exc)
@@ -417,7 +547,7 @@ class ShmTransport(Transport):
                 barrier.abort()
                 for writer in control_writers:
                     try:
-                        writer.send(_CTRL_ABORT)
+                        writer.send_bytes(_CTRL_ABORT)
                     except (BrokenPipeError, OSError):
                         pass
 

@@ -18,9 +18,14 @@ Wire design
   ``j > i`` establishes one socket: ``j`` connects to ``i``'s listener.
   The rendezvous connection stays open as the rank's *control* channel
   (outcome reporting, abort broadcast, shutdown).
-* **Framing** — every message is one length-prefixed frame
-  (``kind, tag, length`` header + pickled payload), so a reader never
-  depends on TCP segment boundaries.
+* **Framing** — every message is one length-prefixed frame using the
+  typed binary codec (:mod:`repro.mpi.transport.codec`): a
+  ``kind / fmt / source / tag / length`` header followed by the payload
+  bytes, written as one vectored ``sendmsg`` (no header+payload concat
+  copy), so a reader never depends on TCP segment boundaries.  ``bytes``
+  chunk payloads travel verbatim (``FMT_RAW``) and never pass through
+  pickle; only control-plane objects (collectives, outcomes, the
+  rendezvous protocol) use the pickle-5 out-of-band format.
 * **Demux** — each rank runs one demux thread ``select``-ing over all of
   its peer sockets plus the control channel, parsing frames into the same
   tag/source-matched :class:`~repro.mpi.transport.thread.Mailbox` the
@@ -45,9 +50,10 @@ of ssh).
 Security
 --------
 
-Frame payloads are pickled, and unpickling attacker-controlled bytes is
-arbitrary code execution — so **no socket ever reaches the frame layer
-unauthenticated**.  Every accepted connection (rendezvous, peer pair,
+Data-plane (``FMT_RAW``) payloads are delivered as inert bytes, but
+control-plane frames still unpickle, and unpickling attacker-controlled
+bytes is arbitrary code execution — so **no socket ever reaches the
+frame layer unauthenticated**.  Every accepted connection (rendezvous, peer pair,
 and the experiment matrix's worker protocol, which reuses this framing)
 must first clear an HMAC-SHA256 challenge-response over a per-world
 shared secret (:func:`deliver_challenge` / :func:`answer_challenge`,
@@ -71,7 +77,6 @@ from __future__ import annotations
 import hmac
 import multiprocessing
 import os
-import pickle
 import secrets
 import selectors
 import socket
@@ -89,15 +94,19 @@ from repro.mpi.transport.base import (
     raise_rank_errors,
     register_transport,
 )
+from repro.mpi.transport.codec import (
+    MAX_FRAME_BYTES,
+    PICKLE_PROTOCOL,  # noqa: F401 - canonical home is codec; re-exported here
+    WIRE_HEADER,
+    recv_exact,
+    recv_frame,
+    send_frame,
+)
 from repro.mpi.transport.thread import Mailbox, _PoisonedError
 
-#: Frame header: kind (1 byte), tag (u64), payload length (u64).
-FRAME_HEADER = struct.Struct(">BQQ")
-
-#: Hard cap on a single frame's payload.  Honest peers never approach it
-#: (the shm backend chunks at kilobytes); its job is to stop a hostile or
-#: corrupt length field from demanding a multi-gigabyte allocation.
-MAX_FRAME_BYTES = 1 << 30
+#: Frame header (kind / fmt / source / tag / length) — shared with the
+#: shm descriptor pipes; kept under its historical name here.
+FRAME_HEADER = WIRE_HEADER
 
 #: Environment variable supplying the world's shared secret when the
 #: address token does not carry one (e.g. CI pinning a fixed port).
@@ -135,65 +144,10 @@ _REGISTER_TIMEOUT = 2.0
 _CONTROL = -1  # demux selector key for the control channel
 
 
-# -- framing helpers (shared with the distributed matrix protocol) -------------
+# -- framing helpers (implemented in codec.py, shared with the distributed
+#    matrix protocol; re-exported here under their historical names) -----------
 
-
-def _recv_exact(sock: socket.socket, length: int) -> bytes | None:
-    """Read exactly ``length`` bytes; ``None`` on clean EOF at a frame
-    boundary; raises :class:`MPIError` on EOF mid-frame."""
-    if length == 0:
-        return b""
-    parts: list[bytes] = []
-    received = 0
-    while received < length:
-        try:
-            data = sock.recv(min(1 << 16, length - received))
-        except socket.timeout:
-            raise  # a bounded read electing to give up, not a torn peer
-        except OSError as exc:
-            raise MPIError(f"connection lost mid-frame: {exc}") from exc
-        if not data:
-            if received == 0:
-                return None
-            raise MPIError("connection closed mid-frame (truncated message)")
-        parts.append(data)
-        received += len(data)
-    return b"".join(parts)
-
-
-def send_frame(
-    sock: socket.socket,
-    kind: int,
-    tag: int = 0,
-    obj: Any = None,
-    payload: bytes | None = None,
-) -> None:
-    """Send one frame; ``obj`` is pickled unless a pre-encoded ``payload``
-    is supplied."""
-    if payload is None:
-        payload = pickle.dumps(obj, protocol=4)
-    sock.sendall(FRAME_HEADER.pack(kind, tag, len(payload)) + payload)
-
-
-def recv_frame(sock: socket.socket) -> tuple[int, int, Any] | None:
-    """Receive one frame as ``(kind, tag, obj)``; ``None`` on clean EOF.
-
-    Frames carry pickle, so callers must only hand this sockets that have
-    cleared :func:`deliver_challenge`/:func:`answer_challenge` first.
-    """
-    header = _recv_exact(sock, FRAME_HEADER.size)
-    if header is None:
-        return None
-    kind, tag, length = FRAME_HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise MPIError(
-            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap "
-            f"(corrupt stream or hostile peer)"
-        )
-    payload = _recv_exact(sock, length)
-    if payload is None:
-        raise MPIError("connection closed mid-frame (missing payload)")
-    return kind, tag, pickle.loads(payload)
+_recv_exact = recv_exact
 
 
 # -- authentication ------------------------------------------------------------
@@ -370,13 +324,13 @@ class TcpEndpoint(Endpoint):
         if dest == self.rank:
             self._mailbox.put(message)  # loopback: no wire to cross
             return
-        payload = message.payload
-        if isinstance(payload, (bytearray, memoryview)):
-            payload = bytes(payload)  # normalise, like the shm backend
         sock = self._peers[dest]
         assert sock is not None
         try:
-            send_frame(sock, KIND_DATA, tag=message.tag, obj=payload)
+            # bytes-like payloads go out verbatim (FMT_RAW, no pickle);
+            # objects ride the pickle-5 out-of-band control format.
+            send_frame(sock, KIND_DATA, tag=message.tag,
+                       obj=message.payload, source=self.rank)
         except OSError as exc:
             raise MPIError(
                 f"send to rank {dest} failed: peer unreachable ({exc})"
@@ -663,14 +617,24 @@ def _build_endpoint(
     return TcpEndpoint(rank, world_size, peers, control)
 
 
-def _pickled_outcome(rank: int, status: str, value: Any) -> bytes:
-    """Outcome payload, degrading unpicklable results to their repr."""
+def _send_outcome(
+    control: socket.socket, rank: int, status: str, value: Any
+) -> None:
+    """Report ``(rank, status, value)``, degrading unencodable results to
+    their repr.  ``send_frame`` encodes *before* writing any byte, so a
+    failed first attempt leaves the stream aligned for the retry."""
     try:
-        return pickle.dumps((rank, status, value), protocol=4)
-    except Exception:  # noqa: BLE001 - closures, sockets, ...
-        return pickle.dumps(
-            (rank, "err", MPIError(f"rank {rank}: {value!r}")), protocol=4
-        )
+        send_frame(control, KIND_OUTCOME, obj=(rank, status, value))
+        return
+    except OSError:
+        return  # launcher is gone; EOF already tells the story
+    except Exception:  # noqa: BLE001 - unpicklable closures, sockets, ...
+        pass
+    try:
+        send_frame(control, KIND_OUTCOME,
+                   obj=(rank, "err", MPIError(f"rank {rank}: {value!r}")))
+    except OSError:
+        pass
 
 
 def _run_rank(
@@ -695,12 +659,7 @@ def _run_rank(
         if endpoint is not None:
             endpoint.poison_peers()
         outcome = ("err", exc)
-    try:
-        send_frame(control, KIND_OUTCOME,
-                   payload=_pickled_outcome(rank if rank is not None else -1,
-                                            *outcome))
-    except OSError:
-        pass  # launcher is gone; EOF already tells the story
+    _send_outcome(control, rank if rank is not None else -1, *outcome)
     if endpoint is not None:
         # Keep the fabric alive until the launcher says the whole world is
         # done: peers may still be receiving, and an early close would

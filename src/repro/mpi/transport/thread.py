@@ -4,6 +4,11 @@ substrate).
 This is the default backend: startup is free and payloads are passed by
 reference, but the GIL serialises Python-level compute across ranks —
 which is exactly the limitation the ``shm`` backend removes.
+
+Reference passing is safe under the data-plane contract because
+:meth:`repro.mpi.comm.Comm.send` snapshots mutable byte buffers before
+they reach any endpoint: what lands in a mailbox is immutable, so the
+zero-serialization hot path here needs no defensive copy of its own.
 """
 
 from __future__ import annotations

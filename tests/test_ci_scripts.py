@@ -87,6 +87,7 @@ class TestCheckBenchRegression:
         "suites": [
             {"match": "test_transport", "min_count": 2,
              "require_extra_info": ["transport", "bytes_moved"],
+             "require_positive": ["bytes_moved"],
              "median_sec": 0.01},
             {"match": "test_matrix", "min_count": 1,
              "require_extra_info": ["cells"]},
@@ -121,8 +122,41 @@ class TestCheckBenchRegression:
         del report["benchmarks"][0]["extra_info"]["bytes_moved"]
         problems = check_bench.check(report, self.BASELINE)
         assert problems == [
-            "bench.py::test_transport[a]: extra_info missing bytes_moved"
+            "bench.py::test_transport[a]: extra_info missing bytes_moved",
+            "bench.py::test_transport[a]: extra_info['bytes_moved'] must "
+            "be a positive number, got None",
         ]
+
+    def test_zero_throughput_fails_positive_gate(self):
+        """Present-but-zero counters are broken measurements, not slow
+        machines: the structural gate must reject them."""
+        report = self.good_report()
+        report["benchmarks"][1]["extra_info"]["bytes_moved"] = 0
+        problems = check_bench.check(report, self.BASELINE)
+        assert problems == [
+            "bench.py::test_transport[b]: extra_info['bytes_moved'] must "
+            "be a positive number, got 0"
+        ]
+
+    def test_non_numeric_positive_key_fails(self):
+        report = self.good_report()
+        report["benchmarks"][0]["extra_info"]["bytes_moved"] = "12"
+        problems = check_bench.check(report, self.BASELINE)
+        assert any("must be a positive number, got '12'" in p
+                   for p in problems)
+
+    def test_committed_baseline_gates_transport_throughput(self):
+        """Every transport suite in the committed baseline must demand a
+        positive bytes_per_sec — the codec PR's measured-throughput
+        contract."""
+        baseline = json.loads(
+            (REPO_ROOT / "benchmarks" / "baseline.json").read_text())
+        transport_suites = [s for s in baseline["suites"]
+                            if "test_transport_backends" in s["match"]]
+        assert len(transport_suites) == 3
+        for suite in transport_suites:
+            assert "bytes_per_sec" in suite["require_extra_info"]
+            assert "bytes_per_sec" in suite["require_positive"]
 
     def test_slowdown_gate_is_opt_in(self):
         report = self.good_report()

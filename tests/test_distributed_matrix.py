@@ -346,7 +346,7 @@ class TestWorkerAuthentication:
             attacker = socket.create_connection(host_port)
             try:
                 attacker.sendall(
-                    FRAME_HEADER.pack(_WK_HELLO, 0, len(payload)) + payload
+                    FRAME_HEADER.pack(_WK_HELLO, 1, 0, 0, len(payload)) + payload
                 )
                 good = socket.create_connection(host_port)
                 try:

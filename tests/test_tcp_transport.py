@@ -27,6 +27,7 @@ from repro.mpi.transport import (
     parse_authkey,
     parse_hosts,
 )
+from repro.mpi.transport.codec import FMT_PICKLE
 from repro.mpi.transport.tcp import FRAME_HEADER, KIND_REGISTER, recv_frame, \
     send_frame
 
@@ -203,7 +204,8 @@ class TestAuthentication:
         server = TcpWorldServer(world_size=1)
         attacker = socket.create_connection(parse_address(server.address))
         attacker.sendall(
-            FRAME_HEADER.pack(KIND_REGISTER, 0, len(payload)) + payload
+            FRAME_HEADER.pack(KIND_REGISTER, FMT_PICKLE, 0, 0, len(payload))
+            + payload
         )
         joiner = threading.Thread(
             target=join_world,
@@ -221,7 +223,9 @@ class TestAuthentication:
     def test_oversized_frame_length_is_capped(self):
         left, right = socket.socketpair()
         try:
-            left.sendall(FRAME_HEADER.pack(1, 0, MAX_FRAME_BYTES + 1))
+            left.sendall(
+                FRAME_HEADER.pack(1, FMT_PICKLE, 0, 0, MAX_FRAME_BYTES + 1)
+            )
             with pytest.raises(MPIError, match="exceeds the"):
                 recv_frame(right)
         finally:

@@ -17,12 +17,14 @@ This suite is parametrized over the full backend list so a new transport
 """
 
 import os
+import pickle
 import time
 
 import pytest
 
 from repro.common.errors import MPIError
 from repro.mpi import mpi_run
+from repro.workloads import wordcount_datampi, wordcount_reference
 
 ALL_BACKENDS = ("thread", "shm", "inline", "tcp")
 
@@ -168,3 +170,58 @@ class TestHardKill:
 
         with pytest.raises(MPIError):
             mpi_run(2, main, transport=process_backend)
+
+
+class TestDataPlaneNeverPickles:
+    """Acceptance for the typed binary codec: ``bytes`` chunk payloads
+    must cross every backend without passing through ``pickle``.
+
+    The canary replaces ``pickle.dumps`` with a wrapper that raises the
+    moment a top-level bytes-like object is serialized.  Control-plane
+    objects (tuples, EOF ``None`` markers, outcome reports) may still
+    pickle — only the data plane is under test.  Fork-based backends
+    (shm, tcp) inherit the patched function, so a violation in a child
+    process surfaces as that rank's error and fails the run loudly.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _pickle_canary(self, monkeypatch):
+        real_dumps = pickle.dumps
+
+        def guard(obj, *args, **kwargs):
+            if isinstance(obj, (bytes, bytearray, memoryview)):
+                raise AssertionError(
+                    "data-plane violation: a bytes payload reached "
+                    "pickle.dumps"
+                )
+            return real_dumps(obj, *args, **kwargs)
+
+        monkeypatch.setattr(pickle, "dumps", guard)
+
+    def test_bytes_payloads_skip_pickle(self, backend):
+        """A ring of raw byte chunks (several below and one above the shm
+        batch threshold) must be delivered as ``bytes``, unpickled."""
+
+        def main(comm):
+            peer = (comm.rank + 1) % comm.size
+            chunks = [b"chunk-%03d" % i for i in range(20)]
+            chunks.append(b"x" * (64 * 1024))  # past any batch threshold
+            for chunk in chunks:
+                comm.send(peer, chunk, tag=5)
+            comm.send(peer, bytearray(b"mutable"), tag=5)
+            source = (comm.rank - 1) % comm.size
+            got = [comm.recv(source=source, tag=5) for _ in range(22)]
+            assert all(isinstance(m.payload, bytes) for m in got)
+            return sum(len(m.payload) for m in got)
+
+        expected = sum(len(c) for c in
+                       [b"chunk-%03d" % i for i in range(20)]) + 64 * 1024 + 7
+        assert mpi_run(3, main, transport=backend) == [expected] * 3
+
+    def test_datampi_job_runs_under_canary(self, backend):
+        """A full O/A job (encoded chunks + control traffic) completes
+        with the canary armed: the chunks travelled FMT_RAW end to end."""
+
+        lines = [f"alpha beta gamma delta line {i}" for i in range(40)]
+        counts = wordcount_datampi(lines, 2, transport=backend)
+        assert counts == wordcount_reference(lines)
