@@ -1,0 +1,169 @@
+"""Small-job serving latency: cold per-job worlds vs a warm rank pool.
+
+The paper's Figure 5 story is that DataMPI's advantage concentrates in
+small jobs, where per-job overhead (world formation, process launch)
+dominates actual data movement.  The serving pool attacks exactly that
+overhead: one O/A world is formed once and recycled between jobs, so a
+stream of small submissions pays world construction once instead of per
+job.
+
+Each scenario measures a stream of identical small wordcount jobs and
+records a latency profile into the benchmark JSON via ``extra_info``:
+``jobs_per_sec``, ``p50_sec`` and ``p99_sec`` (the schema documented in
+docs/experiments.md).  The warm-vs-cold comparison asserts the
+acceptance bar — warm p50 at least 2x below cold p50 on the shm
+transport, where per-job fork + world formation is the dominant cold
+cost.  The thread transport is measured but not asserted: its cold
+worlds are cheap threads, so the pool's edge there is real but small.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.bigdatabench import TextGenerator
+from repro.serving import WorldPool
+from repro.workloads import (
+    split_round_robin,
+    wordcount_datampi_job,
+    wordcount_datampi_result,
+    wordcount_reference,
+)
+
+LINES = TextGenerator(seed=11).lines(160)
+PARALLELISM = 2
+JOBS = 12
+SUBMITTERS = 4
+JOBS_PER_SUBMITTER = 3
+
+EXPECTED = None  # filled lazily; wordcount_reference is pure
+
+
+def _expected() -> dict:
+    global EXPECTED
+    if EXPECTED is None:
+        EXPECTED = wordcount_reference(LINES)
+    return EXPECTED
+
+
+def _percentile(latencies: list[float], q: int) -> float:
+    ordered = sorted(latencies)
+    index = max(0, -(-q * len(ordered) // 100) - 1)
+    return ordered[min(index, len(ordered) - 1)]
+
+
+def _splits() -> list[list[str]]:
+    return split_round_robin(LINES, PARALLELISM)
+
+
+def _cold_latencies(transport: str, jobs: int = JOBS) -> list[float]:
+    """Each job builds, runs and tears down its own world — the pre-pool
+    serving path."""
+    latencies = []
+    for _ in range(jobs):
+        started = time.perf_counter()
+        result = wordcount_datampi_result(LINES, PARALLELISM,
+                                          transport=transport)
+        latencies.append(time.perf_counter() - started)
+        assert dict(result.merged_outputs()) == _expected()
+    return latencies
+
+
+def _warm_latencies(transport: str, jobs: int = JOBS) -> list[float]:
+    """The same job stream through one warm, recycled world."""
+    latencies = []
+    with WorldPool(num_o=PARALLELISM, num_a=PARALLELISM,
+                   transport=transport) as pool:
+        pool.register("wordcount", wordcount_datampi_job(PARALLELISM))
+        pool.start()
+        pool.run_job("wordcount", _splits())  # world formation, not serving
+        for _ in range(jobs):
+            started = time.perf_counter()
+            result = pool.run_job("wordcount", _splits())
+            latencies.append(time.perf_counter() - started)
+            assert dict(result.merged_outputs()) == _expected()
+    return latencies
+
+
+def _record(benchmark, scenario: str, transport: str,
+            latencies: list[float]) -> None:
+    benchmark.extra_info["scenario"] = scenario
+    benchmark.extra_info["transport"] = transport
+    benchmark.extra_info["jobs"] = len(latencies)
+    benchmark.extra_info["jobs_per_sec"] = round(len(latencies) / sum(latencies), 2)
+    benchmark.extra_info["p50_sec"] = round(_percentile(latencies, 50), 6)
+    benchmark.extra_info["p99_sec"] = round(_percentile(latencies, 99), 6)
+
+
+@pytest.mark.parametrize("transport", ("thread", "shm"))
+def test_cold_world_per_job(benchmark, once, transport):
+    latencies = once(_cold_latencies, transport)
+    _record(benchmark, "cold", transport, latencies)
+
+
+@pytest.mark.parametrize("transport", ("thread", "shm"))
+def test_warm_pool_per_job(benchmark, once, transport):
+    latencies = once(_warm_latencies, transport)
+    _record(benchmark, "warm", transport, latencies)
+
+
+def test_warm_pool_vs_cold_shm(benchmark, once):
+    """The acceptance bar: on shm, serving from a warm pool cuts p50
+    latency by at least 2x against cold per-job world construction."""
+
+    def compare():
+        return _cold_latencies("shm"), _warm_latencies("shm")
+
+    cold, warm = once(compare)
+    cold_p50 = _percentile(cold, 50)
+    warm_p50 = _percentile(warm, 50)
+    _record(benchmark, "warm-vs-cold", "shm", warm)
+    benchmark.extra_info["cold_p50_sec"] = round(cold_p50, 6)
+    benchmark.extra_info["p50_speedup"] = round(cold_p50 / warm_p50, 2)
+    print(f"\nshm cold p50 {cold_p50 * 1000:.1f}ms vs warm p50 "
+          f"{warm_p50 * 1000:.1f}ms — {cold_p50 / warm_p50:.1f}x")
+    assert cold_p50 >= 2.0 * warm_p50, (
+        f"warm pool p50 {warm_p50:.4f}s is not 2x below cold p50 "
+        f"{cold_p50:.4f}s on shm"
+    )
+
+
+def test_warm_pool_concurrent_submitters(benchmark, once):
+    """Several client threads stream jobs into one pool; the latency
+    profile is recorded across all submissions."""
+
+    def serve() -> list[float]:
+        latencies: list[float] = []
+        lock = threading.Lock()
+        with WorldPool(num_o=PARALLELISM, num_a=PARALLELISM,
+                       transport="shm") as pool:
+            pool.register("wordcount", wordcount_datampi_job(PARALLELISM))
+            pool.start()
+            pool.run_job("wordcount", _splits())
+
+            def submitter() -> None:
+                for _ in range(JOBS_PER_SUBMITTER):
+                    started = time.perf_counter()
+                    result = pool.run_job("wordcount", _splits())
+                    elapsed = time.perf_counter() - started
+                    assert dict(result.merged_outputs()) == _expected()
+                    with lock:
+                        latencies.append(elapsed)
+
+            threads = [threading.Thread(target=submitter)
+                       for _ in range(SUBMITTERS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(300)
+        assert len(latencies) == SUBMITTERS * JOBS_PER_SUBMITTER
+        return latencies
+
+    latencies = once(serve)
+    # Wall-clock throughput: the pool serialises jobs on one world, so
+    # jobs/sec over the benchmark's own elapsed time is the honest figure.
+    elapsed = benchmark.stats.stats.mean
+    _record(benchmark, "concurrent", "shm", latencies)
+    benchmark.extra_info["submitters"] = SUBMITTERS
+    benchmark.extra_info["jobs_per_sec"] = round(len(latencies) / elapsed, 2)

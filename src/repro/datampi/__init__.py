@@ -55,6 +55,8 @@ from repro.datampi.modes import (
     StreamingJob,
     StreamResult,
     WindowResult,
+    recycle_world,
+    run_superstep,
 )
 from repro.datampi.partition import (
     RangePartitioner,
@@ -96,6 +98,8 @@ __all__ = [
     "StreamingJob",
     "StreamResult",
     "WindowResult",
+    "recycle_world",
+    "run_superstep",
     "RangePartitioner",
     "hash_partitioner",
     "validate_partition",

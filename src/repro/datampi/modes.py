@@ -78,7 +78,7 @@ def _dumps(obj: Any) -> bytes:
 # -- one superstep, executed by every rank -------------------------------------
 
 
-def _run_superstep(
+def run_superstep(
     bcomm: BipartiteComm,
     conf: DataMPIConf,
     invoke_o: Callable,
@@ -96,6 +96,11 @@ def _run_superstep(
     ``scatter_bytes`` is non-zero only on the input root.  Task exceptions
     are caught and reported via ``status`` so the failure can travel the
     control channel instead of wedging peers in blocking receives.
+
+    This is the one superstep implementation every driver shares —
+    IterativeJob, StreamingJob, and the serving :class:`~repro.serving.pool.WorldPool`
+    all call it on an already-formed world, which is what keeps their
+    shuffles byte-identical to a cold :class:`~repro.datampi.job.DataMPIJob` run.
     """
     status: str = "ok"
     error: str | None = None
@@ -151,6 +156,34 @@ def _run_superstep(
         for key in _CACHE_COUNTER_KEYS:
             counters[key] = 0
     return status, error, output, counters, scatter_bytes
+
+
+#: Backward-compatible alias for the pre-serving private name.
+_run_superstep = run_superstep
+
+
+def recycle_world(cache: KVCache | None, store: ChunkStore | None) -> None:
+    """Return one rank's per-job state to its pre-job condition.
+
+    A world serving a stream of jobs must not let job N's state leak into
+    job N+1: the superstep machinery pins an O rank's input splits under
+    ``o.splits`` and an A rank's output under ``a.output`` in the KV
+    cache (deliberately — that is what makes warm *iterations* cheap),
+    and the A-side :class:`ChunkStore` keeps its spill bookkeeping.
+    Between pooled jobs those pins are stale state: splits pinned by job
+    N would be served as job N+1's input, and job N's output would be
+    readable from job N+1's ``ctx.cache``.
+
+    Recycling clears the whole cache (entry state only — the hit/miss
+    counters survive, they are cumulative measurements) alongside
+    ``ChunkStore.reset()``.  What survives a job boundary: the world
+    itself, the cache's stat counters, and the store's owned spill
+    directory.
+    """
+    if cache is not None:
+        cache.clear()
+    if store is not None:
+        store.reset()
 
 
 def _merge_outcomes(
@@ -366,7 +399,7 @@ class IterativeJob:
                 iteration += 1
                 started = time.perf_counter()
 
-                status, error, output, counters, scatter_bytes = _run_superstep(
+                status, error, output, counters, scatter_bytes = run_superstep(
                     bcomm, conf,
                     lambda ctx, split: self.o_task(ctx, split, state),
                     lambda ctx: self.a_task(ctx, state),
@@ -457,7 +490,7 @@ class IterativeJob:
                     spill_threshold=conf.spill_bytes
                 )
                 try:
-                    status, error, output, counters, scatter_bytes = _run_superstep(
+                    status, error, output, counters, scatter_bytes = run_superstep(
                         bcomm, conf,
                         lambda ctx, split: self.o_task(ctx, split, bcast_state),
                         lambda ctx: self.a_task(ctx, bcast_state),
@@ -636,7 +669,7 @@ class StreamingJob:
                 watermark = value
                 started = time.perf_counter()
 
-                status, error, output, counters, scatter_bytes = _run_superstep(
+                status, error, output, counters, scatter_bytes = run_superstep(
                     bcomm, conf, self.o_task, self.a_task,
                     batch if is_root else None, store, cache, watermark,
                     cache_input=False,

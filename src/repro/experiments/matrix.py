@@ -963,59 +963,70 @@ class MatrixRunner:
             self.progress(result)
 
         assert self._server is not None
-        with self._server as server:
-            last_progress = time.monotonic()
-            while remaining:
-                progressed = False
-                for cell_id, result in server.drain_results():
-                    if cell_id in remaining:
-                        record(remaining[cell_id], result)
-                        progressed = True
-                claimed = None
-                for cell in list(remaining.values()):
-                    if try_claim_cell(self.out_dir, cell.cell_id,
-                                      self.spec.spec_hash, "parent"):
-                        claimed = cell
-                        break
-                if claimed is not None:
-                    try:
-                        result = self.execute_cell(claimed)
-                    except Exception as exc:  # noqa: BLE001 - recorded
-                        result = CellResult(
-                            spec=claimed, status="failed",
-                            error=f"{type(exc).__name__}: {exc}")
-                    record(claimed, result)
-                    progressed = True
-                else:
-                    # Everything left is claimed by workers: reap claims
-                    # whose owner is gone, then wait for live streams.
-                    # A missing claim (owner None) is *claimable*, not
-                    # orphaned — releasing it would race a worker linking
-                    # its claim right now; the next sweep picks it up.
-                    for cell_id in list(remaining):
-                        owner = claim_owner(self.out_dir, cell_id)
-                        if owner is not None and owner != "parent" \
-                                and not server.owner_is_live(owner):
-                            release_claim(self.out_dir, cell_id)
-                            progressed = True
-                    if not progressed and remaining:
-                        time.sleep(0.05)
-                if progressed:
-                    last_progress = time.monotonic()
-                elif time.monotonic() - last_progress > self.worker_timeout:
-                    raise JobError(
-                        f"distributed matrix stalled: cells "
-                        f"{sorted(remaining)} still claimed after "
-                        f"{self.worker_timeout}s without progress"
-                    )
-        # Closing sweep, after the server (and its workers) are gone: a
-        # worker can win a claim in the window between the parent
-        # checkpointing that cell and releasing it (the duplicate result
-        # is dropped above); no claim file may outlive the run.
-        for cell in self.spec.cells:
-            release_claim(self.out_dir, cell.cell_id)
-        sweep_claim_debris(self.out_dir)
+        try:
+            with self._server as server:
+                self._serve_cells(server, remaining, record)
+        finally:
+            # Closing sweep, after the server (and its workers) are
+            # gone: a worker can win a claim in the window between the
+            # parent checkpointing that cell and releasing it (the
+            # duplicate result is dropped above); no claim file may
+            # outlive the run.  In a ``finally`` on purpose — a
+            # KeyboardInterrupt mid-run must release this parent's
+            # claims too, or the leftover files would pin every
+            # unfinished cell against the resumed run.
+            for cell in self.spec.cells:
+                release_claim(self.out_dir, cell.cell_id)
+            sweep_claim_debris(self.out_dir)
         return executed
+
+    def _serve_cells(self, server: "_MatrixServer",
+                     remaining: dict[str, CellSpec], record) -> None:
+        """The distributed claim/execute/drain loop, until no cell remains."""
+        last_progress = time.monotonic()
+        while remaining:
+            progressed = False
+            for cell_id, result in server.drain_results():
+                if cell_id in remaining:
+                    record(remaining[cell_id], result)
+                    progressed = True
+            claimed = None
+            for cell in list(remaining.values()):
+                if try_claim_cell(self.out_dir, cell.cell_id,
+                                  self.spec.spec_hash, "parent"):
+                    claimed = cell
+                    break
+            if claimed is not None:
+                try:
+                    result = self.execute_cell(claimed)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    result = CellResult(
+                        spec=claimed, status="failed",
+                        error=f"{type(exc).__name__}: {exc}")
+                record(claimed, result)
+                progressed = True
+            else:
+                # Everything left is claimed by workers: reap claims
+                # whose owner is gone, then wait for live streams.
+                # A missing claim (owner None) is *claimable*, not
+                # orphaned — releasing it would race a worker linking
+                # its claim right now; the next sweep picks it up.
+                for cell_id in list(remaining):
+                    owner = claim_owner(self.out_dir, cell_id)
+                    if owner is not None and owner != "parent" \
+                            and not server.owner_is_live(owner):
+                        release_claim(self.out_dir, cell_id)
+                        progressed = True
+                if not progressed and remaining:
+                    time.sleep(0.05)
+            if progressed:
+                last_progress = time.monotonic()
+            elif time.monotonic() - last_progress > self.worker_timeout:
+                raise JobError(
+                    f"distributed matrix stalled: cells "
+                    f"{sorted(remaining)} still claimed after "
+                    f"{self.worker_timeout}s without progress"
+                )
 
     def run(self, resume: bool = True) -> MatrixResult:
         """Run every cell, checkpointing each; resume skips finished ones.

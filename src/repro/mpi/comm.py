@@ -128,15 +128,22 @@ class Comm:
         self._collective_seq += 1
         return self._COLLECTIVE_TAG_BASE + sequence * 8 + kind
 
-    def bcast(self, payload: Any, root: int = 0) -> Any:
-        """Broadcast ``payload`` from ``root``; every rank returns it."""
+    def bcast(self, payload: Any, root: int = 0,
+              timeout: float = RECV_TIMEOUT) -> Any:
+        """Broadcast ``payload`` from ``root``; every rank returns it.
+
+        ``timeout`` bounds how long a non-root rank waits for the root's
+        message.  Control loops that legitimately idle between rounds — a
+        serving world parked at its job announcement — pass their idle
+        budget here instead of inheriting the point-to-point default.
+        """
         tag = self._collective_tag(1)
         if self.rank == root:
             for dest in range(self.size):
                 if dest != root:
                     self.send(dest, payload, tag)
             return payload
-        return self.recv(source=root, tag=tag).payload
+        return self.recv(source=root, tag=tag, timeout=timeout).payload
 
     def gather(self, payload: Any, root: int = 0) -> list[Any] | None:
         """Gather one value from every rank at ``root`` (rank order)."""

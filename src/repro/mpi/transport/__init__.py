@@ -20,6 +20,7 @@ from repro.mpi.transport.base import (
     Endpoint,
     Message,
     Transport,
+    WorldHandle,
     available_transports,
     default_transport_name,
     get_transport,
@@ -98,6 +99,7 @@ __all__ = [
     "ThreadTransport",
     "Transport",
     "World",
+    "WorldHandle",
     "answer_challenge",
     "available_transports",
     "decode_batch",

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import inspect
 import os
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -100,6 +101,53 @@ class Endpoint(ABC):
         """Break collectives so peers fail fast after this rank dies."""
 
 
+class WorldHandle:
+    """A world running in the background — the reusable-world primitive.
+
+    ``Transport.run`` builds a world, executes one callable per rank, and
+    tears everything down before returning: the right lifecycle for batch
+    jobs, and exactly the wrong one for serving, where world construction
+    (fork, rendezvous, ring/socket setup) must be paid once and amortized
+    over a stream of submissions.  ``Transport.launch`` runs the same
+    ``run`` on a background thread and returns this handle; the caller
+    keeps talking to the live ranks through whatever channel it set up
+    before launching (e.g. pipes inherited across the fork) and joins the
+    handle when the ranks' main functions return.
+    """
+
+    def __init__(self, thread: threading.Thread):
+        self._thread = thread
+        self._results: list[Any] | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Has the world finished (successfully or not)?"""
+        return not self._thread.is_alive()
+
+    @property
+    def error(self) -> BaseException | None:
+        """The world's failure, if it has failed (None while running/ok)."""
+        return self._error
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for the world to finish; returns False on timeout."""
+        self._thread.join(timeout)
+        return not self._thread.is_alive()
+
+    def result(self, timeout: float | None = None) -> list[Any]:
+        """Per-rank results, blocking until the world finishes.
+
+        Re-raises the world's failure (the same :class:`MPIError` surface
+        ``Transport.run`` presents) if any rank failed.
+        """
+        if not self.join(timeout):
+            raise MPIError("world is still running")
+        if self._error is not None:
+            raise self._error
+        assert self._results is not None
+        return self._results
+
+
 class Transport(ABC):
     """Factory/launcher for one backend: runs ``main`` on every rank."""
 
@@ -120,6 +168,38 @@ class Transport(ABC):
         caller (wrapped in :class:`MPIError` unless it already is one)
         after every rank has been reaped, so no rank leaks.
         """
+
+    def launch(
+        self,
+        world_size: int,
+        main: Callable[..., Any],
+        args: tuple = (),
+        timeout: float = JOIN_TIMEOUT,
+    ) -> WorldHandle:
+        """Run the world on a background thread; returns a :class:`WorldHandle`.
+
+        ``timeout`` bounds the world's whole lifetime (it is ``run``'s
+        timeout), so long-lived worlds — serving pools — must pass a
+        budget covering their expected service window, not a per-job
+        bound.  Fork-based backends fork from the background thread, so
+        any file descriptors (pipes) the caller created before ``launch``
+        are inherited by the ranks — that is the supported way to feed a
+        live world work.
+        """
+        handle: WorldHandle
+
+        def world_main() -> None:
+            try:
+                handle._results = self.run(world_size, main, args, timeout)
+            except BaseException as exc:  # noqa: BLE001 - surfaced via result()
+                handle._error = exc
+
+        thread = threading.Thread(
+            target=world_main, name=f"{self.name}-world", daemon=True
+        )
+        handle = WorldHandle(thread)
+        thread.start()
+        return handle
 
 
 _REGISTRY: dict[str, type[Transport]] = {}

@@ -1,0 +1,385 @@
+"""A warm rank pool: one O/A world serving a stream of small jobs.
+
+The paper's small-jobs result (fig5) is a statement about *startup
+overhead*: DataMPI beats Hadoop exactly where per-job setup dominates
+the work.  This module removes that overhead from our own runtime.  A
+:class:`WorldPool` forms one bipartite O/A world per transport **once**
+— paying fork/rendezvous/ring/socket construction a single time — and
+then serves an unbounded stream of job submissions on the live ranks:
+
+* jobs are **registered by name before the world starts** (fork-based
+  transports inherit the task callables through the fork, so nothing but
+  plain data ever crosses a pipe);
+* :meth:`WorldPool.submit` hands the named job an input and returns a
+  :class:`JobFuture`; the world runs the exact same superstep pipeline a
+  cold :class:`~repro.datampi.job.DataMPIJob` runs, so pooled outputs
+  are byte-identical to cold-world runs on every transport;
+* between jobs every rank is **recycled** with
+  :func:`repro.datampi.modes.recycle_world` — KV-cache pins
+  (``o.splits``, ``a.output``) are cleared alongside
+  ``ChunkStore.reset()`` so job N's state can never leak into job N+1;
+* a failed task fails *its submission's* future, not the pool: the
+  failure travels the outcome gather like any mode driver's, and the
+  world keeps serving.
+
+Plumbing: the frontend talks to rank 0 over a request pipe and hears
+back over a result pipe, both created before the world launches so
+forked ranks inherit them.  Rank 0 broadcasts each request to the world
+(every rank takes the same branch), the world runs one superstep, rank 0
+gathers the outcomes and resolves the submission.
+
+Example::
+
+    from repro.datampi import DataMPIConf, DataMPIJob
+    from repro.serving import WorldPool
+
+    job = DataMPIJob(o_task, a_task, DataMPIConf(num_o=2, num_a=2))
+    with WorldPool(num_o=2, num_a=2, transport="shm") as pool:
+        pool.register("wordcount", job)
+        pool.start()
+        futures = [pool.submit("wordcount", splits) for splits in batches]
+        results = [f.result() for f in futures]
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import threading
+from typing import Any, Sequence
+
+from repro.common.errors import ConfigError, JobError, MPIError
+from repro.datampi.communicator import BipartiteComm
+from repro.datampi.job import DataMPIJob, JobResult
+from repro.datampi.kvcache import KVCache
+from repro.datampi.modes import (
+    _dumps,
+    _merge_outcomes,
+    recycle_world,
+    run_superstep,
+)
+from repro.datampi.receiver import ChunkStore
+from repro.mpi.comm import Comm
+from repro.mpi.transport import WorldHandle, get_transport
+
+#: Default bound on a pool world's whole lifetime, in seconds.  This is
+#: the transport ``run`` timeout, so it must cover the pool's service
+#: window, not one job.  Finite on purpose: an abandoned pool must not
+#: outlive its process group, and ``math.inf`` does not survive every
+#: backend's join/poll arithmetic.
+DEFAULT_WORLD_TIMEOUT = 3600.0
+
+
+class JobFuture:
+    """Result of one pooled submission, resolved by the pool's dispatcher."""
+
+    def __init__(self, seq: int, name: str):
+        self.seq = seq
+        self.name = name
+        self._done = threading.Event()
+        self._result: JobResult | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> JobResult:
+        """Block until the submission finishes; raises its failure."""
+        if not self._done.wait(timeout):
+            raise JobError(
+                f"pooled job {self.name!r} (submission {self.seq}) "
+                f"not done after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    # -- dispatcher side -------------------------------------------------------
+
+    def _resolve(self, result: JobResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+class WorldPool:
+    """A persistent pre-forked O/A world serving small jobs by name.
+
+    The pool lifecycle is ``register* -> start -> submit* -> close``:
+    registration must finish before :meth:`start` because fork-based
+    transports capture the task callables at fork time; submissions carry
+    only picklable input data.  :meth:`close` (or the context manager
+    exit) shuts the world down and reports any in-flight failures.
+
+    Examples:
+        >>> from repro.datampi import DataMPIConf, DataMPIJob
+        >>> def o_task(ctx, split):
+        ...     for word in split:
+        ...         ctx.send(word, 1)
+        >>> def a_task(ctx):
+        ...     return [(key, sum(values)) for key, values in ctx.grouped()]
+        >>> job = DataMPIJob(o_task, a_task, DataMPIConf(num_o=2, num_a=1))
+        >>> with WorldPool(num_o=2, num_a=1, transport="thread") as pool:
+        ...     _ = pool.register("wc", job).start()
+        ...     first = pool.run_job("wc", [["a", "b"], ["a"]])
+        ...     second = pool.run_job("wc", [["c"], ["c", "c"]])
+        >>> sorted(dict(first.merged_outputs()).items())
+        [('a', 2), ('b', 1)]
+        >>> dict(second.merged_outputs())
+        {'c': 3}
+    """
+
+    def __init__(
+        self,
+        num_o: int = 4,
+        num_a: int = 4,
+        transport: Any = None,
+        *,
+        world_timeout: float = DEFAULT_WORLD_TIMEOUT,
+    ):
+        if num_o < 1 or num_a < 1:
+            raise ConfigError(
+                f"num_o and num_a must be >= 1 (got {num_o}, {num_a})"
+            )
+        if world_timeout <= 0:
+            raise ConfigError("world_timeout must be positive")
+        self.num_o = num_o
+        self.num_a = num_a
+        self.transport = transport
+        self.world_timeout = world_timeout
+        self._jobs: dict[str, DataMPIJob] = {}
+        self._handle: WorldHandle | None = None
+        self._dispatcher: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._pending: dict[int, JobFuture] = {}
+        self._closed = False
+        self._request_send = None  # parent -> rank 0
+        self._result_recv = None  # rank 0 -> parent
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, name: str, job: DataMPIJob) -> "WorldPool":
+        """Make ``job`` submittable as ``name``; must precede :meth:`start`.
+
+        The job's O/A shape must match the pool's world shape; its
+        per-job shuffle knobs (sort, partitioner, combiner, buffer sizes)
+        are honoured per submission, so differently-configured jobs can
+        share one world.  The job's own ``transport``/``checkpoint_dir``
+        are ignored — the pool owns the world and writes no checkpoints.
+        """
+        if self._handle is not None:
+            raise ConfigError(
+                "jobs must be registered before the pool starts (fork-based "
+                "transports capture the task callables at fork time)"
+            )
+        if job.conf.num_o != self.num_o or job.conf.num_a != self.num_a:
+            raise ConfigError(
+                f"job {name!r} wants a {job.conf.num_o}x{job.conf.num_a} "
+                f"world, pool is {self.num_o}x{self.num_a}"
+            )
+        self._jobs[name] = job
+        return self
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "WorldPool":
+        """Form the world (the one-time fork/rendezvous cost) and begin serving."""
+        if self._handle is not None:
+            raise ConfigError("pool already started")
+        if self._closed:
+            raise ConfigError("pool is closed")
+        if not self._jobs:
+            raise ConfigError("register at least one job before start()")
+        # Unidirectional pipes, created *before* launch so fork-based
+        # backends hand the rank-0 ends to the child across the fork.
+        request_recv, request_send = multiprocessing.Pipe(duplex=False)
+        result_recv, result_send = multiprocessing.Pipe(duplex=False)
+        self._request_send = request_send
+        self._result_recv = result_recv
+
+        jobs = dict(self._jobs)
+        num_o, num_a = self.num_o, self.num_a
+        idle_timeout = self.world_timeout
+
+        def rank_main(comm: Comm):
+            return _serve_world(
+                comm, jobs, num_o, num_a, request_recv, result_send,
+                idle_timeout,
+            )
+
+        self._handle = get_transport(self.transport).launch(
+            num_o + num_a, rank_main, timeout=self.world_timeout
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="worldpool-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def submit(self, name: str, splits: Sequence[Any]) -> JobFuture:
+        """Queue one job on the warm world; returns its future.
+
+        Thread-safe: concurrent submitters interleave at the request
+        pipe and are resolved by sequence number.
+        """
+        if self._handle is None:
+            raise ConfigError("pool not started")
+        if name not in self._jobs:
+            raise ConfigError(
+                f"unknown job {name!r}; registered: {sorted(self._jobs)}"
+            )
+        with self._lock:
+            if self._closed:
+                raise ConfigError("pool is closed")
+            if self._handle.done():
+                self._fail_pending_locked()
+                raise JobError(
+                    f"pool world died: {self._world_error()!r}"
+                )
+            self._seq += 1
+            future = JobFuture(self._seq, name)
+            self._pending[future.seq] = future
+            self._request_send.send(("job", future.seq, name, list(splits)))
+        return future
+
+    def run_job(self, name: str, splits: Sequence[Any]) -> JobResult:
+        """Submit and wait: the warm-path equivalent of ``DataMPIJob.run``."""
+        return self.submit(name, splits).result(timeout=self.world_timeout)
+
+    def close(self) -> None:
+        """Stop the world and fail any still-pending submissions."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if self._request_send is not None and self._handle is not None \
+                    and not self._handle.done():
+                try:
+                    self._request_send.send(("stop",))
+                except (OSError, ValueError):
+                    pass  # world already tore the pipe down
+        if self._handle is not None:
+            self._handle.join(self.world_timeout)
+        if self._dispatcher is not None:
+            self._dispatcher.join(self.world_timeout)
+        with self._lock:
+            self._fail_pending_locked()
+
+    def __enter__(self) -> "WorldPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        """Resolve futures from the result pipe until the world winds down."""
+        while True:
+            if self._result_recv.poll(0.05):
+                try:
+                    message = self._result_recv.recv()
+                except (EOFError, OSError):
+                    break
+                if message is None:  # world's goodbye
+                    break
+                seq, status, payload = message
+                with self._lock:
+                    future = self._pending.pop(seq, None)
+                if future is None:
+                    continue
+                if status == "ok":
+                    future._resolve(JobResult(**payload))
+                else:
+                    future._fail(JobError(payload))
+            elif self._handle.done():
+                break
+        with self._lock:
+            self._fail_pending_locked()
+
+    def _world_error(self) -> BaseException:
+        error = self._handle.error if self._handle is not None else None
+        return error if error is not None else MPIError("pool world exited")
+
+    def _fail_pending_locked(self) -> None:
+        if not self._pending:
+            return
+        error = self._world_error() if (
+            self._handle is not None and self._handle.done()
+            and self._handle.error is not None
+        ) else JobError("pool closed with submissions in flight")
+        for future in self._pending.values():
+            future._fail(error)
+        self._pending.clear()
+
+
+# -- the rank-side serving loop ------------------------------------------------
+
+
+def _serve_world(
+    comm: Comm,
+    jobs: dict[str, DataMPIJob],
+    num_o: int,
+    num_a: int,
+    request_recv,
+    result_send,
+    idle_timeout: float,
+):
+    """Every rank's main: serve submissions until a stop request.
+
+    Rank 0 reads requests from the pipe and broadcasts them; every rank
+    runs the shared superstep pipeline and is recycled afterwards, so no
+    per-job state survives into the next submission.
+    """
+    bcomm = BipartiteComm(comm, num_o, num_a)
+    is_root = comm.rank == 0
+    cache = KVCache(None)
+    store = None if bcomm.is_o else ChunkStore()
+    superstep = 0
+    try:
+        while True:
+            request = request_recv.recv() if is_root else None
+            control = comm.bcast(
+                _dumps(request) if is_root else None, root=0,
+                timeout=idle_timeout,
+            )
+            request = pickle.loads(control)
+            if request[0] == "stop":
+                break
+            _kind, seq, name, splits = request
+            superstep += 1
+            conf = jobs[name].conf
+            status, error, output, counters, _scatter = run_superstep(
+                bcomm, conf, jobs[name].o_task, jobs[name].a_task,
+                splits if is_root else None, store, cache, superstep,
+                cache_input=True,
+            )
+            gathered = comm.gather(_dumps((status, error, output, counters)),
+                                   root=0)
+            # The leak fix this module exists to carry: clear the cache
+            # pins (o.splits, a.output) with the store reset, *before*
+            # the next request can reuse them as its input.
+            recycle_world(cache, store)
+            if is_root:
+                outcomes, _gather_bytes, summed, errors = _merge_outcomes(gathered)
+                if errors:
+                    result_send.send((seq, "err", errors[0][1]))
+                else:
+                    outputs = [outcomes[r][2] for r in range(num_o, comm.size)]
+                    result_send.send(
+                        (seq, "ok", {"outputs": outputs, "counters": summed})
+                    )
+    finally:
+        if store is not None:
+            store.cleanup()
+        if is_root:
+            try:
+                result_send.send(None)
+            except (OSError, ValueError):
+                pass
+    return None

@@ -63,9 +63,9 @@ def grep_spark(lines: Sequence[str], pattern: str, parallelism: int = 4,
     return dict(counts.collect())
 
 
-def grep_datampi_result(lines: Sequence[str], pattern: str, parallelism: int = 4,
-                        transport: str | None = None):
-    """Grep as a DataMPI O/A job, with its counters."""
+def grep_datampi_job(pattern: str, parallelism: int = 4,
+                     transport: str | None = None) -> DataMPIJob:
+    """The Grep O/A job for ``pattern``, for cold runs and warm pools."""
     compiled = re.compile(pattern)
 
     def o_task(ctx, split):
@@ -76,12 +76,18 @@ def grep_datampi_result(lines: Sequence[str], pattern: str, parallelism: int = 4
     def a_task(ctx):
         return [(match, sum(values)) for match, values in ctx.grouped()]
 
-    job = DataMPIJob(
+    return DataMPIJob(
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda m, vs: sum(vs), job_name="grep",
                     transport=transport),
     )
+
+
+def grep_datampi_result(lines: Sequence[str], pattern: str, parallelism: int = 4,
+                        transport: str | None = None):
+    """Grep as a DataMPI O/A job, with its counters."""
+    job = grep_datampi_job(pattern, parallelism, transport=transport)
     return job.run(split_round_robin(list(lines), parallelism))
 
 

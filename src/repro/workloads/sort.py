@@ -68,10 +68,16 @@ def text_sort_spark(lines: Sequence[str], parallelism: int = 4,
     return [key for key, _ in pairs.sort_by_key(parallelism).collect()]
 
 
-def text_sort_datampi_result(lines: Sequence[str], parallelism: int = 4,
-                             transport: str | None = None):
-    """Text Sort as a DataMPI O/A job, with its counters."""
-    partitioner = RangePartitioner(_sample_keys(lines), parallelism)
+def text_sort_datampi_job(sample_lines: Sequence[str], parallelism: int = 4,
+                          transport: str | None = None) -> DataMPIJob:
+    """The Text Sort O/A job, for cold runs and warm pools alike.
+
+    The range partitioner is sampled from ``sample_lines`` at job
+    construction — a pooled job therefore routes every submission with
+    the partitioner sampled from the lines it was registered with, just
+    as TotalOrderPartitioner fixes its boundaries before a job runs.
+    """
+    partitioner = RangePartitioner(_sample_keys(sample_lines), parallelism)
 
     def o_task(ctx, split):
         for line in split:
@@ -80,12 +86,18 @@ def text_sort_datampi_result(lines: Sequence[str], parallelism: int = 4,
     def a_task(ctx):
         return [kv.key for kv in ctx]
 
-    job = DataMPIJob(
+    return DataMPIJob(
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     partitioner=partitioner, job_name="text-sort",
                     transport=transport),
     )
+
+
+def text_sort_datampi_result(lines: Sequence[str], parallelism: int = 4,
+                             transport: str | None = None):
+    """Text Sort as a DataMPI O/A job, with its counters."""
+    job = text_sort_datampi_job(lines, parallelism, transport=transport)
     return job.run(split_round_robin(list(lines), parallelism))
 
 

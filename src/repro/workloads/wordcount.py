@@ -67,12 +67,14 @@ def wordcount_spark(lines: Sequence[str], parallelism: int = 4,
     return dict(counts.collect())
 
 
-def wordcount_datampi_result(lines: Sequence[str], parallelism: int = 4,
-                             transport: str | None = None):
-    """WordCount as a DataMPI O/A job, with its counters.
+def wordcount_datampi_job(parallelism: int = 4,
+                          transport: str | None = None) -> DataMPIJob:
+    """The WordCount O/A job itself, for cold runs *and* warm pools.
 
-    Returns the raw :class:`~repro.datampi.job.JobResult` so callers can
-    read ``o.bytes_sent`` and friends alongside the outputs.
+    ``wordcount_datampi_result`` runs it on a fresh world; a serving
+    :class:`~repro.serving.pool.WorldPool` registers the same job and
+    submits inputs against an already-formed world — one definition, so
+    the two paths cannot diverge.
     """
     def o_task(ctx, split):
         for line in split:
@@ -82,13 +84,23 @@ def wordcount_datampi_result(lines: Sequence[str], parallelism: int = 4,
     def a_task(ctx):
         return [(word, sum(values)) for word, values in ctx.grouped()]
 
-    job = DataMPIJob(
+    return DataMPIJob(
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda word, values: sum(values),
                     job_name="wordcount",
                     transport=transport),
     )
+
+
+def wordcount_datampi_result(lines: Sequence[str], parallelism: int = 4,
+                             transport: str | None = None):
+    """WordCount as a DataMPI O/A job, with its counters.
+
+    Returns the raw :class:`~repro.datampi.job.JobResult` so callers can
+    read ``o.bytes_sent`` and friends alongside the outputs.
+    """
+    job = wordcount_datampi_job(parallelism, transport=transport)
     return job.run(split_round_robin(list(lines), parallelism))
 
 

@@ -70,6 +70,35 @@ class TestWorkloadCommand:
         assert main(["workload", "hadoop", "join"]) == 2
 
 
+class TestWorkloadPool:
+    def test_pooled_wordcount(self, capsys):
+        assert main(["workload", "datampi", "wordcount", "--pool", "3",
+                     "--lines", "120", "--transport", "thread"]) == 0
+        out = capsys.readouterr().out
+        assert "pooled wordcount" in out
+        assert "jobs/s" in out and "p50" in out and "p99" in out
+        assert "verified=True" in out
+
+    def test_pooled_sort_and_grep(self, capsys):
+        for name in ("sort", "grep"):
+            assert main(["workload", "datampi", name, "--pool", "2",
+                         "--lines", "80", "--transport", "thread"]) == 0
+            assert "verified=True" in capsys.readouterr().out
+
+    def test_pool_needs_datampi_common_mode(self, capsys):
+        assert main(["workload", "hadoop", "wordcount", "--pool", "2"]) == 2
+        assert "--pool needs the datampi engine" in capsys.readouterr().err
+        assert main(["workload", "datampi", "wordcount", "--pool", "2",
+                     "--mode", "streaming"]) == 2
+        assert "common mode" in capsys.readouterr().err
+
+    def test_pool_rejects_unsupported_workload_and_zero_jobs(self, capsys):
+        assert main(["workload", "datampi", "kmeans", "--pool", "2"]) == 2
+        assert "--pool supports" in capsys.readouterr().err
+        assert main(["workload", "datampi", "wordcount", "--pool", "0"]) == 2
+        assert "at least one submission" in capsys.readouterr().err
+
+
 class TestWorkloadModes:
     def test_kmeans_iteration_mode(self, capsys):
         assert main(["workload", "datampi", "kmeans", "--mode", "iteration",
@@ -166,6 +195,33 @@ class TestExperimentCommand:
                          "bytes_per_iteration.json", "timings.json",
                          "index.md"):
             assert artifact in listed
+
+    def test_interrupt_exits_130_and_resumes(self, capsys, tmp_path,
+                                             monkeypatch):
+        """Ctrl-C mid-run: one-line message, exit 130, finished cells
+        checkpointed so a re-run resumes instead of starting over."""
+        from repro.experiments.matrix import MatrixRunner
+
+        out = str(tmp_path / "matrix")
+        original = MatrixRunner.execute_cell
+        survived: list = []
+
+        def dying(self, cell):
+            if len(survived) >= 3:
+                raise KeyboardInterrupt
+            survived.append(cell.cell_id)
+            return original(self, cell)
+
+        monkeypatch.setattr(MatrixRunner, "execute_cell", dying)
+        assert main(["experiment", "run", "--quick", "--out", out]) == 130
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "resume" in captured.err
+        assert "Traceback" not in captured.err
+
+        monkeypatch.setattr(MatrixRunner, "execute_cell", original)
+        assert main(["experiment", "run", "--quick", "--out", out]) == 0
+        assert "3 resumed" in capsys.readouterr().out
 
     def test_negative_parallel_is_a_usage_error(self, capsys):
         with pytest.raises(SystemExit):

@@ -176,6 +176,30 @@ class TestDistributedExecution:
                      if name.endswith(".claim")]
         assert leftovers == []
 
+    def test_interrupt_releases_parent_claims(self, tmp_path, monkeypatch):
+        """A Ctrl-C mid-served-run must not leave the parent's claim
+        files behind — a leftover claim looks like a live owner and
+        blocks the cell until the next run's debris sweep."""
+        spec = small_spec()
+        out = str(tmp_path)
+        runner = MatrixRunner(spec, out, serve=SERVE)
+
+        def claim_then_die(self, server, remaining, record):
+            for cell in list(remaining.values())[:3]:
+                assert try_claim_cell(out, cell.cell_id, spec.spec_hash,
+                                      "parent")
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(MatrixRunner, "_serve_cells", claim_then_die)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run()
+        leftovers = [name for name in os.listdir(tmp_path / "cells")
+                     if name.endswith(".claim")]
+        assert leftovers == []
+        # The interrupted run resumes: a fresh runner finishes the spec.
+        result = MatrixRunner(spec, out).run()
+        assert not result.failed_cells()
+
     def test_parent_alone_completes_a_served_run(self, tmp_path):
         """Serving with no worker ever joining must still finish."""
         runner = MatrixRunner(small_spec(), str(tmp_path), serve=SERVE)

@@ -16,6 +16,7 @@ import repro.datampi.modes
 import repro.experiments.spec
 import repro.mpi.launcher
 import repro.mpi.transport.base
+import repro.serving.pool
 
 DOCTESTED_MODULES = [
     repro.datampi.checkpoint,
@@ -25,6 +26,7 @@ DOCTESTED_MODULES = [
     repro.experiments.spec,
     repro.mpi.launcher,
     repro.mpi.transport.base,
+    repro.serving.pool,
 ]
 
 
@@ -43,6 +45,7 @@ def test_public_api_examples_are_present():
         repro.datampi.job: ("DataMPIConf", "DataMPIJob"),
         repro.datampi.modes: ("IterativeJob", "StreamingJob"),
         repro.datampi.kvcache: ("KVCache",),
+        repro.serving.pool: ("WorldPool",),
     }
     for module, names in expectations.items():
         for name in names:

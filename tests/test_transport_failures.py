@@ -19,6 +19,7 @@ This suite is parametrized over the full backend list so a new transport
 import os
 import pickle
 import time
+from contextlib import contextmanager
 
 import pytest
 
@@ -31,11 +32,28 @@ ALL_BACKENDS = ("thread", "shm", "inline", "tcp")
 #: Backends whose ranks are OS processes a hard kill can take out.
 PROCESS_BACKENDS = ("shm", "tcp")
 
-#: A blocked rank must fail well before this (poison, not timeout).
-FAIL_FAST_SECONDS = 10.0
-
 #: Timeout given to receives that must be cut short by peer death.
 LONG_RECV = 60.0
+
+#: A poisoned rank must fail well inside this monotonic budget.  The
+#: property under test is "poison cut the 60s receive short", so the
+#: budget is half the receive timeout — generous enough that a loaded
+#: CI runner cannot flake it, while still proving the receive never ran
+#: to its timeout.
+FAIL_FAST_BUDGET = LONG_RECV / 2
+
+
+@contextmanager
+def fail_fast():
+    """Assert the block finished before a generous monotonic deadline."""
+    deadline = time.monotonic() + FAIL_FAST_BUDGET
+    yield
+    overshoot = time.monotonic() - deadline
+    assert overshoot < 0, (
+        f"expected fail-fast poison well inside {FAIL_FAST_BUDGET}s, "
+        f"overshot the deadline by {overshoot:.1f}s — the rank likely "
+        f"waited out its receive timeout instead"
+    )
 
 
 @pytest.fixture(params=ALL_BACKENDS)
@@ -57,10 +75,8 @@ class TestRecvTimeout:
                 comm.recv(source=0, tag=7, timeout=0.3)
             return None
 
-        start = time.monotonic()
-        with pytest.raises(MPIError, match="timed out|deadlock"):
+        with fail_fast(), pytest.raises(MPIError, match="timed out|deadlock"):
             mpi_run(2, main, transport=backend)
-        assert time.monotonic() - start < FAIL_FAST_SECONDS
 
     def test_single_rank_self_deadlock(self, backend):
         def main(comm):
@@ -105,10 +121,8 @@ class TestPeerDeath:
                 raise RuntimeError("early death")
             comm.recv(source=0, tag=3, timeout=LONG_RECV)
 
-        start = time.monotonic()
-        with pytest.raises(MPIError):
+        with fail_fast(), pytest.raises(MPIError):
             mpi_run(3, main, transport=backend)
-        assert time.monotonic() - start < FAIL_FAST_SECONDS
 
     def test_blocked_barrier_fails_fast_after_peer_death(self, backend):
         def main(comm):
@@ -116,10 +130,8 @@ class TestPeerDeath:
                 raise RuntimeError("no barrier for you")
             comm.barrier(timeout=LONG_RECV)
 
-        start = time.monotonic()
-        with pytest.raises(MPIError):
+        with fail_fast(), pytest.raises(MPIError):
             mpi_run(3, main, transport=backend)
-        assert time.monotonic() - start < FAIL_FAST_SECONDS
 
     def test_blocked_collective_fails_fast_after_peer_death(self, backend):
         def main(comm):
@@ -127,10 +139,8 @@ class TestPeerDeath:
                 raise RuntimeError("gather will never complete")
             return comm.gather(comm.rank, root=0)
 
-        start = time.monotonic()
-        with pytest.raises(MPIError, match="gather will never complete"):
+        with fail_fast(), pytest.raises(MPIError, match="gather will never complete"):
             mpi_run(3, main, transport=backend)
-        assert time.monotonic() - start < FAIL_FAST_SECONDS
 
 
 class TestHardKill:
@@ -143,10 +153,8 @@ class TestHardKill:
                 os._exit(17)  # no exception, no cleanup, no goodbye
             comm.recv(source=0, tag=3, timeout=LONG_RECV)
 
-        start = time.monotonic()
-        with pytest.raises(MPIError, match="died without reporting|aborted|peer"):
+        with fail_fast(), pytest.raises(MPIError, match="died without reporting|aborted|peer"):
             mpi_run(2, main, transport=process_backend)
-        assert time.monotonic() - start < FAIL_FAST_SECONDS
 
     def test_killed_rank_unblocks_whole_world(self, process_backend):
         def main(comm):
@@ -154,10 +162,8 @@ class TestHardKill:
                 os._exit(1)
             comm.barrier(timeout=LONG_RECV)
 
-        start = time.monotonic()
-        with pytest.raises(MPIError):
+        with fail_fast(), pytest.raises(MPIError):
             mpi_run(4, main, transport=process_backend)
-        assert time.monotonic() - start < FAIL_FAST_SECONDS
 
     def test_survivor_results_are_not_fabricated(self, process_backend):
         """After a kill, the launcher must raise — never return a result

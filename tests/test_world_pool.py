@@ -1,0 +1,243 @@
+"""Warm rank-pool serving path: lifecycle, recycling, and equivalence.
+
+The contract under test: a :class:`~repro.serving.WorldPool` forms one
+O/A world, serves a stream of job submissions on it, and recycles the
+world between jobs.  Three families of guarantees:
+
+* **Equivalence** — outputs of a pooled submission are byte-identical
+  to a cold per-job world running the *same* ``DataMPIJob``, on every
+  transport backend (the pool is a latency optimisation, never a
+  semantics change).
+* **Recycling** — no per-job state survives a job boundary: splits
+  pinned under ``o.splits`` by job N are never served as job N+1's
+  input, and job N's ``a.output`` pin is not readable from job N+1's
+  cache (the world-lifecycle leak this PR fixes).
+* **Lifecycle** — registration is pre-start only, task failures fail
+  their submission but not the pool, close() is idempotent and fails
+  in-flight futures loudly.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.bigdatabench import TextGenerator
+from repro.common.errors import ConfigError, JobError
+from repro.datampi import (
+    A_OUTPUT_KEY,
+    O_SPLITS_KEY,
+    ChunkStore,
+    DataMPIConf,
+    DataMPIJob,
+    KVCache,
+    recycle_world,
+)
+from repro.serving import WorldPool
+from repro.workloads import (
+    split_round_robin,
+    wordcount_datampi_job,
+    wordcount_datampi_result,
+    wordcount_reference,
+)
+
+ALL_BACKENDS = ("thread", "shm", "inline", "tcp")
+
+LINES_A = TextGenerator(seed=7).lines(150)
+LINES_B = TextGenerator(seed=21).lines(110)
+PARALLELISM = 2
+
+
+def stable_bytes(value) -> bytes:
+    return pickle.dumps(value, protocol=4)
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend(request):
+    return request.param
+
+
+def _wordcount_pool(transport, parallelism=PARALLELISM) -> WorldPool:
+    pool = WorldPool(num_o=parallelism, num_a=parallelism, transport=transport)
+    pool.register("wordcount", wordcount_datampi_job(parallelism))
+    return pool
+
+
+class TestPooledColdEquivalence:
+    """Same workload, warm WorldPool vs fresh mpi_run world: byte-identical."""
+
+    def test_outputs_match_cold_world(self, backend):
+        cold = wordcount_datampi_result(LINES_A, PARALLELISM,
+                                        transport=backend)
+        with _wordcount_pool(backend) as pool:
+            pool.start()
+            warm = pool.run_job("wordcount",
+                                split_round_robin(LINES_A, PARALLELISM))
+        assert stable_bytes(warm.outputs) == stable_bytes(cold.outputs)
+        assert dict(warm.merged_outputs()) == wordcount_reference(LINES_A)
+
+    def test_stream_of_jobs_each_matches_cold(self, backend):
+        """Ten submissions on one world, every one equal to its cold twin."""
+        inputs = [LINES_A, LINES_B] * 5
+        with _wordcount_pool(backend) as pool:
+            pool.start()
+            warm = [
+                pool.run_job("wordcount",
+                             split_round_robin(lines, PARALLELISM))
+                for lines in inputs
+            ]
+        for lines, result in zip(inputs, warm):
+            cold = wordcount_datampi_result(lines, PARALLELISM,
+                                            transport=backend)
+            assert stable_bytes(result.outputs) == stable_bytes(cold.outputs)
+
+
+class TestWorldRecycling:
+    """The state-leak fix: nothing pinned by job N survives into job N+1."""
+
+    def test_recycle_world_clears_pins_keeps_stat_counters(self):
+        cache = KVCache(None)
+        store = ChunkStore()
+        cache.put(O_SPLITS_KEY, ["split-0", "split-1"])
+        cache.put(A_OUTPUT_KEY, [("k", 1)])
+        cache.get(O_SPLITS_KEY)  # a hit, so the counter is non-zero
+        hits_before = cache.counters["cache.hits"]
+        recycle_world(cache, store)
+        assert cache.get(O_SPLITS_KEY) is None
+        assert cache.get(A_OUTPUT_KEY) is None
+        # Counters are cumulative measurements, not per-job state.
+        assert cache.counters["cache.hits"] == hits_before
+
+    def test_two_different_inputs_through_one_world(self, backend):
+        """The regression the fix exists for: were the ``o.splits`` pins
+        leaking, job 2 would be served job 1's cached input and produce
+        job 1's counts."""
+        with _wordcount_pool(backend) as pool:
+            pool.start()
+            first = pool.run_job("wordcount",
+                                 split_round_robin(LINES_A, PARALLELISM))
+            second = pool.run_job("wordcount",
+                                  split_round_robin(LINES_B, PARALLELISM))
+        assert dict(first.merged_outputs()) == wordcount_reference(LINES_A)
+        assert dict(second.merged_outputs()) == wordcount_reference(LINES_B)
+        cold = wordcount_datampi_result(LINES_B, PARALLELISM,
+                                        transport=backend)
+        assert stable_bytes(second.outputs) == stable_bytes(cold.outputs)
+
+    def test_a_output_pin_does_not_cross_job_boundary(self, backend):
+        """Job N's A output is pinned under ``a.output`` during the job;
+        a recycled world must not expose it to job N+1's A task."""
+
+        def o_task(ctx, split):
+            for word in split:
+                ctx.send(word, 1)
+
+        def a_task(ctx):
+            leaked = ctx.cache.get(A_OUTPUT_KEY) is not None
+            return [("leaked", leaked)] + \
+                [(key, sum(vals)) for key, vals in ctx.grouped()]
+
+        job = DataMPIJob(o_task, a_task,
+                         DataMPIConf(num_o=2, num_a=1, transport=backend))
+        pool = WorldPool(num_o=2, num_a=1, transport=backend)
+        pool.register("spy", job)
+        with pool:
+            pool.start()
+            first = pool.run_job("spy", [["a", "b"], ["b"]])
+            second = pool.run_job("spy", [["c"], ["c", "d"]])
+        assert dict(first.merged_outputs())["leaked"] is False
+        assert dict(second.merged_outputs())["leaked"] is False
+        assert dict(second.merged_outputs())["c"] == 2
+
+
+class TestPoolLifecycle:
+    def test_register_after_start_rejected(self):
+        with _wordcount_pool("thread") as pool:
+            pool.start()
+            with pytest.raises(ConfigError, match="before the pool starts"):
+                pool.register("late", wordcount_datampi_job(PARALLELISM))
+
+    def test_submit_before_start_rejected(self):
+        pool = _wordcount_pool("thread")
+        with pytest.raises(ConfigError, match="not started"):
+            pool.submit("wordcount", [[]])
+        pool.close()
+
+    def test_unknown_job_name_rejected(self):
+        with _wordcount_pool("thread") as pool:
+            pool.start()
+            with pytest.raises(ConfigError, match="unknown job"):
+                pool.submit("nope", [[]])
+
+    def test_mismatched_world_shape_rejected(self):
+        pool = WorldPool(num_o=2, num_a=2, transport="thread")
+        with pytest.raises(ConfigError, match="world, pool is"):
+            pool.register("wc", wordcount_datampi_job(parallelism=3))
+        pool.close()
+
+    def test_start_without_jobs_rejected(self):
+        pool = WorldPool(num_o=1, num_a=1, transport="thread")
+        with pytest.raises(ConfigError, match="register at least one job"):
+            pool.start()
+        pool.close()
+
+    def test_submit_after_close_rejected(self):
+        pool = _wordcount_pool("thread")
+        pool.start()
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ConfigError, match="closed"):
+            pool.submit("wordcount", [[]])
+
+    def test_task_failure_fails_submission_not_pool(self, backend):
+        """A raising task travels the outcome gather, fails its own
+        future, and leaves the world serving the next submission."""
+
+        def o_boom(ctx, split):
+            raise ValueError("task exploded")
+
+        def a_task(ctx):
+            return [kv for kv in ctx.grouped()]
+
+        boom = DataMPIJob(o_boom, a_task,
+                          DataMPIConf(num_o=PARALLELISM, num_a=PARALLELISM))
+        pool = _wordcount_pool(backend)
+        pool.register("boom", boom)
+        with pool:
+            pool.start()
+            with pytest.raises(JobError, match="task exploded"):
+                pool.run_job("boom", [["x"], ["y"]])
+            after = pool.run_job("wordcount",
+                                 split_round_robin(LINES_B, PARALLELISM))
+        assert dict(after.merged_outputs()) == wordcount_reference(LINES_B)
+
+    def test_concurrent_submitters(self, backend):
+        """Interleaved submissions from several threads all resolve to
+        their own correct results (futures matched by sequence)."""
+        inputs = [LINES_A, LINES_B]
+        results: dict[int, dict] = {}
+        errors: list[BaseException] = []
+
+        with _wordcount_pool(backend) as pool:
+            pool.start()
+
+            def submitter(index: int) -> None:
+                try:
+                    lines = inputs[index % len(inputs)]
+                    result = pool.run_job(
+                        "wordcount", split_round_robin(lines, PARALLELISM))
+                    results[index] = dict(result.merged_outputs())
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=submitter, args=(i,))
+                       for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+        assert not errors
+        assert len(results) == 6
+        for index, counts in results.items():
+            expected = wordcount_reference(inputs[index % len(inputs)])
+            assert counts == expected
