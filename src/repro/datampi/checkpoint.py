@@ -124,6 +124,20 @@ def write_iteration_state(directory: str, iteration: int, state: Any) -> int:
     return atomic_write_bytes(iteration_state_path(directory), payload)
 
 
+def clear_iteration_state(directory: str) -> None:
+    """Delete any saved iteration state (a fresh run must not resume).
+
+    ``IterativeJob.run(resume=False)`` calls this up front: an elastic
+    restart *within* the run re-reads the iteration checkpoint, so a
+    stale file from a previous run in the same directory would silently
+    change where a replayed superstep resumes from.
+    """
+    try:
+        os.remove(iteration_state_path(directory))
+    except FileNotFoundError:
+        pass
+
+
 def read_iteration_state(directory: str) -> dict | None:
     """Load the last completed iteration's state, or None if no checkpoint."""
     path = iteration_state_path(directory)

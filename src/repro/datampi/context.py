@@ -14,6 +14,7 @@ from typing import Any, Iterator
 
 from repro.common.errors import CommunicatorError
 from repro.common.kv import KeyValue
+from repro.mpi import faultinject
 from repro.datampi.buffers import PartitionedSendBuffer
 from repro.datampi.communicator import TAG_DATA, BipartiteComm
 from repro.datampi.kvcache import KVCache
@@ -47,9 +48,18 @@ class OContext:
         kwargs = {"sort": sort, "combiner": combiner}
         if send_buffer_bytes is not None:
             kwargs["threshold_bytes"] = send_buffer_bytes
-        self._buffer = PartitionedSendBuffer(
-            bcomm.num_a, bcomm.send_chunk, **kwargs
-        )
+
+        # The ``shuffle`` fault point fires per flushed chunk — after some
+        # chunks may already be in flight, before the EOFs — which is the
+        # window where a death leaves peers mid-protocol.  Per-chunk (not
+        # per-record) keeps the hot send path untouched.
+        def chunk_sink(a_index: int, payload: bytes) -> None:
+            faultinject.fire(
+                "shuffle", rank=bcomm.comm.rank, superstep=superstep
+            )
+            bcomm.send_chunk(a_index, payload)
+
+        self._buffer = PartitionedSendBuffer(bcomm.num_a, chunk_sink, **kwargs)
 
     @property
     def rank(self) -> int:

@@ -31,9 +31,10 @@ from repro.datampi.context import AContext, OContext
 from repro.datampi.kvcache import KVCache
 from repro.datampi.partition import Partitioner
 from repro.datampi.receiver import DEFAULT_SPILL_BYTES, ChunkStore
+from repro.mpi import faultinject
 from repro.mpi.comm import Comm
 from repro.mpi.launcher import mpi_run
-from repro.mpi.transport import Transport, available_transports
+from repro.mpi.transport import Transport, available_transports, get_transport
 
 OTask = Callable[[OContext, Any], None]
 ATask = Callable[[AContext], Any]
@@ -89,8 +90,24 @@ class DataMPIConf:
     mode: str = "common"
     #: Capacity of the per-rank cross-superstep KV cache (None = unbounded).
     cache_bytes: int | None = None
+    #: Deterministic fault plan (a :class:`~repro.mpi.faultinject.FaultPlan`
+    #: or its DSL string) installed in every rank the job launches.  The
+    #: plan fires *inside* the ranks at instrumented points — the chaos
+    #: tests' alternative to sleeping and signalling from outside.
+    fault_plan: Any = None
 
     def __post_init__(self) -> None:
+        # Normalize the fault plan up front so a bad DSL string fails at
+        # construction, like every other conf error.
+        object.__setattr__(
+            self, "fault_plan", faultinject.parse_fault_plan(self.fault_plan)
+        )
+        if self.fault_plan is not None and isinstance(self.transport, Transport):
+            raise ConfigError(
+                "conf.fault_plan cannot be combined with an already-constructed "
+                "transport instance; pass fault_plan= to the transport "
+                "constructor instead"
+            )
         if self.num_o < 1 or self.num_a < 1:
             raise ConfigError(
                 f"num_o and num_a must be >= 1 (got {self.num_o}, {self.num_a})"
@@ -111,6 +128,17 @@ class DataMPIConf:
             )
         if self.cache_bytes is not None and self.cache_bytes < 1:
             raise ConfigError("cache_bytes must be positive or None")
+
+    def resolved_transport(self) -> str | Transport | None:
+        """The transport every driver should hand to ``mpi_run``.
+
+        With no fault plan this is just ``self.transport``; with one, the
+        backend is constructed here so the plan rides into every rank the
+        job launches (forked children install it before running user code).
+        """
+        if self.fault_plan is None:
+            return self.transport
+        return get_transport(self.transport, fault_plan=self.fault_plan)
 
 
 def merge_outputs(outputs: list[Any]) -> list[Any]:
@@ -174,6 +202,7 @@ def run_o_superstep(
         superstep=superstep,
     )
     try:
+        faultinject.fire("o-phase", rank=bcomm.comm.rank, superstep=superstep)
         for split in my_splits:
             invoke_o(ctx, split)
     finally:
@@ -197,6 +226,7 @@ def run_a_superstep(
     iterative/streaming drivers reset and reuse it across supersteps.
     """
     ctx = AContext(bcomm, store, sort=conf.sort, cache=cache, superstep=superstep)
+    faultinject.fire("a-phase", rank=bcomm.comm.rank, superstep=superstep)
     ctx.drain()
     if checkpoint_dir is not None:
         write_checkpoint(checkpoint_dir, ctx.rank, store)
@@ -253,7 +283,7 @@ class DataMPIJob:
             return self._run_a(bcomm)
 
         rank_results = mpi_run(
-            conf.num_o + conf.num_a, rank_main, transport=conf.transport
+            conf.num_o + conf.num_a, rank_main, transport=conf.resolved_transport()
         )
         if conf.checkpoint_dir is not None:
             write_manifest(conf.checkpoint_dir, conf.num_a, conf.sort, conf.job_name)
@@ -292,7 +322,9 @@ class DataMPIJob:
                 ctx.cleanup()
             return ("a", output, ctx.counters)
 
-        rank_results = mpi_run(self.conf.num_a, a_main, transport=self.conf.transport)
+        rank_results = mpi_run(
+            self.conf.num_a, a_main, transport=self.conf.resolved_transport()
+        )
         return self._collect(rank_results)
 
     # -- result assembly --------------------------------------------------------

@@ -39,8 +39,14 @@ from itertools import islice
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.common.errors import CheckpointError, ConfigError, MPIError
+from repro.mpi import faultinject
+from repro.mpi.transport.base import world_generation
 from repro.mpi.transport.codec import PICKLE_PROTOCOL
-from repro.datampi.checkpoint import read_iteration_state, write_iteration_state
+from repro.datampi.checkpoint import (
+    clear_iteration_state,
+    read_iteration_state,
+    write_iteration_state,
+)
 from repro.datampi.communicator import BipartiteComm
 from repro.datampi.job import (
     DataMPIConf,
@@ -109,6 +115,11 @@ def run_superstep(
     scatter_bytes = 0
     cache_before = dict(cache.counters) if cache is not None else {}
 
+    # Deliberately *outside* the task try/except blocks below: an injected
+    # fault here is a rank failure (kill/abort), not a task error to be
+    # reported politely over the control channel.
+    faultinject.fire("before-superstep", rank=bcomm.comm.rank, superstep=superstep)
+
     if bcomm.is_o:
         my_splits: Any = _MISSING
         if cache is not None and cache_input:
@@ -155,6 +166,9 @@ def run_superstep(
     else:
         for key in _CACHE_COUNTER_KEYS:
             counters[key] = 0
+    # The rank has computed but not yet reported: a death here forces the
+    # supervisor to replay the whole superstep from the last checkpoint.
+    faultinject.fire("after-superstep", rank=bcomm.comm.rank, superstep=superstep)
     return status, error, output, counters, scatter_bytes
 
 
@@ -335,6 +349,11 @@ class IterativeJob:
                     f"no iteration checkpoint in {self.conf.checkpoint_dir}"
                 )
             start_iteration, state = saved["iteration"], saved["state"]
+        elif self.conf.checkpoint_dir is not None:
+            # A fresh run must not leave a previous run's iteration state
+            # behind: an elastic restart mid-run resumes from this file,
+            # and a stale one would silently change where replay begins.
+            clear_iteration_state(self.conf.checkpoint_dir)
         if start_iteration >= self.max_iterations:
             return IterativeResult(
                 state=state, outputs=[], iterations=start_iteration,
@@ -355,7 +374,7 @@ class IterativeJob:
             return self._rank_loop(comm, splits, start_state, start_iteration)
 
         rank_results = mpi_run(
-            conf.num_o + conf.num_a, rank_main, transport=conf.transport
+            conf.num_o + conf.num_a, rank_main, transport=conf.resolved_transport()
         )
         tag, payload = rank_results[0]
         assert tag == "root"
@@ -380,6 +399,22 @@ class IterativeJob:
         timings: list[float] = []
         totals: dict[str, int] = {}
         pending: tuple = ("run", start_state)
+
+        # Elastic restart: when the transport re-formed the world after a
+        # rank death (generation > 0), every rank rejoins from the last
+        # *completed* iteration's checkpoint instead of the run's initial
+        # state — the interrupted superstep replays from its exact input,
+        # so the final state is identical to an uninjected run.
+        if world_generation(comm) > 0 and conf.checkpoint_dir is not None:
+            saved = read_iteration_state(conf.checkpoint_dir)
+            if saved is not None:
+                iteration = saved["iteration"]
+                state = root_state = saved["state"]
+                pending = (
+                    ("stop", False)
+                    if iteration >= self.max_iterations
+                    else ("run", saved["state"])
+                )
 
         try:
             while True:
@@ -432,6 +467,9 @@ class IterativeJob:
                     root_state = new_state
                     final_outputs = outputs
                     if conf.checkpoint_dir is not None:
+                        faultinject.fire(
+                            "checkpoint-write", rank=comm.rank, superstep=iteration
+                        )
                         write_iteration_state(
                             conf.checkpoint_dir, iteration, new_state
                         )
@@ -507,7 +545,7 @@ class IterativeJob:
                 return ("rank", None)
 
             rank_results = mpi_run(
-                conf.num_o + conf.num_a, rank_main, transport=conf.transport
+                conf.num_o + conf.num_a, rank_main, transport=conf.resolved_transport()
             )
             tag, payload = rank_results[0]
             assert tag == "root"
@@ -626,7 +664,7 @@ class StreamingJob:
             return self._rank_loop(comm, split_stream)
 
         rank_results = mpi_run(
-            conf.num_o + conf.num_a, rank_main, transport=conf.transport
+            conf.num_o + conf.num_a, rank_main, transport=conf.resolved_transport()
         )
         tag, payload = rank_results[0]
         assert tag == "root"

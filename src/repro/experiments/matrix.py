@@ -494,6 +494,13 @@ MATRIX_AUTHKEY_ENV_VAR = "REPRO_MATRIX_AUTHKEY"
 
 CLAIM_SUFFIX = ".claim"
 
+#: How long a serving parent leaves a claim from a worker it never admitted
+#: alone before reclaiming it.  Long enough for a predecessor's surviving
+#: worker to reconnect and re-stamp its claims; short enough that a truly
+#: departed owner (on a host where liveness cannot be probed) does not
+#: stall the run.
+RECLAIM_GRACE_SEC = 5.0
+
 
 def claim_path(out_dir: str, cell_id: str) -> str:
     return os.path.join(out_dir, CELLS_DIR, cell_id + CLAIM_SUFFIX)
@@ -548,10 +555,73 @@ def sweep_claim_debris(out_dir: str) -> None:
 
 def claim_owner(out_dir: str, cell_id: str) -> str | None:
     """The recorded owner of a cell's claim, or None when unclaimed."""
+    record = claim_record(out_dir, cell_id)
+    return record.get("owner") if record else None
+
+
+def claim_record(out_dir: str, cell_id: str) -> dict | None:
+    """A cell's full claim record (owner/pid/host), or None when unclaimed."""
     try:
-        return read_json(claim_path(out_dir, cell_id)).get("owner")
+        record = read_json(claim_path(out_dir, cell_id))
     except Exception:  # noqa: BLE001 - missing or mid-write claim
         return None
+    return record if isinstance(record, dict) else {}
+
+
+def claim_age_seconds(out_dir: str, cell_id: str) -> float:
+    """Seconds since the claim file appeared (inf when it is gone)."""
+    try:
+        return max(0.0, time.time() - os.path.getmtime(claim_path(out_dir, cell_id)))
+    except OSError:
+        return float("inf")
+
+
+def refresh_claim(out_dir: str, cell_id: str, spec_hash: str, owner: str) -> None:
+    """Atomically re-stamp an already-held claim with a new owner record.
+
+    Used by a worker that reconnected after losing its parent (the parent
+    may have restarted): its claims carry the *old* worker id, which the
+    new parent would reap as a departed owner.  The replace keeps the
+    cell continuously claimed — there is no window where another claimant
+    can link in.
+    """
+    path = claim_path(out_dir, cell_id)
+    tmp = (f"{path}.{socket.gethostname()}.{os.getpid()}"
+           f".{threading.get_ident()}.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump({"owner": owner, "spec_hash": spec_hash,
+                   "pid": os.getpid(), "host": socket.gethostname()}, handle)
+    os.replace(tmp, path)
+
+
+def _pid_is_live(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        pass  # EPERM and friends: the pid exists
+    return True
+
+
+def claim_is_stale(record: dict | None) -> bool:
+    """Is a claim provably dead — its recorded owner process gone?
+
+    Only claims from *this* host can be checked; a malformed record, a
+    dead local pid, or a claim written by this very process (workers are
+    always separate processes, so our own pid can only be a leftover of a
+    previous incarnation of this run) count as stale.  Remote-host claims
+    are never provably dead here — the serving reaper ages them out
+    instead.
+    """
+    if not record:
+        return True
+    pid, host = record.get("pid"), record.get("host")
+    if host != socket.gethostname():
+        return False  # remote: not provably dead from here
+    if not isinstance(pid, int):
+        return True  # local but malformed
+    return pid == os.getpid() or not _pid_is_live(pid)
 
 
 def run_matrix_worker(
@@ -571,6 +641,99 @@ def run_matrix_worker(
     Returns the number of cells it executed.
     """
     progress = progress or (lambda result: None)
+    connected = _worker_connect(address, connect_timeout)
+    if connected is None:
+        # The parent accepted then hung up: its run finished (or it
+        # died) before this worker was admitted.  Nothing to do.
+        return 0
+    sock, welcome = connected
+    spec = ExperimentSpec.from_dict(welcome["spec"])
+    out_dir = welcome["out_dir"]
+    owner = welcome["worker_id"]
+    executed = 0
+    try:
+        for cell in spec.cells:
+            state, _record = _classify_checkpoint(
+                os.path.join(out_dir, CELLS_DIR, f"{cell.cell_id}.json"),
+                spec.spec_hash,
+            )
+            if state == "done":
+                continue
+            if not try_claim_cell(out_dir, cell.cell_id, spec.spec_hash,
+                                  owner):
+                continue
+            result_doc = _run_cell_worker({
+                "cell": cell.to_dict(),
+                "spec": welcome["spec"],
+                "interval": welcome["interval"],
+            })
+            frame_obj = {"cell_id": cell.cell_id, "result": result_doc}
+            try:
+                send_frame(sock, _WK_RESULT, obj=frame_obj)
+            except OSError as exc:
+                # The parent vanished with our result in hand.  It may
+                # have *restarted* on the same address: reconnect, stamp
+                # the claim with the identity the new parent gave us (so
+                # its reaper knows the owner is alive), and resend.
+                sock.close()
+                sock, owner = _worker_reconnect(
+                    address, connect_timeout, spec, executed, exc
+                )
+                refresh_claim(out_dir, cell.cell_id, spec.spec_hash, owner)
+                try:
+                    send_frame(sock, _WK_RESULT, obj=frame_obj)
+                except OSError as exc2:
+                    raise JobError(
+                        f"lost connection to the matrix parent at "
+                        f"{address} after {executed} cell(s): {exc2}"
+                    ) from exc2
+            executed += 1
+            progress(CellResult.from_dict(result_doc))
+        try:
+            send_frame(sock, _WK_BYE)
+        except OSError:
+            pass  # the run is over either way
+    finally:
+        sock.close()
+    return executed
+
+
+def _worker_reconnect(
+    address: str,
+    connect_timeout: float,
+    spec: ExperimentSpec,
+    executed: int,
+    cause: OSError,
+) -> tuple[socket.socket, str]:
+    """Re-join a (possibly restarted) parent after a torn connection."""
+    try:
+        reconnected = _worker_connect(address, connect_timeout)
+    except JobError:
+        reconnected = None
+    if reconnected is None:
+        raise JobError(
+            f"lost connection to the matrix parent at {address} after "
+            f"{executed} cell(s): {cause}"
+        ) from cause
+    sock, welcome = reconnected
+    if ExperimentSpec.from_dict(welcome["spec"]).spec_hash != spec.spec_hash:
+        sock.close()
+        raise JobError(
+            f"the matrix parent now serving at {address} runs a different "
+            f"spec; abandoning this worker's run"
+        )
+    return sock, welcome["worker_id"]
+
+
+def _worker_connect(
+    address: str, connect_timeout: float
+) -> tuple[socket.socket, dict] | None:
+    """Dial and handshake a matrix parent.
+
+    Returns ``(socket, welcome)`` once admitted, or ``None`` when a parent
+    accepted and hung up cleanly (its run already finished).  Raises
+    :class:`JobError` when nothing is serving or the handshake misbehaves.
+    """
     host, port = parse_address(address)
     authkey = parse_authkey(address) or os.environ.get(MATRIX_AUTHKEY_ENV_VAR)
     deadline = time.monotonic() + connect_timeout
@@ -617,45 +780,19 @@ def run_matrix_worker(
             ) from None
         sock.settimeout(None)
         if frame is None:
-            # The parent accepted then hung up: its run finished (or it
-            # died) before this worker was admitted.  Nothing to do.
-            return 0
+            sock.close()
+            return None
         if frame[0] != _WK_WELCOME:
             raise JobError(f"matrix parent at {address} rejected the worker")
-        welcome = frame[2]
-        spec = ExperimentSpec.from_dict(welcome["spec"])
-        out_dir = welcome["out_dir"]
-        owner = welcome["worker_id"]
-        executed = 0
-        try:
-            for cell in spec.cells:
-                state, _record = _classify_checkpoint(
-                    os.path.join(out_dir, CELLS_DIR, f"{cell.cell_id}.json"),
-                    spec.spec_hash,
-                )
-                if state == "done":
-                    continue
-                if not try_claim_cell(out_dir, cell.cell_id, spec.spec_hash,
-                                      owner):
-                    continue
-                result_doc = _run_cell_worker({
-                    "cell": cell.to_dict(),
-                    "spec": welcome["spec"],
-                    "interval": welcome["interval"],
-                })
-                send_frame(sock, _WK_RESULT,
-                           obj={"cell_id": cell.cell_id, "result": result_doc})
-                executed += 1
-                progress(CellResult.from_dict(result_doc))
-            send_frame(sock, _WK_BYE)
-        except OSError as exc:
-            raise JobError(
-                f"lost connection to the matrix parent at {address} after "
-                f"{executed} cell(s): {exc}"
-            ) from exc
-    finally:
+    except BaseException:
         sock.close()
-    return executed
+        raise
+    return sock, frame[2]
+
+
+#: Per-process sequence distinguishing server incarnations (worker ids
+#: embed pid + this, so ids never repeat across parent restarts).
+_SERVER_EPOCH = iter(range(1, 1 << 62))
 
 
 class _MatrixServer:
@@ -692,10 +829,12 @@ class _MatrixServer:
         self._lock = threading.Lock()
         self._results: list[tuple[str, CellResult]] = []
         self._live: set[str] = set()
+        self._seen: set[str] = set()  # every worker id this server admitted
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._conns: list[socket.socket] = []
         self._next_id = 0
+        self._epoch = f"{os.getpid():x}.{next(_SERVER_EPOCH)}"
 
     def __enter__(self) -> "_MatrixServer":
         acceptor = threading.Thread(target=self._accept_loop,
@@ -725,10 +864,18 @@ class _MatrixServer:
             return drained
 
     def owner_is_live(self, owner: str | None) -> bool:
-        """Claims by workers this server never admitted count as dead —
-        they are leftovers of an earlier, departed run."""
+        """Is ``owner`` a currently-connected worker of this server?"""
         with self._lock:
             return owner is not None and owner in self._live
+
+    def owner_was_admitted(self, owner: str | None) -> bool:
+        """Did this server ever admit ``owner`` (live or since departed)?
+
+        Distinguishes "admitted, then died" (reap its claims immediately)
+        from "never met" (a worker of a previous parent that may still
+        reconnect — only age its claims out)."""
+        with self._lock:
+            return owner is not None and owner in self._seen
 
     # -- threads ---------------------------------------------------------------
 
@@ -768,8 +915,12 @@ class _MatrixServer:
                 conn.settimeout(None)
                 with self._lock:
                     self._next_id += 1
-                    worker_id = f"worker-{self._next_id}"
+                    # Unique across parent incarnations: a restarted
+                    # parent must never mint an id that collides with a
+                    # claim stamped by its predecessor's workers.
+                    worker_id = f"worker-{self._epoch}-{self._next_id}"
                     self._live.add(worker_id)
+                    self._seen.add(worker_id)
                     self._conns.append(conn)
                 send_frame(conn, _WK_WELCOME, obj={
                     "worker_id": worker_id,
@@ -947,9 +1098,15 @@ class MatrixRunner:
         # Sweep *every* cell's claim, not just the pending ones: a parent
         # killed between checkpointing a cell and releasing its claim
         # leaves a claim beside a done checkpoint, which no longer shows
-        # up as pending but must not survive into this run.
+        # up as pending but must not survive into this run.  The sweep is
+        # liveness-aware: claims whose recorded owner process is provably
+        # dead (or is this very process, reincarnated) go; claims held by
+        # a live worker of a previous parent stay, so a restarted parent
+        # does not steal a cell that worker is still computing — it can
+        # reconnect and stream the result here instead.
         for cell in self.spec.cells:
-            release_claim(self.out_dir, cell.cell_id)
+            if claim_is_stale(claim_record(self.out_dir, cell.cell_id)):
+                release_claim(self.out_dir, cell.cell_id)
         sweep_claim_debris(self.out_dir)
         executed = 0
 
@@ -1012,9 +1169,23 @@ class MatrixRunner:
                 # orphaned — releasing it would race a worker linking
                 # its claim right now; the next sweep picks it up.
                 for cell_id in list(remaining):
-                    owner = claim_owner(self.out_dir, cell_id)
-                    if owner is not None and owner != "parent" \
-                            and not server.owner_is_live(owner):
+                    claim = claim_record(self.out_dir, cell_id)
+                    owner = claim.get("owner") if claim else None
+                    if owner is None or owner == "parent":
+                        continue
+                    if server.owner_was_admitted(owner):
+                        # Admitted then departed: provably gone, reap now.
+                        if not server.owner_is_live(owner):
+                            release_claim(self.out_dir, cell_id)
+                            progressed = True
+                    elif claim_is_stale(claim) or (
+                        claim_age_seconds(self.out_dir, cell_id)
+                        > RECLAIM_GRACE_SEC
+                    ):
+                        # A predecessor's worker: reap once its process
+                        # is provably dead, or after a grace window long
+                        # enough for a surviving one to reconnect here
+                        # and re-stamp the claim as its own.
                         release_claim(self.out_dir, cell_id)
                         progressed = True
                 if not progressed and remaining:

@@ -25,6 +25,7 @@ from repro.mpi.transport.base import (
     default_transport_name,
     get_transport,
     register_transport,
+    world_generation,
 )
 from repro.mpi.transport.codec import (
     FMT_BATCH,
@@ -115,4 +116,5 @@ __all__ = [
     "parse_hosts",
     "register_transport",
     "resolve_authkey",
+    "world_generation",
 ]

@@ -247,7 +247,7 @@ def get_transport(spec: str | Transport | None = None, **kwargs: Any) -> Transpo
         >>> get_transport("thread", hosts="a,b")
         Traceback (most recent call last):
             ...
-        repro.common.errors.MPIError: transport 'thread' does not accept option(s) 'hosts'; it takes no options
+        repro.common.errors.MPIError: transport 'thread' does not accept option(s) 'hosts'; accepted option(s): fault_plan
     """
     if isinstance(spec, Transport):
         if kwargs:
@@ -298,6 +298,18 @@ def _check_transport_kwargs(
             f"transport {name!r} does not accept option(s) "
             f"{', '.join(repr(k) for k in unknown)}; {takes}"
         )
+
+
+def world_generation(comm: Any) -> int:
+    """Which incarnation of the world ``comm`` belongs to (0 = original).
+
+    Transports that support elastic recovery (tcp) bump their endpoints'
+    ``generation`` each time the world is re-formed after a rank death;
+    every other backend has no such attribute and reports 0.  Rank code
+    uses this to detect "I am re-running after a restart" and resume from
+    its last checkpoint instead of its initial state.
+    """
+    return int(getattr(getattr(comm, "endpoint", None), "generation", 0))
 
 
 def raise_rank_errors(errors: list[tuple[int, BaseException]]) -> None:

@@ -152,6 +152,13 @@ class InlineTransport(Transport):
 
     name = "inline"
 
+    def __init__(self, fault_plan=None):
+        from repro.mpi import faultinject
+
+        # In-process ranks: like the thread backend, injected kills
+        # degrade to a FaultInjected raise (deterministic fail-fast).
+        self.fault_plan = faultinject.parse_fault_plan(fault_plan)
+
     def run(
         self,
         world_size: int,
@@ -159,10 +166,13 @@ class InlineTransport(Transport):
         args: tuple = (),
         timeout: float = JOIN_TIMEOUT,
     ) -> list[Any]:
+        from repro.mpi import faultinject
         from repro.mpi.comm import Comm
 
         if world_size < 1:
             raise MPIError(f"world size must be >= 1, got {world_size}")
+        if self.fault_plan is not None:
+            faultinject.install(self.fault_plan)
         world = _InlineWorld(world_size)
 
         def runner(rank: int) -> None:
@@ -170,6 +180,7 @@ class InlineTransport(Transport):
             record.gate.wait()  # first grant from the scheduler
             comm = Comm.from_endpoint(InlineEndpoint(world, rank))
             try:
+                faultinject.fire("rendezvous", rank=rank)
                 record.result = main(comm, *args)
                 record.state = _DONE
             except BaseException as exc:  # noqa: BLE001 - re-raised in caller
@@ -187,7 +198,11 @@ class InlineTransport(Transport):
         for thread in threads:
             thread.start()
 
-        self._schedule(world, timeout)
+        try:
+            self._schedule(world, timeout)
+        finally:
+            if self.fault_plan is not None:
+                faultinject.clear()
 
         for thread in threads:
             thread.join(timeout)

@@ -397,13 +397,19 @@ class ShmTransport(Transport):
 
     name = "shm"
 
-    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES):
+    def __init__(self, ring_bytes: int = DEFAULT_RING_BYTES, fault_plan=None):
         if "fork" not in multiprocessing.get_all_start_methods():
             raise MPIError(
                 "shm transport needs the fork start method (unavailable on "
                 "this platform); use the thread transport instead"
             )
+        from repro.mpi import faultinject
+
         self.ring_bytes = ring_bytes
+        # Ranks are real processes: kill rules hard-exit the child and
+        # the parent reports "died without reporting a result" (fail
+        # fast — only the tcp transport rebuilds worlds).
+        self.fault_plan = faultinject.parse_fault_plan(fault_plan)
         self._ctx = multiprocessing.get_context("fork")
 
     def run(
@@ -436,6 +442,10 @@ class ShmTransport(Transport):
         processes: list[Any] = []
 
         def child(rank: int) -> None:
+            from repro.mpi import faultinject
+
+            faultinject.install(self.fault_plan)
+            faultinject.mark_killable()
             endpoint = ShmEndpoint(
                 rank=rank,
                 size=world_size,
@@ -449,6 +459,7 @@ class ShmTransport(Transport):
             comm = Comm.from_endpoint(endpoint)
             result_conn = result_pipes[rank][1]
             try:
+                faultinject.fire("rendezvous", rank=rank)
                 result = main(comm, *args)
                 # Anything still parked in a send batch must reach its
                 # peer before this rank reports success and exits.

@@ -86,6 +86,7 @@ import time
 from typing import Any, Callable, Sequence
 
 from repro.common.errors import MPIError
+from repro.mpi import faultinject
 from repro.mpi.transport.base import (
     JOIN_TIMEOUT,
     Endpoint,
@@ -126,6 +127,7 @@ KIND_REGISTER = 3  #: rank -> rendezvous: (rank | None, host, port)
 KIND_ADDRS = 4     #: rendezvous -> rank: {"rank": r, "addrs": [(host, port)]}
 KIND_OUTCOME = 5   #: rank -> launcher: (rank, "ok" | "err", value)
 KIND_SHUTDOWN = 6  #: launcher -> rank: world complete, tear down
+KIND_RESTART = 7   #: launcher -> rank: world restarting, re-register
 
 #: Barrier control messages ride ordinary frames in a tag range far above
 #: anything user code (tags >= 0) or the collectives (1<<20 + seq*8) use.
@@ -142,6 +144,24 @@ _SHUTDOWN_GRACE = 30.0
 _REGISTER_TIMEOUT = 2.0
 
 _CONTROL = -1  # demux selector key for the control channel
+
+
+class _WorldFormationError(_PoisonedError):
+    """World formation failed because a peer (or the launcher) vanished.
+
+    A symptom of another rank's death, like mailbox poison: the
+    supervisor may elect to rebuild the world instead of aborting it, and
+    error reporting prefers the real failure over this echo.
+    """
+
+
+class _PeerLostError(_PoisonedError):
+    """A send hit a torn peer socket: that rank is gone.
+
+    Classified as poison so the dead rank's death — not this echo of it —
+    is what the launcher reports, and so the supervisor can tell
+    recoverable rank loss from a genuine task failure.
+    """
 
 
 # -- framing helpers (implemented in codec.py, shared with the distributed
@@ -304,15 +324,18 @@ class TcpEndpoint(Endpoint):
         size: int,
         peers: list[socket.socket | None],
         control: socket.socket,
+        generation: int = 0,
     ):
         self.rank = rank
         self.size = size
+        self.generation = generation
         self._peers = peers
         self._control = control
         self._mailbox = Mailbox()
         self._barrier_gen = 0
         self._stop = threading.Event()
         self.shutdown_received = threading.Event()
+        self.restart_received = threading.Event()
         self._demux = threading.Thread(
             target=self._demux_loop, name=f"tcp-demux-{rank}", daemon=True
         )
@@ -332,7 +355,7 @@ class TcpEndpoint(Endpoint):
             send_frame(sock, KIND_DATA, tag=message.tag,
                        obj=message.payload, source=self.rank)
         except OSError as exc:
-            raise MPIError(
+            raise _PeerLostError(
                 f"send to rank {dest} failed: peer unreachable ({exc})"
             ) from exc
 
@@ -370,6 +393,21 @@ class TcpEndpoint(Endpoint):
                 continue
             try:
                 send_frame(sock, KIND_ABORT)
+            except OSError:
+                pass
+
+    def sever(self) -> None:
+        """Tear every live connection down mid-protocol (fault injection).
+
+        Registered as this rank's fault dropper: a ``drop`` rule calls it
+        so peers and the launcher observe abrupt EOFs exactly where a
+        yanked cable would produce them.
+        """
+        for sock in (self._control, *self._peers):
+            if sock is None:
+                continue
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
 
@@ -417,6 +455,12 @@ class TcpEndpoint(Endpoint):
         elif kind == KIND_ABORT:
             self._mailbox.poison()
         elif kind == KIND_SHUTDOWN:
+            self.shutdown_received.set()
+        elif kind == KIND_RESTART:
+            # The launcher is rebuilding the world: release the
+            # post-outcome wait and flag that this rank must re-register
+            # instead of tearing down.
+            self.restart_received.set()
             self.shutdown_received.set()
 
 
@@ -515,8 +559,101 @@ class _Rendezvous:
                         pass
             return [c for c in controls if c is not None], failures
         for rank, conn in enumerate(controls):
-            send_frame(conn, KIND_ADDRS, obj={"rank": rank, "addrs": addrs})
+            try:
+                send_frame(conn, KIND_ADDRS, obj={"rank": rank, "addrs": addrs})
+            except OSError:
+                # Registered then died: outcome collection sees the EOF
+                # and decides (abort or elastic restart); peers that fail
+                # to reach the dead listener poison themselves.
+                pass
         return controls, []  # type: ignore[return-value]
+
+    def reform(
+        self,
+        survivors: dict[int, socket.socket],
+        deadline: float,
+    ) -> list[socket.socket]:
+        """Rebuild the world after rank deaths: survivors re-register over
+        their live control sockets while freed slots are re-offered to new
+        connections at the (still open) rendezvous address.  Returns the
+        full control list for the next generation."""
+        controls: list[socket.socket | None] = [None] * self.world_size
+        addrs: list[tuple[str, int] | None] = [None] * self.world_size
+        selector = selectors.DefaultSelector()
+        for rank, conn in survivors.items():
+            selector.register(conn, selectors.EVENT_READ, rank)
+        selector.register(self._listener, selectors.EVENT_READ, None)
+        self._listener.settimeout(None)
+        with selector:
+            while any(c is None for c in controls):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    missing = [r for r, c in enumerate(controls) if c is None]
+                    raise MPIError(
+                        f"tcp world restart incomplete: slots {missing} "
+                        f"were never re-filled"
+                    )
+                for key, _events in selector.select(min(remaining, 0.5)):
+                    if key.data is None:  # a fresh joiner for a freed slot
+                        conn, _peer = self._listener.accept()
+                        conn.settimeout(max(0.1, min(
+                            _REGISTER_TIMEOUT, deadline - time.monotonic()
+                        )))
+                        try:
+                            deliver_challenge(conn, self._authkey)
+                            frame = recv_frame(conn)
+                        except Exception:  # noqa: BLE001 - stray or dead
+                            conn.close()
+                            continue
+                        conn.settimeout(None)
+                        if frame is None or frame[0] != KIND_REGISTER:
+                            conn.close()
+                            continue
+                        obj = frame[2]
+                        rank = obj["rank"]
+                        if rank is None:
+                            free = [r for r, c in enumerate(controls)
+                                    if c is None and r not in survivors]
+                            if not free:
+                                conn.close()
+                                continue
+                            rank = free[0]
+                        if (not 0 <= rank < self.world_size
+                                or rank in survivors
+                                or controls[rank] is not None):
+                            conn.close()
+                            raise MPIError(
+                                f"bad or duplicate rank {rank} at restart "
+                                f"rendezvous"
+                            )
+                    else:  # a survivor re-registering on its control socket
+                        rank = key.data
+                        conn = key.fileobj
+                        try:
+                            frame = recv_frame(conn)
+                        except (MPIError, OSError):
+                            frame = None
+                        if frame is None:
+                            raise MPIError(
+                                f"rank {rank} died during world restart"
+                            )
+                        kind, _tag, obj = frame
+                        if kind == KIND_OUTCOME:
+                            continue  # stale outcome from the old generation
+                        if kind != KIND_REGISTER:
+                            raise MPIError(
+                                f"unexpected frame kind {kind} from rank "
+                                f"{rank} during world restart"
+                            )
+                        selector.unregister(conn)
+                    controls[rank] = conn
+                    addrs[rank] = (obj["host"], obj["port"])
+        for rank, conn in enumerate(controls):
+            try:
+                send_frame(conn, KIND_ADDRS, obj={"rank": rank, "addrs": addrs})
+            except OSError:
+                pass  # outcome collection will see the EOF
+        return controls  # type: ignore[return-value]
 
     def close(self) -> None:
         self._listener.close()
@@ -531,6 +668,7 @@ def _build_endpoint(
     rank: int | None,
     deadline: float,
     authkey: bytes,
+    generation: int = 0,
 ) -> TcpEndpoint:
     """Register with the rendezvous and wire up the pair sockets.
 
@@ -558,14 +696,22 @@ def _build_endpoint(
     frame = recv_frame(control)
     if frame is None:
         listener.close()
-        raise MPIError("tcp rendezvous closed before the world formed")
+        raise _WorldFormationError(
+            "tcp rendezvous closed before the world formed"
+        )
     kind, _tag, obj = frame
     if kind == KIND_ABORT or kind != KIND_ADDRS:
         listener.close()
-        raise MPIError("tcp world formation aborted (a peer rank failed)")
+        raise _WorldFormationError(
+            "tcp world formation aborted (a peer rank failed)"
+        )
     rank = obj["rank"]
     addrs = obj["addrs"]
     world_size = len(addrs)
+    # The deterministic "die during world formation" hook: the rank is
+    # assigned and registered, so its death is visible as a control EOF
+    # (and a refused listener) rather than a rendezvous that never fills.
+    faultinject.fire("rendezvous", rank=rank)
     peers: list[socket.socket | None] = [None] * world_size
     try:
         for lower in range(rank):
@@ -577,44 +723,82 @@ def _build_endpoint(
             sock.sendall(_HELLO.pack(rank))
             peers[lower] = sock
         accepted = 0
-        while accepted < world_size - 1 - rank:
-            listener.settimeout(max(0.1, deadline - time.monotonic()))
-            conn, _peer = listener.accept()
-            conn.settimeout(max(0.1, deadline - time.monotonic()))
-            try:
-                # Challenge before the hello: the peer listener is just as
-                # reachable by strays as the rendezvous is.
-                deliver_challenge(conn, authkey)
-            except (MPIError, OSError):
-                conn.close()  # stray (no/bad key); deadline still governs
-                continue
-            try:
-                hello = _recv_exact(conn, _HELLO.size)
-            except (MPIError, OSError) as exc:
-                # Past the challenge this is provably a keyed peer, so a
-                # torn read is a rank death — fail fast, don't accept-loop
-                # until the world deadline.
-                conn.close()
-                raise MPIError("peer hung up during tcp pair handshake") \
-                    from exc
-            if hello is None:
-                conn.close()
-                raise MPIError("peer hung up during tcp pair handshake")
-            peer_rank = _HELLO.unpack(hello)[0]
-            if not rank < peer_rank < world_size or peers[peer_rank] is not None:
-                conn.close()
-                continue
-            conn.settimeout(None)
-            peers[peer_rank] = conn
-            accepted += 1
+        need = world_size - 1 - rank
+        # Watch the control channel alongside the listener: if a peer dies
+        # before connecting, its connect never comes — only the launcher's
+        # ABORT (or its own EOF) can release this rank before the world
+        # deadline, which matters enormously for recovery time.
+        accept_sel = selectors.DefaultSelector()
+        accept_sel.register(listener, selectors.EVENT_READ, "listener")
+        accept_sel.register(control, selectors.EVENT_READ, "control")
+        with accept_sel:
+            while accepted < need:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise socket.timeout("tcp pair accept timed out")
+                events = accept_sel.select(timeout=min(remaining, 0.5))
+                for key, _ev in events:
+                    if key.data == "control":
+                        verdict = recv_frame(control)
+                        if verdict is None:
+                            raise _WorldFormationError(
+                                "launcher vanished during tcp world "
+                                "formation"
+                            )
+                        if verdict[0] in (KIND_ABORT, KIND_SHUTDOWN):
+                            raise _WorldFormationError(
+                                "tcp world formation aborted (a peer rank "
+                                "failed)"
+                            )
+                        continue  # stray control frame; keep accepting
+                    conn, _peer = listener.accept()
+                    conn.settimeout(max(0.1, deadline - time.monotonic()))
+                    try:
+                        # Challenge before the hello: the peer listener is
+                        # just as reachable by strays as the rendezvous is.
+                        deliver_challenge(conn, authkey)
+                    except (MPIError, OSError):
+                        conn.close()  # stray; deadline still governs
+                        continue
+                    try:
+                        hello = _recv_exact(conn, _HELLO.size)
+                    except (MPIError, OSError) as exc:
+                        # Past the challenge this is provably a keyed peer,
+                        # so a torn read is a rank death — fail fast, don't
+                        # accept-loop until the world deadline.
+                        conn.close()
+                        raise MPIError(
+                            "peer hung up during tcp pair handshake"
+                        ) from exc
+                    if hello is None:
+                        conn.close()
+                        raise MPIError(
+                            "peer hung up during tcp pair handshake"
+                        )
+                    peer_rank = _HELLO.unpack(hello)[0]
+                    if (not rank < peer_rank < world_size
+                            or peers[peer_rank] is not None):
+                        conn.close()
+                        continue
+                    conn.settimeout(None)
+                    peers[peer_rank] = conn
+                    accepted += 1
+    except _WorldFormationError:
+        for sock in peers:
+            if sock is not None:
+                sock.close()
+        listener.close()
+        raise
     except (OSError, socket.timeout, MPIError) as exc:
         for sock in peers:
             if sock is not None:
                 sock.close()
-        raise MPIError(f"tcp pair handshake failed: {exc}") from exc
+        raise _WorldFormationError(
+            f"tcp pair handshake failed: {exc}"
+        ) from exc
     finally:
         listener.close()
-    return TcpEndpoint(rank, world_size, peers, control)
+    return TcpEndpoint(rank, world_size, peers, control, generation)
 
 
 def _send_outcome(
@@ -637,6 +821,34 @@ def _send_outcome(
         pass
 
 
+def _await_verdict_on_control(
+    control: socket.socket, deadline: float
+) -> bool:
+    """After a failed world formation, wait for the launcher's verdict on
+    the bare control socket (no demux thread exists).  True = restart and
+    re-register; False = shut down."""
+    budget = min(_SHUTDOWN_GRACE, max(0.1, deadline - time.monotonic()))
+    control.settimeout(budget)
+    try:
+        while True:
+            try:
+                frame = recv_frame(control)
+            except (socket.timeout, MPIError, OSError):
+                return False
+            if frame is None:
+                return False
+            if frame[0] == KIND_RESTART:
+                return True
+            if frame[0] == KIND_SHUTDOWN:
+                return False
+            # ABORT or a stray: keep waiting for the verdict.
+    finally:
+        try:
+            control.settimeout(None)
+        except OSError:
+            pass
+
+
 def _run_rank(
     control: socket.socket,
     bind_host: str,
@@ -646,29 +858,53 @@ def _run_rank(
     timeout: float,
     authkey: bytes,
 ) -> tuple[str, Any]:
-    """One rank's full lifecycle: fabric, ``main``, outcome, shutdown."""
+    """One rank's full lifecycle: fabric, ``main``, outcome, shutdown.
+
+    When the launcher answers an outcome with ``KIND_RESTART`` (elastic
+    recovery after a peer died), the rank loops: it re-registers over the
+    same control socket, rebuilds its fabric at the next generation, and
+    runs ``main`` again — deterministic mains resume from whatever
+    checkpoints they wrote, replaying the interrupted work.
+    """
     from repro.mpi.comm import Comm  # local import: comm builds on this module
 
     deadline = time.monotonic() + timeout
-    endpoint = None
-    try:
-        endpoint = _build_endpoint(control, bind_host, rank, deadline, authkey)
-        rank = endpoint.rank
-        outcome = ("ok", main(Comm.from_endpoint(endpoint), *args))
-    except BaseException as exc:  # noqa: BLE001 - reported to the launcher
-        if endpoint is not None:
-            endpoint.poison_peers()
-        outcome = ("err", exc)
-    _send_outcome(control, rank if rank is not None else -1, *outcome)
-    if endpoint is not None:
+    generation = 0
+    while True:
+        endpoint = None
+        undrop = None
+        try:
+            endpoint = _build_endpoint(control, bind_host, rank, deadline,
+                                       authkey, generation)
+            rank = endpoint.rank
+            # A drop rule severs precisely this generation's sockets.
+            undrop = faultinject.register_dropper(endpoint.sever)
+            outcome = ("ok", main(Comm.from_endpoint(endpoint), *args))
+        except BaseException as exc:  # noqa: BLE001 - reported to the launcher
+            if endpoint is not None:
+                endpoint.poison_peers()
+            outcome = ("err", exc)
+        finally:
+            if undrop is not None:
+                undrop()
+        _send_outcome(control, rank if rank is not None else -1, *outcome)
+        if endpoint is None:
+            # Formation failed; the launcher may still restart the world.
+            if not _await_verdict_on_control(control, deadline):
+                return outcome
+            generation += 1
+            continue
         # Keep the fabric alive until the launcher says the whole world is
         # done: peers may still be receiving, and an early close would
         # read as a death.
         endpoint.shutdown_received.wait(
             min(_SHUTDOWN_GRACE, max(0.1, deadline - time.monotonic()))
         )
+        restart = endpoint.restart_received.is_set()
         endpoint.close()
-    return outcome
+        if not restart:
+            return outcome
+        generation += 1
 
 
 # -- launcher side -------------------------------------------------------------
@@ -676,15 +912,19 @@ def _run_rank(
 
 def _collect_outcomes(
     controls: list[socket.socket], timeout: float
-) -> tuple[list[Any], list[tuple[int, BaseException]]]:
+) -> tuple[list[Any], list[tuple[int, BaseException]], set[int]]:
     """Gather per-rank outcomes; poison every survivor on first failure.
 
     A control EOF before an outcome is a hard death (the kernel closes a
-    killed process's sockets), reported as such instead of hanging.
+    killed process's sockets), reported as such instead of hanging.  The
+    hard-dead ranks come back as a separate set so a supervisor can tell
+    a recoverable rank loss (respawn its slot) from a rank that failed
+    and said so (a real error — abort).
     """
     world_size = len(controls)
     results: list[Any] = [None] * world_size
     errors: list[tuple[int, BaseException]] = []
+    dead: set[int] = set()
     poisoned = False
     pending = set(range(world_size))
     selector = selectors.DefaultSelector()
@@ -717,6 +957,7 @@ def _collect_outcomes(
                 except (MPIError, OSError):
                     frame = None
                 if frame is None:
+                    dead.add(rank)
                     status, value = "err", MPIError(
                         f"rank {rank} died without reporting a result"
                     )
@@ -732,7 +973,7 @@ def _collect_outcomes(
                 else:
                     errors.append((rank, value))
                     poison_survivors()
-    return results, errors
+    return results, errors, dead
 
 
 def _finish_world(
@@ -750,6 +991,81 @@ def _finish_world(
             if not isinstance(exc, _PoisonedError)]
     raise_rank_errors(real or errors)
     return results
+
+
+def _supervise_world(
+    rendezvous: _Rendezvous,
+    controls: list[socket.socket],
+    deadline: float,
+    *,
+    respawn: Callable[[int], None] | None = None,
+    restarts: int = 0,
+    listeners: Sequence[Callable[[int, list[int]], None]] = (),
+) -> list[Any]:
+    """Collect outcomes, electing to rebuild the world after rank deaths.
+
+    The elastic core shared by :class:`TcpTransport` and
+    :class:`TcpWorldServer`.  A generation ends when every control socket
+    has produced an outcome or an EOF.  The world restarts — rather than
+    aborting — only when ranks actually died *and* every error a
+    surviving rank did report is a poison symptom (mailbox poison, torn
+    sends, failed world formation): a rank that raised a real error gets
+    fail-fast semantics exactly as before, because replaying a
+    deterministic failure would only fail again.
+
+    On restart the survivors get ``KIND_RESTART`` and re-register over
+    their live control sockets; each dead rank's slot is re-offered at
+    the rendezvous, filled by ``respawn(rank)`` when provided or by any
+    external joiner.  ``controls`` is updated in place so the caller's
+    cleanup always closes the current generation's sockets.
+    ``listeners`` are told ``(generation, dead_ranks)`` before the
+    rebuild — a serving pool uses this to fail in-flight futures whose
+    requests died with the old world.
+    """
+    budget = restarts
+    generation = 0
+    while True:
+        results, errors, dead = _collect_outcomes(
+            controls, max(0.1, deadline - time.monotonic())
+        )
+        reported = [(rank, exc) for rank, exc in errors if rank not in dead]
+        recoverable = (
+            bool(dead)
+            and budget > 0
+            and all(isinstance(exc, _PoisonedError) for _, exc in reported)
+        )
+        if not recoverable:
+            return _finish_world(controls, results, errors)
+        budget -= 1
+        generation += 1
+        survivors: dict[int, socket.socket] = {}
+        for rank, sock in enumerate(controls):
+            if rank in dead:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            try:
+                send_frame(sock, KIND_RESTART)
+                survivors[rank] = sock
+            except OSError:
+                # Died between its outcome and the restart: its slot is
+                # re-offered along with the others.
+                dead.add(rank)
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        for listener in listeners:
+            try:
+                listener(generation, sorted(dead))
+            except Exception:  # noqa: BLE001 - observers must not kill recovery
+                pass
+        if respawn is not None:
+            for rank in sorted(dead):
+                respawn(rank)
+        controls[:] = rendezvous.reform(survivors, deadline)
 
 
 @register_transport
@@ -772,6 +1088,8 @@ class TcpTransport(Transport):
         hosts: str | Sequence[str] | None = None,
         port: int = 0,
         authkey: str | bytes | None = None,
+        respawns: int = 0,
+        fault_plan: "faultinject.FaultPlan | str | None" = None,
     ):
         if "fork" not in multiprocessing.get_all_start_methods():
             raise MPIError(
@@ -787,6 +1105,16 @@ class TcpTransport(Transport):
         # inherit it, and nothing else may speak to this world's ports.
         self.authkey = (_coerce_authkey(authkey) if authkey is not None
                         else secrets.token_bytes(16))
+        if respawns < 0:
+            raise MPIError(f"respawns must be >= 0, got {respawns}")
+        #: World restarts this transport may perform after rank deaths
+        #: (0 = classic fail-fast).  Each restart re-offers every dead
+        #: slot and forks a clean replacement into it.
+        self.respawns = int(respawns)
+        self.fault_plan = faultinject.parse_fault_plan(fault_plan)
+        #: Observers called with ``(generation, dead_ranks)`` on every
+        #: elastic restart (e.g. a WorldPool failing in-flight futures).
+        self.restart_listeners: list[Callable[[int, list[int]], None]] = []
         self._ctx = multiprocessing.get_context("fork")
 
     def host_for_rank(self, rank: int) -> str:
@@ -806,7 +1134,12 @@ class TcpTransport(Transport):
         address = rendezvous.address
         authkey = self.authkey
 
-        def child(rank: int) -> None:
+        def child(rank: int, plan: "faultinject.FaultPlan | None") -> None:
+            # Forked children inherit any injector state of the parent:
+            # install this rank's plan (None clears stale state) before
+            # marking the process safe to hard-kill.
+            faultinject.install(plan)
+            faultinject.mark_killable()
             control = socket.create_connection(address, timeout=timeout)
             try:
                 if not answer_challenge(control, authkey):
@@ -818,10 +1151,21 @@ class TcpTransport(Transport):
                 control.close()
 
         processes = [
-            self._ctx.Process(target=child, args=(rank,),
+            self._ctx.Process(target=child, args=(rank, self.fault_plan),
                               name=f"tcp-rank-{rank}", daemon=True)
             for rank in range(world_size)
         ]
+
+        def respawn(rank: int) -> None:
+            # Replacement ranks model fresh hardware: they carry no fault
+            # plan, so a one-shot injected fault stays one-shot.
+            process = self._ctx.Process(
+                target=child, args=(rank, None),
+                name=f"tcp-rank-{rank}-respawn", daemon=True,
+            )
+            processes.append(process)
+            process.start()
+
         controls: list[socket.socket] = []
         try:
             for process in processes:
@@ -830,10 +1174,11 @@ class TcpTransport(Transport):
             controls, early = rendezvous.wait_for_world(deadline)
             if early:
                 raise_rank_errors(early)
-            results, errors = _collect_outcomes(
-                controls, max(0.1, deadline - time.monotonic())
+            return _supervise_world(
+                rendezvous, controls, deadline,
+                respawn=respawn, restarts=self.respawns,
+                listeners=self.restart_listeners,
             )
-            return _finish_world(controls, results, errors)
         finally:
             rendezvous.close()
             for sock in controls:
@@ -874,11 +1219,25 @@ class TcpWorldServer:
         bind: str = "127.0.0.1",
         port: int = 0,
         authkey: str | bytes | None = None,
+        restarts: int = 0,
+        respawn: Callable[[int], None] | None = None,
     ):
         if world_size < 1:
             raise MPIError(f"world size must be >= 1, got {world_size}")
+        if restarts < 0:
+            raise MPIError(f"restarts must be >= 0, got {restarts}")
         self.world_size = world_size
         self.authkey, token = resolve_authkey(authkey)
+        #: World restarts the server may perform after rank deaths
+        #: (0 = fail-fast).  On restart every dead slot is re-offered at
+        #: ``address``: ``respawn(rank)`` is invoked per lost slot when
+        #: provided (spawn a replacement however the deployment likes);
+        #: otherwise any process calling :func:`join_world` — even with
+        #: ``rank=None`` — fills it.
+        self.restarts = int(restarts)
+        self._respawn = respawn
+        #: Observers called with ``(generation, dead_ranks)`` per restart.
+        self.restart_listeners: list[Callable[[int, list[int]], None]] = []
         self._rendezvous = _Rendezvous(world_size, bind, port, self.authkey)
         self.address = format_address(self._rendezvous.address, token)
 
@@ -889,10 +1248,11 @@ class TcpWorldServer:
             controls, early = self._rendezvous.wait_for_world(deadline)
             if early:
                 raise_rank_errors(early)
-            results, errors = _collect_outcomes(
-                controls, max(0.1, deadline - time.monotonic())
+            return _supervise_world(
+                self._rendezvous, controls, deadline,
+                respawn=self._respawn, restarts=self.restarts,
+                listeners=self.restart_listeners,
             )
-            return _finish_world(controls, results, errors)
         finally:
             self._rendezvous.close()
             for sock in controls:
@@ -922,6 +1282,9 @@ def join_world(
     failure if ``main`` raised here.
     """
     host, port = parse_address(address)
+    # A joiner is a dedicated rank process: a fault plan (usually from
+    # REPRO_FAULT_PLAN in its environment) may hard-kill it.
+    faultinject.mark_killable()
     if authkey is None:
         authkey = parse_authkey(address) or os.environ.get(AUTHKEY_ENV_VAR)
     if authkey is None:

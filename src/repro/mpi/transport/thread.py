@@ -135,9 +135,21 @@ class ThreadEndpoint(Endpoint):
 
 @register_transport
 class ThreadTransport(Transport):
-    """Run every rank as a daemon thread sharing one :class:`World`."""
+    """Run every rank as a daemon thread sharing one :class:`World`.
+
+    Ranks share the host interpreter, so a ``kill`` fault-plan rule
+    cannot take one down without taking everything: injected kills
+    degrade to an in-rank :class:`~repro.mpi.faultinject.FaultInjected`
+    raise, exercising the same fail-fast abort path a real rank error
+    takes.
+    """
 
     name = "thread"
+
+    def __init__(self, fault_plan=None):
+        from repro.mpi import faultinject
+
+        self.fault_plan = faultinject.parse_fault_plan(fault_plan)
 
     def run(
         self,
@@ -146,8 +158,13 @@ class ThreadTransport(Transport):
         args: tuple = (),
         timeout: float = JOIN_TIMEOUT,
     ) -> list[Any]:
+        from repro.mpi import faultinject
         from repro.mpi.comm import Comm  # local import: comm builds on this module
 
+        if self.fault_plan is not None:
+            # In-process ranks: the plan lives (and degrades kills to
+            # raises) in the host interpreter for the duration of the run.
+            faultinject.install(self.fault_plan)
         world = World(world_size)
         results: list[Any] = [None] * world_size
         errors: list[tuple[int, BaseException]] = []
@@ -156,6 +173,7 @@ class ThreadTransport(Transport):
         def runner(rank: int) -> None:
             comm = Comm(world, rank)
             try:
+                faultinject.fire("rendezvous", rank=rank)
                 results[rank] = main(comm, *args)
             except BaseException as exc:  # noqa: BLE001 - re-raised in caller
                 with errors_lock:
@@ -168,12 +186,18 @@ class ThreadTransport(Transport):
             )
             for rank in range(world_size)
         ]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join(timeout)
-            if thread.is_alive():
-                raise MPIError(f"rank thread {thread.name} did not finish in {timeout}s")
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout)
+                if thread.is_alive():
+                    raise MPIError(
+                        f"rank thread {thread.name} did not finish in {timeout}s"
+                    )
+        finally:
+            if self.fault_plan is not None:
+                faultinject.clear()
         # Poison-induced errors are symptoms of another rank's death;
         # report the original failure when one exists.
         real = [

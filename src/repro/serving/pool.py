@@ -59,6 +59,7 @@ from repro.datampi.modes import (
     run_superstep,
 )
 from repro.datampi.receiver import ChunkStore
+from repro.mpi import faultinject
 from repro.mpi.comm import Comm
 from repro.mpi.transport import WorldHandle, get_transport
 
@@ -212,7 +213,15 @@ class WorldPool:
                 idle_timeout,
             )
 
-        self._handle = get_transport(self.transport).launch(
+        transport = get_transport(self.transport)
+        # Elastic transports (tcp with respawns) re-form the world after a
+        # rank death instead of failing it.  The pool keeps serving, but a
+        # submission that was in flight when the rank died must fail now —
+        # its result is gone with the dead rank.
+        listeners = getattr(transport, "restart_listeners", None)
+        if listeners is not None:
+            listeners.append(self._on_world_restart)
+        self._handle = transport.launch(
             num_o + num_a, rank_main, timeout=self.world_timeout
         )
         self._dispatcher = threading.Thread(
@@ -278,6 +287,24 @@ class WorldPool:
 
     # -- dispatcher ------------------------------------------------------------
 
+    def _on_world_restart(self, generation: int, dead_ranks: list[int]) -> None:
+        """Transport callback: the world was re-formed after rank death(s).
+
+        In-flight submissions fail with a cause naming the dead rank(s);
+        the pool itself stays up and serves the next submission on the
+        recovered world.
+        """
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        ranks = ", ".join(str(r) for r in dead_ranks)
+        for future in pending:
+            future._fail(JobError(
+                f"pooled job {future.name!r} (submission {future.seq}) lost: "
+                f"rank(s) {ranks} died mid-job; world recovered as "
+                f"generation {generation}"
+            ))
+
     def _dispatch_loop(self) -> None:
         """Resolve futures from the result pipe until the world winds down."""
         while True:
@@ -299,6 +326,12 @@ class WorldPool:
                     future._fail(JobError(payload))
             elif self._handle.done():
                 break
+        if self._pending and not self._handle.done():
+            # The result pipe broke before the launcher finished (a rank
+            # died mid-job on a fail-fast transport): wait for the world's
+            # own verdict so in-flight futures carry the real cause — which
+            # rank died and why — instead of a generic closed error.
+            self._handle.join(self.world_timeout)
         with self._lock:
             self._fail_pending_locked()
 
@@ -353,6 +386,7 @@ def _serve_world(
                 break
             _kind, seq, name, splits = request
             superstep += 1
+            faultinject.fire("pool-submit", rank=comm.rank, superstep=superstep)
             conf = jobs[name].conf
             status, error, output, counters, _scatter = run_superstep(
                 bcomm, conf, jobs[name].o_task, jobs[name].a_task,
@@ -374,12 +408,15 @@ def _serve_world(
                     result_send.send(
                         (seq, "ok", {"outputs": outputs, "counters": summed})
                     )
-    finally:
-        if store is not None:
-            store.cleanup()
+        # Clean stop only: a rank dying out of the loop above must NOT say
+        # goodbye — on an elastic transport the world may come back, and
+        # the dispatcher has to survive the restart to serve it.
         if is_root:
             try:
                 result_send.send(None)
             except (OSError, ValueError):
                 pass
+    finally:
+        if store is not None:
+            store.cleanup()
     return None

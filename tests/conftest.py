@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+import socket
+
+import pytest
+
+from repro.mpi import faultinject
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_fault_plan():
+    """Fault plans are per-process state installed by transports; a test
+    that dies mid-run must not poison the next test's process."""
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+@pytest.fixture
+def free_port():
+    """A callable probing a currently-free localhost TCP port.
+
+    Probing cannot *reserve* the port — another process may grab it
+    between the probe closing and the consumer binding — so callers
+    that bind the returned port should go through ``bind_retry``.
+    """
+
+    def probe() -> int:
+        with socket.socket() as sock:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    return probe
+
+
+@pytest.fixture
+def bind_retry(free_port):
+    """Run ``attempt(port)`` with freshly probed ports until one binds.
+
+    ``attempt`` receives a probed free port and must raise (any
+    exception whose message contains the platform's EADDRINUSE text) if
+    the port was stolen in the probe/bind window; any other failure
+    propagates immediately.
+    """
+
+    def run(attempt, tries: int = 5):
+        last: Exception | None = None
+        for _ in range(tries):
+            port = free_port()
+            try:
+                return attempt(port)
+            except Exception as exc:
+                if "address already in use" not in str(exc).lower():
+                    raise
+                last = exc
+        assert last is not None
+        raise last
+
+    return run

@@ -25,8 +25,11 @@ from repro.experiments.matrix import (
     _WK_HELLO,
     _WK_WELCOME,
     _WORKER_PROTO,
+    claim_is_stale,
     claim_owner,
     claim_path,
+    claim_record,
+    refresh_claim,
     release_claim,
     run_matrix_worker,
     try_claim_cell,
@@ -141,6 +144,35 @@ class TestClaimFiles:
         assert len(wins) == 1
         assert claim_owner(out, "contested") == wins[0]
 
+    def test_refresh_claim_keeps_cell_claimed_under_new_owner(self, tmp_path):
+        """Re-stamping (a reconnected worker's new identity) must never
+        open a window where the cell looks unclaimed."""
+        out = str(tmp_path)
+        assert try_claim_cell(out, "cell-a", "hash", "worker-1")
+        refresh_claim(out, "cell-a", "hash", "worker-2")
+        assert claim_owner(out, "cell-a") == "worker-2"
+        assert not try_claim_cell(out, "cell-a", "hash", "worker-3")
+
+    def test_claim_staleness_rules(self):
+        local = socket.gethostname()
+        assert claim_is_stale(None)
+        assert claim_is_stale({})  # pre-liveness record: no pid at all
+        # This very process's pid marks a *previous incarnation* of the
+        # parent (a restarted parent reuses nothing else), so it is stale.
+        assert claim_is_stale({"pid": os.getpid(), "host": local})
+        assert claim_is_stale({"pid": "not-a-pid", "host": local})
+        # pid 1 is alive on any Linux box, and not provably ours to kill.
+        assert not claim_is_stale({"pid": 1, "host": local})
+        # A remote host's claim is not provably dead from here.
+        assert not claim_is_stale({"pid": 12345, "host": "elsewhere"})
+
+    def test_claims_record_pid_and_host_for_liveness(self, tmp_path):
+        out = str(tmp_path)
+        assert try_claim_cell(out, "cell-a", "hash", "worker-1")
+        record = claim_record(out, "cell-a")
+        assert record["pid"] == os.getpid()
+        assert record["host"] == socket.gethostname()
+
 
 class TestDistributedExecution:
     def test_parent_and_worker_split_the_matrix(self, tmp_path):
@@ -215,6 +247,71 @@ class TestDistributedExecution:
             assert try_claim_cell(out, cell.cell_id, spec.spec_hash,
                                   "worker-from-last-tuesday")
         result = MatrixRunner(spec, out, serve=SERVE).run()
+        assert not result.failed_cells()
+        assert result.executed == len(spec.cells)
+
+    def test_worker_reconnects_after_dropped_result_send(self, tmp_path,
+                                                         monkeypatch):
+        """A worker whose socket dies with a result in hand must reconnect
+        to the still-serving parent, re-stamp its claim with the identity
+        the parent hands back, and resend — losing neither the cell nor
+        the run."""
+        import repro.experiments.matrix as matrix_module
+
+        spec = small_spec()
+        out = str(tmp_path)
+        real_claim = matrix_module.try_claim_cell
+
+        def workers_only(out_dir, cell_id, spec_hash, owner):
+            # Keep the parent from racing the worker to the cells: every
+            # result in this test must travel the worker's socket.
+            if owner == "parent":
+                return False
+            return real_claim(out_dir, cell_id, spec_hash, owner)
+
+        real_send = matrix_module.send_frame
+        dropped: list[int] = []
+
+        def flaky_send(sock, kind, *args, **kwargs):
+            if (kind == matrix_module._WK_RESULT and not dropped
+                    and threading.current_thread().name == "flaky-worker"):
+                dropped.append(kind)
+                sock.close()
+                raise OSError("injected: connection reset mid-result")
+            return real_send(sock, kind, *args, **kwargs)
+
+        monkeypatch.setattr(matrix_module, "try_claim_cell", workers_only)
+        monkeypatch.setattr(matrix_module, "send_frame", flaky_send)
+
+        runner = MatrixRunner(spec, out, serve=SERVE, worker_timeout=60.0)
+        executed: dict[str, int] = {}
+
+        def worker() -> None:
+            executed["n"] = run_matrix_worker(runner.serve,
+                                              connect_timeout=15.0)
+
+        thread = threading.Thread(target=worker, name="flaky-worker")
+        thread.start()
+        result = runner.run()
+        thread.join(30.0)
+        assert dropped, "the injected socket drop never fired"
+        assert executed["n"] == len(spec.cells)
+        assert not result.failed_cells()
+        assert {r.spec.cell_id for r in result.results} == \
+            {cell.cell_id for cell in spec.cells}
+
+    def test_serve_on_explicit_port(self, tmp_path, bind_retry):
+        """An operator-chosen rendezvous port works end to end (probed
+        via the shared free_port fixture, retried if stolen)."""
+        spec = small_spec()
+
+        def attempt(port: int) -> MatrixRunner:
+            return MatrixRunner(spec, str(tmp_path),
+                                serve=f"127.0.0.1:{port}",
+                                worker_timeout=60.0)
+
+        runner = bind_retry(attempt)
+        result, _executed = run_with_workers(runner, num_workers=1)
         assert not result.failed_cells()
         assert result.executed == len(spec.cells)
 

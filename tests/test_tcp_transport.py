@@ -270,12 +270,14 @@ class TestProcessWorld:
         assert mpi_run(3, main, transport="tcp") == \
             ["early", None, "late-message"]
 
-    def test_explicit_rendezvous_port(self):
-        with socket.socket() as probe:  # find a free port, then release it
-            probe.bind(("127.0.0.1", 0))
-            port = probe.getsockname()[1]
-        transport = TcpTransport(port=port)
-        assert mpi_run(2, lambda comm: comm.rank, transport=transport) == [0, 1]
+    def test_explicit_rendezvous_port(self, bind_retry):
+        # Probing cannot reserve the port, so the probe/bind window is
+        # retried with a fresh port if another process steals it.
+        def attempt(port: int):
+            transport = TcpTransport(port=port)
+            return mpi_run(2, lambda comm: comm.rank, transport=transport)
+
+        assert bind_retry(attempt) == [0, 1]
 
 
 _JOIN_SCRIPT = """

@@ -23,7 +23,8 @@ import threading
 import pytest
 
 from repro.bigdatabench import TextGenerator
-from repro.common.errors import ConfigError, JobError
+from repro.common.errors import ConfigError, JobError, MPIError
+from repro.mpi.transport import get_transport
 from repro.datampi import (
     A_OUTPUT_KEY,
     O_SPLITS_KEY,
@@ -210,6 +211,45 @@ class TestPoolLifecycle:
             after = pool.run_job("wordcount",
                                  split_round_robin(LINES_B, PARALLELISM))
         assert dict(after.merged_outputs()) == wordcount_reference(LINES_B)
+
+    def test_rank_death_mid_job_fails_future_with_cause(self, backend):
+        """A pool rank dying while serving a submission (injected at the
+        ``pool-submit`` point — no sleeps, no signals) must fail that
+        future with a cause naming the dead rank, not hang it."""
+        plan = "kill@pool-submit:rank=1:superstep=1"
+        transport = get_transport(backend, fault_plan=plan)
+        pool = WorldPool(num_o=PARALLELISM, num_a=PARALLELISM,
+                         transport=transport)
+        pool.register("wordcount", wordcount_datampi_job(PARALLELISM))
+        with pool:
+            pool.start()
+            future = pool.submit("wordcount",
+                                 split_round_robin(LINES_A, PARALLELISM))
+            with pytest.raises((JobError, MPIError)) as excinfo:
+                future.result(timeout=120)
+        assert "rank 1" in str(excinfo.value)
+
+    def test_tcp_pool_recovers_and_serves_next_submission(self):
+        """On the elastic tcp transport the dead rank's slot is respawned:
+        the in-flight future fails loudly, the pool itself survives, and
+        the very next submission is served by the recovered world."""
+        transport = get_transport(
+            "tcp", respawns=1,
+            fault_plan="kill@pool-submit:rank=1:superstep=1")
+        pool = WorldPool(num_o=PARALLELISM, num_a=PARALLELISM,
+                         transport=transport)
+        pool.register("wordcount", wordcount_datampi_job(PARALLELISM))
+        with pool:
+            pool.start()
+            doomed = pool.submit("wordcount",
+                                 split_round_robin(LINES_A, PARALLELISM))
+            with pytest.raises(JobError, match=r"rank\(s\) 1 died mid-job"):
+                doomed.result(timeout=120)
+            after = pool.run_job("wordcount",
+                                 split_round_robin(LINES_B, PARALLELISM))
+        assert dict(after.merged_outputs()) == wordcount_reference(LINES_B)
+        cold = wordcount_datampi_result(LINES_B, PARALLELISM, transport="tcp")
+        assert stable_bytes(after.outputs) == stable_bytes(cold.outputs)
 
     def test_concurrent_submitters(self, backend):
         """Interleaved submissions from several threads all resolve to
