@@ -1,0 +1,120 @@
+"""SpillStore access patterns: full-scan vs random-read vs metadata-only.
+
+The beyond-RAM data plane holds payloads past its memory budget in
+mmap-backed segment files; what that costs depends on *how* the store is
+read.  Three patterns bracket the space:
+
+* ``full-scan`` — every payload read once in key order, the shape of the
+  A-side k-way merge (every spilled chunk rehydrates exactly once).
+* ``random-read`` — uniformly random keys with repeats, the adversarial
+  shape for an LRU layout (spilled entries stay spilled, so every touch
+  of a cold key is a segment read).
+* ``metadata-only`` — ``size_of`` over every key, which the index answers
+  without touching memory or disk (``spill_reads`` must stay zero).
+
+Each scenario records ``bytes_spilled``/``spill_reads``/``bytes_per_sec``
+into the benchmark JSON via ``extra_info`` (schema in
+docs/experiments.md); the structural CI gate requires the spill traffic
+to be positive — a spill benchmark that never spilled measured nothing.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.storage import SpillStore
+
+#: Payloads sized so the working set is ~8x the budget: most entries are
+#: on disk by the time any read pattern runs.
+PAYLOADS = 64
+PAYLOAD_BYTES = 16 * 1024
+BUDGET_BYTES = (PAYLOADS * PAYLOAD_BYTES) // 8
+RANDOM_READS = 256
+
+
+def _filled_store(spill_dir: str) -> SpillStore:
+    store = SpillStore(budget_bytes=BUDGET_BYTES, spill_dir=spill_dir)
+    for index in range(PAYLOADS):
+        store.put(index, bytes([index % 251]) * PAYLOAD_BYTES)
+    assert store.bytes_spilled > 0, "working set failed to exceed budget"
+    return store
+
+
+def _record(benchmark, scenario: str, store: SpillStore,
+            bytes_read: int, elapsed: float) -> None:
+    benchmark.extra_info["scenario"] = scenario
+    benchmark.extra_info["payloads"] = PAYLOADS
+    benchmark.extra_info["budget_bytes"] = BUDGET_BYTES
+    benchmark.extra_info["bytes_spilled"] = store.bytes_spilled
+    benchmark.extra_info["spill_reads"] = store.spill_reads
+    benchmark.extra_info["bytes_read"] = bytes_read
+    benchmark.extra_info["bytes_per_sec"] = round(bytes_read / elapsed, 2) \
+        if elapsed > 0 else 0.0
+
+
+def test_full_scan(benchmark, once, tmp_path):
+    """Sequential rehydration of the whole store, the merge's shape."""
+
+    def scan():
+        store = _filled_store(str(tmp_path))
+        started = time.perf_counter()
+        total = 0
+        for key in sorted(store.keys()):
+            view = store.get(key)
+            total += view.nbytes
+            assert view[0] == key % 251
+        elapsed = time.perf_counter() - started
+        return store, total, elapsed
+
+    store, total, elapsed = once(scan)
+    assert total == PAYLOADS * PAYLOAD_BYTES
+    assert store.spill_reads > 0
+    _record(benchmark, "full-scan", store, total, elapsed)
+    store.cleanup()
+
+
+def test_random_read(benchmark, once, tmp_path):
+    """Uniform random touches with repeats — worst case for LRU spill."""
+
+    def scatter():
+        store = _filled_store(str(tmp_path))
+        rng = random.Random(7)
+        keys = [rng.randrange(PAYLOADS) for _ in range(RANDOM_READS)]
+        started = time.perf_counter()
+        total = 0
+        for key in keys:
+            view = store.get(key)
+            total += view.nbytes
+            assert view[0] == key % 251
+        elapsed = time.perf_counter() - started
+        return store, total, elapsed
+
+    store, total, elapsed = once(scatter)
+    assert total == RANDOM_READS * PAYLOAD_BYTES
+    assert store.spill_reads > 0
+    _record(benchmark, "random-read", store, total, elapsed)
+    store.cleanup()
+
+
+def test_metadata_only(benchmark, once, tmp_path):
+    """Index-only traffic: sizes come from the in-memory index, so a
+    fully spilled store answers without a single segment read."""
+
+    def sizes():
+        store = _filled_store(str(tmp_path))
+        reads_before = store.spill_reads
+        started = time.perf_counter()
+        total = 0
+        for key in store.keys():
+            total += store.size_of(key)
+        elapsed = time.perf_counter() - started
+        assert store.spill_reads == reads_before
+        return store, total, elapsed
+
+    store, total, elapsed = once(sizes)
+    assert total == PAYLOADS * PAYLOAD_BYTES
+    _record(benchmark, "metadata-only", store, total, elapsed)
+    # Metadata traffic spills on the way *in* but never reads back.
+    benchmark.extra_info["spill_reads"] = store.spill_reads
+    store.cleanup()

@@ -148,6 +148,12 @@ def _cmd_workload(args) -> int:
         print(f"--mode {args.mode} needs the datampi engine", file=sys.stderr)
         return 2
 
+    storage = _storage_from_args(args)
+    if storage is not None and args.engine != "datampi":
+        print("--spill-threshold/--spill-dir/--cache-bytes need the datampi "
+              "engine", file=sys.stderr)
+        return 2
+
     if args.pool is not None:
         if args.engine != "datampi" or args.mode != "common":
             print("--pool needs the datampi engine in common mode",
@@ -185,7 +191,7 @@ def _cmd_workload(args) -> int:
         if args.mode == "iteration":
             result, stats = kmeans_iterative_job(
                 vectors, k=args.k, max_iterations=10, seed=args.seed,
-                transport=args.transport,
+                transport=args.transport, storage=storage,
             )
             baseline = run_kmeans("datampi", vectors, k=args.k, max_iterations=10,
                                   seed=args.seed, transport=args.transport)
@@ -220,29 +226,33 @@ def _cmd_workload(args) -> int:
     if args.name == "wordcount":
         if args.mode == "streaming":
             result = wordcount_streaming(lines, lines_per_split=max(1, args.lines // 8),
-                                         transport=args.transport)
+                                         transport=args.transport,
+                                         storage=storage)
             ok = merge_window_counts(result) == wordcount_reference(lines)
             print(f"{len(result.windows)} windows flushed; verified={ok}")
         else:
-            counts = run_wordcount(args.engine, lines, transport=args.transport)
+            counts = run_wordcount(args.engine, lines, transport=args.transport,
+                                   storage=storage)
             ok = counts == wordcount_reference(lines)
             print(f"{len(counts)} distinct words; verified={ok}")
     elif args.name == "sort":
         if args.mode != "common":
             print("sort supports only the common mode", file=sys.stderr)
             return 2
-        output = run_text_sort(args.engine, lines, transport=args.transport)
+        output = run_text_sort(args.engine, lines, transport=args.transport,
+                               storage=storage)
         print(f"sorted {len(output)} lines; verified={output == sorted(lines)}")
     elif args.name == "grep":
         if args.mode == "streaming":
             result = grep_streaming(lines, args.pattern,
                                     lines_per_split=max(1, args.lines // 8),
-                                    transport=args.transport)
+                                    transport=args.transport,
+                                    storage=storage)
             ok = merge_window_counts(result) == grep_reference(lines, args.pattern)
             print(f"{len(result.windows)} windows flushed; verified={ok}")
         else:
             counts = run_grep(args.engine, lines, args.pattern,
-                              transport=args.transport)
+                              transport=args.transport, storage=storage)
             print(f"{sum(counts.values())} matches of {len(counts)} distinct strings")
     else:
         print(f"unknown workload {args.name!r}", file=sys.stderr)
@@ -304,6 +314,22 @@ DEFAULT_MATRIX_DIR = "results/matrix"
 DEFAULT_REPORTS_DIR = "reports"
 
 
+def _storage_from_args(args):
+    """Build the workload's StorageConfig from the CLI flags, or None."""
+    if args.spill_threshold is None and args.spill_dir is None \
+            and args.cache_bytes is None:
+        return None
+    from repro.storage import DEFAULT_SPILL_BYTES, StorageConfig
+
+    return StorageConfig(
+        cache_bytes=None if args.cache_bytes is None
+        else parse_size(args.cache_bytes),
+        spill_dir=args.spill_dir,
+        spill_threshold=DEFAULT_SPILL_BYTES if args.spill_threshold is None
+        else parse_size(args.spill_threshold),
+    )
+
+
 def _parallel_workers(value: str) -> int:
     """argparse type for --parallel: a clean usage error, not a traceback."""
     try:
@@ -357,6 +383,12 @@ def _cmd_experiment_run(args) -> int:
 
     name = "quick" if args.quick else args.spec
     spec = get_spec(name, transport=args.transport)
+    if args.spill_budget is not None:
+        import dataclasses
+
+        spec = dataclasses.replace(
+            spec, spill_budget_bytes=parse_size(args.spill_budget)
+        )
 
     try:
         runner = MatrixRunner(spec, args.out, progress=_progress_line,
@@ -477,6 +509,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="execution mode for the datampi engine: run-once "
                          "jobs, kept-alive iteration with a KV cache, or "
                          "windowed streaming")
+    wl.add_argument("--spill-threshold", default=None, metavar="SIZE",
+                    help="per-rank receive-store memory budget (e.g. 4KB); "
+                         "chunks past it spill to mmap-backed segment files "
+                         "(datampi engine)")
+    wl.add_argument("--spill-dir", default=None, metavar="DIR",
+                    help="directory for spill segment files (default: a "
+                         "private temp dir, removed on cleanup)")
+    wl.add_argument("--cache-bytes", default=None, metavar="SIZE",
+                    help="cross-superstep KV cache capacity (e.g. 1MB; "
+                         "default unbounded; datampi engine)")
     wl.add_argument("--pool", type=int, default=None, metavar="N",
                     help="datampi engine, common mode: submit the workload "
                          "N times to one warm serving world (WorldPool) and "
@@ -521,6 +563,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "(bare --parallel sizes the pool to the CPU "
                               "count; default: serial).  Serial and parallel "
                               "runs render byte-identical reports")
+    exp_run.add_argument("--spill-budget", default=None, metavar="SIZE",
+                         help="per-rank receive-store memory budget for the "
+                              "datampi cells (e.g. 4KB); over-budget chunks "
+                              "spill to disk and cells report bytes_spilled")
     exp_run.add_argument("--serve", default=None, metavar="HOST:PORT",
                          help="also admit distributed workers ('repro "
                               "experiment worker --join TOKEN') that "

@@ -25,8 +25,13 @@ class KeyValue(NamedTuple):
 
 
 def _field_size(obj: Any) -> int:
-    if isinstance(obj, bytes):
+    if isinstance(obj, (bytes, bytearray)):
         return len(obj)
+    if isinstance(obj, memoryview):
+        # The FMT_BATCH zero-copy path hands out read-only views over
+        # shared buffers; sizing them by repr() (the opaque-object
+        # fallback) under-counted every byte budget they passed through.
+        return obj.nbytes
     if isinstance(obj, str):
         return len(obj.encode("utf-8"))
     if isinstance(obj, bool):

@@ -46,7 +46,6 @@ from repro.datampi.job import (
     run_a_superstep,
     run_o_superstep,
 )
-from repro.datampi.kvcache import KVCache
 from repro.datampi.modes import (
     A_OUTPUT_KEY,
     O_SPLITS_KEY,
@@ -63,9 +62,18 @@ from repro.datampi.partition import (
     hash_partitioner,
     validate_partition,
 )
-from repro.datampi.receiver import DEFAULT_SPILL_BYTES, ChunkStore
+# The storage layer moved to repro.storage; these re-exports keep the
+# long-standing datampi surface intact (without the shim modules'
+# DeprecationWarning).
+from repro.storage import (
+    DEFAULT_SPILL_BYTES,
+    ChunkStore,
+    KVCache,
+    StorageConfig,
+)
 
 __all__ = [
+    "StorageConfig",
     "DEFAULT_SEND_BUFFER_BYTES",
     "PartitionedSendBuffer",
     "load_checkpoint",

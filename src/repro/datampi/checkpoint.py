@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.common.errors import CheckpointError
 from repro.mpi.transport.codec import PICKLE_PROTOCOL
-from repro.datampi.receiver import ChunkStore
+from repro.storage import ChunkStore
 
 MANIFEST_NAME = "manifest.json"
 ITERATION_STATE_NAME = "iteration-state.ckpt"
@@ -156,12 +156,17 @@ def read_iteration_state(directory: str) -> dict | None:
     return saved
 
 
-def load_checkpoint(directory: str, a_rank: int, spill_threshold: int) -> ChunkStore:
+def load_checkpoint(
+    directory: str,
+    a_rank: int,
+    spill_threshold: int,
+    spill_dir: str | None = None,
+) -> ChunkStore:
     """Rebuild one A rank's chunk store from its checkpoint file."""
     path = checkpoint_path(directory, a_rank)
     if not os.path.exists(path):
         raise CheckpointError(f"missing checkpoint file for A rank {a_rank}: {path}")
-    store = ChunkStore(spill_threshold=spill_threshold)
+    store = ChunkStore(spill_threshold=spill_threshold, spill_dir=spill_dir)
     with open(path, "rb") as handle:
         magic = handle.read(len(_MAGIC))
         if magic != _MAGIC:

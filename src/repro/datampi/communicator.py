@@ -129,7 +129,7 @@ class BipartiteComm:
         """Receive the next DATA or EOF message (A side only).
 
         ``buffer=True``: chunk payloads go straight into the
-        :class:`~repro.datampi.receiver.ChunkStore`, which decodes
+        :class:`~repro.storage.chunkstore.ChunkStore`, which decodes
         ``memoryview`` chunks in place — the zero-copy half of the shm
         batch path.
         """

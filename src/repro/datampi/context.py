@@ -17,9 +17,8 @@ from repro.common.kv import KeyValue
 from repro.mpi import faultinject
 from repro.datampi.buffers import PartitionedSendBuffer
 from repro.datampi.communicator import TAG_DATA, BipartiteComm
-from repro.datampi.kvcache import KVCache
 from repro.datampi.partition import Partitioner, hash_partitioner, validate_partition
-from repro.datampi.receiver import ChunkStore
+from repro.storage import ChunkStore, KVCache
 
 
 class OContext:
@@ -197,6 +196,8 @@ class AContext:
             "a.bytes_received": self.bytes_received,
             "a.spills": self._store.spills,
             "a.spilled_bytes": self._store.spilled_bytes,
+            "a.bytes_spilled": self._store.bytes_spilled,
+            "a.spill_reads": self._store.spill_reads,
         }
 
     def cleanup(self) -> None:

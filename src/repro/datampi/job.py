@@ -15,6 +15,7 @@ DataMPI application's ``MPI_D_Init ... MPI_D_Finalize`` lifecycle:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -28,9 +29,8 @@ from repro.datampi.checkpoint import (
 )
 from repro.datampi.communicator import BipartiteComm
 from repro.datampi.context import AContext, OContext
-from repro.datampi.kvcache import KVCache
 from repro.datampi.partition import Partitioner
-from repro.datampi.receiver import DEFAULT_SPILL_BYTES, ChunkStore
+from repro.storage import DEFAULT_SPILL_BYTES, ChunkStore, KVCache, StorageConfig
 from repro.mpi import faultinject
 from repro.mpi.comm import Comm
 from repro.mpi.launcher import mpi_run
@@ -61,6 +61,8 @@ class DataMPIConf:
         >>> conf = DataMPIConf(num_o=2, num_a=2, transport="inline")
         >>> conf.mode
         'common'
+        >>> conf.storage.spill_threshold == conf.spill_bytes
+        True
         >>> DataMPIConf(num_o=0, num_a=1)
         Traceback (most recent call last):
             ...
@@ -89,7 +91,14 @@ class DataMPIConf:
     #: :class:`repro.datampi.modes.IterativeJob` / ``StreamingJob``.
     mode: str = "common"
     #: Capacity of the per-rank cross-superstep KV cache (None = unbounded).
+    #: Deprecated: carry a :class:`repro.storage.StorageConfig` in
+    #: ``storage=`` instead; this kwarg keeps working but warns.
     cache_bytes: int | None = None
+    #: The storage layer's budgets and spill placement, as one
+    #: :class:`repro.storage.StorageConfig` value.  When omitted it is
+    #: synthesized from the legacy ``cache_bytes``/``spill_bytes`` fields;
+    #: when given, those fields are kept mirrored so old readers agree.
+    storage: StorageConfig | None = None
     #: Deterministic fault plan (a :class:`~repro.mpi.faultinject.FaultPlan`
     #: or its DSL string) installed in every rank the job launches.  The
     #: plan fires *inside* the ranks at instrumented points — the chaos
@@ -128,6 +137,47 @@ class DataMPIConf:
             )
         if self.cache_bytes is not None and self.cache_bytes < 1:
             raise ConfigError("cache_bytes must be positive or None")
+        self._sync_storage()
+
+    def _sync_storage(self) -> None:
+        # Keep ``storage`` and the legacy ``cache_bytes``/``spill_bytes``
+        # fields describing the same thing: synthesize one from the other,
+        # and refuse a conf where both were passed but disagree.
+        if self.storage is None:
+            if self.cache_bytes is not None:
+                warnings.warn(
+                    "DataMPIConf(cache_bytes=...) is deprecated; pass "
+                    "storage=StorageConfig(cache_bytes=...) instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            object.__setattr__(
+                self,
+                "storage",
+                StorageConfig(
+                    cache_bytes=self.cache_bytes,
+                    spill_threshold=self.spill_bytes,
+                ),
+            )
+            return
+        if (
+            self.cache_bytes is not None
+            and self.cache_bytes != self.storage.cache_bytes
+        ):
+            raise ConfigError(
+                f"cache_bytes={self.cache_bytes} disagrees with "
+                f"storage.cache_bytes={self.storage.cache_bytes}; set one"
+            )
+        if (
+            self.spill_bytes != DEFAULT_SPILL_BYTES
+            and self.spill_bytes != self.storage.spill_threshold
+        ):
+            raise ConfigError(
+                f"spill_bytes={self.spill_bytes} disagrees with "
+                f"storage.spill_threshold={self.storage.spill_threshold}; set one"
+            )
+        object.__setattr__(self, "cache_bytes", self.storage.cache_bytes)
+        object.__setattr__(self, "spill_bytes", self.storage.spill_threshold)
 
     def resolved_transport(self) -> str | Transport | None:
         """The transport every driver should hand to ``mpi_run``.
@@ -290,7 +340,7 @@ class DataMPIJob:
         return self._collect(rank_results)
 
     def _run_a(self, bcomm: BipartiteComm):
-        store = ChunkStore(spill_threshold=self.conf.spill_bytes)
+        store = self.conf.storage.make_store()
         try:
             output, counters = run_a_superstep(
                 bcomm, self.conf, self.a_task, store,
@@ -314,7 +364,12 @@ class DataMPIJob:
             )
 
         def a_main(comm: Comm):
-            store = load_checkpoint(directory, comm.rank, self.conf.spill_bytes)
+            store = load_checkpoint(
+                directory,
+                comm.rank,
+                self.conf.storage.spill_threshold,
+                spill_dir=self.conf.storage.spill_dir,
+            )
             ctx = AContext(None, store, sort=self.conf.sort, a_index=comm.rank)
             try:
                 output = self.a_task(ctx)

@@ -54,8 +54,7 @@ from repro.datampi.job import (
     run_a_superstep,
     run_o_superstep,
 )
-from repro.datampi.kvcache import KVCache
-from repro.datampi.receiver import ChunkStore
+from repro.storage import ChunkStore, KVCache
 from repro.mpi.comm import Comm
 from repro.mpi.launcher import mpi_run
 
@@ -387,8 +386,8 @@ class IterativeJob:
         conf = self.conf
         bcomm = BipartiteComm(comm, conf.num_o, conf.num_a)
         is_root = comm.rank == 0
-        cache = KVCache(conf.cache_bytes)
-        store = None if bcomm.is_o else ChunkStore(spill_threshold=conf.spill_bytes)
+        cache = conf.storage.make_cache()
+        store = None if bcomm.is_o else conf.storage.make_store()
 
         iteration = start_iteration
         state = start_state
@@ -524,9 +523,7 @@ class IterativeJob:
                 )
                 _kind, bcast_state = pickle.loads(control)
                 state_bytes = len(control) * (comm.size - 1)
-                store = None if bcomm.is_o else ChunkStore(
-                    spill_threshold=conf.spill_bytes
-                )
+                store = None if bcomm.is_o else conf.storage.make_store()
                 try:
                     status, error, output, counters, scatter_bytes = run_superstep(
                         bcomm, conf,
@@ -674,8 +671,8 @@ class StreamingJob:
         conf = self.conf
         bcomm = BipartiteComm(comm, conf.num_o, conf.num_a)
         is_root = comm.rank == 0
-        cache = KVCache(conf.cache_bytes)
-        store = None if bcomm.is_o else ChunkStore(spill_threshold=conf.spill_bytes)
+        cache = conf.storage.make_cache()
+        store = None if bcomm.is_o else conf.storage.make_store()
 
         stream = iter(split_stream) if is_root else None
         watermark = 0

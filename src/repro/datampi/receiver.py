@@ -1,183 +1,23 @@
-"""A-side receive path: chunk accumulation, spill-to-disk, sorted merge.
+"""Deprecated import path — :class:`ChunkStore` moved to :mod:`repro.storage`.
 
-DataMPI is *data-centric* (Section 2.3): intermediate data is partitioned
-and stored "in memory or disk" at the receiving worker, and A tasks then
-read it locally.  The receiver accumulates the sorted chunks sent by O
-tasks; if the in-memory total exceeds the spill threshold, whole chunks
-are written to local files and streamed back lazily during the merge.
-The merged iterator is a k-way merge (``heapq.merge``) over all chunks,
-yielding records in global key order when sorting is enabled.
-
-Chunks carry an *origin* — ``(source O rank, per-source sequence)`` — and
-the merge always visits chunks in origin order.  ``heapq.merge`` breaks
-key ties by iterator position, so without a canonical order the output
-for equal keys (and any floating-point reduction over it) would depend on
-chunk *arrival* order, which true multiprocess transports cannot
-guarantee.  With origins, every transport backend produces byte-identical
-output.
+This shim keeps historical ``from repro.datampi.receiver import
+ChunkStore`` imports working; it emits one :class:`DeprecationWarning`
+per process (module caching makes the import-time warning fire once) and
+re-exports the real names.
 """
 
 from __future__ import annotations
 
-import heapq
-import os
-import tempfile
-from typing import Any, Iterator
+import warnings
 
-from repro.common.errors import DataMPIError
-from repro.common.kv import KeyValue, decode_stream
+from repro.storage.chunkstore import ChunkStore, Origin
+from repro.storage.spill import DEFAULT_SPILL_BYTES
 
-#: Spill when buffered encoded chunks exceed this many bytes.
-DEFAULT_SPILL_BYTES = 64 * 1024 * 1024
+warnings.warn(
+    "repro.datampi.receiver is deprecated; import ChunkStore from "
+    "repro.storage",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-#: Chunk origin: (source O rank, per-source sequence number).
-Origin = tuple[int, int]
-
-_SPILL_HEADER_BYTES = 24  # source(8) + sequence(8) + chunk length(8)
-
-
-def _view(chunk) -> memoryview:
-    """A read-only view of a stored chunk, for in-place record decoding."""
-    return chunk if isinstance(chunk, memoryview) else memoryview(chunk)
-
-
-class ChunkStore:
-    """Holds received chunks in memory, spilling to disk past a threshold."""
-
-    def __init__(self, spill_threshold: int = DEFAULT_SPILL_BYTES,
-                 spill_dir: str | None = None):
-        if spill_threshold < 1:
-            raise DataMPIError(f"spill threshold must be positive, got {spill_threshold}")
-        self._threshold = spill_threshold
-        self._spill_dir = spill_dir
-        self._memory_chunks: list[tuple[Origin, bytes]] = []
-        self._spill_files: list[str] = []
-        self._owned_dir: str | None = None
-        self._auto_sequence = 0
-        self.memory_bytes = 0
-        self.spilled_bytes = 0
-        self.spills = 0
-
-    def add(self, chunk, origin: Origin | None = None) -> None:
-        """Store one encoded chunk (already key-sorted by the sender).
-
-        ``chunk`` is ``bytes`` or a read-only ``memoryview`` — the shm
-        transport's batch path delivers views that slice one shared
-        buffer per ring slot, and the store keeps them as-is (spilling
-        and decoding both work straight from a view, so the zero-copy
-        read path survives end to end).
-
-        ``origin`` identifies where the chunk came from; when omitted an
-        insertion-order origin is assigned, so callers that never pass one
-        keep arrival order.
-        """
-        if origin is None:
-            origin = (0, self._auto_sequence)
-            self._auto_sequence += 1
-        self._memory_chunks.append((origin, chunk))
-        self.memory_bytes += len(chunk)
-        if self.memory_bytes > self._threshold:
-            self._spill()
-
-    def _spill(self) -> None:
-        """Write all buffered chunks to one spill file, freeing memory."""
-        if self._spill_dir is None and self._owned_dir is None:
-            self._owned_dir = tempfile.mkdtemp(prefix="datampi-spill-")
-        directory = self._spill_dir or self._owned_dir
-        assert directory is not None
-        path = os.path.join(directory, f"spill-{self.spills}.chunks")
-        with open(path, "wb") as handle:
-            for (source, sequence), chunk in self._memory_chunks:
-                handle.write(source.to_bytes(8, "big"))
-                handle.write(sequence.to_bytes(8, "big"))
-                handle.write(len(chunk).to_bytes(8, "big"))
-                handle.write(chunk)
-        self._spill_files.append(path)
-        self.spills += 1
-        self.spilled_bytes += self.memory_bytes
-        self._memory_chunks = []
-        self.memory_bytes = 0
-
-    def _all_chunks(self) -> list[tuple[Origin, bytes, bool]]:
-        """Every stored chunk in canonical origin order; the flag marks
-        chunks read back from spill files."""
-        chunks = [(origin, chunk, False) for origin, chunk in self._memory_chunks]
-        for path in self._spill_files:
-            with open(path, "rb") as handle:
-                while True:
-                    header = handle.read(_SPILL_HEADER_BYTES)
-                    if not header:
-                        break
-                    source = int.from_bytes(header[0:8], "big")
-                    sequence = int.from_bytes(header[8:16], "big")
-                    length = int.from_bytes(header[16:24], "big")
-                    chunks.append(((source, sequence), handle.read(length), True))
-        chunks.sort(key=lambda item: item[0])
-        return chunks
-
-    def chunk_iterators(self) -> list[Iterator[KeyValue]]:
-        """One decoding iterator per stored chunk, in origin order.
-
-        Spilled chunks decode lazily during the merge so a dataset that
-        spilled precisely because it outgrew memory is not fully
-        materialized as records; in-memory chunks are decoded eagerly.
-        Every chunk decodes through a ``memoryview`` so record fields are
-        sliced in place instead of copied (leaf values still materialise
-        as ordinary objects — no view outlives the decode).
-        """
-        return [
-            decode_stream(_view(chunk)) if spilled
-            else iter(list(decode_stream(_view(chunk))))
-            for _origin, chunk, spilled in self._all_chunks()
-        ]
-
-    def merged(self, sort: bool = True) -> Iterator[KeyValue]:
-        """Iterate all records; in global key order when ``sort`` is true.
-
-        Key ties break by chunk origin, so the stream is identical no
-        matter in which order chunks arrived.
-        """
-        iterators = self.chunk_iterators()
-        if sort:
-            return heapq.merge(*iterators, key=lambda kv: kv.key)
-        return (record for iterator in iterators for record in iterator)
-
-    def raw_chunks(self) -> list[bytes]:
-        """All encoded chunks in origin order (drains spill files into memory;
-        used by checkpointing, which re-encodes them to its own layout)."""
-        return [chunk for _origin, chunk, _spilled in self._all_chunks()]
-
-    def reset(self) -> None:
-        """Empty the store for reuse by the next superstep.
-
-        Iteration and Streaming modes keep one store per A rank alive
-        across supersteps; resetting drops chunks, spill files, and
-        counters while retaining the owned spill directory so repeated
-        windows do not churn temp directories.
-        """
-        for path in self._spill_files:
-            try:
-                os.unlink(path)
-            except FileNotFoundError:
-                pass
-        self._spill_files = []
-        self._memory_chunks = []
-        self._auto_sequence = 0
-        self.memory_bytes = 0
-        self.spilled_bytes = 0
-        self.spills = 0
-
-    def cleanup(self) -> None:
-        """Delete spill files and the owned temp directory."""
-        for path in self._spill_files:
-            try:
-                os.unlink(path)
-            except FileNotFoundError:
-                pass
-        self._spill_files = []
-        if self._owned_dir is not None:
-            try:
-                os.rmdir(self._owned_dir)
-            except OSError:
-                pass
-            self._owned_dir = None
+__all__ = ["ChunkStore", "DEFAULT_SPILL_BYTES", "Origin"]

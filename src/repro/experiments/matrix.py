@@ -77,6 +77,7 @@ from repro.experiments.spec import (
 )
 from repro.perfmodels import iterative_kmeans, simulate
 from repro.spark import SparkContext
+from repro.storage import StorageConfig
 from repro.workloads import (
     generate_labeled_documents,
     grep_datampi_result,
@@ -159,6 +160,11 @@ class CellResult:
     iterations: int | None = None
     #: Digest of the canonical output — must agree across engines.
     output_checksum: str | None = None
+    #: Bytes the datampi receive stores evicted to segment files (None on
+    #: engines without the spill store).
+    bytes_spilled: int | None = None
+    #: Reads the datampi receive stores served from segment files.
+    spill_reads: int | None = None
     counters: dict[str, int] = field(default_factory=dict)
     resource: dict = field(default_factory=dict)
     #: True when this result was loaded from a checkpoint, not executed.
@@ -175,6 +181,8 @@ class CellResult:
             "per_iteration_bytes": self.per_iteration_bytes,
             "iterations": self.iterations,
             "output_checksum": self.output_checksum,
+            "bytes_spilled": self.bytes_spilled,
+            "spill_reads": self.spill_reads,
             "counters": self.counters,
             "resource": self.resource,
         }
@@ -191,6 +199,8 @@ class CellResult:
             per_iteration_bytes=data.get("per_iteration_bytes"),
             iterations=data.get("iterations"),
             output_checksum=data.get("output_checksum"),
+            bytes_spilled=data.get("bytes_spilled"),
+            spill_reads=data.get("spill_reads"),
             counters=dict(data.get("counters", {})),
             resource=dict(data.get("resource", {})),
             resumed=resumed,
@@ -242,6 +252,24 @@ def _partial_result(cell: CellSpec) -> CellResult:
     return CellResult(spec=cell)
 
 
+def _cell_storage(cell: CellSpec, spec: ExperimentSpec) -> StorageConfig | None:
+    """Receive-store budget for this cell's datampi runs.
+
+    Only the ``datampi`` engine runs over the spill store; model engines
+    ignore the budget (and their cells report no spill counters).
+    """
+    if cell.engine != "datampi" or spec.spill_budget_bytes is None:
+        return None
+    return StorageConfig(spill_threshold=spec.spill_budget_bytes)
+
+
+def _fill_spill_counters(result: CellResult) -> None:
+    """Surface the receive stores' spill activity as first-class fields."""
+    if "a.bytes_spilled" in result.counters:
+        result.bytes_spilled = result.counters["a.bytes_spilled"]
+        result.spill_reads = result.counters.get("a.spill_reads", 0)
+
+
 def _fill_counts_cell(result: CellResult, counts: dict,
                       counters: dict[str, int], bytes_moved: int | None) -> None:
     result.output_checksum = checksum(_canonical_counts(counts))
@@ -260,7 +288,8 @@ def _execute_counting(cell: CellSpec, spec: ExperimentSpec,
         args = (lines,) if cell.workload == "wordcount" else (lines, GREP_PATTERN)
         stream = runner(*args, parallelism=parallelism,
                         lines_per_split=max(1, len(lines) // 8),
-                        transport=cell.transport)
+                        transport=cell.transport,
+                        storage=_cell_storage(cell, spec))
         _fill_counts_cell(result, merge_window_counts(stream), stream.counters,
                           stream.counters.get("mode.bytes_moved"))
         result.iterations = len(stream.windows)
@@ -269,7 +298,8 @@ def _execute_counting(cell: CellSpec, spec: ExperimentSpec,
         runner = wordcount_datampi_result if cell.workload == "wordcount" \
             else grep_datampi_result
         args = (lines,) if cell.workload == "wordcount" else (lines, GREP_PATTERN)
-        job = runner(*args, parallelism=parallelism, transport=cell.transport)
+        job = runner(*args, parallelism=parallelism, transport=cell.transport,
+                     storage=_cell_storage(cell, spec))
         _fill_counts_cell(result, dict(job.merged_outputs()), job.counters,
                           job.counters.get("o.bytes_sent"))
     elif cell.engine == "hadoop-model":
@@ -304,11 +334,14 @@ def _execute_sort(cell: CellSpec, spec: ExperimentSpec,
     seqfile = to_sequence_file(lines) if cell.workload == "normal_sort" \
         else None
     if cell.engine == "datampi":
+        storage = _cell_storage(cell, spec)
         job = normal_sort_datampi_result(seqfile, parallelism,
-                                         transport=cell.transport) \
+                                         transport=cell.transport,
+                                         storage=storage) \
             if seqfile else \
             text_sort_datampi_result(lines, parallelism,
-                                     transport=cell.transport)
+                                     transport=cell.transport,
+                                     storage=storage)
         output = [line for ranked in job.outputs for line in ranked]
         result.counters = dict(job.counters)
         result.bytes_moved = job.counters.get("o.bytes_sent")
@@ -355,7 +388,8 @@ def _execute_naive_bayes(cell: CellSpec, spec: ExperimentSpec,
     if cell.mode == "common":
         if cell.engine == "datampi":
             model, counters = train_datampi_result(
-                documents, parallelism, transport=cell.transport)
+                documents, parallelism, transport=cell.transport,
+                storage=_cell_storage(cell, spec))
             result.bytes_moved = counters.get("o.bytes_sent")
         else:
             model, counters = train_hadoop_result(documents, parallelism)
@@ -368,7 +402,8 @@ def _execute_naive_bayes(cell: CellSpec, spec: ExperimentSpec,
     mode = "iteration" if cell.engine == "datampi" else "common"
     transport = cell.transport if cell.engine == "datampi" else "inline"
     model, stats = train_datampi_iterative(
-        documents, parallelism, transport=transport, mode=mode)
+        documents, parallelism, transport=transport, mode=mode,
+        storage=_cell_storage(cell, spec))
     result.iterations = len(stats.per_iteration)
     result.output_checksum = checksum(_canonical_model(model))
     result.counters = dict(stats.counters)
@@ -412,7 +447,9 @@ def _execute_kmeans(cell: CellSpec, spec: ExperimentSpec, vectors) -> CellResult
     # never depend on the ambient REPRO_TRANSPORT default.
     transport = cell.transport if cell.engine == "datampi" else "inline"
     kres, stats = kmeans_iterative_job(vectors, transport=transport,
-                                       mode=mode, **common)
+                                       mode=mode,
+                                       storage=_cell_storage(cell, spec),
+                                       **common)
     result.iterations = kres.iterations
     result.output_checksum = checksum(_canonical_centroids(kres.centroids))
     result.counters = dict(stats.counters)
@@ -428,16 +465,20 @@ def execute_cell(cell: CellSpec, spec: ExperimentSpec) -> CellResult:
     scale = cell.data_scale
     if cell.workload == "kmeans":
         vectors, _labels = generate_kmeans_vectors(scale.vectors, seed=spec.seed)
-        return _execute_kmeans(cell, spec, vectors)
-    if cell.workload == "naive_bayes":
+        result = _execute_kmeans(cell, spec, vectors)
+    elif cell.workload == "naive_bayes":
         documents = generate_labeled_documents(scale.docs, seed=spec.seed)
-        return _execute_naive_bayes(cell, spec, documents)
-    lines = TextGenerator(seed=spec.seed).lines(scale.lines)
-    if cell.workload in ("wordcount", "grep"):
-        return _execute_counting(cell, spec, lines)
-    if cell.workload in ("text_sort", "normal_sort"):
-        return _execute_sort(cell, spec, lines)
-    raise ConfigError(f"no executor for workload {cell.workload!r}")
+        result = _execute_naive_bayes(cell, spec, documents)
+    elif cell.workload in ("wordcount", "grep"):
+        lines = TextGenerator(seed=spec.seed).lines(scale.lines)
+        result = _execute_counting(cell, spec, lines)
+    elif cell.workload in ("text_sort", "normal_sort"):
+        lines = TextGenerator(seed=spec.seed).lines(scale.lines)
+        result = _execute_sort(cell, spec, lines)
+    else:
+        raise ConfigError(f"no executor for workload {cell.workload!r}")
+    _fill_spill_counters(result)
+    return result
 
 
 # -- the runner -----------------------------------------------------------------

@@ -226,6 +226,11 @@ class ExperimentSpec:
     parallelism: int = 3
     #: Superstep budget for iterative cells.
     max_iterations: int = 4
+    #: Per-rank receive-store memory budget for the ``datampi`` cells
+    #: (``StorageConfig.spill_threshold``); chunks past it spill to
+    #: segment files and the cells report ``bytes_spilled``/``spill_reads``.
+    #: ``None`` keeps the default (effectively in-memory) budget.
+    spill_budget_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -238,6 +243,8 @@ class ExperimentSpec:
             raise ConfigError(f"duplicate matrix cells: {dupes}")
         if self.parallelism < 1 or self.max_iterations < 1:
             raise ConfigError("parallelism and max_iterations must be >= 1")
+        if self.spill_budget_bytes is not None and self.spill_budget_bytes < 1:
+            raise ConfigError("spill_budget_bytes must be positive or None")
 
     @classmethod
     def matrix(
@@ -275,13 +282,18 @@ class ExperimentSpec:
         return cls(name=name, cells=tuple(cells), **kwargs)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "seed": self.seed,
             "parallelism": self.parallelism,
             "max_iterations": self.max_iterations,
             "cells": [cell.to_dict() for cell in self.cells],
         }
+        # Only recorded when set, so pre-existing specs (and their
+        # checkpoint-guarding spec_hash) are unchanged by the field.
+        if self.spill_budget_bytes is not None:
+            data["spill_budget_bytes"] = self.spill_budget_bytes
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentSpec":
@@ -290,6 +302,7 @@ class ExperimentSpec:
             seed=data.get("seed", 7),
             parallelism=data.get("parallelism", 3),
             max_iterations=data.get("max_iterations", 4),
+            spill_budget_bytes=data.get("spill_budget_bytes"),
             cells=tuple(CellSpec.from_dict(c) for c in data["cells"]),
         )
 

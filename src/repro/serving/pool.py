@@ -51,14 +51,13 @@ from typing import Any, Sequence
 from repro.common.errors import ConfigError, JobError, MPIError
 from repro.datampi.communicator import BipartiteComm
 from repro.datampi.job import DataMPIJob, JobResult
-from repro.datampi.kvcache import KVCache
 from repro.datampi.modes import (
     _dumps,
     _merge_outcomes,
     recycle_world,
     run_superstep,
 )
-from repro.datampi.receiver import ChunkStore
+from repro.storage import StorageConfig
 from repro.mpi import faultinject
 from repro.mpi.comm import Comm
 from repro.mpi.transport import WorldHandle, get_transport
@@ -141,6 +140,7 @@ class WorldPool:
         transport: Any = None,
         *,
         world_timeout: float = DEFAULT_WORLD_TIMEOUT,
+        storage: StorageConfig | None = None,
     ):
         if num_o < 1 or num_a < 1:
             raise ConfigError(
@@ -152,6 +152,10 @@ class WorldPool:
         self.num_a = num_a
         self.transport = transport
         self.world_timeout = world_timeout
+        #: Budgets for the world's long-lived per-rank cache and chunk
+        #: store.  Pool-owned on purpose: registered jobs share one world,
+        #: so their confs' storage settings cannot apply per submission.
+        self.storage = storage or StorageConfig()
         self._jobs: dict[str, DataMPIJob] = {}
         self._handle: WorldHandle | None = None
         self._dispatcher: threading.Thread | None = None
@@ -206,11 +210,12 @@ class WorldPool:
         jobs = dict(self._jobs)
         num_o, num_a = self.num_o, self.num_a
         idle_timeout = self.world_timeout
+        storage = self.storage
 
         def rank_main(comm: Comm):
             return _serve_world(
                 comm, jobs, num_o, num_a, request_recv, result_send,
-                idle_timeout,
+                idle_timeout, storage,
             )
 
         transport = get_transport(self.transport)
@@ -362,6 +367,7 @@ def _serve_world(
     request_recv,
     result_send,
     idle_timeout: float,
+    storage: StorageConfig | None = None,
 ):
     """Every rank's main: serve submissions until a stop request.
 
@@ -371,8 +377,9 @@ def _serve_world(
     """
     bcomm = BipartiteComm(comm, num_o, num_a)
     is_root = comm.rank == 0
-    cache = KVCache(None)
-    store = None if bcomm.is_o else ChunkStore()
+    storage = storage or StorageConfig()
+    cache = storage.make_cache()
+    store = None if bcomm.is_o else storage.make_store()
     superstep = 0
     try:
         while True:

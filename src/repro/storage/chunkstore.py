@@ -1,0 +1,147 @@
+"""A-side receive store: chunk accumulation over a SpillStore, sorted merge.
+
+DataMPI is *data-centric* (Section 2.3): intermediate data is partitioned
+and stored "in memory or disk" at the receiving worker, and A tasks then
+read it locally.  The :class:`ChunkStore` accumulates the sorted chunks
+sent by O tasks; payloads live in a :class:`~repro.storage.spill.SpillStore`
+whose budget is the spill threshold, so when the buffered total exceeds
+it the least-recently-received chunks move to mmap-backed segment files
+and stream back lazily during the merge.  The merged iterator is a k-way
+merge (``heapq.merge``) over all chunks, yielding records in global key
+order when sorting is enabled.
+
+Chunks carry an *origin* — ``(source O rank, per-source sequence)`` — and
+the merge always visits chunks in origin order.  ``heapq.merge`` breaks
+key ties by iterator position, so without a canonical order the output
+for equal keys (and any floating-point reduction over it) would depend on
+chunk *arrival* order, which true multiprocess transports cannot
+guarantee.  With origins, every transport backend produces byte-identical
+output — whether a given chunk happened to spill or not.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from repro.common.kv import KeyValue, decode_stream
+from repro.storage.spill import DEFAULT_SPILL_BYTES, SpillStore
+
+#: Chunk origin: (source O rank, per-source sequence number).
+Origin = tuple[int, int]
+
+
+class ChunkStore:
+    """Holds received chunks up to a memory budget, spilling LRU to disk."""
+
+    def __init__(self, spill_threshold: int = DEFAULT_SPILL_BYTES,
+                 spill_dir: str | None = None):
+        self._spill = SpillStore(budget_bytes=spill_threshold,
+                                 spill_dir=spill_dir)
+        self._auto_sequence = 0
+
+    def add(self, chunk, origin: Origin | None = None) -> None:
+        """Store one encoded chunk (already key-sorted by the sender).
+
+        ``chunk`` is ``bytes`` or a read-only ``memoryview`` — the shm
+        transport's batch path delivers views that slice one shared
+        buffer per ring slot, and the store keeps them as-is (spilling
+        and decoding both work straight from a view, so the zero-copy
+        read path survives end to end).
+
+        ``origin`` identifies where the chunk came from; when omitted an
+        insertion-order origin is assigned, so callers that never pass one
+        keep arrival order.
+        """
+        if origin is None:
+            origin = (0, self._auto_sequence)
+            self._auto_sequence += 1
+        self._spill.put(origin, chunk)
+
+    def chunk_iterators(self) -> list[Iterator[KeyValue]]:
+        """One decoding iterator per stored chunk, in origin order.
+
+        Spilled chunks decode lazily out of their mapped segment during
+        the merge, so a dataset that spilled precisely because it outgrew
+        memory is not fully materialized as records; resident chunks are
+        decoded eagerly.  Every chunk decodes through a ``memoryview`` so
+        record fields are sliced in place instead of copied (leaf values
+        still materialise as ordinary objects — no view outlives the
+        decode).
+        """
+        iterators = []
+        for origin in sorted(self._spill.keys()):
+            view = self._spill.get(origin)
+            if self._spill.is_spilled(origin):
+                iterators.append(decode_stream(view))
+            else:
+                iterators.append(iter(list(decode_stream(view))))
+        return iterators
+
+    def merged(self, sort: bool = True) -> Iterator[KeyValue]:
+        """Iterate all records; in global key order when ``sort`` is true.
+
+        Key ties break by chunk origin, so the stream is identical no
+        matter in which order chunks arrived (or which of them spilled).
+        """
+        iterators = self.chunk_iterators()
+        if sort:
+            return heapq.merge(*iterators, key=lambda kv: kv.key)
+        return (record for iterator in iterators for record in iterator)
+
+    def raw_chunks(self) -> list[bytes]:
+        """All encoded chunks in origin order (spilled chunks are read
+        back into memory; used by checkpointing, which re-encodes them to
+        its own layout)."""
+        return [bytes(self._spill.get(origin))
+                for origin in sorted(self._spill.keys())]
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def memory_bytes(self) -> int:
+        """Encoded chunk bytes currently resident in memory."""
+        return self._spill.in_memory_bytes
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Cumulative chunk bytes written to segment files (legacy name;
+        :attr:`bytes_spilled` is the same number)."""
+        return self._spill.bytes_spilled
+
+    @property
+    def bytes_spilled(self) -> int:
+        return self._spill.bytes_spilled
+
+    @property
+    def spill_reads(self) -> int:
+        """Chunk reads served from a mapped segment instead of memory."""
+        return self._spill.spill_reads
+
+    @property
+    def spills(self) -> int:
+        """Eviction events (segment files created)."""
+        return self._spill.spills
+
+    @property
+    def segment_files(self) -> list[str]:
+        """Live segment file paths (diagnostics and leak tests)."""
+        return self._spill.segment_files
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Empty the store for reuse by the next superstep.
+
+        Iteration and Streaming modes keep one store per A rank alive
+        across supersteps; resetting drops chunks, segment files, and
+        counters while retaining the owned spill directory so repeated
+        windows do not churn temp directories.
+        """
+        self._spill.reset()
+        self._auto_sequence = 0
+
+    def cleanup(self) -> None:
+        """Delete segment files and the owned temp directory."""
+        self._spill.cleanup()
+        self._auto_sequence = 0

@@ -1,0 +1,271 @@
+"""Memory-budgeted byte store with LRU spill to mmap-backed segment files.
+
+The beyond-RAM half of the storage layer: a :class:`SpillStore` keeps
+byte payloads (``bytes``/``bytearray``/read-only ``memoryview``) in
+memory up to a budget and evicts least-recently-used entries to *segment
+files* on disk.  Reads rehydrate transparently — :meth:`SpillStore.get`
+returns a read-only ``memoryview`` whether the payload is resident or
+spilled, so everything downstream (``decode_stream``, the k-way merge,
+checkpointing) runs the exact same zero-copy code path either way and
+the data plane's no-pickle guarantee survives eviction.
+
+Segment files are written once per eviction event and sealed; reads map
+them with ``mmap.ACCESS_READ``, so the payload bytes live in the OS page
+cache rather than the process heap — which is what lets a dataset larger
+than the budget stream through a bounded-RSS process, and what shares
+one physical copy of a segment between local processes that map the same
+file (e.g. ranks forked by the shm transport reading a shared spill
+directory).
+
+Layout: a segment file is the evicted payloads concatenated back to
+back, nothing else.  The index (key -> segment, offset, length) lives in
+the owning store; segments are not self-describing, which keeps the
+write path one ``write()`` per payload.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Any, Iterator
+
+from repro.common.errors import DataMPIError
+
+#: Default in-memory budget, shared with the historical ChunkStore
+#: threshold so the legacy ``spill_bytes`` conf field keeps its meaning.
+DEFAULT_SPILL_BYTES = 64 * 1024 * 1024
+
+
+def map_segment(path: str) -> memoryview:
+    """Map one sealed segment file read-only; returns a zero-copy view.
+
+    The mapping is ``mmap.ACCESS_READ``: pages are clean, evictable, and
+    shared with every other local process that maps the same file.
+    """
+    with open(path, "rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    return memoryview(mapped)
+
+
+class _Entry:
+    """One stored payload: resident (``payload`` set) or spilled."""
+
+    __slots__ = ("payload", "nbytes", "segment", "offset")
+
+    def __init__(self, payload, nbytes: int):
+        self.payload = payload
+        self.nbytes = nbytes
+        self.segment: int | None = None
+        self.offset = 0
+
+    @property
+    def spilled(self) -> bool:
+        return self.payload is None
+
+
+class SpillStore:
+    """LRU byte-payload store that spills past ``budget_bytes`` to disk.
+
+    Examples:
+        A two-entry store with a budget smaller than both payloads: the
+        older entry is evicted to a segment file, and reading it back
+        returns a ``memoryview`` over the mapped segment:
+
+        >>> store = SpillStore(budget_bytes=12)
+        >>> store.put("old", b"x" * 10)
+        >>> store.put("new", b"y" * 10)   # evicts "old" to disk
+        >>> store.is_spilled("old"), store.is_spilled("new")
+        (True, False)
+        >>> bytes(store.get("old")) == b"x" * 10
+        True
+        >>> store.bytes_spilled, store.spill_reads
+        (10, 1)
+        >>> store.cleanup()
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_SPILL_BYTES,
+                 spill_dir: str | None = None):
+        if budget_bytes < 1:
+            raise DataMPIError(
+                f"spill budget must be positive, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self._spill_dir = spill_dir
+        self._owned_dir: str | None = None
+        self._entries: OrderedDict[Any, _Entry] = OrderedDict()
+        self._segments: list[str] = []  # segment index -> file path
+        self._maps: dict[int, memoryview] = {}  # lazily mapped segments
+        #: Payload bytes currently resident in memory.
+        self.in_memory_bytes = 0
+        #: Cumulative payload bytes written to segment files.
+        self.bytes_spilled = 0
+        #: Reads served from a mapped segment instead of memory.
+        self.spill_reads = 0
+        #: Eviction events == segment files created (cumulative).
+        self.spills = 0
+
+    # -- write path ------------------------------------------------------------
+
+    def put(self, key: Any, payload) -> None:
+        """Store ``payload`` (bytes-like) under ``key``, evicting LRU
+        entries to disk if the in-memory total would exceed the budget.
+
+        The payload is kept as-is — a ``memoryview`` from the zero-copy
+        receive path is not copied on the way in.  Unlike a cache, a
+        store never rejects: an entry larger than the whole budget is
+        admitted and immediately spilled.
+        """
+        self.discard(key)
+        nbytes = payload.nbytes if isinstance(payload, memoryview) \
+            else len(payload)
+        self._entries[key] = _Entry(payload, nbytes)
+        self.in_memory_bytes += nbytes
+        if self.in_memory_bytes > self.budget_bytes:
+            self._evict()
+
+    def _evict(self) -> None:
+        """One eviction event: write oldest resident entries to a fresh
+        segment file until the resident total is back under budget."""
+        victims: list[_Entry] = []
+        for entry in self._entries.values():
+            if self.in_memory_bytes <= self.budget_bytes:
+                break
+            if entry.spilled or entry.nbytes == 0:
+                continue
+            victims.append(entry)
+            self.in_memory_bytes -= entry.nbytes
+        if not victims:
+            return
+        segment = len(self._segments)
+        fd, path = tempfile.mkstemp(
+            prefix=f"segment-{segment:04d}-", suffix=".seg",
+            dir=self._directory(),
+        )
+        offset = 0
+        with os.fdopen(fd, "wb") as handle:
+            for entry in victims:
+                handle.write(entry.payload)
+                entry.payload = None
+                entry.segment = segment
+                entry.offset = offset
+                offset += entry.nbytes
+                self.bytes_spilled += entry.nbytes
+        self._segments.append(path)
+        self.spills += 1
+
+    def _directory(self) -> str:
+        if self._spill_dir is not None:
+            os.makedirs(self._spill_dir, exist_ok=True)
+            return self._spill_dir
+        if self._owned_dir is None:
+            self._owned_dir = tempfile.mkdtemp(prefix="repro-spill-")
+        return self._owned_dir
+
+    # -- read path -------------------------------------------------------------
+
+    def get(self, key: Any) -> memoryview:
+        """A read-only view of one payload, resident or rehydrated.
+
+        Resident entries are touched (moved to the LRU tail); spilled
+        entries are served as zero-copy slices of their mapped segment
+        and counted in ``spill_reads`` — they stay on disk, so a
+        post-spill scan never re-inflates the resident set.
+        """
+        entry = self._entries[key]
+        if not entry.spilled:
+            self._entries.move_to_end(key)
+            payload = entry.payload
+            return payload if isinstance(payload, memoryview) \
+                else memoryview(payload)
+        self.spill_reads += 1
+        mapped = self._maps.get(entry.segment)
+        if mapped is None:
+            mapped = map_segment(self._segments[entry.segment])
+            self._maps[entry.segment] = mapped
+        return mapped[entry.offset:entry.offset + entry.nbytes]
+
+    def discard(self, key: Any) -> bool:
+        """Drop ``key`` if present; True if removed.  Spilled bytes stay
+        in their segment (dead space) until :meth:`reset`/:meth:`cleanup`."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        if not entry.spilled:
+            self.in_memory_bytes -= entry.nbytes
+        return True
+
+    def is_spilled(self, key: Any) -> bool:
+        return self._entries[key].spilled
+
+    def size_of(self, key: Any) -> int | None:
+        """Payload size in bytes, or None if absent — answered from the
+        index alone, without touching memory or disk."""
+        entry = self._entries.get(key)
+        return None if entry is None else entry.nbytes
+
+    def keys(self) -> list[Any]:
+        return list(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._entries)
+
+    @property
+    def segment_files(self) -> list[str]:
+        """Paths of the live segment files (diagnostics and leak tests)."""
+        return list(self._segments)
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return {
+            "spill.bytes_spilled": self.bytes_spilled,
+            "spill.reads": self.spill_reads,
+            "spill.segments": self.spills,
+            "spill.in_memory_bytes": self.in_memory_bytes,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _drop_segments(self) -> None:
+        # Unlinking is safe while mappings are live (POSIX keeps the
+        # pages until unmapped); dropping our references lets refcounting
+        # release the maps once no exported view needs them.
+        self._maps.clear()
+        for path in self._segments:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+        self._segments = []
+
+    def reset(self) -> None:
+        """Empty the store for reuse: entries, segment files and counters
+        go; the owned spill directory is kept so steady-state reuse (one
+        store serving many supersteps or pooled jobs) does not churn
+        temp directories."""
+        self._drop_segments()
+        self._entries.clear()
+        self.in_memory_bytes = 0
+        self.bytes_spilled = 0
+        self.spill_reads = 0
+        self.spills = 0
+
+    def cleanup(self) -> None:
+        """Delete segment files and the owned temp directory; the store
+        is empty (but reusable) afterwards."""
+        self._drop_segments()
+        self._entries.clear()
+        self.in_memory_bytes = 0
+        if self._owned_dir is not None:
+            try:
+                os.rmdir(self._owned_dir)
+            except OSError:
+                pass
+            self._owned_dir = None

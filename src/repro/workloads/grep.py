@@ -11,7 +11,7 @@ from __future__ import annotations
 import re
 from typing import Sequence
 
-from repro.datampi import DataMPIConf, DataMPIJob
+from repro.datampi import DataMPIConf, DataMPIJob, StorageConfig
 from repro.hadoop import HadoopConf, MapReduceJob
 from repro.spark import SparkContext
 from repro.workloads.base import check_engine, split_round_robin
@@ -64,7 +64,8 @@ def grep_spark(lines: Sequence[str], pattern: str, parallelism: int = 4,
 
 
 def grep_datampi_job(pattern: str, parallelism: int = 4,
-                     transport: str | None = None) -> DataMPIJob:
+                     transport: str | None = None,
+                     storage: StorageConfig | None = None) -> DataMPIJob:
     """The Grep O/A job for ``pattern``, for cold runs and warm pools."""
     compiled = re.compile(pattern)
 
@@ -80,14 +81,17 @@ def grep_datampi_job(pattern: str, parallelism: int = 4,
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda m, vs: sum(vs), job_name="grep",
-                    transport=transport),
+                    transport=transport,
+                    storage=storage),
     )
 
 
 def grep_datampi_result(lines: Sequence[str], pattern: str, parallelism: int = 4,
-                        transport: str | None = None):
+                        transport: str | None = None,
+                        storage: StorageConfig | None = None):
     """Grep as a DataMPI O/A job, with its counters."""
-    job = grep_datampi_job(pattern, parallelism, transport=transport)
+    job = grep_datampi_job(pattern, parallelism, transport=transport,
+                           storage=storage)
     return job.run(split_round_robin(list(lines), parallelism))
 
 
@@ -98,11 +102,17 @@ def grep_datampi(lines: Sequence[str], pattern: str, parallelism: int = 4,
 
 
 def run_grep(engine: str, lines: Sequence[str], pattern: str,
-             parallelism: int = 4, transport: str | None = None) -> dict[str, int]:
-    """Dispatch Grep to one of the three engines."""
+             parallelism: int = 4, transport: str | None = None,
+             storage: StorageConfig | None = None) -> dict[str, int]:
+    """Dispatch Grep to one of the three engines.
+
+    ``storage`` applies to the datampi engine only.
+    """
     check_engine(engine)
     if engine == "hadoop":
         return grep_hadoop(lines, pattern, parallelism)
     if engine == "spark":
         return grep_spark(lines, pattern, parallelism)
-    return grep_datampi(lines, pattern, parallelism, transport=transport)
+    return dict(grep_datampi_result(lines, pattern, parallelism,
+                                    transport=transport,
+                                    storage=storage).merged_outputs())

@@ -22,7 +22,7 @@ from typing import Sequence
 from repro.bigdatabench.vectors import SparseVector, mean_vector
 from repro.common.errors import WorkloadError
 from repro.common.rng import substream
-from repro.datampi import DataMPIConf, DataMPIJob, IterativeJob, IterativeResult
+from repro.datampi import DataMPIConf, DataMPIJob, IterativeJob, IterativeResult, StorageConfig
 from repro.hadoop import HadoopConf, MapReduceJob
 from repro.spark import SparkContext
 from repro.workloads.base import check_engine, split_round_robin
@@ -211,6 +211,7 @@ def kmeans_iterative_job(
     cache_bytes: int | None = None,
     checkpoint_dir: str | None = None,
     resume: bool = False,
+    storage: StorageConfig | None = None,
 ) -> tuple[KMeansResult, IterativeResult]:
     """K-means as a DataMPI superstep job (Iteration mode or its Common
     baseline).
@@ -249,7 +250,8 @@ def kmeans_iterative_job(
                     combiner=lambda cluster, values: _reduce_partial_list(values),
                     job_name="kmeans-iterative", transport=transport,
                     mode=mode, cache_bytes=cache_bytes,
-                    checkpoint_dir=checkpoint_dir),
+                    checkpoint_dir=checkpoint_dir,
+                    storage=storage),
         max_iterations=max_iterations,
     )
     result = job.run(

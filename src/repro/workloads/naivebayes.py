@@ -22,7 +22,7 @@ from typing import Sequence
 from repro.bigdatabench.seedmodels import all_amazon_models
 from repro.common.errors import WorkloadError
 from repro.common.rng import substream
-from repro.datampi import DataMPIConf, DataMPIJob, IterativeJob, IterativeResult
+from repro.datampi import DataMPIConf, DataMPIJob, IterativeJob, IterativeResult, StorageConfig
 from repro.hadoop import HadoopConf, JobPipeline, MapReduceJob
 from repro.workloads.base import split_round_robin
 
@@ -188,6 +188,7 @@ def train_hadoop(documents: Sequence[LabeledDocument], parallelism: int = 4,
 def train_datampi_result(
     documents: Sequence[LabeledDocument], parallelism: int = 4,
     alpha: float = 1.0, transport: str | None = None,
+    storage: StorageConfig | None = None,
 ) -> tuple[NaiveBayesModel, dict[str, int]]:
     """The same three counting passes as chained DataMPI jobs.
 
@@ -199,7 +200,8 @@ def train_datampi_result(
     conf = DataMPIConf(num_o=parallelism, num_a=parallelism,
                        combiner=lambda key, values: sum(values),
                        job_name="nb-count",
-                       transport=transport)
+                       transport=transport,
+                       storage=storage)
 
     def sum_a_task(ctx):
         return [(key, sum(values)) for key, values in ctx.grouped()]
@@ -249,6 +251,7 @@ def train_datampi_iterative(
     documents: Sequence[LabeledDocument], parallelism: int = 4,
     alpha: float = 1.0, transport: str | None = None,
     mode: str = "iteration", cache_bytes: int | None = None,
+    storage: StorageConfig | None = None,
 ) -> tuple[NaiveBayesModel, IterativeResult]:
     """The three counting passes as supersteps of one kept-alive world.
 
@@ -287,7 +290,8 @@ def train_datampi_iterative(
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda key, values: sum(values),
                     job_name="nb-iterative", transport=transport,
-                    mode=mode, cache_bytes=cache_bytes),
+                    mode=mode, cache_bytes=cache_bytes,
+                    storage=storage),
         max_iterations=len(_NB_PHASES),
     )
     result = job.run(

@@ -17,7 +17,7 @@ from typing import Sequence
 from repro.bigdatabench.toseqfile import SequenceFile
 from repro.common.errors import WorkloadError
 from repro.common.rng import substream
-from repro.datampi import DataMPIConf, DataMPIJob, RangePartitioner
+from repro.datampi import DataMPIConf, DataMPIJob, RangePartitioner, StorageConfig
 from repro.hadoop import HadoopConf, MapReduceJob
 from repro.spark import SparkContext
 from repro.workloads.base import check_engine, split_round_robin
@@ -69,7 +69,8 @@ def text_sort_spark(lines: Sequence[str], parallelism: int = 4,
 
 
 def text_sort_datampi_job(sample_lines: Sequence[str], parallelism: int = 4,
-                          transport: str | None = None) -> DataMPIJob:
+                          transport: str | None = None,
+                          storage: StorageConfig | None = None) -> DataMPIJob:
     """The Text Sort O/A job, for cold runs and warm pools alike.
 
     The range partitioner is sampled from ``sample_lines`` at job
@@ -90,14 +91,17 @@ def text_sort_datampi_job(sample_lines: Sequence[str], parallelism: int = 4,
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     partitioner=partitioner, job_name="text-sort",
-                    transport=transport),
+                    transport=transport,
+                    storage=storage),
     )
 
 
 def text_sort_datampi_result(lines: Sequence[str], parallelism: int = 4,
-                             transport: str | None = None):
+                             transport: str | None = None,
+                             storage: StorageConfig | None = None):
     """Text Sort as a DataMPI O/A job, with its counters."""
-    job = text_sort_datampi_job(lines, parallelism, transport=transport)
+    job = text_sort_datampi_job(lines, parallelism, transport=transport,
+                                storage=storage)
     return job.run(split_round_robin(list(lines), parallelism))
 
 
@@ -108,14 +112,20 @@ def text_sort_datampi(lines: Sequence[str], parallelism: int = 4,
 
 
 def run_text_sort(engine: str, lines: Sequence[str], parallelism: int = 4,
-                  transport: str | None = None) -> list[str]:
-    """Dispatch Text Sort to one of the three engines."""
+                  transport: str | None = None,
+                  storage: StorageConfig | None = None) -> list[str]:
+    """Dispatch Text Sort to one of the three engines.
+
+    ``storage`` applies to the datampi engine only.
+    """
     check_engine(engine)
     if engine == "hadoop":
         return text_sort_hadoop(lines, parallelism)
     if engine == "spark":
         return text_sort_spark(lines, parallelism)
-    return text_sort_datampi(lines, parallelism, transport=transport)
+    result = text_sort_datampi_result(lines, parallelism, transport=transport,
+                                      storage=storage)
+    return [line for output in result.outputs for line in output]
 
 
 def run_normal_sort(engine: str, seqfile: SequenceFile, parallelism: int = 4,
@@ -132,11 +142,13 @@ def run_normal_sort(engine: str, seqfile: SequenceFile, parallelism: int = 4,
 
 
 def normal_sort_datampi_result(seqfile: SequenceFile, parallelism: int = 4,
-                               transport: str | None = None):
+                               transport: str | None = None,
+                               storage: StorageConfig | None = None):
     """Normal Sort as a DataMPI O/A job (decompress + total-order sort),
     with its counters."""
     lines = [key for key, _value in seqfile.records()]
-    return text_sort_datampi_result(lines, parallelism, transport=transport)
+    return text_sort_datampi_result(lines, parallelism, transport=transport,
+                                    storage=storage)
 
 
 def normal_sort_hadoop_result(seqfile: SequenceFile, parallelism: int = 4):

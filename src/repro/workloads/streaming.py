@@ -16,7 +16,7 @@ import re
 from typing import Iterable, Iterator
 
 from repro.common.errors import WorkloadError
-from repro.datampi import DataMPIConf, StreamingJob, StreamResult
+from repro.datampi import DataMPIConf, StorageConfig, StreamingJob, StreamResult
 
 
 def chunk_lines(lines: Iterable[str], lines_per_split: int) -> Iterator[list[str]]:
@@ -43,7 +43,8 @@ def merge_window_counts(result: StreamResult) -> dict[str, int]:
 
 def _streaming_count_job(o_task, job_name: str, parallelism: int,
                          transport: str | None,
-                         window_splits: int | None) -> StreamingJob:
+                         window_splits: int | None,
+                         storage: StorageConfig | None = None) -> StreamingJob:
     def a_task(ctx):
         return [(key, sum(values)) for key, values in ctx.grouped()]
 
@@ -51,7 +52,8 @@ def _streaming_count_job(o_task, job_name: str, parallelism: int,
         o_task, a_task,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda key, values: sum(values),
-                    job_name=job_name, mode="streaming", transport=transport),
+                    job_name=job_name, mode="streaming", transport=transport,
+                    storage=storage),
         window_splits=window_splits,
     )
 
@@ -62,6 +64,7 @@ def wordcount_streaming(
     lines_per_split: int = 50,
     window_splits: int | None = None,
     transport: str | None = None,
+    storage: StorageConfig | None = None,
 ) -> StreamResult:
     """WordCount in Streaming mode: per-window counts with watermarks."""
 
@@ -71,7 +74,8 @@ def wordcount_streaming(
                 ctx.send(word, 1)
 
     job = _streaming_count_job(
-        o_task, "wordcount-stream", parallelism, transport, window_splits
+        o_task, "wordcount-stream", parallelism, transport, window_splits,
+        storage=storage,
     )
     return job.run(chunk_lines(lines, lines_per_split))
 
@@ -83,6 +87,7 @@ def grep_streaming(
     lines_per_split: int = 50,
     window_splits: int | None = None,
     transport: str | None = None,
+    storage: StorageConfig | None = None,
 ) -> StreamResult:
     """Grep in Streaming mode: per-window match counts with watermarks."""
     compiled = re.compile(pattern)
@@ -93,6 +98,7 @@ def grep_streaming(
                 ctx.send(match, 1)
 
     job = _streaming_count_job(
-        o_task, "grep-stream", parallelism, transport, window_splits
+        o_task, "grep-stream", parallelism, transport, window_splits,
+        storage=storage,
     )
     return job.run(chunk_lines(lines, lines_per_split))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.datampi import DataMPIConf, DataMPIJob
+from repro.datampi import DataMPIConf, DataMPIJob, StorageConfig
 from repro.hadoop import HadoopConf, MapReduceJob
 from repro.spark import SparkContext
 from repro.workloads.base import check_engine, split_round_robin
@@ -68,7 +68,8 @@ def wordcount_spark(lines: Sequence[str], parallelism: int = 4,
 
 
 def wordcount_datampi_job(parallelism: int = 4,
-                          transport: str | None = None) -> DataMPIJob:
+                          transport: str | None = None,
+                          storage: StorageConfig | None = None) -> DataMPIJob:
     """The WordCount O/A job itself, for cold runs *and* warm pools.
 
     ``wordcount_datampi_result`` runs it on a fresh world; a serving
@@ -89,18 +90,20 @@ def wordcount_datampi_job(parallelism: int = 4,
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda word, values: sum(values),
                     job_name="wordcount",
-                    transport=transport),
+                    transport=transport,
+                    storage=storage),
     )
 
 
 def wordcount_datampi_result(lines: Sequence[str], parallelism: int = 4,
-                             transport: str | None = None):
+                             transport: str | None = None,
+                             storage: StorageConfig | None = None):
     """WordCount as a DataMPI O/A job, with its counters.
 
     Returns the raw :class:`~repro.datampi.job.JobResult` so callers can
     read ``o.bytes_sent`` and friends alongside the outputs.
     """
-    job = wordcount_datampi_job(parallelism, transport=transport)
+    job = wordcount_datampi_job(parallelism, transport=transport, storage=storage)
     return job.run(split_round_robin(list(lines), parallelism))
 
 
@@ -111,11 +114,18 @@ def wordcount_datampi(lines: Sequence[str], parallelism: int = 4,
 
 
 def run_wordcount(engine: str, lines: Sequence[str], parallelism: int = 4,
-                  transport: str | None = None) -> dict[str, int]:
-    """Dispatch WordCount to one of the three engines."""
+                  transport: str | None = None,
+                  storage: StorageConfig | None = None) -> dict[str, int]:
+    """Dispatch WordCount to one of the three engines.
+
+    ``storage`` applies to the datampi engine only (the others have no
+    spill store).
+    """
     check_engine(engine)
     if engine == "hadoop":
         return wordcount_hadoop(lines, parallelism)
     if engine == "spark":
         return wordcount_spark(lines, parallelism)
-    return wordcount_datampi(lines, parallelism, transport=transport)
+    return dict(wordcount_datampi_result(
+        lines, parallelism, transport=transport, storage=storage
+    ).merged_outputs())

@@ -11,22 +11,26 @@ import pytest
 
 import repro.datampi.checkpoint
 import repro.datampi.job
-import repro.datampi.kvcache
 import repro.datampi.modes
 import repro.experiments.spec
 import repro.mpi.launcher
 import repro.mpi.transport.base
 import repro.serving.pool
+import repro.storage.config
+import repro.storage.kvcache
+import repro.storage.spill
 
 DOCTESTED_MODULES = [
     repro.datampi.checkpoint,
     repro.datampi.job,
-    repro.datampi.kvcache,
     repro.datampi.modes,
     repro.experiments.spec,
     repro.mpi.launcher,
     repro.mpi.transport.base,
     repro.serving.pool,
+    repro.storage.config,
+    repro.storage.kvcache,
+    repro.storage.spill,
 ]
 
 
@@ -44,7 +48,9 @@ def test_public_api_examples_are_present():
     expectations = {
         repro.datampi.job: ("DataMPIConf", "DataMPIJob"),
         repro.datampi.modes: ("IterativeJob", "StreamingJob"),
-        repro.datampi.kvcache: ("KVCache",),
+        repro.storage.kvcache: ("KVCache",),
+        repro.storage.spill: ("SpillStore",),
+        repro.storage.config: ("StorageConfig",),
         repro.serving.pool: ("WorldPool",),
     }
     for module, names in expectations.items():

@@ -1,0 +1,407 @@
+"""The ``repro.storage`` layer: budgets, LRU spill, and the config surface.
+
+Four families of guarantees:
+
+* **SpillStore** — payloads past the budget move LRU-first to sealed
+  segment files and rehydrate as read-only ``memoryview`` slices, with
+  exact byte accounting, across discard/reset/cleanup lifecycles.
+* **ChunkStore** — the A-side receive store produces a byte-identical
+  merge whether or not its chunks spilled, and its accounting properties
+  mirror the underlying SpillStore.
+* **Config plumbing** — :class:`StorageConfig` validates its knobs and
+  ``DataMPIConf`` keeps the legacy ``cache_bytes``/``spill_bytes``
+  integers mirrored against it (synthesizing, warning, or refusing on
+  disagreement).
+* **Acceptance** — an over-budget sort matrix cell produces the same
+  output checksum as its in-memory twin on every transport backend,
+  with ``bytes_spilled > 0`` and no leaked segment files.
+"""
+
+import importlib
+import os
+import sys
+import time
+import warnings
+
+import pytest
+
+from repro.bigdatabench import TextGenerator
+from repro.common.errors import ConfigError, DataMPIError
+from repro.common.kv import encode_stream, record_size
+from repro.datampi import DataMPIConf
+from repro.experiments.matrix import execute_cell
+from repro.experiments.spec import CellSpec, ExperimentSpec
+from repro.mpi.transport import available_transports
+from repro.storage import (
+    DEFAULT_SPILL_BYTES,
+    ChunkStore,
+    KVCache,
+    SpillStore,
+    StorageConfig,
+)
+from repro.workloads import text_sort_datampi_result
+
+ALL_BACKENDS = ("thread", "shm", "inline", "tcp")
+
+
+def _segment_files(directory) -> list[str]:
+    return [name for name in os.listdir(directory) if name.endswith(".seg")]
+
+
+class TestSpillStore:
+    def test_resident_until_budget_exceeded(self):
+        store = SpillStore(budget_bytes=100)
+        store.put("a", b"x" * 40)
+        store.put("b", b"y" * 40)
+        assert not store.is_spilled("a") and not store.is_spilled("b")
+        assert store.in_memory_bytes == 80
+        assert store.spills == 0
+        store.cleanup()
+
+    def test_lru_eviction_evicts_least_recently_used(self, tmp_path):
+        store = SpillStore(budget_bytes=100, spill_dir=str(tmp_path))
+        store.put("a", b"a" * 40)
+        store.put("b", b"b" * 40)
+        store.get("a")  # touch: "b" is now the LRU entry
+        store.put("c", b"c" * 40)
+        assert store.is_spilled("b")
+        assert not store.is_spilled("a") and not store.is_spilled("c")
+        store.cleanup()
+
+    def test_rehydrated_bytes_identical(self, tmp_path):
+        payloads = {f"k{i}": bytes([i]) * (200 + i) for i in range(8)}
+        store = SpillStore(budget_bytes=256, spill_dir=str(tmp_path))
+        for key, payload in payloads.items():
+            store.put(key, payload)
+        assert store.spills > 0
+        for key, payload in payloads.items():
+            view = store.get(key)
+            assert isinstance(view, memoryview)
+            assert bytes(view) == payload
+        store.cleanup()
+
+    def test_spilled_entries_stay_spilled_after_read(self, tmp_path):
+        """A post-spill scan must not re-inflate the resident set — that
+        is the whole point of a beyond-RAM store."""
+        store = SpillStore(budget_bytes=64, spill_dir=str(tmp_path))
+        store.put("old", b"x" * 60)
+        store.put("new", b"y" * 60)
+        assert store.is_spilled("old")
+        resident_before = store.in_memory_bytes
+        store.get("old")
+        store.get("old")
+        assert store.is_spilled("old")
+        assert store.in_memory_bytes == resident_before
+        assert store.spill_reads == 2
+        store.cleanup()
+
+    def test_oversized_entry_admitted_and_spilled(self, tmp_path):
+        """Unlike the cache, the store never rejects: an entry larger
+        than the whole budget is admitted and goes straight to disk."""
+        store = SpillStore(budget_bytes=16, spill_dir=str(tmp_path))
+        store.put("huge", b"z" * 1000)
+        assert store.is_spilled("huge")
+        assert bytes(store.get("huge")) == b"z" * 1000
+        assert store.bytes_spilled == 1000
+        store.cleanup()
+
+    def test_zero_byte_entries_never_spill(self, tmp_path):
+        store = SpillStore(budget_bytes=32, spill_dir=str(tmp_path))
+        store.put("empty", b"")
+        store.put("big", b"x" * 64)
+        assert not store.is_spilled("empty")
+        assert bytes(store.get("empty")) == b""
+        store.cleanup()
+
+    def test_memoryview_payloads_roundtrip(self, tmp_path):
+        store = SpillStore(budget_bytes=32, spill_dir=str(tmp_path))
+        backing = bytes(range(256))
+        store.put("view", memoryview(backing)[10:120])
+        store.put("pusher", b"p" * 64)
+        assert store.is_spilled("view")
+        assert bytes(store.get("view")) == backing[10:120]
+        store.cleanup()
+
+    def test_discard_resident_and_spilled(self, tmp_path):
+        store = SpillStore(budget_bytes=64, spill_dir=str(tmp_path))
+        store.put("old", b"x" * 60)
+        store.put("new", b"y" * 60)
+        assert store.discard("old")  # spilled
+        assert store.discard("new")  # resident
+        assert not store.discard("gone")
+        assert store.in_memory_bytes == 0
+        assert len(store) == 0
+        store.cleanup()
+
+    def test_size_of_answers_from_index(self, tmp_path):
+        store = SpillStore(budget_bytes=16, spill_dir=str(tmp_path))
+        store.put("k", b"x" * 40)
+        assert store.size_of("k") == 40
+        assert store.size_of("absent") is None
+        assert store.spill_reads == 0  # no disk touch for metadata
+        store.cleanup()
+
+    def test_replacing_key_reaccounts(self):
+        store = SpillStore(budget_bytes=1024)
+        store.put("k", b"x" * 100)
+        store.put("k", b"y" * 30)
+        assert store.in_memory_bytes == 30
+        assert bytes(store.get("k")) == b"y" * 30
+        store.cleanup()
+
+    def test_reset_deletes_segments_and_counters(self, tmp_path):
+        store = SpillStore(budget_bytes=32, spill_dir=str(tmp_path))
+        for index in range(4):
+            store.put(index, b"x" * 30)
+        assert _segment_files(tmp_path)
+        store.reset()
+        assert _segment_files(tmp_path) == []
+        assert len(store) == 0
+        assert store.bytes_spilled == 0 and store.spill_reads == 0
+        # The store stays usable after a reset.
+        store.put("again", b"y" * 50)
+        assert store.is_spilled("again")
+        assert bytes(store.get("again")) == b"y" * 50
+        store.cleanup()
+
+    def test_cleanup_removes_owned_directory(self):
+        store = SpillStore(budget_bytes=8)  # no spill_dir: owned temp dir
+        store.put("a", b"x" * 32)
+        store.put("b", b"y" * 32)
+        owned_dir = os.path.dirname(store.segment_files[0])
+        assert os.path.isdir(owned_dir)
+        store.cleanup()
+        assert not os.path.exists(owned_dir)
+
+    def test_cleanup_keeps_caller_supplied_directory(self, tmp_path):
+        store = SpillStore(budget_bytes=8, spill_dir=str(tmp_path))
+        store.put("a", b"x" * 32)
+        store.cleanup()
+        assert os.path.isdir(tmp_path)
+        assert _segment_files(tmp_path) == []
+
+    def test_shared_spill_dir_gets_unique_segment_names(self, tmp_path):
+        """Many ranks may share one spill directory; their segment files
+        must never collide."""
+        stores = [SpillStore(budget_bytes=8, spill_dir=str(tmp_path))
+                  for _ in range(3)]
+        for index, store in enumerate(stores):
+            store.put("k", bytes([index]) * 32)
+        assert len(_segment_files(tmp_path)) == 3
+        for index, store in enumerate(stores):
+            assert bytes(store.get("k")) == bytes([index]) * 32
+            store.cleanup()
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(DataMPIError, match="positive"):
+            SpillStore(budget_bytes=0)
+
+    def test_counters_mapping(self, tmp_path):
+        store = SpillStore(budget_bytes=32, spill_dir=str(tmp_path))
+        store.put("a", b"x" * 40)
+        store.get("a")
+        counters = store.counters
+        assert counters["spill.bytes_spilled"] == 40
+        assert counters["spill.reads"] == 1
+        assert counters["spill.segments"] == 1
+        store.cleanup()
+
+
+class TestChunkStoreSpill:
+    @staticmethod
+    def _chunks():
+        return [
+            encode_stream([("b", 2), ("d", 4)]),
+            encode_stream([("a", 1), ("c", 3)]),
+            encode_stream([("a", 9), ("e", 5)]),
+        ]
+
+    def test_merge_identical_with_and_without_spill(self, tmp_path):
+        """The canonical k-way merge must not depend on which chunks
+        happened to spill — same records, same order, byte for byte."""
+        resident = ChunkStore()
+        spilling = ChunkStore(spill_threshold=8, spill_dir=str(tmp_path))
+        for origin, chunk in enumerate(self._chunks()):
+            resident.add(chunk, origin=(0, origin))
+            spilling.add(chunk, origin=(0, origin))
+        assert spilling.bytes_spilled > 0
+        assert list(spilling.merged()) == list(resident.merged())
+        resident.cleanup()
+        spilling.cleanup()
+
+    def test_raw_chunks_rehydrate_exact_bytes(self, tmp_path):
+        store = ChunkStore(spill_threshold=8, spill_dir=str(tmp_path))
+        chunks = self._chunks()
+        for origin, chunk in enumerate(chunks):
+            store.add(chunk, origin=(0, origin))
+        assert store.raw_chunks() == chunks
+        store.cleanup()
+
+    def test_legacy_spilled_bytes_alias(self, tmp_path):
+        store = ChunkStore(spill_threshold=8, spill_dir=str(tmp_path))
+        store.add(b"0" * 64, origin=(0, 0))
+        assert store.spilled_bytes == store.bytes_spilled > 0
+        store.cleanup()
+
+
+class TestKVCacheAccounting:
+    def test_memoryview_charged_by_byte_length(self):
+        """The ``record_size`` fix: a zero-copy view is charged its
+        ``nbytes``, identically to the equivalent ``bytes`` payload."""
+        payload = b"v" * 1000
+        as_bytes = KVCache(None)
+        as_view = KVCache(None)
+        as_bytes.put("k", payload)
+        as_view.put("k", memoryview(payload))
+        assert as_view.size_of("k") == as_bytes.size_of("k")
+        assert as_view.used_bytes >= 1000
+
+    def test_record_size_memoryview_vs_bytes(self):
+        payload = bytes(512)
+        assert record_size("k", memoryview(payload)) == \
+            record_size("k", payload)
+
+    def test_budgeted_cache_evicts_views_correctly(self):
+        cache = KVCache(capacity_bytes=record_size("a", bytes(100)) + 8)
+        assert cache.put("a", memoryview(bytes(100)))
+        assert cache.put("b", memoryview(bytes(100)))
+        assert cache.get("a") is None  # evicted, not silently retained
+        assert cache.evictions == 1
+
+
+class TestStorageConfig:
+    def test_factories_honor_fields(self, tmp_path):
+        config = StorageConfig(cache_bytes=1 << 16, spill_threshold=128,
+                               spill_dir=str(tmp_path))
+        cache = config.make_cache()
+        assert cache.capacity_bytes == 1 << 16
+        store = config.make_store()
+        store.add(b"z" * 256)
+        assert store.bytes_spilled == 256
+        assert _segment_files(tmp_path)
+        store.cleanup()
+
+    def test_defaults_are_unbounded_cache_default_spill(self):
+        config = StorageConfig()
+        assert config.cache_bytes is None
+        assert config.spill_threshold == DEFAULT_SPILL_BYTES
+        assert config.spill_dir is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="cache_bytes"):
+            StorageConfig(cache_bytes=0)
+        with pytest.raises(ConfigError, match="spill_threshold"):
+            StorageConfig(spill_threshold=0)
+
+    def test_frozen(self):
+        config = StorageConfig()
+        with pytest.raises(Exception):
+            config.spill_threshold = 1
+
+
+class TestDataMPIConfStorage:
+    def test_default_conf_synthesizes_storage(self):
+        conf = DataMPIConf(num_o=1, num_a=1)
+        assert conf.storage is not None
+        assert conf.storage.cache_bytes is None
+        assert conf.storage.spill_threshold == conf.spill_bytes
+
+    def test_legacy_cache_bytes_warns_and_is_carried(self):
+        with pytest.warns(DeprecationWarning, match="cache_bytes"):
+            conf = DataMPIConf(num_o=1, num_a=1, cache_bytes=4096)
+        assert conf.storage.cache_bytes == 4096
+
+    def test_legacy_spill_bytes_carried_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            conf = DataMPIConf(num_o=1, num_a=1, spill_bytes=512)
+        assert conf.storage.spill_threshold == 512
+
+    def test_storage_mirrors_into_legacy_fields(self, tmp_path):
+        storage = StorageConfig(cache_bytes=2048, spill_threshold=256,
+                                spill_dir=str(tmp_path))
+        conf = DataMPIConf(num_o=1, num_a=1, storage=storage)
+        assert conf.cache_bytes == 2048
+        assert conf.spill_bytes == 256
+        assert conf.storage.spill_dir == str(tmp_path)
+
+    def test_conflicting_cache_bytes_refused(self):
+        with pytest.raises(ConfigError, match="disagrees"):
+            DataMPIConf(num_o=1, num_a=1, cache_bytes=1024,
+                        storage=StorageConfig(cache_bytes=2048))
+
+    def test_conflicting_spill_bytes_refused(self):
+        with pytest.raises(ConfigError, match="disagrees"):
+            DataMPIConf(num_o=1, num_a=1, spill_bytes=1024,
+                        storage=StorageConfig(spill_threshold=2048))
+
+    def test_agreeing_legacy_fields_accepted(self):
+        conf = DataMPIConf(num_o=1, num_a=1, spill_bytes=1024,
+                           storage=StorageConfig(spill_threshold=1024))
+        assert conf.storage.spill_threshold == 1024
+
+
+class TestDeprecatedImportShims:
+    @staticmethod
+    def _fresh_import(module_name: str):
+        saved = sys.modules.pop(module_name, None)
+        try:
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                return importlib.import_module(module_name)
+        finally:
+            if saved is not None:
+                sys.modules[module_name] = saved
+
+    def test_datampi_kvcache_shim(self):
+        shim = self._fresh_import("repro.datampi.kvcache")
+        assert shim.KVCache is KVCache
+
+    def test_datampi_receiver_shim(self):
+        shim = self._fresh_import("repro.datampi.receiver")
+        assert shim.ChunkStore is ChunkStore
+        assert shim.DEFAULT_SPILL_BYTES == DEFAULT_SPILL_BYTES
+
+
+class TestOverBudgetAcceptance:
+    """The PR's acceptance bar: a ``large``-scale sort cell whose shuffle
+    exceeds the budget runs to a byte-identical checksum against its
+    in-memory twin on every transport, reporting its spill traffic."""
+
+    @pytest.fixture(params=[b for b in ALL_BACKENDS
+                            if b in available_transports()])
+    def backend(self, request):
+        return request.param
+
+    @staticmethod
+    def _sort_spec(backend, spill_budget_bytes):
+        cell = CellSpec(workload="text_sort", mode="common",
+                        engine="datampi", scale="large", transport=backend)
+        return cell, ExperimentSpec(name="spill-acceptance", cells=(cell,),
+                                    spill_budget_bytes=spill_budget_bytes)
+
+    def test_over_budget_cell_matches_in_memory(self, backend):
+        cell, baseline_spec = self._sort_spec(backend, None)
+        _, budget_spec = self._sort_spec(backend, 4096)
+        baseline = execute_cell(cell, baseline_spec)
+        budgeted = execute_cell(cell, budget_spec)
+        assert baseline.status == budgeted.status == "ok"
+        assert budgeted.output_checksum == baseline.output_checksum
+        assert budgeted.bytes_spilled > 0
+        assert budgeted.spill_reads > 0
+        assert baseline.bytes_spilled == 0
+
+    def test_no_segment_files_leak_after_run(self, backend, tmp_path):
+        """Job-level twin of the cell test with an observable spill dir:
+        after the run returns, no segment file remains on disk."""
+        lines = TextGenerator(seed=7).lines(1200)
+        storage = StorageConfig(spill_threshold=4096, spill_dir=str(tmp_path))
+        result = text_sort_datampi_result(lines, parallelism=3,
+                                          transport=backend, storage=storage)
+        assert result.counters["a.bytes_spilled"] > 0
+        merged = [line for output in result.outputs for line in output]
+        assert merged == sorted(lines)
+        # Rank cleanup may trail the result gather on process transports.
+        deadline = time.monotonic() + 30
+        while _segment_files(tmp_path) and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert _segment_files(tmp_path) == []

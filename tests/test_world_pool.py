@@ -17,8 +17,10 @@ world between jobs.  Three families of guarantees:
   in-flight futures loudly.
 """
 
+import os
 import pickle
 import threading
+import time
 
 import pytest
 
@@ -32,6 +34,7 @@ from repro.datampi import (
     DataMPIConf,
     DataMPIJob,
     KVCache,
+    StorageConfig,
     recycle_world,
 )
 from repro.serving import WorldPool
@@ -149,6 +152,99 @@ class TestWorldRecycling:
         assert dict(first.merged_outputs())["leaked"] is False
         assert dict(second.merged_outputs())["leaked"] is False
         assert dict(second.merged_outputs())["c"] == 2
+
+
+def _segment_files(directory) -> list[str]:
+    return [name for name in os.listdir(directory) if name.endswith(".seg")]
+
+
+def _wait_for_no_segments(directory, timeout: float = 30.0) -> list[str]:
+    """Segment deletion happens on A ranks as they recycle, which may lag
+    the root's result send by a beat — poll instead of racing it."""
+    deadline = time.monotonic() + timeout
+    leftover = _segment_files(directory)
+    while leftover and time.monotonic() < deadline:
+        time.sleep(0.02)
+        leftover = _segment_files(directory)
+    return leftover
+
+
+class TestPoolSpillBoundaries:
+    """Spill state must respect job boundaries: a recycled world neither
+    leaks segment files nor serves job N's spilled chunks to job N+1."""
+
+    def test_recycle_world_resets_spill_state(self, tmp_path):
+        """Unit-level recycle contract for the spill half: segment files
+        are deleted, spilled chunks are gone, counters restart at zero."""
+        cache = KVCache(None)
+        store = ChunkStore(spill_threshold=64, spill_dir=str(tmp_path))
+        for index in range(4):
+            store.add(bytes(48), origin=(0, index))
+        assert store.bytes_spilled > 0
+        assert _segment_files(tmp_path)
+        recycle_world(cache, store)
+        assert _segment_files(tmp_path) == []
+        assert store.raw_chunks() == []
+        assert store.bytes_spilled == 0
+        assert store.spill_reads == 0
+
+    def test_over_budget_jobs_spill_and_stay_correct(self, backend, tmp_path):
+        """A pool whose world is budgeted far below the shuffle size must
+        spill on every submission and still produce outputs identical to
+        an unbudgeted cold world."""
+        storage = StorageConfig(spill_threshold=256, spill_dir=str(tmp_path))
+        pool = WorldPool(num_o=PARALLELISM, num_a=PARALLELISM,
+                         transport=backend, storage=storage)
+        pool.register("wordcount", wordcount_datampi_job(PARALLELISM))
+        with pool:
+            pool.start()
+            first = pool.run_job("wordcount",
+                                 split_round_robin(LINES_A, PARALLELISM))
+            second = pool.run_job("wordcount",
+                                  split_round_robin(LINES_B, PARALLELISM))
+        assert first.counters["a.bytes_spilled"] > 0
+        assert second.counters["a.bytes_spilled"] > 0
+        assert dict(first.merged_outputs()) == wordcount_reference(LINES_A)
+        assert dict(second.merged_outputs()) == wordcount_reference(LINES_B)
+        cold = wordcount_datampi_result(LINES_B, PARALLELISM,
+                                        transport=backend)
+        assert stable_bytes(second.outputs) == stable_bytes(cold.outputs)
+
+    def test_recycled_world_does_not_leak_segment_files(self, backend,
+                                                        tmp_path):
+        """Every job boundary deletes that job's segment files; after the
+        pool closes the shared spill directory holds none at all."""
+        storage = StorageConfig(spill_threshold=256, spill_dir=str(tmp_path))
+        pool = WorldPool(num_o=PARALLELISM, num_a=PARALLELISM,
+                         transport=backend, storage=storage)
+        pool.register("wordcount", wordcount_datampi_job(PARALLELISM))
+        with pool:
+            pool.start()
+            for lines in (LINES_A, LINES_B, LINES_A):
+                result = pool.run_job(
+                    "wordcount", split_round_robin(lines, PARALLELISM))
+                assert result.counters["a.bytes_spilled"] > 0
+                assert _wait_for_no_segments(tmp_path) == []
+        assert _segment_files(tmp_path) == []
+
+    def test_spilled_counters_are_per_job_not_cumulative(self, backend,
+                                                         tmp_path):
+        """Each submission reports its own spill traffic: a world that
+        leaked chunk-store state across recycles would inflate job N+1's
+        counters with job N's bytes."""
+        storage = StorageConfig(spill_threshold=256, spill_dir=str(tmp_path))
+        pool = WorldPool(num_o=PARALLELISM, num_a=PARALLELISM,
+                         transport=backend, storage=storage)
+        pool.register("wordcount", wordcount_datampi_job(PARALLELISM))
+        with pool:
+            pool.start()
+            first = pool.run_job("wordcount",
+                                 split_round_robin(LINES_A, PARALLELISM))
+            repeat = pool.run_job("wordcount",
+                                  split_round_robin(LINES_A, PARALLELISM))
+        assert first.counters["a.bytes_spilled"] > 0
+        assert repeat.counters["a.bytes_spilled"] == \
+            first.counters["a.bytes_spilled"]
 
 
 class TestPoolLifecycle:
