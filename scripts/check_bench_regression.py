@@ -35,6 +35,14 @@ import json
 import pathlib
 import sys
 
+#: Exit code when the baseline names a suite that matches *zero*
+#: benchmarks in the report.  Distinct from the generic failure (1) so CI
+#: can tell "a benchmark regressed" apart from "the baseline and the
+#: report disagree about which suites exist" — the latter usually means a
+#: rename or a deleted test, and the fix is editing the baseline, not the
+#: code under test.
+MISSING_SUITE_EXIT = 3
+
 
 def load_json(path: pathlib.Path, what: str) -> dict:
     try:
@@ -43,6 +51,22 @@ def load_json(path: pathlib.Path, what: str) -> dict:
         raise SystemExit(f"{what} not found: {path}")
     except json.JSONDecodeError as exc:
         raise SystemExit(f"{what} is not valid JSON ({path}): {exc}")
+
+
+def missing_suites(report: dict, baseline: dict) -> list[str]:
+    """Baseline suite ``match`` strings that match zero report benchmarks.
+
+    A suite that matches *some* benchmarks but fewer than its
+    ``min_count`` is a regular :func:`check` problem; a suite that
+    matches none at all is a structural mismatch reported separately
+    (see :data:`MISSING_SUITE_EXIT`).
+    """
+    benchmarks = report.get("benchmarks", [])
+    return [
+        suite["match"]
+        for suite in baseline.get("suites", [])
+        if not any(suite["match"] in b.get("fullname", "") for b in benchmarks)
+    ]
 
 
 def check(report: dict, baseline: dict, max_slowdown: float | None = None) -> list[str]:
@@ -103,6 +127,12 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     report = load_json(args.report, "benchmark report")
     baseline = load_json(args.baseline, "baseline")
+    if report.get("benchmarks"):
+        missing = missing_suites(report, baseline)
+        if missing:
+            print(f"benchmark regression gate: baseline suite(s) missing "
+                  f"from report: {', '.join(sorted(missing))}")
+            return MISSING_SUITE_EXIT
     problems = check(report, baseline, args.max_slowdown)
     if problems:
         print(f"benchmark regression gate FAILED ({len(problems)} problem(s)):")

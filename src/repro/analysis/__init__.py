@@ -1,0 +1,44 @@
+"""``repro.analysis`` — the repro-lint AST invariant checker.
+
+Public surface:
+
+* :func:`repro.analysis.run_paths` / :func:`run_source` — programmatic API
+* ``repro lint`` / ``python -m repro.analysis`` — command line
+* :class:`repro.analysis.Checker` + :func:`register` — extension points
+
+See ``docs/linting.md`` for the checker catalogue and pragma policy.
+"""
+
+from repro.analysis.core import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    JSON_SCHEMA_VERSION,
+    AnalysisError,
+    Checker,
+    FileContext,
+    Finding,
+    all_codes,
+    checker_registry,
+    register,
+    run_file,
+    run_paths,
+    run_source,
+)
+
+__all__ = [
+    "AnalysisError",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "all_codes",
+    "checker_registry",
+    "register",
+    "run_file",
+    "run_paths",
+    "run_source",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_ERROR",
+    "JSON_SCHEMA_VERSION",
+]

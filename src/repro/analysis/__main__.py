@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.analysis`` as an entry point."""
+
+from repro.analysis.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,121 @@
+"""Command-line front end for ``repro-lint``.
+
+Reachable both as ``repro lint [paths]`` (wired through ``repro.cli``) and
+as ``python -m repro.analysis``.  See :mod:`repro.analysis.core` for the
+exit-code contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.core import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    AnalysisError,
+    all_codes,
+    checker_registry,
+    format_findings_json,
+    format_findings_text,
+    run_paths,
+)
+
+__all__ = ["add_lint_arguments", "build_parser", "main", "run_lint"]
+
+DEFAULT_PATHS = ("src", "tests")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RPL0xx",
+        help="only run the given checker code(s); repeatable, comma-separated",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list registered checkers and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _parse_select(raw: Sequence[str] | None) -> list[str] | None:
+    if not raw:
+        return None
+    codes: list[str] = []
+    for chunk in raw:
+        codes.extend(c.strip() for c in chunk.split(",") if c.strip())
+    return codes or None
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Sequence[str] | None = None,
+    output_format: str = "text",
+    list_checkers: bool = False,
+) -> int:
+    """Shared implementation behind ``repro lint`` and ``python -m repro.analysis``."""
+    if list_checkers:
+        registry = checker_registry()
+        for code in all_codes():
+            cls = registry[code]
+            print(f"{code}  {cls.name}: {cls.description}")
+        return EXIT_CLEAN
+    try:
+        findings, files_checked = run_paths(list(paths), select=_parse_select(select))
+    except AnalysisError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    if output_format == "json":
+        print(format_findings_json(findings, files_checked))
+    elif findings:
+        print(format_findings_text(findings))
+    if findings:
+        if output_format == "text":
+            print(
+                f"repro-lint: {len(findings)} finding(s) in {files_checked} file(s)",
+                file=sys.stderr,
+            )
+        return EXIT_FINDINGS
+    if output_format == "text":
+        print(f"repro-lint: clean ({files_checked} file(s) checked)", file=sys.stderr)
+    return EXIT_CLEAN
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_lint(
+        args.paths,
+        select=args.select,
+        output_format=args.format,
+        list_checkers=args.list_checkers,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,322 @@
+"""Core of the ``repro-lint`` AST invariant checker framework.
+
+The analysis package encodes the project's hardest-won runtime invariants
+(no-pickle data plane, transport resource lifecycle, tag discipline, ...)
+as static checks so a violation is rejected at lint time instead of
+surfacing as a flaky transport bug in CI.
+
+Architecture:
+
+* :class:`Finding` — one diagnostic, addressed by ``path:line:col`` and a
+  stable ``RPL0xx`` code.
+* :class:`FileContext` — everything a checker may need about the file under
+  analysis: the parsed tree, the raw source lines, path-derived scope flags
+  and the per-line suppression map parsed from ``# repro: allow[RPL0xx]``
+  pragmas.
+* :class:`Checker` — an ``ast.NodeVisitor`` subclass per rule.  Checkers
+  self-register through the :func:`register` decorator and opt in/out of a
+  file via :meth:`Checker.interested`.
+* :func:`run_paths` / :func:`run_file` — drivers that walk the target
+  paths, run every selected checker and return suppression-filtered
+  findings.
+
+Exit-code contract (shared by ``repro lint`` and ``python -m
+repro.analysis``): ``0`` no findings, ``1`` at least one finding, ``2``
+usage or input error (unknown code, unreadable path, syntax error).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "AnalysisError",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "all_codes",
+    "checker_registry",
+    "format_findings_json",
+    "format_findings_text",
+    "iter_python_files",
+    "register",
+    "run_file",
+    "run_paths",
+    "run_source",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_ERROR",
+    "JSON_SCHEMA_VERSION",
+]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: Bumped only when the JSON output layout changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+class AnalysisError(Exception):
+    """Raised for usage/input errors (maps to exit code 2)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A single diagnostic emitted by a checker."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+
+class FileContext:
+    """Per-file state shared by every checker run against that file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        # Normalised, purely positional path parts ("src", "repro", ...).
+        self.parts: tuple[str, ...] = PurePosixPath(path.replace("\\", "/")).parts
+        self.suppressions = _parse_suppressions(self.lines)
+
+    # -- path scoping helpers -------------------------------------------------
+
+    @property
+    def is_repro_module(self) -> bool:
+        """True when the file is part of the ``repro`` package itself."""
+        return "repro" in self.parts
+
+    @property
+    def is_test_file(self) -> bool:
+        name = self.parts[-1] if self.parts else ""
+        return "tests" in self.parts or name.startswith("test_") or name == "conftest.py"
+
+    def path_endswith(self, *suffix: str) -> bool:
+        """True when the file path ends with the given parts, e.g.
+        ``ctx.path_endswith("repro", "storage", "spill.py")``."""
+        if len(suffix) > len(self.parts):
+            return False
+        return self.parts[-len(suffix) :] == tuple(suffix)
+
+    def module_has_part(self, part: str) -> bool:
+        return part in self.parts
+
+    # -- suppression ----------------------------------------------------------
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        codes = self.suppressions.get(line)
+        return codes is not None and code in codes
+
+
+def _parse_suppressions(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the set of codes allowed on that line.
+
+    A pragma looks like ``# repro: allow[RPL004] polling is deadline-bounded``
+    and may list several codes separated by commas.  The pragma suppresses
+    findings whose reported line is the pragma's line, so for a multi-line
+    statement it belongs on the statement's first physical line.
+    """
+    out: dict[int, frozenset[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            chunk.strip().upper() for chunk in match.group(1).split(",") if chunk.strip()
+        )
+        if codes:
+            out[lineno] = codes
+    return out
+
+
+# -- checker registry ---------------------------------------------------------
+
+_REGISTRY: dict[str, type["Checker"]] = {}
+
+
+def register(cls: type["Checker"]) -> type["Checker"]:
+    """Class decorator adding a checker to the global registry."""
+    code = cls.code
+    if not re.fullmatch(r"RPL\d{3}", code):
+        raise ValueError(f"checker code must look like RPL0xx, got {code!r}")
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate checker code {code}")
+    _REGISTRY[code] = cls
+    return cls
+
+
+def checker_registry() -> dict[str, type["Checker"]]:
+    """Return the registered checkers, keyed by code (import-safe copy)."""
+    _load_builtin_checkers()
+    return dict(_REGISTRY)
+
+
+def all_codes() -> list[str]:
+    return sorted(checker_registry())
+
+
+def _load_builtin_checkers() -> None:
+    # Imported lazily so `core` has no import cycle with `checkers`.
+    from repro.analysis import checkers as _checkers  # noqa: F401
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for one lint rule.
+
+    Subclasses set ``code`` (stable ``RPL0xx`` id), ``name`` (kebab-case
+    slug used in JSON output) and ``description``, override
+    :meth:`interested` to scope themselves to the right files, and call
+    :meth:`report` from their ``visit_*`` methods.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def __init__(self, context: FileContext) -> None:
+        self.context = context
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def interested(cls, context: FileContext) -> bool:
+        """Whether this checker applies to ``context`` at all."""
+        return True
+
+    def check(self) -> list[Finding]:
+        """Run the rule over the file and return raw (unsuppressed) findings."""
+        self.visit(self.context.tree)
+        return self.findings
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code=self.code,
+                message=message,
+                path=self.context.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+
+# -- drivers ------------------------------------------------------------------
+
+
+def _resolve_select(select: Iterable[str] | None) -> list[type[Checker]]:
+    registry = checker_registry()
+    if select is None:
+        return [registry[code] for code in sorted(registry)]
+    chosen: list[type[Checker]] = []
+    for raw in select:
+        code = raw.strip().upper()
+        if code not in registry:
+            raise AnalysisError(
+                f"unknown checker code {code!r}; known codes: {', '.join(sorted(registry))}"
+            )
+        chosen.append(registry[code])
+    return chosen
+
+
+def run_source(
+    source: str, path: str, select: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint a source string as though it lived at ``path``."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"{path}: syntax error: {exc.msg} (line {exc.lineno})") from exc
+    context = FileContext(path, source, tree)
+    findings: list[Finding] = []
+    for cls in _resolve_select(select):
+        if not cls.interested(context):
+            continue
+        for finding in cls(context).check():
+            if context.is_suppressed(finding.code, finding.line):
+                continue
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def run_file(path: str | Path, select: Iterable[str] | None = None) -> list[Finding]:
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read {p}: {exc}") from exc
+    return run_source(source, str(p), select=select)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under ``paths`` in deterministic sorted order."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for child in sorted(p.rglob("*.py")):
+                if any(part == "__pycache__" or part.startswith(".") for part in child.parts):
+                    continue
+                yield child
+        elif p.is_file():
+            yield p
+        else:
+            raise AnalysisError(f"no such file or directory: {p}")
+
+
+def run_paths(
+    paths: Sequence[str | Path], select: Iterable[str] | None = None
+) -> tuple[list[Finding], int]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(findings, files_checked)``.
+    """
+    findings: list[Finding] = []
+    count = 0
+    for file_path in iter_python_files(paths):
+        count += 1
+        findings.extend(run_file(file_path, select=select))
+    findings.sort(key=Finding.sort_key)
+    return findings, count
+
+
+# -- output -------------------------------------------------------------------
+
+
+def format_findings_text(findings: Sequence[Finding]) -> str:
+    return "\n".join(
+        f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}" for f in findings
+    )
+
+
+def format_findings_json(findings: Sequence[Finding], files_checked: int) -> str:
+    registry = checker_registry()
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": files_checked,
+        "findings": [
+            {
+                "code": f.code,
+                "checker": registry[f.code].name if f.code in registry else "",
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

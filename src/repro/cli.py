@@ -465,6 +465,17 @@ def _cmd_experiment_report(args) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(
+        args.paths,
+        select=args.select,
+        output_format=args.format,
+        list_checkers=args.list_checkers,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="datampi-repro",
@@ -473,6 +484,14 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    lint = sub.add_parser(
+        "lint", help="run the repro-lint AST invariant checkers (see docs/linting.md)"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     run = sub.add_parser("run", help="regenerate one table/figure")
     run.add_argument("experiment")

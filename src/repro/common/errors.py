@@ -52,7 +52,8 @@ class OutOfMemoryError(JobError):
     0.8.1 on Normal Sort (all sizes) and Text Sort above 8 GB.
     """
 
-    def __init__(self, message: str, *, required: int = 0, available: int = 0):
+    def __init__(self, message: str, *, required: int = 0,
+                 available: int = 0) -> None:
         super().__init__(message)
         self.required = required
         self.available = available

@@ -61,7 +61,7 @@ _LEN = struct.Struct(">II")
 _ITEM_LEN = struct.Struct(">I")
 
 
-def _encode_items(items) -> bytes:
+def _encode_items(items: Iterable[Any]) -> bytes:
     out = bytearray()
     for item in items:
         encoded = _encode_field(item)
@@ -70,8 +70,8 @@ def _encode_items(items) -> bytes:
     return bytes(out)
 
 
-def _decode_items(payload) -> list:
-    items = []
+def _decode_items(payload: bytes | memoryview) -> list[Any]:
+    items: list[Any] = []
     offset = 0
     while offset < len(payload):
         (length,) = _ITEM_LEN.unpack_from(payload, offset)
@@ -112,7 +112,7 @@ _T_INT, _T_FLOAT, _T_NONE = ord("I"), ord("D"), ord("N")
 _T_TUPLE, _T_LIST, _T_DICT = ord("U"), ord("L"), ord("M")
 
 
-def _decode_field(data) -> Any:
+def _decode_field(data: bytes | memoryview) -> Any:
     """Decode one encoded field from ``bytes`` or a ``memoryview``.
 
     Memoryview input decodes in place: container fields recurse over
@@ -152,7 +152,8 @@ def encode_record(key: Any, value: Any) -> bytes:
     return _LEN.pack(len(key_bytes), len(value_bytes)) + key_bytes + value_bytes
 
 
-def decode_record(data, offset: int = 0) -> tuple[KeyValue, int]:
+def decode_record(data: bytes | memoryview,
+                  offset: int = 0) -> tuple[KeyValue, int]:
     """Decode one record at ``offset``; returns ``(record, next_offset)``.
 
     ``data`` may be ``bytes`` or a ``memoryview``; with a view the field
@@ -178,7 +179,7 @@ def encode_stream(records: Iterable[tuple[Any, Any]]) -> bytes:
     return bytes(out)
 
 
-def decode_stream(data) -> Iterator[KeyValue]:
+def decode_stream(data: bytes | memoryview) -> Iterator[KeyValue]:
     """Decode all records from :func:`encode_stream` output (``bytes`` or
     ``memoryview`` — views decode in place)."""
     offset = 0

@@ -788,7 +788,9 @@ def _worker_connect(
                     f"no matrix parent serving at {address} after "
                     f"{connect_timeout}s"
                 ) from None
-            time.sleep(0.1)
+            # Connect-retry backoff inside a deadline-bounded loop: the
+            # enclosing while re-raises once `deadline` passes.
+            time.sleep(0.1)  # repro: allow[RPL004]
     try:
         # Bound the handshake: a wrong-but-listening port (or a wedged
         # parent) accepts the connect but never answers the challenge, and
@@ -1230,7 +1232,9 @@ class MatrixRunner:
                         release_claim(self.out_dir, cell_id)
                         progressed = True
                 if not progressed and remaining:
-                    time.sleep(0.05)
+                    # Reaper backoff, bounded by the stall deadline below
+                    # (worker_timeout without progress raises JobError).
+                    time.sleep(0.05)  # repro: allow[RPL004]
             if progressed:
                 last_progress = time.monotonic()
             elif time.monotonic() - last_progress > self.worker_timeout:

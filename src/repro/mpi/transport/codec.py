@@ -67,7 +67,7 @@ _BATCH_ITEM = struct.Struct(">qI")  # per-item tag (i64), length (u32)
 BATCH_ITEM_LIMIT = (1 << 32) - 1
 
 
-def as_buffer(data) -> memoryview:
+def as_buffer(data: Any) -> memoryview:
     """A C-contiguous 1-D byte view of any bytes-like object."""
     view = data if isinstance(data, memoryview) else memoryview(data)
     if view.format != "B" or view.ndim != 1:
@@ -80,7 +80,7 @@ def as_buffer(data) -> memoryview:
 # -- payload encoding ----------------------------------------------------------
 
 
-def encode_payload(payload: Any) -> tuple[int, list, int]:
+def encode_payload(payload: Any) -> tuple[int, list[Any], int]:
     """Encode one payload as ``(fmt, parts, total_length)``.
 
     ``parts`` is a list of buffer objects to be written back-to-back;
@@ -94,7 +94,7 @@ def encode_payload(payload: Any) -> tuple[int, list, int]:
     buffers: list[pickle.PickleBuffer] = []
     body = pickle.dumps(payload, protocol=PICKLE_PROTOCOL,
                         buffer_callback=buffers.append)
-    parts: list = [_OOB_COUNT.pack(len(buffers)),
+    parts: list[Any] = [_OOB_COUNT.pack(len(buffers)),
                    _OOB_LEN.pack(len(body)), body]
     total = _OOB_COUNT.size + _OOB_LEN.size + len(body)
     for buf in buffers:
@@ -105,7 +105,7 @@ def encode_payload(payload: Any) -> tuple[int, list, int]:
     return FMT_PICKLE, parts, total
 
 
-def decode_payload(fmt: int, data) -> Any:
+def decode_payload(fmt: int, data: Any) -> Any:
     """Invert :func:`encode_payload` for one received payload body.
 
     :data:`FMT_RAW` bodies come back as ``bytes`` without interpretation;
@@ -130,7 +130,7 @@ def decode_payload(fmt: int, data) -> Any:
     if body.nbytes != body_len:
         raise MPIError("truncated control payload (body cut short)")
     offset += body_len
-    buffers = []
+    buffers: list[memoryview] = []
     for _ in range(nbufs):
         try:
             (length,) = _OOB_LEN.unpack_from(view, offset)
@@ -172,7 +172,7 @@ def encode_batch(items: Iterable[tuple[int, Any]]) -> bytearray:
     return out
 
 
-def decode_batch(data) -> list[tuple[int, memoryview]]:
+def decode_batch(data: Any) -> list[tuple[int, memoryview]]:
     """Unpack one batch body into ``(tag, payload_view)`` items.
 
     The views are read-only zero-copy slices of ``data`` — the receive
@@ -238,7 +238,7 @@ def recv_exact(sock: socket.socket, length: int) -> bytes | None:
     return parts[0] if len(parts) == 1 else b"".join(parts)
 
 
-def sendmsg_all(sock: socket.socket, parts: Iterable) -> None:
+def sendmsg_all(sock: socket.socket, parts: Iterable[Any]) -> None:
     """Write every buffer in ``parts`` back-to-back (vectored, no concat).
 
     Uses ``socket.sendmsg`` with a partial-write retry loop; falls back
@@ -265,7 +265,7 @@ def send_frame(
     kind: int,
     tag: int = 0,
     obj: Any = None,
-    payload=None,
+    payload: Any = None,
     *,
     source: int = -1,
     max_bytes: int = MAX_FRAME_BYTES,

@@ -40,9 +40,9 @@ class Mailbox:
     """Thread-safe mailbox with selective (source, tag) receive."""
 
     def __init__(self) -> None:
-        self._items: list[Message] = []
+        self._items: list[Message] = []  #: guarded-by _cond
         self._cond = threading.Condition()
-        self._poisoned = False
+        self._poisoned = False  #: guarded-by _cond
 
     def put(self, message: Message) -> None:
         with self._cond:

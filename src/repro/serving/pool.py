@@ -160,8 +160,8 @@ class WorldPool:
         self._handle: WorldHandle | None = None
         self._dispatcher: threading.Thread | None = None
         self._lock = threading.Lock()
-        self._seq = 0
-        self._pending: dict[int, JobFuture] = {}
+        self._seq = 0  #: guarded-by _lock
+        self._pending: dict[int, JobFuture] = {}  #: guarded-by _lock
         self._closed = False
         self._request_send = None  # parent -> rank 0
         self._result_recv = None  # rank 0 -> parent
@@ -331,7 +331,9 @@ class WorldPool:
                     future._fail(JobError(payload))
             elif self._handle.done():
                 break
-        if self._pending and not self._handle.done():
+        with self._lock:
+            has_pending = bool(self._pending)
+        if has_pending and not self._handle.done():
             # The result pipe broke before the launcher finished (a rank
             # died mid-job on a fail-fast transport): wait for the world's
             # own verdict so in-flight futures carry the real cause — which

@@ -35,12 +35,13 @@ class ChunkStore:
     """Holds received chunks up to a memory budget, spilling LRU to disk."""
 
     def __init__(self, spill_threshold: int = DEFAULT_SPILL_BYTES,
-                 spill_dir: str | None = None):
+                 spill_dir: str | None = None) -> None:
         self._spill = SpillStore(budget_bytes=spill_threshold,
                                  spill_dir=spill_dir)
         self._auto_sequence = 0
 
-    def add(self, chunk, origin: Origin | None = None) -> None:
+    def add(self, chunk: bytes | bytearray | memoryview,
+            origin: Origin | None = None) -> None:
         """Store one encoded chunk (already key-sorted by the sender).
 
         ``chunk`` is ``bytes`` or a read-only ``memoryview`` — the shm
@@ -69,7 +70,7 @@ class ChunkStore:
         still materialise as ordinary objects — no view outlives the
         decode).
         """
-        iterators = []
+        iterators: list[Iterator[KeyValue]] = []
         for origin in sorted(self._spill.keys()):
             view = self._spill.get(origin)
             if self._spill.is_spilled(origin):

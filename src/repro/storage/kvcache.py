@@ -24,8 +24,6 @@ from typing import Any, Iterator
 from repro.common.errors import DataMPIError
 from repro.common.kv import record_size
 
-_MISSING = object()
-
 
 class KVCache:
     """LRU key-value cache with ``record_size``-based byte accounting.
@@ -49,7 +47,7 @@ class KVCache:
         False
     """
 
-    def __init__(self, capacity_bytes: int | None = None):
+    def __init__(self, capacity_bytes: int | None = None) -> None:
         if capacity_bytes is not None and capacity_bytes < 1:
             raise DataMPIError(
                 f"cache capacity must be positive or None, got {capacity_bytes}"
@@ -91,8 +89,8 @@ class KVCache:
 
     def get(self, key: Any, default: Any = None) -> Any:
         """Return the cached value (counting a hit) or ``default`` (a miss)."""
-        entry = self._entries.get(key, _MISSING)
-        if entry is _MISSING:
+        entry = self._entries.get(key)
+        if entry is None:  # entries are (value, size) tuples, never None
             self.misses += 1
             return default
         self._entries.move_to_end(key)
@@ -103,8 +101,8 @@ class KVCache:
 
     def discard(self, key: Any) -> bool:
         """Remove ``key`` if present (no eviction counted); True if removed."""
-        entry = self._entries.pop(key, _MISSING)
-        if entry is _MISSING:
+        entry = self._entries.pop(key, None)
+        if entry is None:
             return False
         self.used_bytes -= entry[1]
         return True
@@ -138,8 +136,8 @@ class KVCache:
 
     def size_of(self, key: Any) -> int | None:
         """Accounted byte size of one entry, or None if absent."""
-        entry = self._entries.get(key, _MISSING)
-        return None if entry is _MISSING else entry[1]
+        entry = self._entries.get(key)
+        return None if entry is None else entry[1]
 
     @property
     def counters(self) -> dict[str, int]:

@@ -45,7 +45,9 @@ def map_segment(path: str) -> memoryview:
     shared with every other local process that maps the same file.
     """
     with open(path, "rb") as handle:
-        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        # Ownership of the mapping transfers to the returned memoryview;
+        # refcounting releases the map when the last view goes away.
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)  # repro: allow[RPL002]
     return memoryview(mapped)
 
 
@@ -54,7 +56,8 @@ class _Entry:
 
     __slots__ = ("payload", "nbytes", "segment", "offset")
 
-    def __init__(self, payload, nbytes: int):
+    def __init__(self, payload: bytes | bytearray | memoryview | None,
+                 nbytes: int) -> None:
         self.payload = payload
         self.nbytes = nbytes
         self.segment: int | None = None
@@ -86,7 +89,7 @@ class SpillStore:
     """
 
     def __init__(self, budget_bytes: int = DEFAULT_SPILL_BYTES,
-                 spill_dir: str | None = None):
+                 spill_dir: str | None = None) -> None:
         if budget_bytes < 1:
             raise DataMPIError(
                 f"spill budget must be positive, got {budget_bytes}"
@@ -108,7 +111,8 @@ class SpillStore:
 
     # -- write path ------------------------------------------------------------
 
-    def put(self, key: Any, payload) -> None:
+    def put(self, key: Any,
+            payload: bytes | bytearray | memoryview) -> None:
         """Store ``payload`` (bytes-like) under ``key``, evicting LRU
         entries to disk if the in-memory total would exceed the budget.
 
@@ -128,13 +132,14 @@ class SpillStore:
     def _evict(self) -> None:
         """One eviction event: write oldest resident entries to a fresh
         segment file until the resident total is back under budget."""
-        victims: list[_Entry] = []
+        victims: list[tuple[_Entry, bytes | bytearray | memoryview]] = []
         for entry in self._entries.values():
             if self.in_memory_bytes <= self.budget_bytes:
                 break
-            if entry.spilled or entry.nbytes == 0:
+            payload = entry.payload
+            if payload is None or entry.nbytes == 0:
                 continue
-            victims.append(entry)
+            victims.append((entry, payload))
             self.in_memory_bytes -= entry.nbytes
         if not victims:
             return
@@ -143,15 +148,25 @@ class SpillStore:
             prefix=f"segment-{segment:04d}-", suffix=".seg",
             dir=self._directory(),
         )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for _entry, payload in victims:
+                    handle.write(payload)
+        except BaseException:
+            # A failed write (disk full, released buffer) must not leak
+            # the partial segment file or leave the store's accounting
+            # pointing at a segment that was never sealed.
+            os.unlink(path)
+            for entry, _payload in victims:
+                self.in_memory_bytes += entry.nbytes
+            raise
         offset = 0
-        with os.fdopen(fd, "wb") as handle:
-            for entry in victims:
-                handle.write(entry.payload)
-                entry.payload = None
-                entry.segment = segment
-                entry.offset = offset
-                offset += entry.nbytes
-                self.bytes_spilled += entry.nbytes
+        for entry, _payload in victims:
+            entry.payload = None
+            entry.segment = segment
+            entry.offset = offset
+            offset += entry.nbytes
+            self.bytes_spilled += entry.nbytes
         self._segments.append(path)
         self.spills += 1
 
@@ -174,16 +189,18 @@ class SpillStore:
         post-spill scan never re-inflates the resident set.
         """
         entry = self._entries[key]
-        if not entry.spilled:
+        payload = entry.payload
+        if payload is not None:
             self._entries.move_to_end(key)
-            payload = entry.payload
             return payload if isinstance(payload, memoryview) \
                 else memoryview(payload)
         self.spill_reads += 1
-        mapped = self._maps.get(entry.segment)
+        segment = entry.segment
+        assert segment is not None  # spilled => sealed into a segment
+        mapped = self._maps.get(segment)
         if mapped is None:
-            mapped = map_segment(self._segments[entry.segment])
-            self._maps[entry.segment] = mapped
+            mapped = map_segment(self._segments[segment])
+            self._maps[segment] = mapped
         return mapped[entry.offset:entry.offset + entry.nbytes]
 
     def discard(self, key: Any) -> bool:

@@ -5,8 +5,27 @@ from __future__ import annotations
 from typing import Any, Sequence
 
 from repro.common.errors import WorkloadError
+from repro.storage import StorageConfig
 
 ENGINES = ("hadoop", "spark", "datampi")
+
+
+def resolve_storage(
+    storage: StorageConfig | None, cache_bytes: int | None
+) -> StorageConfig | None:
+    """Fold the legacy ``cache_bytes`` convenience parameter into a
+    :class:`StorageConfig` so drivers never forward the deprecated
+    ``DataMPIConf(cache_bytes=...)`` kwarg (RPL005)."""
+    if cache_bytes is None:
+        return storage
+    if storage is None:
+        return StorageConfig(cache_bytes=cache_bytes)
+    if storage.cache_bytes != cache_bytes:
+        raise WorkloadError(
+            f"cache_bytes={cache_bytes} disagrees with "
+            f"storage.cache_bytes={storage.cache_bytes}; set one"
+        )
+    return storage
 
 
 def check_engine(engine: str) -> str:

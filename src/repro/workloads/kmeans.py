@@ -25,7 +25,7 @@ from repro.common.rng import substream
 from repro.datampi import DataMPIConf, DataMPIJob, IterativeJob, IterativeResult, StorageConfig
 from repro.hadoop import HadoopConf, MapReduceJob
 from repro.spark import SparkContext
-from repro.workloads.base import check_engine, split_round_robin
+from repro.workloads.base import check_engine, resolve_storage, split_round_robin
 
 #: Convergence threshold on centroid movement (Mahout's default-ish).
 DEFAULT_EPSILON = 1e-3
@@ -249,9 +249,8 @@ def kmeans_iterative_job(
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda cluster, values: _reduce_partial_list(values),
                     job_name="kmeans-iterative", transport=transport,
-                    mode=mode, cache_bytes=cache_bytes,
-                    checkpoint_dir=checkpoint_dir,
-                    storage=storage),
+                    mode=mode, checkpoint_dir=checkpoint_dir,
+                    storage=resolve_storage(storage, cache_bytes)),
         max_iterations=max_iterations,
     )
     result = job.run(

@@ -24,7 +24,7 @@ from repro.common.errors import WorkloadError
 from repro.common.rng import substream
 from repro.datampi import DataMPIConf, DataMPIJob, IterativeJob, IterativeResult, StorageConfig
 from repro.hadoop import HadoopConf, JobPipeline, MapReduceJob
-from repro.workloads.base import split_round_robin
+from repro.workloads.base import resolve_storage, split_round_robin
 
 
 @dataclass(frozen=True)
@@ -290,8 +290,7 @@ def train_datampi_iterative(
         DataMPIConf(num_o=parallelism, num_a=parallelism,
                     combiner=lambda key, values: sum(values),
                     job_name="nb-iterative", transport=transport,
-                    mode=mode, cache_bytes=cache_bytes,
-                    storage=storage),
+                    mode=mode, storage=resolve_storage(storage, cache_bytes)),
         max_iterations=len(_NB_PHASES),
     )
     result = job.run(

@@ -1,6 +1,7 @@
 """Shared fixtures for the test suite."""
 
 import socket
+import time
 
 import pytest
 
@@ -14,6 +15,36 @@ def _no_leaked_fault_plan():
     faultinject.clear()
     yield
     faultinject.clear()
+
+
+@pytest.fixture
+def wait_until():
+    """Deadline-bounded polling: ``wait_until(lambda: pred())``.
+
+    Polls ``predicate`` until it returns truthy or ``timeout`` seconds
+    pass, then fails the test with ``message``.  Returns the predicate's
+    final (truthy) value.  This is the RPL004-sanctioned replacement for
+    bare ``time.sleep`` polling loops: the wait is bounded, fails loudly,
+    and wakes as soon as the condition holds.
+    """
+
+    def wait(predicate, timeout: float = 5.0, interval: float = 0.01,
+             message: str | None = None):
+        deadline = time.monotonic() + timeout
+        while True:
+            value = predicate()
+            if value:
+                return value
+            if time.monotonic() >= deadline:
+                pytest.fail(
+                    message
+                    or f"condition {predicate!r} not met within {timeout}s"
+                )
+            # Deadline-bounded by construction; this fixture IS the
+            # sanctioned polling helper.
+            time.sleep(interval)  # repro: allow[RPL004]
+
+    return wait
 
 
 @pytest.fixture

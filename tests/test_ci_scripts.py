@@ -191,3 +191,46 @@ class TestCheckBenchRegression:
     def test_main_fails_on_missing_report(self, tmp_path):
         with pytest.raises(SystemExit):
             check_bench.main([str(tmp_path / "absent.json")])
+
+    # -- missing-suite detection (distinct exit code) -----------------------
+
+    def test_missing_suites_lists_unmatched_baseline_entries(self):
+        report = self.good_report()
+        report["benchmarks"] = report["benchmarks"][:2]  # drop test_matrix
+        assert check_bench.missing_suites(report, self.BASELINE) == \
+            ["test_matrix"]
+        assert check_bench.missing_suites(self.good_report(),
+                                          self.BASELINE) == []
+
+    def test_undermatched_suite_is_not_missing(self):
+        """A suite matching fewer than min_count benchmarks is a regular
+        check() problem, not a structural mismatch."""
+        report = self.good_report()
+        del report["benchmarks"][1]  # one test_transport left (min_count=2)
+        assert check_bench.missing_suites(report, self.BASELINE) == []
+        assert any("expected >= 2" in p
+                   for p in check_bench.check(report, self.BASELINE))
+
+    def test_main_missing_suite_exit_code_and_message(self, tmp_path, capsys):
+        report = self.good_report()
+        report["benchmarks"] = report["benchmarks"][:2]
+        report_path = tmp_path / "bench.json"
+        report_path.write_text(json.dumps(report))
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(self.BASELINE))
+        code = check_bench.main(
+            [str(report_path), "--baseline", str(baseline_path)])
+        assert code == check_bench.MISSING_SUITE_EXIT == 3
+        out = capsys.readouterr().out.strip()
+        assert out.count("\n") == 0, "missing-suite report is one line"
+        assert "test_matrix" in out and "missing" in out
+
+    def test_main_zero_benchmarks_still_generic_failure(self, tmp_path):
+        """An empty report is a collection error (exit 1), not a
+        missing-suite mismatch (exit 3)."""
+        report_path = tmp_path / "bench.json"
+        report_path.write_text(json.dumps({"benchmarks": []}))
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps(self.BASELINE))
+        assert check_bench.main(
+            [str(report_path), "--baseline", str(baseline_path)]) == 1

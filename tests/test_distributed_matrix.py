@@ -599,7 +599,9 @@ class TestWorkerEntryPoint:
         original = MatrixRunner.execute_cell
 
         def slowed(self, cell):
-            time.sleep(0.7)
+            # Injected latency, not polling: the test needs the parent
+            # to be demonstrably slower than the stray's timeout.
+            time.sleep(0.7)  # repro: allow[RPL004]
             return original(self, cell)
 
         monkeypatch.setattr(MatrixRunner, "execute_cell", slowed)

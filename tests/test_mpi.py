@@ -5,6 +5,10 @@ import pytest
 from repro.common import MPIError
 from repro.mpi import ANY_SOURCE, ANY_TAG, Comm, World, mpi_run
 
+# Named test tags (RPL003: no literal ints at send/recv call sites).
+TAG_WRONG = 5
+TAG_RIGHT = 9
+
 
 class TestPointToPoint:
     def test_send_recv(self):
@@ -32,11 +36,11 @@ class TestPointToPoint:
     def test_tag_matching_skips_other_tags(self):
         def main(comm):
             if comm.rank == 0:
-                comm.send(1, "wrong", tag=5)
-                comm.send(1, "right", tag=9)
+                comm.send(1, "wrong", tag=TAG_WRONG)
+                comm.send(1, "right", tag=TAG_RIGHT)
                 return None
-            first = comm.recv(source=0, tag=9).payload
-            second = comm.recv(source=0, tag=5).payload
+            first = comm.recv(source=0, tag=TAG_RIGHT).payload
+            second = comm.recv(source=0, tag=TAG_WRONG).payload
             return (first, second)
 
         results = mpi_run(2, main)

@@ -21,6 +21,11 @@ NUM_SENDERS = 4
 NUM_RECEIVERS = 3
 MESSAGES_PER_PAIR = 120
 
+# Named test tags (RPL003: no literal ints at send/recv call sites).
+TAG_NEVER_SENT = 7
+TAG_NOISE = 1
+TAG_OTHER = 2
+
 
 def _stress_main(comm, seed):
     """Ranks [0, NUM_SENDERS) send; the rest receive and audit ordering."""
@@ -107,8 +112,8 @@ class TestRecvTimeout:
     def test_blocked_recv_raises_instead_of_hanging(self, transport):
         def main(comm):
             if comm.rank == 1:
-                # Nobody ever sends tag 7: must raise, not hang.
-                comm.recv(source=0, tag=7, timeout=0.3)
+                # Nobody ever sends TAG_NEVER_SENT: must raise, not hang.
+                comm.recv(source=0, tag=TAG_NEVER_SENT, timeout=0.3)
             return None
 
         with pytest.raises(MPIError, match="timed out|rank 1"):
@@ -116,7 +121,7 @@ class TestRecvTimeout:
 
     def test_blocked_recv_message_names_source_and_tag(self):
         def main(comm):
-            comm.recv(source=0, tag=7, timeout=0.05)
+            comm.recv(source=0, tag=TAG_NEVER_SENT, timeout=0.05)
 
         with pytest.raises(MPIError, match=r"source=0 tag=7"):
             mpi_run(1, main, transport="thread")
@@ -124,11 +129,11 @@ class TestRecvTimeout:
     def test_mismatched_messages_do_not_satisfy_recv(self):
         def main(comm):
             if comm.rank == 0:
-                comm.send(1, "noise", tag=1)
+                comm.send(1, "noise", tag=TAG_NOISE)
                 return None
             with pytest.raises(MPIError, match="timed out"):
-                comm.recv(source=0, tag=2, timeout=0.2)
+                comm.recv(source=0, tag=TAG_OTHER, timeout=0.2)
             # The mismatched message is still there for a matching receive.
-            return comm.recv(source=0, tag=1, timeout=5.0).payload
+            return comm.recv(source=0, tag=TAG_NOISE, timeout=5.0).payload
 
         assert mpi_run(2, main, transport="thread")[1] == "noise"

@@ -24,6 +24,12 @@ from repro.mpi.transport import (
 
 TRANSPORTS = ("thread", "shm", "inline", "tcp")
 
+# Named test tags (RPL003: no literal ints at send/recv call sites).
+TAG_WRONG = 5
+TAG_RIGHT = 9
+TAG_ECHO = 3
+TAG_NEVER_SENT = 42
+
 
 @pytest.fixture(params=TRANSPORTS)
 def transport(request):
@@ -102,11 +108,11 @@ class TestSharedSemantics:
     def test_tag_matching_skips_other_tags(self, transport):
         def main(comm):
             if comm.rank == 0:
-                comm.send(1, "wrong", tag=5)
-                comm.send(1, "right", tag=9)
+                comm.send(1, "wrong", tag=TAG_WRONG)
+                comm.send(1, "right", tag=TAG_RIGHT)
                 return None
-            first = comm.recv(source=0, tag=9).payload
-            second = comm.recv(source=0, tag=5).payload
+            first = comm.recv(source=0, tag=TAG_RIGHT).payload
+            second = comm.recv(source=0, tag=TAG_WRONG).payload
             return (first, second)
 
         assert mpi_run(2, main, transport=transport)[1] == ("right", "wrong")
@@ -122,8 +128,8 @@ class TestSharedSemantics:
 
     def test_self_send(self, transport):
         def main(comm):
-            comm.send(comm.rank, f"echo-{comm.rank}", tag=3)
-            return comm.recv(source=comm.rank, tag=3).payload
+            comm.send(comm.rank, f"echo-{comm.rank}", tag=TAG_ECHO)
+            return comm.recv(source=comm.rank, tag=TAG_ECHO).payload
 
         assert mpi_run(2, main, transport=transport) == ["echo-0", "echo-1"]
 
@@ -355,7 +361,7 @@ class TestInlineSpecifics:
         import time
 
         def main(comm):
-            comm.recv(source=0, tag=42, timeout=3600.0)
+            comm.recv(source=0, tag=TAG_NEVER_SENT, timeout=3600.0)
 
         start = time.monotonic()
         with pytest.raises(MPIError, match="deadlock"):

@@ -178,7 +178,7 @@ def _run_matrix_child(spec_dict: dict, out_dir: str) -> None:
 
 class TestResumeAfterKill:
     def test_sigkilled_parallel_run_resumes_from_surviving_cells(
-            self, tmp_path):
+            self, tmp_path, wait_until):
         """SIGKILL a live 2-worker matrix mid-flight; the rerun must
         execute exactly the cells whose checkpoints did not survive."""
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -189,11 +189,15 @@ class TestResumeAfterKill:
             target=_run_matrix_child, args=(spec.to_dict(), str(out)))
         child.start()
         cells_dir = out / "cells"
-        deadline = time.time() + 120
-        while time.time() < deadline and child.is_alive():
-            if cells_dir.exists() and len(list(cells_dir.glob("*.json"))) >= 2:
-                break
-            time.sleep(0.002)
+        # Kill once at least two cell checkpoints exist (or the child
+        # finished early — the skip below handles that race).
+        wait_until(
+            lambda: not child.is_alive()
+            or (cells_dir.exists()
+                and len(list(cells_dir.glob("*.json"))) >= 2),
+            timeout=120, interval=0.002,
+            message="matrix child produced no cell checkpoints",
+        )
         try:
             os.killpg(child.pid, signal.SIGKILL)  # child + its pool workers
         except ProcessLookupError:  # finished (and reaped) before the kill

@@ -390,7 +390,8 @@ class TestOverBudgetAcceptance:
         assert budgeted.spill_reads > 0
         assert baseline.bytes_spilled == 0
 
-    def test_no_segment_files_leak_after_run(self, backend, tmp_path):
+    def test_no_segment_files_leak_after_run(self, backend, tmp_path,
+                                             wait_until):
         """Job-level twin of the cell test with an observable spill dir:
         after the run returns, no segment file remains on disk."""
         lines = TextGenerator(seed=7).lines(1200)
@@ -401,7 +402,5 @@ class TestOverBudgetAcceptance:
         merged = [line for output in result.outputs for line in output]
         assert merged == sorted(lines)
         # Rank cleanup may trail the result gather on process transports.
-        deadline = time.monotonic() + 30
-        while _segment_files(tmp_path) and time.monotonic() < deadline:
-            time.sleep(0.02)
-        assert _segment_files(tmp_path) == []
+        wait_until(lambda: not _segment_files(tmp_path), timeout=30,
+                   message="run left segment files behind")

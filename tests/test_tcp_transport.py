@@ -33,6 +33,10 @@ from repro.mpi.transport.tcp import FRAME_HEADER, KIND_REGISTER, recv_frame, \
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+# Named test tags (RPL003: no literal ints at send/recv call sites).
+TAG_BULK = 5
+TAG_LATE = 9
+
 
 @pytest.fixture(autouse=True)
 def _no_ambient_authkeys(monkeypatch):
@@ -248,9 +252,9 @@ class TestProcessWorld:
         def main(comm):
             if comm.rank == 0:
                 for dest in range(1, comm.size):
-                    comm.send(dest, blob, tag=5)
+                    comm.send(dest, blob, tag=TAG_BULK)
                 return None
-            return comm.recv(source=0, tag=5).payload == blob
+            return comm.recv(source=0, tag=TAG_BULK).payload == blob
 
         assert mpi_run(3, main, transport="tcp")[1:] == [True, True]
 
@@ -263,9 +267,9 @@ class TestProcessWorld:
             if comm.rank == 0:
                 return "early"  # finishes immediately
             if comm.rank == 1:
-                comm.send(2, "late-message", tag=9)
+                comm.send(2, "late-message", tag=TAG_LATE)
                 return None
-            return comm.recv(source=1, tag=9, timeout=30.0).payload
+            return comm.recv(source=1, tag=TAG_LATE, timeout=30.0).payload
 
         assert mpi_run(3, main, transport="tcp") == \
             ["early", None, "late-message"]

@@ -35,6 +35,13 @@ PROCESS_BACKENDS = ("shm", "tcp")
 #: Timeout given to receives that must be cut short by peer death.
 LONG_RECV = 60.0
 
+# Named test tags (RPL003: no literal ints at send/recv call sites).
+TAG_NEVER_SENT = 7
+TAG_BLOCKED = 3
+TAG_NOISE = 1
+TAG_OTHER = 2
+TAG_CHUNK = 5
+
 #: A poisoned rank must fail well inside this monotonic budget.  The
 #: property under test is "poison cut the 60s receive short", so the
 #: budget is half the receive timeout — generous enough that a loaded
@@ -72,7 +79,7 @@ class TestRecvTimeout:
 
         def main(comm):
             if comm.rank == 1:
-                comm.recv(source=0, tag=7, timeout=0.3)
+                comm.recv(source=0, tag=TAG_NEVER_SENT, timeout=0.3)
             return None
 
         with fail_fast(), pytest.raises(MPIError, match="timed out|deadlock"):
@@ -80,7 +87,7 @@ class TestRecvTimeout:
 
     def test_single_rank_self_deadlock(self, backend):
         def main(comm):
-            comm.recv(source=0, tag=3, timeout=0.2)
+            comm.recv(source=0, tag=TAG_BLOCKED, timeout=0.2)
 
         with pytest.raises(MPIError, match="timed out|deadlock|rank 0"):
             mpi_run(1, main, transport=backend)
@@ -91,9 +98,9 @@ class TestRecvTimeout:
 
         def main(comm):
             if comm.rank == 0:
-                comm.send(1, "noise", tag=1)
+                comm.send(1, "noise", tag=TAG_NOISE)
                 return None
-            comm.recv(source=0, tag=2, timeout=0.3)
+            comm.recv(source=0, tag=TAG_OTHER, timeout=0.3)
             return None
 
         with pytest.raises(MPIError, match="timed out|deadlock"):
@@ -108,7 +115,7 @@ class TestPeerDeath:
         def main(comm):
             if comm.rank == 0:
                 raise RuntimeError("the original failure")
-            comm.recv(source=0, tag=3, timeout=LONG_RECV)
+            comm.recv(source=0, tag=TAG_BLOCKED, timeout=LONG_RECV)
 
         with pytest.raises(MPIError, match="the original failure"):
             mpi_run(2, main, transport=backend)
@@ -119,7 +126,7 @@ class TestPeerDeath:
         def main(comm):
             if comm.rank == 0:
                 raise RuntimeError("early death")
-            comm.recv(source=0, tag=3, timeout=LONG_RECV)
+            comm.recv(source=0, tag=TAG_BLOCKED, timeout=LONG_RECV)
 
         with fail_fast(), pytest.raises(MPIError):
             mpi_run(3, main, transport=backend)
@@ -151,7 +158,7 @@ class TestHardKill:
         def main(comm):
             if comm.rank == 0:
                 os._exit(17)  # no exception, no cleanup, no goodbye
-            comm.recv(source=0, tag=3, timeout=LONG_RECV)
+            comm.recv(source=0, tag=TAG_BLOCKED, timeout=LONG_RECV)
 
         with fail_fast(), pytest.raises(MPIError, match="died without reporting|aborted|peer"):
             mpi_run(2, main, transport=process_backend)
@@ -213,10 +220,10 @@ class TestDataPlaneNeverPickles:
             chunks = [b"chunk-%03d" % i for i in range(20)]
             chunks.append(b"x" * (64 * 1024))  # past any batch threshold
             for chunk in chunks:
-                comm.send(peer, chunk, tag=5)
-            comm.send(peer, bytearray(b"mutable"), tag=5)
+                comm.send(peer, chunk, tag=TAG_CHUNK)
+            comm.send(peer, bytearray(b"mutable"), tag=TAG_CHUNK)
             source = (comm.rank - 1) % comm.size
-            got = [comm.recv(source=source, tag=5) for _ in range(22)]
+            got = [comm.recv(source=source, tag=TAG_CHUNK) for _ in range(22)]
             assert all(isinstance(m.payload, bytes) for m in got)
             return sum(len(m.payload) for m in got)
 

@@ -158,15 +158,6 @@ def _segment_files(directory) -> list[str]:
     return [name for name in os.listdir(directory) if name.endswith(".seg")]
 
 
-def _wait_for_no_segments(directory, timeout: float = 30.0) -> list[str]:
-    """Segment deletion happens on A ranks as they recycle, which may lag
-    the root's result send by a beat — poll instead of racing it."""
-    deadline = time.monotonic() + timeout
-    leftover = _segment_files(directory)
-    while leftover and time.monotonic() < deadline:
-        time.sleep(0.02)
-        leftover = _segment_files(directory)
-    return leftover
 
 
 class TestPoolSpillBoundaries:
@@ -211,7 +202,7 @@ class TestPoolSpillBoundaries:
         assert stable_bytes(second.outputs) == stable_bytes(cold.outputs)
 
     def test_recycled_world_does_not_leak_segment_files(self, backend,
-                                                        tmp_path):
+                                                        tmp_path, wait_until):
         """Every job boundary deletes that job's segment files; after the
         pool closes the shared spill directory holds none at all."""
         storage = StorageConfig(spill_threshold=256, spill_dir=str(tmp_path))
@@ -224,7 +215,10 @@ class TestPoolSpillBoundaries:
                 result = pool.run_job(
                     "wordcount", split_round_robin(lines, PARALLELISM))
                 assert result.counters["a.bytes_spilled"] > 0
-                assert _wait_for_no_segments(tmp_path) == []
+                # Segment deletion happens on A ranks as they recycle,
+                # which may lag the root's result send by a beat.
+                wait_until(lambda: not _segment_files(tmp_path), timeout=30,
+                           message="job boundary left segment files behind")
         assert _segment_files(tmp_path) == []
 
     def test_spilled_counters_are_per_job_not_cumulative(self, backend,
